@@ -1,0 +1,62 @@
+//! Criterion benches for the LFSR substrate: stepping throughput at the
+//! degrees the paper's TPGs use (12 for Example 2, 64 for the c5a2m BIBS
+//! kernel), MISR absorption, and primitive-polynomial lookup/search.
+
+use bibs_lfsr::fsr::{CompleteLfsr, Lfsr, LfsrKind};
+use bibs_lfsr::misr::Misr;
+use bibs_lfsr::poly::{find_primitive, primitive_polynomial};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_lfsr_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lfsr_step");
+    for degree in [12u32, 24, 64] {
+        let poly = primitive_polynomial(degree).expect("table covers 1..=64");
+        for (kind, name) in [(LfsrKind::Type1, "type1"), (LfsrKind::Type2, "type2")] {
+            let mut lfsr = Lfsr::new(&poly, kind);
+            group.bench_with_input(
+                BenchmarkId::new(name, degree),
+                &degree,
+                |b, _| {
+                    b.iter(|| {
+                        lfsr.step();
+                        black_box(lfsr.state().is_zero())
+                    })
+                },
+            );
+        }
+        let mut complete = CompleteLfsr::new(&poly);
+        group.bench_with_input(BenchmarkId::new("complete", degree), &degree, |b, _| {
+            b.iter(|| {
+                complete.step();
+                black_box(complete.state().is_zero())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_misr_absorb(c: &mut Criterion) {
+    let poly = primitive_polynomial(16).expect("in table");
+    let mut misr = Misr::new(&poly);
+    let mut x = 0u64;
+    c.bench_function("misr_absorb_16", |b| {
+        b.iter(|| {
+            x = x.wrapping_mul(0x9E37_79B9).wrapping_add(1);
+            misr.absorb_u64(x & 0xFFFF);
+            black_box(misr.cycles())
+        })
+    });
+}
+
+fn bench_polynomials(c: &mut Criterion) {
+    c.bench_function("primitive_polynomial_table_64", |b| {
+        b.iter(|| black_box(primitive_polynomial(black_box(64))))
+    });
+    c.bench_function("find_primitive_search_20", |b| {
+        b.iter(|| black_box(find_primitive(black_box(20))))
+    });
+}
+
+criterion_group!(benches, bench_lfsr_step, bench_misr_absorb, bench_polynomials);
+criterion_main!(benches);

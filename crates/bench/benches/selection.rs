@@ -1,0 +1,75 @@
+//! Criterion benches for the two TDM selection procedures on the Table 1
+//! datapaths and on unbalanced/cyclic filter structures.
+
+use bibs_core::bibs::{select, BibsOptions};
+use bibs_core::design::kernels;
+use bibs_core::ka85;
+use bibs_core::schedule::schedule;
+use bibs_datapath::filters::{c3a2m, c4a4m, c5a2m, fir_transposed};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_bibs_select(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bibs_select");
+    for circuit in [c5a2m(), c3a2m(), c4a4m()] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(circuit.name().to_string()),
+            &circuit,
+            |b, circuit| {
+                b.iter(|| {
+                    black_box(
+                        select(circuit, &BibsOptions::default())
+                            .expect("selectable")
+                            .design
+                            .register_count(),
+                    )
+                })
+            },
+        );
+    }
+    // The unbalanced transposed FIR exercises the violation-driven search.
+    for taps in [4usize, 8] {
+        let fir = fir_transposed(taps);
+        group.bench_with_input(
+            BenchmarkId::new("fir", taps),
+            &fir,
+            |b, fir| {
+                b.iter(|| {
+                    black_box(
+                        select(fir, &BibsOptions::default())
+                            .expect("selectable")
+                            .design
+                            .register_count(),
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_ka85_select(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ka85_select");
+    for circuit in [c5a2m(), c3a2m(), c4a4m()] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(circuit.name().to_string()),
+            &circuit,
+            |b, circuit| {
+                b.iter(|| black_box(ka85::select(circuit).expect("selectable").register_count()))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_schedule(c: &mut Criterion) {
+    let circuit = c4a4m();
+    let design = ka85::select(&circuit).expect("selectable");
+    let ks = kernels(&circuit, &design);
+    c.bench_function("schedule_c4a4m_ka85", |b| {
+        b.iter(|| black_box(schedule(&design, &ks).len()))
+    });
+}
+
+criterion_group!(benches, bench_bibs_select, bench_ka85_select, bench_schedule);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Criterion benches for TPG design and simulation: SC_TPG/MC_TPG
+//! construction (the paper gives MC_TPG's complexity as O(m·n²)), the
+//! register-permutation search of Section 4.3, and TPG stepping.
+
+use bibs_core::fpet::best_permutation;
+use bibs_core::structure::{Cone, ConeDep, GeneralizedStructure, TpgRegister};
+use bibs_core::tpg::{mc_tpg, TpgSimulator};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+/// A synthetic n-register, n-cone structure with varied skews.
+fn synthetic(n: usize) -> GeneralizedStructure {
+    let regs = (0..n)
+        .map(|i| TpgRegister {
+            name: format!("R{i}"),
+            width: 4,
+        })
+        .collect();
+    let cones = (0..n)
+        .map(|x| Cone {
+            name: format!("O{x}"),
+            deps: (0..n)
+                .filter(|i| (i + x) % 3 != 0)
+                .map(|i| ConeDep {
+                    register: i,
+                    seq_len: ((i + x) % 4) as u32,
+                })
+                .collect(),
+        })
+        .collect();
+    GeneralizedStructure::new(format!("syn{n}"), regs, cones).expect("valid synthetic structure")
+}
+
+fn bench_mc_tpg(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mc_tpg_construct");
+    for n in [4usize, 8, 16] {
+        let s = synthetic(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(mc_tpg(&s).lfsr_degree()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_permutation_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fpet_permutation_search");
+    group.sample_size(10);
+    for n in [4usize, 6] {
+        let s = synthetic(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(best_permutation(&s).design.lfsr_degree()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_tpg_simulation(c: &mut Criterion) {
+    let s = GeneralizedStructure::single_cone(
+        "ex2",
+        &[("R1", 4, 2), ("R2", 4, 1), ("R3", 4, 0)],
+    );
+    let design = mc_tpg(&s);
+    let mut sim = TpgSimulator::new(&design);
+    c.bench_function("tpg_sim_step_and_view", |b| {
+        b.iter(|| {
+            sim.step();
+            black_box(sim.cone_view(0).count_ones())
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_mc_tpg,
+    bench_permutation_search,
+    bench_tpg_simulation
+);
+criterion_main!(benches);

@@ -1,0 +1,151 @@
+//! A BITS-style end-to-end driver.
+//!
+//! The authors integrated BIBS into **BITS**, their CAD test system, which
+//! "reads in a circuit (in EDIF description) to be made BISTable,
+//! reorganizes the circuit into a RTL description ..., systematically
+//! explores the BISTable design space ..., generates an optimal test
+//! schedule, designs low area and high fault coverage TPGs and SAs,
+//! synthesizes a test controller, and finally exports the fully testable
+//! circuit". This binary runs that flow on a circuit text file:
+//!
+//! ```text
+//! cargo run --release -p bibs-bench --bin bits -- circuits/mac.ckt
+//! cargo run --release -p bibs-bench --bin bits -- circuits/fig4.ckt --tdm ka85
+//! ```
+
+use bibs_core::bibs::{self, BibsOptions};
+use bibs_core::controller;
+use bibs_core::delay::maximal_delay;
+use bibs_core::design::{kernels, BilboDesign};
+use bibs_core::ka85;
+use bibs_core::mintpg::minimize_degree;
+use bibs_core::schedule::schedule;
+use bibs_core::structure::GeneralizedStructure;
+use bibs_core::tpg::mc_tpg;
+use bibs_lfsr::bilbo::AreaModel;
+use bibs_rtl::fmt::from_text;
+use bibs_rtl::{Circuit, VertexKind};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(path) = args.first() else {
+        eprintln!("usage: bits <circuit.ckt> [--tdm bibs|ka85]");
+        return ExitCode::FAILURE;
+    };
+    let tdm = args
+        .iter()
+        .position(|a| a == "--tdm")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+        .unwrap_or("bibs");
+
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("bits: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let circuit = match from_text(&text) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("bits: cannot parse {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(&circuit, tdm) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("bits: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(circuit: &Circuit, tdm: &str) -> Result<(), Box<dyn std::error::Error>> {
+    println!("== BITS flow for circuit {} ==", circuit.name());
+    println!(
+        "{} vertices, {} register edges, {} flip-flops; balanced = {}, acyclic = {}",
+        circuit.vertex_count(),
+        circuit.register_edges().count(),
+        circuit.total_register_bits(),
+        circuit.is_balanced(),
+        circuit.is_acyclic()
+    );
+
+    // 1. Register selection.
+    let (circuit, design): (Circuit, BilboDesign) = match tdm {
+        "ka85" => (circuit.clone(), ka85::select(circuit)?),
+        _ => {
+            let r = bibs::select(circuit, &BibsOptions::default())?;
+            (r.circuit, r.design)
+        }
+    };
+    let names: Vec<String> = design
+        .bilbo
+        .iter()
+        .chain(&design.cbilbo)
+        .filter_map(|&e| circuit.edge(e).name.clone())
+        .collect();
+    println!(
+        "\nselection ({tdm}): {} registers ({} flip-flops): {:?}",
+        design.register_count(),
+        design.flip_flop_count(&circuit),
+        names
+    );
+    let model = AreaModel::default();
+    println!(
+        "area overhead: {:.1} gate equivalents; maximal delay: {:?} time units",
+        design.area_overhead(&circuit, &model),
+        maximal_delay(&circuit, &design)
+    );
+
+    // 2. Kernels and schedule.
+    let ks: Vec<_> = kernels(&circuit, &design)
+        .into_iter()
+        .filter(|k| {
+            k.vertices
+                .iter()
+                .any(|&v| circuit.vertex(v).kind == VertexKind::Logic)
+        })
+        .collect();
+    let sessions = schedule(&design, &ks);
+    println!("\n{} kernel(s), {} test session(s)", ks.len(), sessions.len());
+
+    // 3. TPG per kernel (with the minimal-LFSR pass).
+    let mut patterns = Vec::new();
+    for (i, kernel) in ks.iter().enumerate() {
+        let structure = GeneralizedStructure::from_kernel(&circuit, &design, kernel)?;
+        let tpg = mc_tpg(&structure);
+        let min = minimize_degree(&tpg, 100);
+        println!(
+            "kernel {i}: M = {} bits, depth {}, TPG degree {} (minimal {}), {} extra FFs, test time {} cycles",
+            structure.total_width(),
+            structure.sequential_depth(),
+            tpg.lfsr_degree(),
+            min.design.lfsr_degree(),
+            min.design.extra_flip_flops(),
+            min.design.test_time()
+        );
+        // The controller runs pseudo-random sessions; size them by the
+        // kernel width (functionally exhaustive when feasible, else a
+        // pseudo-random budget).
+        let budget = if min.design.lfsr_degree() <= 20 {
+            min.design.test_time() as u64
+        } else {
+            64 * structure.total_width() as u64
+        };
+        patterns.push(budget);
+    }
+
+    // 4. Test controller.
+    let ctrl = controller::synthesize(&circuit, &design, &ks, &sessions, &patterns);
+    println!("\n{ctrl}");
+
+    // 5. Export the testable design.
+    println!("modified circuit (text export):");
+    print!("{}", bibs_rtl::fmt::to_text(&circuit));
+    println!("# BILBO registers: {names:?}");
+    Ok(())
+}

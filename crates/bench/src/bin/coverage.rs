@@ -1,0 +1,52 @@
+//! Fault-coverage convergence curves — the data behind Table 2's rows
+//! 5–8, emitted as CSV series (patterns vs. cumulative coverage of
+//! detectable faults) for BIBS and \[3\] on one circuit.
+//!
+//! Run with `cargo run --release -p bibs-bench --bin coverage -- [circuit] [width]`
+//! (defaults: c5a2m, width 4). Pipe to a file and plot.
+
+use bibs_bench::{apply_tdm, kernel_fault_stats, Table2Options, Tdm};
+use bibs_datapath::filters::scaled;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let name = args.first().map(String::as_str).unwrap_or("c5a2m");
+    let width: u32 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(4);
+    let circuit = scaled(name, width);
+    let options = Table2Options::default();
+
+    println!("tdm,patterns,detected,detectable,coverage");
+    for tdm in [Tdm::Bibs, Tdm::Ka85] {
+        let (circuit, design, kernels) = apply_tdm(&circuit, tdm);
+        // Merge all kernels' detection events on a common sequential
+        // pattern axis (kernels tested one after another).
+        let mut events: Vec<u64> = Vec::new();
+        let mut offset = 0u64;
+        let mut detectable = 0usize;
+        for kernel in &kernels {
+            let stats = kernel_fault_stats(&circuit, &design, kernel, &options);
+            detectable += stats.detectable();
+            let last = stats.detection_indices.last().copied().unwrap_or(0);
+            events.extend(stats.detection_indices.iter().map(|&i| offset + i));
+            offset += last + 1;
+        }
+        events.sort_unstable();
+        // Emit ~50 evenly spaced milestones plus the exact tail.
+        let n = events.len();
+        let mut printed = 0usize;
+        for (i, &p) in events.iter().enumerate() {
+            let is_milestone = i % (n / 50 + 1) == 0 || i + 10 >= n;
+            if is_milestone {
+                println!(
+                    "{tdm},{},{},{},{:.5}",
+                    p + 1,
+                    i + 1,
+                    detectable,
+                    (i + 1) as f64 / detectable as f64
+                );
+                printed += 1;
+            }
+        }
+        eprintln!("{tdm}: {printed} milestones, {n} detections, {detectable} detectable");
+    }
+}

@@ -1,0 +1,46 @@
+//! Regenerates Table 2: the BIBS vs Krasniewski–Albicki comparison on the
+//! three datapath circuits — kernels, sessions, BILBO registers, maximal
+//! delay, and patterns/test time at 99.5 % and 100 % coverage of
+//! detectable faults.
+//!
+//! Run with `cargo run --release -p bibs-bench --bin table2`.
+//! Optional argument: a word width (default 8; the paper's width).
+
+use bibs_bench::{render_table2, table2_column, Table2Options, Tdm};
+use bibs_datapath::filters::scaled;
+
+fn main() {
+    let width: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8);
+    let options = Table2Options::default();
+    let mut columns = Vec::new();
+    for name in ["c5a2m", "c3a2m", "c4a4m"] {
+        let circuit = scaled(name, width);
+        eprintln!("running {name} (width {width}) under BIBS ...");
+        let b = table2_column(&circuit, Tdm::Bibs, &options);
+        eprintln!("running {name} under [3] ...");
+        let k = table2_column(&circuit, Tdm::Ka85, &options);
+        columns.push((b, k));
+    }
+    println!("Table 2: BIBS vs the TDM of [3] (width {width})");
+    println!("{}", render_table2(&columns));
+    println!("fault universes (collapsed / redundant / detectable):");
+    for (b, k) in &columns {
+        let sum = |col: &bibs_bench::Table2Column| {
+            let f: usize = col.kernel_stats.iter().map(|s| s.faults).sum();
+            let r: usize = col.kernel_stats.iter().map(|s| s.redundant).sum();
+            let d: usize = col.kernel_stats.iter().map(|s| s.detectable()).sum();
+            let a: usize = col.kernel_stats.iter().map(|s| s.aborted).sum();
+            let u: usize = col.kernel_stats.iter().map(|s| s.unreached).sum();
+            (f, r, d, a, u)
+        };
+        let (bf, br, bd, ba, bu) = sum(b);
+        let (kf, kr, kd, ka, ku) = sum(k);
+        println!(
+            "  {}: BIBS {bf}/{br}/{bd} (aborted {ba}, unreached {bu}); [3] {kf}/{kr}/{kd} (aborted {ka}, unreached {ku})",
+            b.circuit
+        );
+    }
+}

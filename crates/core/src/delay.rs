@@ -1,0 +1,79 @@
+//! The maximal-delay metric of Table 2.
+//!
+//! "Whenever a BILBO register is used, it introduces a certain amount of
+//! delay, say 1 time unit ... A maximal delay is thus calculated for each
+//! BISTable circuit that is equal to the maximal number of BILBO registers
+//! from a PI to a PO."
+
+use crate::design::BilboDesign;
+use bibs_rtl::{Circuit, VertexKind};
+
+/// The maximal number of converted (BILBO/CBILBO) registers on any
+/// directed PI→PO path, in units of the per-register delay.
+///
+/// Returns `None` for cyclic circuits (the longest path is unbounded
+/// through a cycle; the paper's experiment circuits are acyclic).
+pub fn maximal_delay(circuit: &Circuit, design: &BilboDesign) -> Option<u32> {
+    let order = circuit.topo_order()?;
+    // Longest-path DP where converted register edges weigh 1.
+    let mut best: Vec<Option<u32>> = vec![None; circuit.vertex_count()];
+    for v in circuit.vertex_ids() {
+        if circuit.vertex(v).kind == VertexKind::Input {
+            best[v.index()] = Some(0);
+        }
+    }
+    for &v in &order {
+        let Some(cur) = best[v.index()] else { continue };
+        for &e in circuit.out_edges(v) {
+            let w = if design.is_cut(e) { 1 } else { 0 };
+            let to = circuit.edge(e).to;
+            let cand = cur + w;
+            if best[to.index()].is_none_or(|b| cand > b) {
+                best[to.index()] = Some(cand);
+            }
+        }
+    }
+    let mut out = 0;
+    for v in circuit.vertex_ids() {
+        if circuit.vertex(v).kind == VertexKind::Output {
+            if let Some(d) = best[v.index()] {
+                out = out.max(d);
+            }
+        }
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bibs::{self, BibsOptions};
+    use crate::ka85;
+    use bibs_datapath::filters::{c3a2m, c4a4m, c5a2m};
+
+    #[test]
+    fn table2_row4_maximal_delays() {
+        for (circuit, ka_delay) in [(c5a2m(), 4), (c3a2m(), 6), (c4a4m(), 4)] {
+            let bibs_result = bibs::select(&circuit, &BibsOptions::default()).unwrap();
+            assert_eq!(
+                maximal_delay(&bibs_result.circuit, &bibs_result.design),
+                Some(2),
+                "{}: BIBS maximal delay is 2 (PI + PO registers)",
+                circuit.name()
+            );
+            let ka_design = ka85::select(&circuit).unwrap();
+            assert_eq!(
+                maximal_delay(&circuit, &ka_design),
+                Some(ka_delay),
+                "{}: [3] maximal delay (Table 2 row 4)",
+                circuit.name()
+            );
+        }
+    }
+
+    #[test]
+    fn empty_design_has_zero_delay() {
+        let c = c5a2m();
+        assert_eq!(maximal_delay(&c, &crate::design::BilboDesign::new()), Some(0));
+    }
+}

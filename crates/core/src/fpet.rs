@@ -1,0 +1,304 @@
+//! Functionally pseudo-exhaustive testing (Section 4.3).
+//!
+//! When every cone depends on only a subset of the kernel inputs, the
+//! LFSR degree — and hence the test time `≈ 2^degree` — depends on the
+//! **order** in which MC_TPG lays out the input registers (Example 7:
+//! degree 16 for order `R1,R2,R3`, degree 8 for `R1,R3,R2`). This module
+//! provides:
+//!
+//! * [`best_permutation`] — the paper's suggested search: run MC_TPG once
+//!   per register ordering, keep the minimum-degree design, stop early at
+//!   the `2^w` lower bound (`w` = maximal cone size);
+//! * [`dependency_matrix_signals`] — the McCluskey verification-testing
+//!   baseline of Example 8 (minimal test-signal count from the cone
+//!   dependency matrix), which ignores sequential-length information and
+//!   therefore often needs a larger LFSR.
+
+use crate::structure::GeneralizedStructure;
+use crate::tpg::{mc_tpg, TpgDesign};
+
+/// The outcome of a register-permutation search.
+#[derive(Debug, Clone)]
+pub struct PermutationSearch {
+    /// The best ordering found (indices into the original register list).
+    pub order: Vec<usize>,
+    /// The TPG designed for that ordering.
+    pub design: TpgDesign,
+    /// Number of orderings evaluated.
+    pub evaluated: usize,
+    /// Whether the `2^w` lower bound was reached (the result is then
+    /// provably minimal — the paper's early-exit condition).
+    pub hit_lower_bound: bool,
+}
+
+/// Searches register orderings for the minimum-degree MC_TPG design.
+///
+/// Exhaustive for up to 8 registers ("in practice, the number of input
+/// registers of a multiple-cone kernel is usually small, say less than
+/// 5"); beyond that, a greedy insertion heuristic is used.
+pub fn best_permutation(structure: &GeneralizedStructure) -> PermutationSearch {
+    let n = structure.registers.len();
+    let lower_bound = structure.max_cone_width();
+    if n <= 8 {
+        let mut best: Option<(Vec<usize>, TpgDesign)> = None;
+        let mut evaluated = 0usize;
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut hit = false;
+        permute(&mut order, 0, &mut |perm| {
+            if hit {
+                return;
+            }
+            evaluated += 1;
+            let design = mc_tpg(&structure.permuted(perm));
+            let better = best
+                .as_ref()
+                .is_none_or(|(_, b)| design.lfsr_degree() < b.lfsr_degree());
+            if better {
+                best = Some((perm.to_vec(), design));
+            }
+            if let Some((_, b)) = &best {
+                if b.lfsr_degree() == lower_bound {
+                    hit = true; // provably minimal; stop exploring
+                }
+            }
+        });
+        let (order, design) = best.expect("at least one permutation");
+        PermutationSearch {
+            order,
+            design,
+            evaluated,
+            hit_lower_bound: hit,
+        }
+    } else {
+        // Greedy insertion: place registers one by one in the position
+        // minimizing the resulting degree.
+        let mut order: Vec<usize> = vec![0];
+        let mut evaluated = 0usize;
+        for r in 1..n {
+            let mut best_pos = 0usize;
+            let mut best_degree = u32::MAX;
+            for pos in 0..=order.len() {
+                let mut cand = order.clone();
+                cand.insert(pos, r);
+                // Pad with the remaining registers in input order so the
+                // structure stays complete.
+                let mut full = cand.clone();
+                for x in 0..n {
+                    if !full.contains(&x) {
+                        full.push(x);
+                    }
+                }
+                evaluated += 1;
+                let d = mc_tpg(&structure.permuted(&full)).lfsr_degree();
+                if d < best_degree {
+                    best_degree = d;
+                    best_pos = pos;
+                }
+            }
+            order.insert(best_pos, r);
+        }
+        let design = mc_tpg(&structure.permuted(&order));
+        let hit = design.lfsr_degree() == lower_bound;
+        PermutationSearch {
+            order,
+            design,
+            evaluated,
+            hit_lower_bound: hit,
+        }
+    }
+}
+
+fn permute(order: &mut Vec<usize>, k: usize, f: &mut impl FnMut(&[usize])) {
+    if k == order.len() {
+        f(order);
+        return;
+    }
+    for i in k..order.len() {
+        order.swap(k, i);
+        permute(order, k + 1, f);
+        order.swap(k, i);
+    }
+}
+
+/// The cone dependency matrix `D` of Example 8: `D[x][i] = true` iff cone
+/// `Ω_x` depends on register `R_i`.
+pub fn dependency_matrix(structure: &GeneralizedStructure) -> Vec<Vec<bool>> {
+    structure
+        .cones
+        .iter()
+        .map(|c| {
+            let mut row = vec![false; structure.registers.len()];
+            for dep in &c.deps {
+                row[dep.register] = true;
+            }
+            row
+        })
+        .collect()
+}
+
+/// The McCluskey verification-testing baseline: groups registers into
+/// **test signals** such that no cone depends on two registers of the same
+/// group, and returns `(groups, lfsr_stages)` where `lfsr_stages` is the
+/// total width of the grouped signals (each group is as wide as its widest
+/// register).
+///
+/// Example 8: the 3-register, 3-cone kernel of Figure 21 needs 3 signals of
+/// 4 wires each → a 12-stage LFSR, versus the 8 stages MC_TPG plus
+/// permutation achieves.
+pub fn dependency_matrix_signals(structure: &GeneralizedStructure) -> (Vec<Vec<usize>>, u32) {
+    let n = structure.registers.len();
+    // Conflict graph: registers sharing a cone must take distinct signals.
+    let mut conflict = vec![vec![false; n]; n];
+    for cone in &structure.cones {
+        for a in &cone.deps {
+            for b in &cone.deps {
+                if a.register != b.register {
+                    conflict[a.register][b.register] = true;
+                }
+            }
+        }
+    }
+    // Greedy coloring in index order (optimal for the small kernels the
+    // paper considers; the underlying problem is NP-complete, ref [17]).
+    let mut color = vec![usize::MAX; n];
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    for r in 0..n {
+        let mut used: Vec<bool> = vec![false; groups.len()];
+        for o in 0..n {
+            if color[o] != usize::MAX && conflict[r][o] {
+                used[color[o]] = true;
+            }
+        }
+        let c = (0..groups.len()).find(|&c| !used[c]).unwrap_or_else(|| {
+            groups.push(Vec::new());
+            groups.len() - 1
+        });
+        color[r] = c;
+        groups[c].push(r);
+    }
+    let stages: u32 = groups
+        .iter()
+        .map(|g| {
+            g.iter()
+                .map(|&r| structure.registers[r].width)
+                .max()
+                .unwrap_or(0)
+        })
+        .sum();
+    (groups, stages)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::structure::{Cone, ConeDep, TpgRegister};
+
+    fn example7() -> GeneralizedStructure {
+        let regs = vec![
+            TpgRegister { name: "R1".into(), width: 4 },
+            TpgRegister { name: "R2".into(), width: 4 },
+            TpgRegister { name: "R3".into(), width: 4 },
+        ];
+        let cones = vec![
+            Cone {
+                name: "O1".into(),
+                deps: vec![
+                    ConeDep { register: 0, seq_len: 2 },
+                    ConeDep { register: 1, seq_len: 0 },
+                ],
+            },
+            Cone {
+                name: "O2".into(),
+                deps: vec![
+                    ConeDep { register: 0, seq_len: 0 },
+                    ConeDep { register: 2, seq_len: 1 },
+                ],
+            },
+            Cone {
+                name: "O3".into(),
+                deps: vec![
+                    ConeDep { register: 1, seq_len: 1 },
+                    ConeDep { register: 2, seq_len: 0 },
+                ],
+            },
+        ];
+        GeneralizedStructure::new("ex7", regs, cones).unwrap()
+    }
+
+    #[test]
+    fn example7_permutation_reaches_the_lower_bound() {
+        let s = example7();
+        let result = best_permutation(&s);
+        assert_eq!(result.design.lfsr_degree(), 8, "paper: degree 8 is best");
+        assert!(result.hit_lower_bound, "8 equals the max cone size");
+    }
+
+    #[test]
+    fn example8_dependency_matrix_needs_twelve_stages() {
+        let s = example7();
+        let d = dependency_matrix(&s);
+        assert_eq!(
+            d,
+            vec![
+                vec![true, true, false],
+                vec![true, false, true],
+                vec![false, true, true],
+            ],
+            "the paper's matrix D"
+        );
+        let (groups, stages) = dependency_matrix_signals(&s);
+        assert_eq!(groups.len(), 3, "3 test signals");
+        assert_eq!(stages, 12, "paper: a 12-stage LFSR");
+        // MC_TPG + permutation beats it: 8 < 12.
+        let best = best_permutation(&s);
+        assert!(best.design.lfsr_degree() < stages);
+    }
+
+    #[test]
+    fn disjoint_cones_share_signals() {
+        // Two cones on disjoint registers: the matrix approach can share,
+        // needing only max-width stages.
+        let regs = vec![
+            TpgRegister { name: "A".into(), width: 4 },
+            TpgRegister { name: "B".into(), width: 6 },
+        ];
+        let cones = vec![
+            Cone {
+                name: "O1".into(),
+                deps: vec![ConeDep { register: 0, seq_len: 0 }],
+            },
+            Cone {
+                name: "O2".into(),
+                deps: vec![ConeDep { register: 1, seq_len: 0 }],
+            },
+        ];
+        let s = GeneralizedStructure::new("t", regs, cones).unwrap();
+        let (groups, stages) = dependency_matrix_signals(&s);
+        assert_eq!(groups.len(), 1);
+        assert_eq!(stages, 6);
+    }
+
+    #[test]
+    fn greedy_path_used_beyond_eight_registers() {
+        let regs: Vec<TpgRegister> = (0..9)
+            .map(|i| TpgRegister {
+                name: format!("R{i}"),
+                width: 2,
+            })
+            .collect();
+        // One cone over all registers at equal depth: any order is optimal.
+        let cone = Cone {
+            name: "O".into(),
+            deps: (0..9)
+                .map(|i| ConeDep {
+                    register: i,
+                    seq_len: 0,
+                })
+                .collect(),
+        };
+        let s = GeneralizedStructure::new("big", regs, vec![cone]).unwrap();
+        let r = best_permutation(&s);
+        assert_eq!(r.design.lfsr_degree(), 18);
+        assert!(r.hit_lower_bound);
+    }
+}

@@ -1,0 +1,74 @@
+//! k-pattern detectability and k-step functional testability (Section 2).
+//!
+//! A fault is *k-pattern detectable* if some input sequence of length ≤ k
+//! detects it; an acyclic circuit is *k-step functionally testable* if
+//! every detectable fault (that does not modify the circuit's sequential
+//! behaviour) has a detecting sequence of length k. Balanced circuits are
+//! 1-step functionally testable (ref \[8\]); imbalance forces longer
+//! sequences — the circuit of Figure 1 is 2-step because its two paths'
+//! sequential lengths differ by one.
+
+use bibs_rtl::Circuit;
+
+/// The k for which `circuit` is k-step functionally testable, derived from
+/// its worst path-length imbalance: `k = 1 + max (longest − shortest)`
+/// over all vertex pairs.
+///
+/// * Balanced circuits give `k = 1` (the BALLAST result the BIBS TDM is
+///   built on);
+/// * Figure 1 gives `k = 2`;
+/// * cyclic circuits give `None` (no bound from structure alone).
+pub fn k_step(circuit: &Circuit) -> Option<u32> {
+    let report = circuit.balance_report();
+    if !report.acyclic {
+        return None;
+    }
+    let worst = report
+        .imbalances
+        .iter()
+        .map(|im| im.max - im.min)
+        .max()
+        .unwrap_or(0);
+    Some(worst + 1)
+}
+
+/// Whether the circuit is 1-step functionally testable (i.e. balanced).
+pub fn is_one_step(circuit: &Circuit) -> bool {
+    k_step(circuit) == Some(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bibs_datapath::examples::{figure1, figure2, figure3};
+    use bibs_datapath::filters::{c5a2m, fir_transposed};
+
+    #[test]
+    fn figure1_is_two_step() {
+        assert_eq!(k_step(&figure1()), Some(2));
+        assert!(!is_one_step(&figure1()));
+    }
+
+    #[test]
+    fn figure2_is_one_step() {
+        assert_eq!(k_step(&figure2()), Some(1));
+        assert!(is_one_step(&figure2()));
+    }
+
+    #[test]
+    fn cyclic_circuit_has_no_bound() {
+        assert_eq!(k_step(&figure3()), None);
+    }
+
+    #[test]
+    fn datapaths_are_one_step() {
+        assert!(is_one_step(&c5a2m()));
+    }
+
+    #[test]
+    fn deep_fir_needs_long_sequences() {
+        // A transposed FIR with t taps has paths skewed by t-1 registers.
+        let fir = fir_transposed(5);
+        assert_eq!(k_step(&fir), Some(5));
+    }
+}

@@ -1,0 +1,58 @@
+//! BIBS — Built-In test for Balanced Structure.
+//!
+//! This crate implements the contributions of *"A Low Cost BIST Methodology
+//! and Associated Novel Test Pattern Generator"* (Lin, Gupta, Breuer; USC
+//! CENG TR 93-33 / DATE 1994):
+//!
+//! * [`design`] — BILBO designations over a circuit graph, kernel
+//!   extraction, and the **balanced BISTable** predicate (Definition 1);
+//! * [`bibs`] — the BIBS register-selection TDM: a best-first, violation-
+//!   driven search for a minimum-cost set of BILBO registers that makes
+//!   every kernel balanced BISTable (Theorem 2 bounds, CBILBO/register-
+//!   splitting fallbacks for single-register cycles);
+//! * [`ka85`] — the Krasniewski–Albicki TDM of reference \[3\], the paper's
+//!   baseline (proved in the paper to be a special case of BIBS);
+//! * [`structure`] — generalized kernel structures: input registers,
+//!   output cones and sequential lengths (Figures 11, 12(c), 17–21);
+//! * [`tpg`] — the novel TPG: **SC_TPG** and **MC_TPG**, which splice plain
+//!   shift-register flip-flops into a type-1 LFSR so a *sequential*
+//!   balanced kernel receives a functionally exhaustive test set in
+//!   `2^M − 1 + d` clocks (Theorems 4–7);
+//! * [`verify`] — brute-force functional-exhaustiveness verification of
+//!   TPG designs on small kernels;
+//! * [`fpet`] — functionally pseudo-exhaustive testing: register
+//!   permutation search (Example 7) and the McCluskey dependency-matrix
+//!   baseline it beats (Example 8);
+//! * [`schedule`] — test-session scheduling by conflict-graph coloring
+//!   (reference \[13\]);
+//! * [`delay`] — the maximal-delay metric of Table 2 (BILBO registers on a
+//!   PI→PO path);
+//! * [`cstp`] — a circular self-test path model for the Section 4.1
+//!   contrast (CSTP needs ≈ `T·2^M` patterns, the BIBS TPG `2^M − 1 + d`);
+//! * [`reconfig`] — reconfigurable TPGs (Figure 20): one LFSR
+//!   configuration per cone, trading steering hardware for test time;
+//! * [`mintpg`] — the paper's Section 5 **open problem**: minimal-LFSR TPG
+//!   design via the offset linear-independence condition over GF(2);
+//! * [`controller`] — BITS-style test-controller synthesis from a test
+//!   schedule;
+//! * [`kstep`] — k-pattern detectability / k-step functional testability
+//!   analysis (Section 2).
+#![warn(missing_docs)]
+
+
+pub mod bibs;
+pub mod controller;
+pub mod cstp;
+pub mod delay;
+pub mod design;
+pub mod fpet;
+pub mod ka85;
+pub mod kstep;
+pub mod mintpg;
+pub mod reconfig;
+pub mod schedule;
+pub mod session;
+pub mod structure;
+pub mod tpg;
+pub mod tpg_netlist;
+pub mod verify;

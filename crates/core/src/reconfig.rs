@@ -1,0 +1,202 @@
+//! Reconfigurable TPGs (Figure 20 of the paper).
+//!
+//! For a multi-cone kernel, a single MC_TPG LFSR must span the worst-case
+//! logical window, which can make the test time `2^degree` much larger
+//! than any individual cone needs (Example 6: an 11-stage LFSR versus two
+//! cones of 8 inputs each). A **reconfigurable TPG** tests one cone per
+//! session, reconfiguring the LFSR between sessions via a control line, at
+//! the cost of extra steering hardware: "Although a reconfigurable TPG may
+//! reduce the test time ... the area overhead and performance degradation
+//! of such design are usually high."
+
+use crate::structure::{Cone, GeneralizedStructure};
+use crate::tpg::{mc_tpg, TpgDesign};
+
+/// A TPG with one LFSR configuration per cone, selected by control lines.
+#[derive(Debug, Clone)]
+pub struct ReconfigurableTpg {
+    configs: Vec<TpgDesign>,
+}
+
+impl ReconfigurableTpg {
+    /// Designs one configuration per cone of `structure`: each session's
+    /// TPG is the MC_TPG of the sub-structure containing just that cone
+    /// (and the registers it depends on).
+    pub fn new(structure: &GeneralizedStructure) -> Self {
+        let configs = (0..structure.cones.len())
+            .map(|x| mc_tpg(&cone_substructure(structure, x)))
+            .collect();
+        ReconfigurableTpg { configs }
+    }
+
+    /// The per-cone configurations.
+    pub fn configurations(&self) -> &[TpgDesign] {
+        &self.configs
+    }
+
+    /// Number of test sessions (= cones).
+    pub fn session_count(&self) -> usize {
+        self.configs.len()
+    }
+
+    /// Total test time: one functionally exhaustive session per cone.
+    pub fn test_time(&self) -> u128 {
+        self.configs.iter().map(TpgDesign::test_time).sum()
+    }
+
+    /// The widest LFSR over all configurations (sizing the shared
+    /// feedback network).
+    pub fn max_degree(&self) -> u32 {
+        self.configs
+            .iter()
+            .map(TpgDesign::lfsr_degree)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// A simple steering-hardware estimate: one 2-way mux per flip-flop
+    /// that participates in more than one configuration's feedback, plus
+    /// `ceil(log2(sessions))` control lines. Returned as a mux count.
+    pub fn steering_mux_count(&self) -> usize {
+        if self.configs.len() <= 1 {
+            return 0;
+        }
+        // Every stage of every non-first configuration may need its input
+        // re-steered.
+        self.configs
+            .iter()
+            .skip(1)
+            .map(|c| c.lfsr_degree() as usize)
+            .sum()
+    }
+
+    /// Whether reconfiguration actually pays off against the single
+    /// monolithic design for this structure.
+    pub fn beats(&self, monolithic: &TpgDesign) -> bool {
+        self.test_time() < monolithic.test_time()
+    }
+}
+
+/// The sub-structure seen by one cone: only the registers it depends on,
+/// in their original relative order, with that single cone.
+fn cone_substructure(structure: &GeneralizedStructure, cone: usize) -> GeneralizedStructure {
+    let deps = &structure.cones[cone].deps;
+    let mut reg_map = Vec::new(); // old index per new index
+    for dep in deps {
+        if !reg_map.contains(&dep.register) {
+            reg_map.push(dep.register);
+        }
+    }
+    reg_map.sort_unstable();
+    let registers = reg_map
+        .iter()
+        .map(|&old| structure.registers[old].clone())
+        .collect();
+    let new_deps = deps
+        .iter()
+        .map(|dep| crate::structure::ConeDep {
+            register: reg_map.iter().position(|&o| o == dep.register).expect("mapped"),
+            seq_len: dep.seq_len,
+        })
+        .collect();
+    let cone = Cone {
+        name: structure.cones[cone].name.clone(),
+        deps: new_deps,
+    };
+    GeneralizedStructure::new(
+        format!("{}:{}", structure.name, cone.name),
+        registers,
+        vec![cone],
+    )
+    .expect("sub-structure inherits validity")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::structure::{Cone, ConeDep, TpgRegister};
+    use crate::verify::verify_exhaustive;
+
+    /// Figure 19 / Example 6: two 4-bit registers, cones with d = (2,0)
+    /// and (0,1).
+    fn example6() -> GeneralizedStructure {
+        let regs = vec![
+            TpgRegister { name: "R1".into(), width: 4 },
+            TpgRegister { name: "R2".into(), width: 4 },
+        ];
+        let cones = vec![
+            Cone {
+                name: "O1".into(),
+                deps: vec![
+                    ConeDep { register: 0, seq_len: 2 },
+                    ConeDep { register: 1, seq_len: 0 },
+                ],
+            },
+            Cone {
+                name: "O2".into(),
+                deps: vec![
+                    ConeDep { register: 0, seq_len: 0 },
+                    ConeDep { register: 1, seq_len: 1 },
+                ],
+            },
+        ];
+        GeneralizedStructure::new("ex6", regs, cones).unwrap()
+    }
+
+    #[test]
+    fn example6_reconfigurable_beats_monolithic() {
+        // Paper: testing the 2 cones separately takes ≈ 2·2^8, versus 2^11
+        // for the monolithic TPG.
+        let s = example6();
+        let mono = mc_tpg(&s);
+        assert_eq!(mono.lfsr_degree(), 11);
+        let reconf = ReconfigurableTpg::new(&s);
+        assert_eq!(reconf.session_count(), 2);
+        assert_eq!(reconf.max_degree(), 8);
+        assert!(reconf.test_time() < (1 << 10), "≈ 2·2^8 sessions");
+        assert!(reconf.beats(&mono));
+        assert!(reconf.steering_mux_count() > 0, "the saving is not free");
+    }
+
+    #[test]
+    fn each_configuration_is_exhaustive_for_its_cone() {
+        // Scaled-down Example 6 so brute force stays fast.
+        let regs = vec![
+            TpgRegister { name: "R1".into(), width: 2 },
+            TpgRegister { name: "R2".into(), width: 2 },
+        ];
+        let cones = vec![
+            Cone {
+                name: "O1".into(),
+                deps: vec![
+                    ConeDep { register: 0, seq_len: 2 },
+                    ConeDep { register: 1, seq_len: 0 },
+                ],
+            },
+            Cone {
+                name: "O2".into(),
+                deps: vec![
+                    ConeDep { register: 0, seq_len: 0 },
+                    ConeDep { register: 1, seq_len: 1 },
+                ],
+            },
+        ];
+        let s = GeneralizedStructure::new("ex6s", regs, cones).unwrap();
+        let reconf = ReconfigurableTpg::new(&s);
+        for config in reconf.configurations() {
+            for cov in verify_exhaustive(config) {
+                assert!(cov.is_exhaustive_modulo_zero(), "{cov:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_cone_structures_gain_nothing() {
+        let s = GeneralizedStructure::single_cone("sc", &[("R", 4, 0)]);
+        let mono = mc_tpg(&s);
+        let reconf = ReconfigurableTpg::new(&s);
+        assert_eq!(reconf.session_count(), 1);
+        assert!(!reconf.beats(&mono));
+        assert_eq!(reconf.steering_mux_count(), 0);
+    }
+}

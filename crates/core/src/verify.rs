@@ -1,0 +1,180 @@
+//! Brute-force verification that a TPG design applies a functionally
+//! exhaustive test set (the claims of Theorems 4, 5 and 7).
+//!
+//! For every cone, the simulator is run through the full LFSR period and
+//! the pattern the cone observes each cycle is collected; functional
+//! exhaustiveness means every one of the `2^W` combinations of the cone's
+//! depended-on register bits appears (the all-0 pattern is reported
+//! separately — a plain maximal LFSR never produces an all-0 window as
+//! wide as its degree; the paper defers that single pattern to a complete
+//! LFSR, ref \[15\]).
+
+use crate::tpg::{TpgDesign, TpgSimulator};
+use std::collections::HashSet;
+
+/// Coverage of one cone under a TPG design.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConeCoverage {
+    /// Cone index.
+    pub cone: usize,
+    /// The cone's input width `W`.
+    pub width: u32,
+    /// Number of distinct patterns observed over the LFSR period.
+    pub observed: u64,
+    /// The full pattern count `2^W`.
+    pub total: u64,
+    /// Whether the all-0 pattern was observed.
+    pub saw_all_zero: bool,
+}
+
+impl ConeCoverage {
+    /// Whether the cone is functionally exhaustively tested, counting the
+    /// all-0 pattern as supplied by a complete LFSR when missing.
+    pub fn is_exhaustive_modulo_zero(&self) -> bool {
+        self.observed == self.total
+            || (!self.saw_all_zero && self.observed == self.total - 1)
+    }
+
+    /// Whether the cone saw strictly every pattern, including all-0.
+    pub fn is_fully_exhaustive(&self) -> bool {
+        self.observed == self.total
+    }
+}
+
+/// Measures the pattern coverage of cone `cone` by simulating the whole
+/// LFSR period.
+///
+/// # Panics
+///
+/// Panics if the cone's input width exceeds 24 or the LFSR degree exceeds
+/// 24 (brute force would be unreasonable) or no polynomial is available.
+pub fn cone_coverage(design: &TpgDesign, cone: usize) -> ConeCoverage {
+    let width = design.structure().cones[cone].input_width(&design.structure().registers);
+    assert!(width <= 24, "brute-force coverage capped at 24-bit cones");
+    let degree = design.lfsr_degree();
+    assert!(degree <= 24, "brute-force coverage capped at degree 24");
+    let period: u64 = (1u64 << degree) - 1;
+    let mut sim = TpgSimulator::new(design);
+    // Warm the shift-register extension so the observed windows are
+    // steady-state (the extension starts zero-filled).
+    for _ in 0..design.flip_flop_count() as u64 + design.structure().sequential_depth() as u64 {
+        sim.step();
+    }
+    let mut seen: HashSet<u64> = HashSet::new();
+    for _ in 0..period {
+        let view = sim.cone_view(cone);
+        seen.insert(view.to_u64());
+        sim.step();
+    }
+    ConeCoverage {
+        cone,
+        width,
+        observed: seen.len() as u64,
+        total: 1u64 << width,
+        saw_all_zero: seen.contains(&0),
+    }
+}
+
+/// Verifies every cone of the design; returns the coverages.
+pub fn verify_exhaustive(design: &TpgDesign) -> Vec<ConeCoverage> {
+    (0..design.structure().cones.len())
+        .map(|x| cone_coverage(design, x))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::structure::{Cone, ConeDep, GeneralizedStructure, TpgRegister};
+    use crate::tpg::{mc_tpg, sc_tpg};
+
+    #[test]
+    fn theorem4_small_single_cone() {
+        // 2-bit registers with d = (2, 1, 0): degree 6, cone width 6.
+        let s = GeneralizedStructure::single_cone(
+            "t",
+            &[("R1", 2, 2), ("R2", 2, 1), ("R3", 2, 0)],
+        );
+        let design = sc_tpg(&s);
+        assert_eq!(design.lfsr_degree(), 6);
+        let cov = cone_coverage(&design, 0);
+        assert!(
+            cov.is_exhaustive_modulo_zero(),
+            "Theorem 4: functionally exhaustive ({}/{})",
+            cov.observed,
+            cov.total
+        );
+        assert!(!cov.saw_all_zero, "plain maximal LFSR misses all-0");
+    }
+
+    #[test]
+    fn theorem4_with_sharing() {
+        // d = (1, 2, 0) triggers signal sharing (Example 3's shape).
+        let s = GeneralizedStructure::single_cone(
+            "t",
+            &[("R1", 2, 1), ("R2", 2, 2), ("R3", 2, 0)],
+        );
+        let design = sc_tpg(&s);
+        let cov = cone_coverage(&design, 0);
+        assert!(cov.is_exhaustive_modulo_zero(), "{cov:?}");
+    }
+
+    #[test]
+    fn theorem7_multi_cone() {
+        // Two 3-bit registers, two cones with different skews (Example 5
+        // shape scaled down).
+        let regs = vec![
+            TpgRegister { name: "R1".into(), width: 3 },
+            TpgRegister { name: "R2".into(), width: 3 },
+        ];
+        let cones = vec![
+            Cone {
+                name: "O1".into(),
+                deps: vec![
+                    ConeDep { register: 0, seq_len: 2 },
+                    ConeDep { register: 1, seq_len: 0 },
+                ],
+            },
+            Cone {
+                name: "O2".into(),
+                deps: vec![
+                    ConeDep { register: 0, seq_len: 1 },
+                    ConeDep { register: 1, seq_len: 0 },
+                ],
+            },
+        ];
+        let s = GeneralizedStructure::new("t", regs, cones).unwrap();
+        let design = mc_tpg(&s);
+        for cov in verify_exhaustive(&design) {
+            assert!(
+                cov.is_exhaustive_modulo_zero(),
+                "cone {} only covered {}/{}",
+                cov.cone,
+                cov.observed,
+                cov.total
+            );
+        }
+    }
+
+    #[test]
+    fn extreme_skew_design_is_still_exhaustive() {
+        // Example 4's shape at small width: sharing limited by width.
+        let s = GeneralizedStructure::single_cone("t", &[("R1", 3, 0), ("R2", 3, 4)]);
+        let design = sc_tpg(&s);
+        let cov = cone_coverage(&design, 0);
+        assert!(cov.is_exhaustive_modulo_zero(), "{cov:?}");
+    }
+
+    #[test]
+    fn undersized_lfsr_would_not_be_exhaustive() {
+        // Sanity check of the verifier itself: a cone that observes only a
+        // subset of LFSR stages of a *wider* structure... simulate by
+        // checking a cone whose width equals the degree: all-zero must be
+        // missing, everything else present.
+        let s = GeneralizedStructure::single_cone("t", &[("R", 6, 0)]);
+        let design = sc_tpg(&s);
+        let cov = cone_coverage(&design, 0);
+        assert_eq!(cov.observed, cov.total - 1);
+        assert!(!cov.saw_all_zero);
+    }
+}

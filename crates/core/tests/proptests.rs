@@ -1,0 +1,222 @@
+//! Property-based tests for the BIBS core: Theorems 1–4 as properties over
+//! random circuits and random generalized structures.
+
+use bibs_core::bibs::{select, BibsOptions};
+use bibs_core::design::{is_bibs_testable, kernels};
+use bibs_core::fpet::best_permutation;
+use bibs_core::ka85;
+use bibs_core::structure::{Cone, ConeDep, GeneralizedStructure, TpgRegister};
+use bibs_core::tpg::mc_tpg;
+use bibs_core::verify::verify_exhaustive;
+use bibs_rtl::{Circuit, CircuitBuilder, VertexId};
+use proptest::prelude::*;
+
+/// Random layered circuit with registered I/O (the BIBS preconditions).
+fn random_circuit(
+    layer_sizes: &[usize],
+    edge_choices: &[(usize, usize, bool, u8)],
+) -> Circuit {
+    let mut b = CircuitBuilder::new("rand");
+    let pi = b.input("PI");
+    let mut layers: Vec<Vec<VertexId>> = Vec::new();
+    let mut counter = 0usize;
+    for &size in layer_sizes {
+        let layer: Vec<VertexId> = (0..size)
+            .map(|_| {
+                counter += 1;
+                b.logic(format!("L{counter}"))
+            })
+            .collect();
+        layers.push(layer);
+    }
+    let po = b.output("PO");
+    for (i, &v) in layers[0].clone().iter().enumerate() {
+        b.register(format!("Rin{i}"), 4, pi, v);
+    }
+    let mut reg_count = 0usize;
+    for &(from_idx, to_idx, is_reg, width) in edge_choices {
+        let li = from_idx % (layers.len() - 1);
+        let from = layers[li][from_idx % layers[li].len()];
+        let to = layers[li + 1][to_idx % layers[li + 1].len()];
+        if is_reg {
+            reg_count += 1;
+            b.register(format!("R{reg_count}"), (width % 4) as u32 + 1, from, to);
+        } else {
+            b.wire(from, to);
+        }
+    }
+    for (i, &v) in layers.last().unwrap().clone().iter().enumerate() {
+        b.register(format!("Rout{i}"), 4, v, po);
+    }
+    for w in 0..layers.len() - 1 {
+        b.wire(layers[w][0], layers[w + 1][0]);
+    }
+    b.finish().expect("layered circuits are well-formed")
+}
+
+fn circuit_strategy() -> impl Strategy<Value = Circuit> {
+    (
+        proptest::collection::vec(1usize..4, 2..5),
+        proptest::collection::vec(
+            (any::<usize>(), any::<usize>(), any::<bool>(), any::<u8>()),
+            0..12,
+        ),
+    )
+        .prop_map(|(layers, edges)| random_circuit(&layers, &edges))
+}
+
+/// Random *balanced* single-cone structure: widths 1..3 bits, sequential
+/// lengths 0..4, 2..4 registers — small enough for brute-force
+/// verification of Theorem 4.
+fn structure_strategy() -> impl Strategy<Value = GeneralizedStructure> {
+    proptest::collection::vec((1u32..3, 0u32..4), 2..4).prop_map(|specs| {
+        let regs: Vec<(String, u32, u32)> = specs
+            .iter()
+            .enumerate()
+            .map(|(i, &(w, d))| (format!("R{i}"), w, d))
+            .collect();
+        let refs: Vec<(&str, u32, u32)> =
+            regs.iter().map(|(n, w, d)| (n.as_str(), *w, *d)).collect();
+        GeneralizedStructure::single_cone("rand", &refs)
+    })
+}
+
+/// Random multi-cone structure with small widths.
+fn multicone_strategy() -> impl Strategy<Value = GeneralizedStructure> {
+    (
+        proptest::collection::vec(1u32..3, 2..4),
+        proptest::collection::vec(
+            proptest::collection::vec((any::<bool>(), 0u32..3), 2..4),
+            1..4,
+        ),
+    )
+        .prop_filter_map("every cone needs a dep", |(widths, cone_specs)| {
+            let registers: Vec<TpgRegister> = widths
+                .iter()
+                .enumerate()
+                .map(|(i, &w)| TpgRegister {
+                    name: format!("R{i}"),
+                    width: w,
+                })
+                .collect();
+            let n = registers.len();
+            let mut cones = Vec::new();
+            for (x, spec) in cone_specs.iter().enumerate() {
+                let deps: Vec<ConeDep> = spec
+                    .iter()
+                    .take(n)
+                    .enumerate()
+                    .filter(|(_, &(used, _))| used)
+                    .map(|(i, &(_, d))| ConeDep {
+                        register: i,
+                        seq_len: d,
+                    })
+                    .collect();
+                if deps.is_empty() {
+                    return None;
+                }
+                cones.push(Cone {
+                    name: format!("O{x}"),
+                    deps,
+                });
+            }
+            GeneralizedStructure::new("randmc", registers, cones).ok()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// BIBS selection always produces a valid (balanced BISTable) design,
+    /// and its kernels are balanced — Theorem 1's precondition.
+    #[test]
+    fn bibs_select_always_valid(circuit in circuit_strategy()) {
+        let r = select(&circuit, &BibsOptions::default()).unwrap();
+        prop_assert!(is_bibs_testable(&r.circuit, &r.design));
+        prop_assert!(!kernels(&r.circuit, &r.design).is_empty());
+    }
+
+    /// Theorem 3 as a property: every design produced by the criteria of
+    /// \[3\] is a BIBS design (balanced BISTable kernels).
+    #[test]
+    fn theorem3_ka85_is_special_case(circuit in circuit_strategy()) {
+        if let Ok(design) = ka85::select(&circuit) {
+            prop_assert!(
+                is_bibs_testable(&circuit, &design),
+                "a [3] design must be balanced BISTable"
+            );
+            // And BIBS never needs more registers than [3].
+            let r = select(&circuit, &BibsOptions::default()).unwrap();
+            prop_assert!(r.design.register_count() <= design.register_count());
+        }
+    }
+
+    /// Theorem 4/5 as a property: SC_TPG output applies a functionally
+    /// exhaustive test set to every random single-cone balanced kernel.
+    #[test]
+    fn theorem4_random_single_cone(s in structure_strategy()) {
+        let design = mc_tpg(&s);
+        prop_assume!(design.lfsr_degree() <= 14); // keep brute force fast
+        for cov in verify_exhaustive(&design) {
+            prop_assert!(
+                cov.is_exhaustive_modulo_zero(),
+                "cone {} covered {}/{} (degree {})",
+                cov.cone, cov.observed, cov.total, design.lfsr_degree()
+            );
+        }
+    }
+
+    /// Theorem 7 as a property: MC_TPG output is functionally exhaustive
+    /// on every cone of random multi-cone kernels.
+    #[test]
+    fn theorem7_random_multi_cone(s in multicone_strategy()) {
+        let design = mc_tpg(&s);
+        prop_assume!(design.lfsr_degree() <= 14);
+        for cov in verify_exhaustive(&design) {
+            prop_assert!(
+                cov.is_exhaustive_modulo_zero(),
+                "cone {} covered {}/{} (degree {})",
+                cov.cone, cov.observed, cov.total, design.lfsr_degree()
+            );
+        }
+    }
+
+    /// Theorem 5's minimality, as a property: for single-cone balanced
+    /// kernels SC_TPG's LFSR degree equals the kernel input width M
+    /// exactly (test time 2^M − 1 is minimal).
+    #[test]
+    fn theorem5_single_cone_degree_is_m(s in structure_strategy()) {
+        let design = mc_tpg(&s);
+        prop_assert_eq!(design.lfsr_degree(), s.total_width());
+    }
+
+    /// The LFSR degree never undercuts the paper's lower bound (the
+    /// maximal cone size), and permutation search respects it too.
+    #[test]
+    fn degree_lower_bound(s in multicone_strategy()) {
+        let design = mc_tpg(&s);
+        prop_assert!(design.lfsr_degree() >= s.max_cone_width());
+        let best = best_permutation(&s);
+        prop_assert!(best.design.lfsr_degree() >= s.max_cone_width());
+        prop_assert!(best.design.lfsr_degree() <= design.lfsr_degree());
+    }
+
+    /// Permuting registers never changes the structure's invariants.
+    #[test]
+    fn permutation_preserves_structure(s in multicone_strategy(), seed in any::<u64>()) {
+        let n = s.registers.len();
+        let mut order: Vec<usize> = (0..n).collect();
+        // Fisher-Yates with the seed.
+        let mut state = seed | 1;
+        for i in (1..n).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let j = (state >> 33) as usize % (i + 1);
+            order.swap(i, j);
+        }
+        let p = s.permuted(&order);
+        prop_assert_eq!(p.total_width(), s.total_width());
+        prop_assert_eq!(p.max_cone_width(), s.max_cone_width());
+        prop_assert_eq!(p.sequential_depth(), s.sequential_depth());
+        prop_assert_eq!(p.cones.len(), s.cones.len());
+    }
+}

@@ -1,0 +1,450 @@
+//! Elaboration of RTL circuit graphs into gate-level netlists.
+//!
+//! Fault-coverage experiments (Table 2 of the paper) need gate-level views
+//! of two kinds of test configuration:
+//!
+//! * the **whole datapath** as one BIBS kernel — primary inputs at the PI
+//!   BILBO registers, observation at the PO BILBO register(s), all internal
+//!   registers plain (they become wires in the combinational equivalent);
+//! * **individual blocks** as kernels of the Krasniewski–Albicki TDM —
+//!   inputs and observation at the registers surrounding one adder or
+//!   multiplier.
+//!
+//! [`elaborate_kernel`] covers both: it takes a *cut set* of register edges
+//! (the BILBO registers) and a kernel vertex set, creates netlist primary
+//! inputs for cut edges entering the kernel and primary outputs for cut
+//! edges leaving it, and elaborates everything in between.
+
+use bibs_netlist::builder::NetlistBuilder;
+use bibs_netlist::{NetId, Netlist, NetlistError};
+use bibs_rtl::{Circuit, EdgeId, EdgeKind, LogicFunction, VertexId, VertexKind};
+use std::collections::HashSet;
+use std::fmt;
+
+/// Errors from elaboration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ElabError {
+    /// The kernel subgraph (cut edges removed) contains a directed cycle.
+    CyclicKernel,
+    /// A logic block has the wrong number of input ports for its function
+    /// (e.g. an `Add` with one input).
+    BadArity {
+        /// The offending vertex.
+        vertex: VertexId,
+        /// Number of in-edges found.
+        found: usize,
+    },
+    /// A vertex inside the kernel has no driven inputs and is not fed by a
+    /// cut edge — its value would be undefined.
+    UndrivenVertex {
+        /// The offending vertex.
+        vertex: VertexId,
+    },
+    /// The produced netlist failed validation.
+    Netlist(NetlistError),
+}
+
+impl fmt::Display for ElabError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ElabError::CyclicKernel => write!(f, "kernel subgraph is cyclic"),
+            ElabError::BadArity { vertex, found } => {
+                write!(f, "vertex {vertex} has invalid input-port count {found}")
+            }
+            ElabError::UndrivenVertex { vertex } => {
+                write!(f, "vertex {vertex} has no driven inputs")
+            }
+            ElabError::Netlist(e) => write!(f, "netlist error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ElabError {}
+
+impl From<NetlistError> for ElabError {
+    fn from(e: NetlistError) -> Self {
+        ElabError::Netlist(e)
+    }
+}
+
+/// The result of elaborating a kernel: the netlist plus the order of PI/PO
+/// words so callers can map TPG registers onto netlist inputs.
+#[derive(Debug, Clone)]
+pub struct ElabResult {
+    /// The gate-level netlist. Internal (non-cut) registers appear as D
+    /// flip-flops; take
+    /// [`combinational_equivalent`](Netlist::combinational_equivalent)
+    /// before fault simulation.
+    pub netlist: Netlist,
+    /// For each cut edge made a primary input: `(edge, bit width)`, in the
+    /// order the input words were created.
+    pub input_edges: Vec<(EdgeId, u32)>,
+    /// For each cut edge made a primary output: `(edge, bit width)`, in
+    /// output-word creation order.
+    pub output_edges: Vec<(EdgeId, u32)>,
+}
+
+/// Elaborates one kernel of `circuit` into a gate-level netlist.
+///
+/// * `kernel` — the vertices of the kernel (logic, fanout, vacuous blocks).
+/// * `cut` — register edges treated as test boundaries (BILBO registers):
+///   a cut edge whose head is in the kernel becomes a primary-input word; a
+///   cut edge whose tail is in the kernel becomes a primary-output word
+///   (taking the low *w* bits of the driving bus, *w* = register width).
+///
+/// Non-cut register edges inside the kernel become D flip-flops.
+///
+/// # Errors
+///
+/// See [`ElabError`].
+pub fn elaborate_kernel(
+    circuit: &Circuit,
+    kernel: &HashSet<VertexId>,
+    cut: &HashSet<EdgeId>,
+) -> Result<ElabResult, ElabError> {
+    let in_kernel = |v: VertexId| kernel.contains(&v);
+    let keep = |e: EdgeId| {
+        !cut.contains(&e)
+            && in_kernel(circuit.edge(e).from)
+            && in_kernel(circuit.edge(e).to)
+    };
+    let order = circuit
+        .topo_order_filtered(keep)
+        .ok_or(ElabError::CyclicKernel)?;
+
+    let mut b = NetlistBuilder::new(format!("{}_kernel", circuit.name()));
+    // Buses produced at each vertex output.
+    let mut bus: Vec<Option<Vec<NetId>>> = vec![None; circuit.vertex_count()];
+    // Incoming cut edges become PI words feeding their target vertex as an
+    // extra input port.
+    let mut input_edges = Vec::new();
+    let mut extra_inputs: Vec<Vec<(EdgeId, Vec<NetId>)>> =
+        vec![Vec::new(); circuit.vertex_count()];
+    for e in circuit.edge_ids() {
+        if cut.contains(&e) && in_kernel(circuit.edge(e).to) {
+            let width = circuit
+                .edge(e)
+                .kind
+                .width()
+                .expect("cut edges are register edges");
+            let name = circuit
+                .edge(e)
+                .name
+                .clone()
+                .unwrap_or_else(|| format!("cut{}", e.index()));
+            let word = b.input_word(&name, width as usize);
+            input_edges.push((e, width));
+            extra_inputs[circuit.edge(e).to.index()].push((e, word));
+        }
+    }
+
+    for &v in &order {
+        if !in_kernel(v) {
+            continue;
+        }
+        let vertex = circuit.vertex(v);
+        // Collect the vertex's input buses: kernel-internal edges in
+        // in-edge order, then incoming cut-edge words.
+        let mut inputs: Vec<Vec<NetId>> = Vec::new();
+        for &e in circuit.in_edges(v) {
+            if !keep(e) {
+                continue;
+            }
+            let src = circuit.edge(e).from;
+            let src_bus = bus[src.index()]
+                .clone()
+                .ok_or(ElabError::UndrivenVertex { vertex: src })?;
+            match circuit.edge(e).kind {
+                EdgeKind::Register { width } => {
+                    let w = (width as usize).min(src_bus.len());
+                    inputs.push(b.register(&src_bus[..w]));
+                }
+                EdgeKind::Wire => inputs.push(src_bus),
+            }
+        }
+        for (_, word) in &extra_inputs[v.index()] {
+            inputs.push(word.clone());
+        }
+
+        let out = match vertex.kind {
+            VertexKind::Input | VertexKind::Output => {
+                // IO vertices inside a kernel just forward data.
+                inputs.into_iter().next()
+            }
+            VertexKind::Fanout | VertexKind::Vacuous => {
+                if inputs.is_empty() {
+                    return Err(ElabError::UndrivenVertex { vertex: v });
+                }
+                Some(inputs.swap_remove(0))
+            }
+            VertexKind::Logic => Some(elaborate_logic(&mut b, v, &vertex.function, inputs)?),
+        };
+        bus[v.index()] = out;
+    }
+
+    // Outgoing cut edges become PO words.
+    let mut output_edges = Vec::new();
+    for e in circuit.edge_ids() {
+        if cut.contains(&e) && in_kernel(circuit.edge(e).from) {
+            let width = circuit
+                .edge(e)
+                .kind
+                .width()
+                .expect("cut edges are register edges") as usize;
+            let src = circuit.edge(e).from;
+            let src_bus = bus[src.index()]
+                .clone()
+                .ok_or(ElabError::UndrivenVertex { vertex: src })?;
+            let w = width.min(src_bus.len());
+            let name = circuit
+                .edge(e)
+                .name
+                .clone()
+                .unwrap_or_else(|| format!("obs{}", e.index()));
+            b.output_word(&format!("{name}_d"), &src_bus[..w]);
+            output_edges.push((e, w as u32));
+        }
+    }
+
+    Ok(ElabResult {
+        netlist: b.finish()?,
+        input_edges,
+        output_edges,
+    })
+}
+
+/// Elaborates the whole circuit with its PI-adjacent and PO-adjacent
+/// register edges as the cut set — the BIBS single-kernel configuration
+/// for a balanced datapath.
+pub fn elaborate_whole(circuit: &Circuit) -> Result<ElabResult, ElabError> {
+    let mut cut = HashSet::new();
+    for e in circuit.register_edges() {
+        let edge = circuit.edge(e);
+        if circuit.vertex(edge.from).kind == VertexKind::Input
+            || circuit.vertex(edge.to).kind == VertexKind::Output
+        {
+            cut.insert(e);
+        }
+    }
+    let kernel: HashSet<VertexId> = circuit
+        .vertex_ids()
+        .filter(|&v| {
+            !matches!(
+                circuit.vertex(v).kind,
+                VertexKind::Input | VertexKind::Output
+            )
+        })
+        .collect();
+    elaborate_kernel(circuit, &kernel, &cut)
+}
+
+fn elaborate_logic(
+    b: &mut NetlistBuilder,
+    v: VertexId,
+    function: &LogicFunction,
+    inputs: Vec<Vec<NetId>>,
+) -> Result<Vec<NetId>, ElabError> {
+    match function {
+        LogicFunction::Add => {
+            if inputs.len() != 2 {
+                return Err(ElabError::BadArity {
+                    vertex: v,
+                    found: inputs.len(),
+                });
+            }
+            let (a, c) = (&inputs[0], &inputs[1]);
+            let w = a.len().min(c.len());
+            let (sum, _carry) = b.ripple_carry_adder(&a[..w], &c[..w], None);
+            Ok(sum)
+        }
+        LogicFunction::Sub => {
+            if inputs.len() != 2 {
+                return Err(ElabError::BadArity {
+                    vertex: v,
+                    found: inputs.len(),
+                });
+            }
+            let (a, c) = (&inputs[0], &inputs[1]);
+            let w = a.len().min(c.len());
+            let not_c: Vec<NetId> = c[..w].iter().map(|&x| b.not(x)).collect();
+            let one = b.const1();
+            let (diff, _carry) = b.ripple_carry_adder(&a[..w], &not_c, Some(one));
+            Ok(diff)
+        }
+        LogicFunction::Mul { out_width: _ } => {
+            if inputs.len() != 2 {
+                return Err(ElabError::BadArity {
+                    vertex: v,
+                    found: inputs.len(),
+                });
+            }
+            let (a, c) = (&inputs[0], &inputs[1]);
+            let w = a.len().min(c.len());
+            // Build the FULL product — MABAL allocates a complete w×w
+            // multiplier module. The datapath wires only the low bits of it
+            // onward (the register edge truncates), so the high-half logic
+            // exists on silicon but is unobservable: exactly the source of
+            // undetectable faults the paper's "coverage of detectable
+            // faults" phrasing accounts for.
+            Ok(b.array_multiplier(&a[..w], &c[..w], 2 * w))
+        }
+        LogicFunction::Opaque => {
+            // A deterministic stand-in: XOR-combine all input buses at the
+            // width of the widest one (shorter buses repeat cyclically), so
+            // opaque blocks are cheap but fully observable/controllable.
+            let width = inputs.iter().map(Vec::len).max().unwrap_or(0);
+            if width == 0 {
+                return Err(ElabError::UndrivenVertex { vertex: v });
+            }
+            let mut out: Vec<NetId> = Vec::with_capacity(width);
+            for i in 0..width {
+                let mut acc: Option<NetId> = None;
+                for bus in &inputs {
+                    let bit = bus[i % bus.len()];
+                    acc = Some(match acc {
+                        None => bit,
+                        Some(prev) => b.xor2(prev, bit),
+                    });
+                }
+                let bit = acc.expect("at least one input bus");
+                // Ensure the net is a fresh gate output so per-block fault
+                // sites exist even for single-input opaque blocks.
+                out.push(if inputs.len() == 1 {
+                    b.gate(bibs_netlist::GateKind::Buf, &[bit])
+                } else {
+                    bit
+                });
+            }
+            Ok(out)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bibs_netlist::sim::{broadcast_pattern, PatternSim};
+    use bibs_rtl::CircuitBuilder;
+
+    /// PI -Ra-> ADD <-Rb- PI; ADD -Ro-> PO, 4 bits.
+    fn adder_circuit() -> Circuit {
+        let mut b = CircuitBuilder::new("add");
+        let a = b.input("a");
+        let c = b.input("b");
+        let add = b.logic_fn("ADD", LogicFunction::Add);
+        let po = b.output("o");
+        b.register("Ra", 4, a, add);
+        b.register("Rb", 4, c, add);
+        b.register("Ro", 4, add, po);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn whole_circuit_elaboration_computes_sum() {
+        let circuit = adder_circuit();
+        let elab = elaborate_whole(&circuit).unwrap();
+        assert_eq!(elab.netlist.input_width(), 8);
+        assert_eq!(elab.netlist.output_width(), 4);
+        assert_eq!(elab.input_edges.len(), 2);
+        assert_eq!(elab.output_edges.len(), 1);
+        let comb = elab.netlist.combinational_equivalent();
+        let mut sim = PatternSim::new(&comb);
+        // a=5, b=9 -> 14 mod 16
+        let mut words = broadcast_pattern(5, 4);
+        words.extend(broadcast_pattern(9, 4));
+        sim.set_inputs(&words);
+        sim.eval_comb();
+        let out: Vec<_> = comb.outputs().to_vec();
+        assert_eq!(sim.output_lane(&out, 0), 14);
+    }
+
+    #[test]
+    fn multiplier_keeps_full_product_logic() {
+        let mut b = CircuitBuilder::new("mul");
+        let a = b.input("a");
+        let c = b.input("b");
+        let mul = b.logic_fn("MUL", LogicFunction::Mul { out_width: 4 });
+        let po = b.output("o");
+        b.register("Ra", 4, a, mul);
+        b.register("Rb", 4, c, mul);
+        b.register("Ro", 4, mul, po); // truncates to 4 bits
+        let circuit = b.finish().unwrap();
+        let elab = elaborate_whole(&circuit).unwrap();
+        // Output register keeps 4 of 8 product bits.
+        assert_eq!(elab.netlist.output_width(), 4);
+        let comb = elab.netlist.combinational_equivalent();
+        let mut sim = PatternSim::new(&comb);
+        let mut words = broadcast_pattern(7, 4);
+        words.extend(broadcast_pattern(5, 4));
+        sim.set_inputs(&words);
+        sim.eval_comb();
+        let out: Vec<_> = comb.outputs().to_vec();
+        assert_eq!(sim.output_lane(&out, 0), (7 * 5) & 0xF);
+    }
+
+    #[test]
+    fn internal_registers_become_dffs() {
+        // a -Ra-> C1 -Rm-> C2 -Ro-> o : Rm is internal, so it must appear
+        // as flip-flops in the elaborated kernel.
+        let mut b = CircuitBuilder::new("pipe");
+        let a = b.input("a");
+        let c1 = b.logic("C1");
+        let c2 = b.logic("C2");
+        let po = b.output("o");
+        b.register("Ra", 4, a, c1);
+        b.register("Rm", 4, c1, c2);
+        b.register("Ro", 4, c2, po);
+        let circuit = b.finish().unwrap();
+        let elab = elaborate_whole(&circuit).unwrap();
+        assert_eq!(elab.netlist.dff_count(), 4);
+        assert_eq!(elab.netlist.sequential_depth(), 1);
+    }
+
+    #[test]
+    fn single_block_kernel_extraction() {
+        let circuit = adder_circuit();
+        let add = circuit.vertex_by_name("ADD").unwrap();
+        let kernel: HashSet<VertexId> = [add].into_iter().collect();
+        let cut: HashSet<EdgeId> = circuit.register_edges().collect();
+        let elab = elaborate_kernel(&circuit, &kernel, &cut).unwrap();
+        assert_eq!(elab.netlist.input_width(), 8);
+        assert_eq!(elab.netlist.output_width(), 4);
+        assert_eq!(elab.netlist.dff_count(), 0);
+    }
+
+    #[test]
+    fn arity_errors_reported() {
+        let mut b = CircuitBuilder::new("bad");
+        let a = b.input("a");
+        let add = b.logic_fn("ADD", LogicFunction::Add);
+        let po = b.output("o");
+        b.register("Ra", 4, a, add);
+        b.register("Ro", 4, add, po);
+        let circuit = b.finish().unwrap();
+        assert!(matches!(
+            elaborate_whole(&circuit),
+            Err(ElabError::BadArity { found: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn fanout_duplicates_bus() {
+        let mut b = CircuitBuilder::new("fan");
+        let a = b.input("a");
+        let f = b.fanout("F");
+        let add = b.logic_fn("ADD", LogicFunction::Add);
+        let po = b.output("o");
+        b.register("Ra", 4, a, f);
+        b.wire(f, add);
+        b.wire(f, add);
+        b.register("Ro", 4, add, po);
+        let circuit = b.finish().unwrap();
+        let elab = elaborate_whole(&circuit).unwrap();
+        let comb = elab.netlist.combinational_equivalent();
+        let mut sim = PatternSim::new(&comb);
+        sim.set_inputs(&broadcast_pattern(6, 4));
+        sim.eval_comb();
+        let out: Vec<_> = comb.outputs().to_vec();
+        assert_eq!(sim.output_lane(&out, 0), 12, "a + a = 2a");
+    }
+}

@@ -1,0 +1,220 @@
+//! The paper's illustrative circuits: Figures 1, 2, 3, 4 and 12(a).
+//!
+//! These are the worked examples Sections 2 and 3 reason about; the
+//! integration tests and the `examples` bench binary check that our
+//! analyses reach the paper's conclusions on them.
+
+use bibs_rtl::{Circuit, CircuitBuilder};
+
+/// Figure 1: an **unbalanced** circuit. PI feeds fanout block `F`; `F`
+/// feeds combinational block `C` both directly and through register `R`.
+///
+/// Every detectable stuck-at fault here is 2-pattern detectable and the
+/// circuit is 2-step functionally testable.
+pub fn figure1() -> Circuit {
+    let mut b = CircuitBuilder::new("fig1");
+    let pi = b.input("PI");
+    let f = b.fanout("F");
+    let c = b.logic("C");
+    let po = b.output("PO");
+    b.wire(pi, f);
+    b.wire(f, c);
+    b.register("R", 8, f, c);
+    b.wire(c, po);
+    b.finish().expect("figure 1 is well-formed")
+}
+
+/// Figure 2: a **1-step functionally testable** pipeline
+/// `PI -R1-> C1 -R2-> C2 -R3-> PO`.
+pub fn figure2() -> Circuit {
+    let mut b = CircuitBuilder::new("fig2");
+    let pi = b.input("PI");
+    let c1 = b.logic("C1");
+    let c2 = b.logic("C2");
+    let po = b.output("PO");
+    b.register("R1", 8, pi, c1);
+    b.register("R2", 8, c1, c2);
+    b.register("R3", 8, c2, po);
+    b.finish().expect("figure 2 is well-formed")
+}
+
+/// Figure 3: the example circuit whose graph contains both a **cycle**
+/// (`F ↔ H`) and an **URFS** (the reconvergent paths `FO1→A→D→H` with one
+/// register edge versus `FO1→C→E→G→H` with two). All registers 8 bits.
+pub fn figure3() -> Circuit {
+    let mut b = CircuitBuilder::new("fig3");
+    let pi = b.input("PI");
+    let fo1 = b.fanout("FO1");
+    let a = b.logic("A");
+    let bb = b.logic("B");
+    let c = b.logic("C");
+    let d = b.logic("D");
+    let e = b.logic("E");
+    let g = b.logic("G");
+    let h = b.logic("H");
+    let f = b.logic("F");
+    let po = b.output("PO");
+    b.register("R1", 8, pi, fo1);
+    b.wire(fo1, a);
+    b.wire(fo1, bb);
+    b.wire(fo1, c);
+    // Unbalanced reconvergence at H.
+    b.register("R2", 8, a, d);
+    b.wire(d, h);
+    b.register("R3", 8, c, e);
+    b.register("R4", 8, e, g);
+    b.wire(g, h);
+    // B is a side branch: B -R7-> V1 -R8-> PO side logic (vacuous block
+    // between back-to-back registers, as in the figure).
+    let v1 = b.vacuous("V1");
+    b.register("R7", 8, bb, v1);
+    b.register("R8", 8, v1, h);
+    // Cycle F <-> H.
+    b.register("R5", 8, h, f);
+    b.register("R6", 8, f, h);
+    b.wire(h, po);
+    b.finish().expect("figure 3 is well-formed")
+}
+
+/// Figure 4 (Example 1): the circuit used to show that the partial-scan
+/// balancing solution (converting `R3` and `R9` to scan) is **not** enough
+/// for BIST — `R3` and `R9` would be TPG and SA simultaneously — so BIBS
+/// additionally converts `R7` and `R8`, yielding two balanced BISTable
+/// kernels.
+///
+/// Reconstruction notes (the figure itself is not in the provided text):
+/// nine registers; paths from `C1` to `C3` of sequential lengths 3 (via
+/// `R2,R4,R3`), 1 (via `R8`), 1 (via `R7`) and 2 (via `R5,R9`), so
+/// `{R3, R9}` is a minimum-cost balancing cut for partial scan;
+/// BIBS converts `{R1, R3, R7, R8, R9, R6}` (6 registers), giving kernel 1
+/// = `{C1,FO,C2,C4,C5,V1,C7}` (TPG `R1`; SAs `R3,R7,R8,R9`) and kernel 2 =
+/// `{C3}` (TPGs `R3,R7,R8,R9`; SA `R6`); the TDM of \[3\] converts all nine.
+/// The datapath registers `R2`, `R4`, `R5` are 8 bits wide while the
+/// status-signal registers `R3`, `R7`, `R8`, `R9` are 2 bits, which makes
+/// the paper's 6-register solution the minimum-cost one (cutting the wide
+/// registers instead would cost more flip-flops).
+pub fn figure4() -> Circuit {
+    let mut b = CircuitBuilder::new("fig4");
+    let pi = b.input("PI");
+    let c1 = b.logic("C1");
+    let fo = b.fanout("FO");
+    let c2 = b.logic("C2");
+    let c4 = b.logic("C4");
+    let c5 = b.logic("C5");
+    let v1 = b.vacuous("V1");
+    let c7 = b.logic("C7");
+    let c3 = b.logic("C3");
+    let po = b.output("PO");
+    b.register("R1", 8, pi, c1);
+    b.wire(c1, fo);
+    b.wire(fo, c2);
+    b.wire(fo, c4);
+    b.register("R2", 8, c2, c5);
+    b.register("R4", 8, c5, v1);
+    b.register("R3", 2, v1, c3);
+    b.register("R8", 2, c2, c3);
+    b.register("R7", 2, c4, c3);
+    b.register("R5", 8, c4, c7);
+    b.register("R9", 2, c7, c3);
+    b.register("R6", 8, c3, po);
+    b.finish().expect("figure 4 is well-formed")
+}
+
+/// Figure 12(a): a balanced BISTable kernel whose generalized structure has
+/// input registers `R1, R2, R3` (4 bits each in Example 2) at sequential
+/// lengths `d = (2, 1, 0)` from the output block `C3`.
+///
+/// `R1` reaches `C3` through `C1` and then the reconvergent pair
+/// `C2`/`C4` (both at length 2 — "represented by a single path"), `R2`
+/// enters `C2` (length 1), `R3` enters `C3` directly (length 0), and `C5`
+/// is the single-input-port block behind `C3`.
+pub fn figure12a() -> Circuit {
+    let mut b = CircuitBuilder::new("fig12a");
+    let i1 = b.input("IN1");
+    let i2 = b.input("IN2");
+    let i3 = b.input("IN3");
+    let c1 = b.logic("C1");
+    let fo = b.fanout("FO");
+    let c2 = b.logic("C2");
+    let c4 = b.logic("C4");
+    let c3 = b.logic("C3");
+    let c5 = b.logic("C5");
+    let po = b.output("PO");
+    b.register("R1", 4, i1, c1);
+    b.wire(c1, fo);
+    b.register("Ra", 4, fo, c2);
+    b.register("Rb", 4, fo, c4);
+    b.register("Rc", 4, c2, c3);
+    b.register("Rd", 4, c4, c3);
+    b.register("R2", 4, i2, c2);
+    b.register("R3", 4, i3, c3);
+    b.wire(c3, c5);
+    b.register("Rout", 4, c5, po);
+    b.finish().expect("figure 12a is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bibs_rtl::SeqLen;
+
+    #[test]
+    fn figure1_unbalanced_figure2_balanced() {
+        assert!(!figure1().is_balanced());
+        assert!(figure2().is_balanced());
+    }
+
+    #[test]
+    fn figure3_cycle_and_urfs() {
+        let c = figure3();
+        assert!(!c.is_acyclic());
+        let cycle = c.find_cycle().expect("F<->H cycle exists");
+        assert!(cycle.len() >= 2);
+    }
+
+    #[test]
+    fn figure4_imbalance_structure() {
+        let c = figure4();
+        assert!(c.is_acyclic());
+        assert!(!c.is_balanced());
+        // C1 -> C3 paths of lengths 1, 1, 2 and 3.
+        let c1 = c.vertex_by_name("C1").unwrap();
+        let c3 = c.vertex_by_name("C3").unwrap();
+        let lens = c.seq_lengths_from(c1).unwrap();
+        assert_eq!(lens[c3.index()], SeqLen::Conflict { min: 1, max: 3 });
+    }
+
+    #[test]
+    fn figure4_scan_cut_balances() {
+        // Converting R3 and R9 to scan (cutting those edges) balances the
+        // circuit, as the paper's partial-scan solution states.
+        let c = figure4();
+        let r3 = c.register_by_name("R3").unwrap();
+        let r9 = c.register_by_name("R9").unwrap();
+        let report = c.balance_report_filtered(|e| e != r3 && e != r9);
+        assert!(report.is_balanced());
+        // But no single cut suffices.
+        for cut in [r3, r9] {
+            let rep = c.balance_report_filtered(|e| e != cut);
+            assert!(!rep.is_balanced(), "a single cut must not balance fig4");
+        }
+    }
+
+    #[test]
+    fn figure12a_kernel_is_balanced_with_depth_2() {
+        let c = figure12a();
+        assert!(c.is_balanced());
+        // d(R1) = 2, d(R2) = 1, d(R3) = 0 measured at C3.
+        let c3 = c.vertex_by_name("C3").unwrap();
+        for (reg, expect) in [("R1", 2u32), ("R2", 1), ("R3", 0)] {
+            let e = c.register_by_name(reg).unwrap();
+            let head = c.edge(e).to;
+            let lens = c.seq_lengths_from(head).unwrap();
+            assert_eq!(
+                lens[c3.index()],
+                SeqLen::Exact(expect),
+                "sequential length from {reg} to C3"
+            );
+        }
+    }
+}

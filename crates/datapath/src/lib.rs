@@ -1,0 +1,31 @@
+//! MABAL-substitute datapath circuits and RTL→gate elaboration.
+//!
+//! The paper evaluates the BIBS TDM on three digital-filter datapaths
+//! synthesized by MABAL, the USC module/bus allocation tool (Table 1):
+//!
+//! | circuit | function |
+//! |---------|----------|
+//! | `c5a2m` | `o = (a+b)(c+d) + (e+f)(g+h)` |
+//! | `c3a2m` | `o = ((a+b)·c + d)·e + f` |
+//! | `c4a4m` | `o = a(f+g) + e(b+c)`, `p = d(b+c) + h(f+g)` |
+//!
+//! MABAL is not available, so [`filters`] reconstructs these datapaths from
+//! their functions: 8-bit operands, ripple-carry adders, 8×8 array
+//! multipliers of which **only the 8 least-significant product lines feed
+//! the next stage** (as the paper states), pipeline registers after every
+//! block, and operand-alignment registers that keep every structure
+//! balanced — which is what makes all three circuits single balanced
+//! BISTable kernels under the BIBS TDM.
+//!
+//! [`examples`] builds the paper's illustrative circuits (Figures 1–4, 12)
+//! and [`fig9`] reconstructs the Krasniewski–Albicki example circuit from
+//! the numbers the paper reports about it. [`elab`] turns any acyclic RTL
+//! circuit (or kernel of one) into a gate-level netlist for fault
+//! simulation.
+#![warn(missing_docs)]
+
+
+pub mod elab;
+pub mod examples;
+pub mod fig9;
+pub mod filters;

@@ -1,0 +1,505 @@
+//! PODEM combinational ATPG.
+//!
+//! Balanced BISTable kernels are 1-step functionally testable, so — as the
+//! paper notes — "only an ATPG system for combinational logic is required".
+//! This PODEM implementation serves two purposes in the reproduction:
+//!
+//! * **redundancy identification** — the Table 2 "100 % fault coverage"
+//!   rows count *detectable* faults, so undetectable (redundant) faults
+//!   must be proven so and excluded;
+//! * deterministic test generation for individual faults, used by tests to
+//!   cross-check the fault simulator.
+
+use crate::fault::{Fault, FaultSite};
+use bibs_netlist::{GateId, GateKind, NetDriver, NetId, Netlist};
+
+/// Three-valued logic: 0, 1 or unknown.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum V3 {
+    Zero,
+    One,
+    X,
+}
+
+impl V3 {
+    fn from_bool(b: bool) -> V3 {
+        if b {
+            V3::One
+        } else {
+            V3::Zero
+        }
+    }
+
+    fn known(self) -> Option<bool> {
+        match self {
+            V3::Zero => Some(false),
+            V3::One => Some(true),
+            V3::X => None,
+        }
+    }
+
+    fn not(self) -> V3 {
+        match self {
+            V3::Zero => V3::One,
+            V3::One => V3::Zero,
+            V3::X => V3::X,
+        }
+    }
+}
+
+fn eval3(kind: GateKind, inputs: &[V3]) -> V3 {
+    match kind {
+        GateKind::And | GateKind::Nand => {
+            let v = if inputs.contains(&V3::Zero) {
+                V3::Zero
+            } else if inputs.contains(&V3::X) {
+                V3::X
+            } else {
+                V3::One
+            };
+            if kind == GateKind::Nand {
+                v.not()
+            } else {
+                v
+            }
+        }
+        GateKind::Or | GateKind::Nor => {
+            let v = if inputs.contains(&V3::One) {
+                V3::One
+            } else if inputs.contains(&V3::X) {
+                V3::X
+            } else {
+                V3::Zero
+            };
+            if kind == GateKind::Nor {
+                v.not()
+            } else {
+                v
+            }
+        }
+        GateKind::Xor | GateKind::Xnor => {
+            if inputs.contains(&V3::X) {
+                V3::X
+            } else {
+                let parity = inputs.iter().filter(|&&i| i == V3::One).count() % 2 == 1;
+                let v = V3::from_bool(parity);
+                if kind == GateKind::Xnor {
+                    v.not()
+                } else {
+                    v
+                }
+            }
+        }
+        GateKind::Not => inputs[0].not(),
+        GateKind::Buf => inputs[0],
+    }
+}
+
+/// The outcome of PODEM on one fault.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AtpgResult {
+    /// A test was found. The vector gives one value per primary input;
+    /// `None` means don't-care.
+    Test(Vec<Option<bool>>),
+    /// The fault is provably undetectable (the search space is exhausted).
+    Redundant,
+    /// The backtrack limit was hit before a conclusion.
+    Aborted,
+}
+
+/// Aggregate fault classification over a fault list.
+#[derive(Debug, Clone)]
+pub struct Classification {
+    /// Faults with a generated test.
+    pub detectable: Vec<(Fault, Vec<Option<bool>>)>,
+    /// Faults proven redundant.
+    pub redundant: Vec<Fault>,
+    /// Faults on which PODEM hit the backtrack limit.
+    pub aborted: Vec<Fault>,
+}
+
+impl Classification {
+    /// Number of faults proven or presumed detectable (tests found).
+    pub fn detectable_count(&self) -> usize {
+        self.detectable.len()
+    }
+}
+
+/// A PODEM test generator bound to one combinational netlist.
+#[derive(Debug)]
+pub struct Atpg<'a> {
+    netlist: &'a Netlist,
+    order: Vec<GateId>,
+    /// Gates reading each net.
+    readers: Vec<Vec<GateId>>,
+    good: Vec<V3>,
+    faulty: Vec<V3>,
+    is_po: Vec<bool>,
+}
+
+impl<'a> Atpg<'a> {
+    /// Creates a generator for `netlist`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the netlist is sequential; run on the combinational
+    /// equivalent.
+    pub fn new(netlist: &'a Netlist) -> Self {
+        assert_eq!(netlist.dff_count(), 0, "PODEM is combinational-only");
+        let order = netlist.levelize().expect("acyclic netlist");
+        let mut readers = vec![Vec::new(); netlist.net_count()];
+        for gid in netlist.gate_ids() {
+            for &i in &netlist.gate(gid).inputs {
+                readers[i.index()].push(gid);
+            }
+        }
+        let mut is_po = vec![false; netlist.net_count()];
+        for &o in netlist.outputs() {
+            is_po[o.index()] = true;
+        }
+        Atpg {
+            netlist,
+            order,
+            readers,
+            good: vec![V3::X; netlist.net_count()],
+            faulty: vec![V3::X; netlist.net_count()],
+            is_po,
+        }
+    }
+
+    /// Runs PODEM for one fault with the given backtrack limit.
+    pub fn generate(&mut self, fault: Fault, backtrack_limit: usize) -> AtpgResult {
+        let width = self.netlist.input_width();
+        let mut assignment: Vec<Option<bool>> = vec![None; width];
+        // Decision stack: (pi index, value, alternative already tried).
+        let mut stack: Vec<(usize, bool, bool)> = Vec::new();
+        let mut backtracks = 0usize;
+
+        loop {
+            self.imply(&assignment, fault);
+            if self.detected() {
+                return AtpgResult::Test(assignment);
+            }
+            let objective = self.objective(fault);
+            match objective {
+                Some((net, value)) => {
+                    if let Some((pi, v)) = self.backtrace(net, value) {
+                        assignment[pi] = Some(v);
+                        stack.push((pi, v, false));
+                        continue;
+                    }
+                    // No X input reachable: treat as a dead end.
+                }
+                None => {
+                    // Conflict or no propagation path: dead end.
+                }
+            }
+            // Backtrack.
+            loop {
+                match stack.pop() {
+                    None => return AtpgResult::Redundant,
+                    Some((pi, v, tried)) => {
+                        assignment[pi] = None;
+                        if !tried {
+                            backtracks += 1;
+                            if backtracks > backtrack_limit {
+                                return AtpgResult::Aborted;
+                            }
+                            assignment[pi] = Some(!v);
+                            stack.push((pi, !v, true));
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Forward-simulates both machines from the PI assignment.
+    fn imply(&mut self, assignment: &[Option<bool>], fault: Fault) {
+        let stuck = V3::from_bool(match fault.site {
+            FaultSite::Net(_) | FaultSite::GatePin { .. } => fault.stuck_at,
+        });
+        let fault_net = match fault.site {
+            FaultSite::Net(n) => Some(n),
+            FaultSite::GatePin { .. } => None,
+        };
+        for net in self.netlist.net_ids() {
+            let v = match self.netlist.driver(net) {
+                NetDriver::Input(i) => assignment[i].map_or(V3::X, V3::from_bool),
+                NetDriver::Const(c) => V3::from_bool(c),
+                _ => continue,
+            };
+            self.good[net.index()] = v;
+            self.faulty[net.index()] = if fault_net == Some(net) { stuck } else { v };
+        }
+        let mut gbuf: Vec<V3> = Vec::with_capacity(8);
+        let mut fbuf: Vec<V3> = Vec::with_capacity(8);
+        for &gid in &self.order {
+            let gate = self.netlist.gate(gid);
+            gbuf.clear();
+            fbuf.clear();
+            gbuf.extend(gate.inputs.iter().map(|i| self.good[i.index()]));
+            fbuf.extend(gate.inputs.iter().map(|i| self.faulty[i.index()]));
+            if let FaultSite::GatePin { gate: fg, pin } = fault.site {
+                if fg == gid {
+                    fbuf[pin] = stuck;
+                }
+            }
+            self.good[gate.output.index()] = eval3(gate.kind, &gbuf);
+            let mut fv = eval3(gate.kind, &fbuf);
+            if fault_net == Some(gate.output) {
+                fv = stuck;
+            }
+            self.faulty[gate.output.index()] = fv;
+        }
+    }
+
+    fn error_at(&self, net: NetId) -> bool {
+        matches!(
+            (self.good[net.index()], self.faulty[net.index()]),
+            (V3::Zero, V3::One) | (V3::One, V3::Zero)
+        )
+    }
+
+    fn unknown_at(&self, net: NetId) -> bool {
+        self.good[net.index()] == V3::X || self.faulty[net.index()] == V3::X
+    }
+
+    fn detected(&self) -> bool {
+        self.netlist.outputs().iter().any(|&o| self.error_at(o))
+    }
+
+    /// The signal whose good value activates the fault, and the activation
+    /// state: `Ok(true)` activated, `Ok(false)` impossible, `Err(net)` still
+    /// unknown.
+    fn activation(&self, fault: Fault) -> Result<bool, NetId> {
+        let site_net = match fault.site {
+            FaultSite::Net(n) => n,
+            FaultSite::GatePin { gate, pin } => self.netlist.gate(gate).inputs[pin],
+        };
+        match self.good[site_net.index()].known() {
+            Some(v) => Ok(v != fault.stuck_at),
+            None => Err(site_net),
+        }
+    }
+
+    /// Picks the next objective `(net, value)` in the good machine, or
+    /// `None` at a dead end (conflict / empty D-frontier / no X-path).
+    fn objective(&self, fault: Fault) -> Option<(NetId, bool)> {
+        match self.activation(fault) {
+            Err(net) => return Some((net, !fault.stuck_at)),
+            Ok(false) => return None, // fault can no longer be activated
+            Ok(true) => {}
+        }
+        // Fault is activated. Find the D-frontier and check X-paths.
+        let mut frontier: Vec<GateId> = Vec::new();
+        // For a pin fault the error lives on the pin, not on any net, so
+        // the faulted gate itself joins the frontier while its output is
+        // still unknown.
+        if let FaultSite::GatePin { gate, .. } = fault.site {
+            if self.unknown_at(self.netlist.gate(gate).output) {
+                frontier.push(gate);
+            }
+        }
+        for gid in self.netlist.gate_ids() {
+            let gate = self.netlist.gate(gid);
+            if self.unknown_at(gate.output)
+                && gate.inputs.iter().any(|&i| self.error_at(i))
+            {
+                frontier.push(gid);
+            }
+        }
+        // Error may also sit directly on an unobserved net that still has an
+        // X-path through frontier gates; if the frontier is empty and no PO
+        // shows the error, we are stuck.
+        if frontier.is_empty() {
+            return None;
+        }
+        // X-path check: from each frontier gate output, can unknown nets
+        // reach a PO?
+        let has_path = |start: NetId| -> bool {
+            let mut seen = vec![false; self.netlist.net_count()];
+            let mut stack = vec![start];
+            seen[start.index()] = true;
+            while let Some(n) = stack.pop() {
+                if self.is_po[n.index()] {
+                    return true;
+                }
+                for &g in &self.readers[n.index()] {
+                    let out = self.netlist.gate(g).output;
+                    if !seen[out.index()] && self.unknown_at(out) {
+                        seen[out.index()] = true;
+                        stack.push(out);
+                    }
+                }
+            }
+            false
+        };
+        let gate = frontier
+            .iter()
+            .copied()
+            .find(|&g| has_path(self.netlist.gate(g).output))?;
+        // Objective: set one X input of the chosen frontier gate to the
+        // non-controlling value so the error propagates.
+        let g = self.netlist.gate(gate);
+        let x_input = g
+            .inputs
+            .iter()
+            .copied()
+            .find(|&i| self.good[i.index()] == V3::X)?;
+        let value = match g.kind.controlling_value() {
+            Some(c) => !c,
+            None => false, // XOR-family: any value propagates
+        };
+        Some((x_input, value))
+    }
+
+    /// Walks an objective back to an unassigned primary input.
+    fn backtrace(&self, mut net: NetId, mut value: bool) -> Option<(usize, bool)> {
+        loop {
+            match self.netlist.driver(net) {
+                NetDriver::Input(i) => {
+                    debug_assert_eq!(self.good[net.index()], V3::X);
+                    return Some((i, value));
+                }
+                NetDriver::Gate(gid) => {
+                    let gate = self.netlist.gate(gid);
+                    // Remove the gate's output inversion.
+                    let inner = if gate.kind.is_inverting() { !value } else { value };
+                    let x_input = gate
+                        .inputs
+                        .iter()
+                        .copied()
+                        .find(|&i| self.good[i.index()] == V3::X)?;
+                    value = match gate.kind {
+                        GateKind::And | GateKind::Nand | GateKind::Or | GateKind::Nor => inner,
+                        GateKind::Not | GateKind::Buf => inner,
+                        GateKind::Xor | GateKind::Xnor => inner, // arbitrary branch
+                    };
+                    net = x_input;
+                }
+                NetDriver::Const(_) | NetDriver::Dff(_) | NetDriver::Floating => return None,
+            }
+        }
+    }
+
+    /// Classifies every fault in `faults`.
+    pub fn classify(&mut self, faults: &[Fault], backtrack_limit: usize) -> Classification {
+        let mut out = Classification {
+            detectable: Vec::new(),
+            redundant: Vec::new(),
+            aborted: Vec::new(),
+        };
+        for &f in faults {
+            match self.generate(f, backtrack_limit) {
+                AtpgResult::Test(t) => out.detectable.push((f, t)),
+                AtpgResult::Redundant => out.redundant.push(f),
+                AtpgResult::Aborted => out.aborted.push(f),
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::FaultUniverse;
+    use crate::sim::FaultSimulator;
+    use bibs_netlist::builder::NetlistBuilder;
+
+    fn adder4() -> Netlist {
+        let mut b = NetlistBuilder::new("add4");
+        let a = b.input_word("a", 4);
+        let c = b.input_word("b", 4);
+        let (s, co) = b.ripple_carry_adder(&a, &c, None);
+        b.output_word("s", &s);
+        b.output("co", co);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn generated_tests_actually_detect() {
+        let nl = adder4();
+        let universe = FaultUniverse::collapsed(&nl);
+        let mut atpg = Atpg::new(&nl);
+        let class = atpg.classify(universe.faults(), 10_000);
+        assert!(class.aborted.is_empty(), "small adder must not abort");
+        assert!(class.redundant.is_empty(), "adders have no redundancy");
+        // Replay every generated test through the fault simulator.
+        for (fault, test) in &class.detectable {
+            let pattern: Vec<bool> = test.iter().map(|v| v.unwrap_or(false)).collect();
+            let mut sim = FaultSimulator::new(&nl, vec![*fault]);
+            let report = sim.run_patterns(&[pattern]);
+            assert_eq!(
+                report.detected_count(),
+                1,
+                "PODEM test for {fault} must detect it"
+            );
+        }
+    }
+
+    #[test]
+    fn redundant_fault_is_proven() {
+        // y = a AND (NOT a) == 0; y/sa0 is undetectable.
+        let mut b = NetlistBuilder::new("red");
+        let a = b.input("a");
+        let na = b.not(a);
+        let y = b.and2(a, na);
+        b.output("y", y);
+        let nl = b.finish().unwrap();
+        let mut atpg = Atpg::new(&nl);
+        let fault = Fault::net_sa0(nl.outputs()[0]);
+        assert_eq!(atpg.generate(fault, 10_000), AtpgResult::Redundant);
+        // But y/sa1 is detectable (any pattern works).
+        let fault1 = Fault::net_sa1(nl.outputs()[0]);
+        assert!(matches!(atpg.generate(fault1, 10_000), AtpgResult::Test(_)));
+    }
+
+    #[test]
+    fn unobservable_logic_is_redundant() {
+        // A gate whose output feeds nothing observable.
+        let mut b = NetlistBuilder::new("unobs");
+        let a = b.input("a");
+        let c = b.input("b");
+        let _dead = b.and2(a, c); // never connected to an output
+        let y = b.xor2(a, c);
+        b.output("y", y);
+        let nl = b.finish().unwrap();
+        let dead_net = nl.gate(nl.gate_ids().next().unwrap()).output;
+        let mut atpg = Atpg::new(&nl);
+        assert_eq!(
+            atpg.generate(Fault::net_sa1(dead_net), 10_000),
+            AtpgResult::Redundant
+        );
+    }
+
+    #[test]
+    fn atpg_agrees_with_exhaustive_simulation() {
+        let nl = adder4();
+        let universe = FaultUniverse::collapsed(&nl);
+        let mut atpg = Atpg::new(&nl);
+        let class = atpg.classify(universe.faults(), 10_000);
+        let mut sim = FaultSimulator::new(&nl, universe.faults().to_vec());
+        let report = sim.run_exhaustive();
+        assert_eq!(class.detectable_count(), report.detected_count());
+    }
+
+    #[test]
+    fn xor_tree_faults_are_testable() {
+        let mut b = NetlistBuilder::new("xt");
+        let bits = b.input_word("x", 5);
+        let mut acc = bits[0];
+        for &bit in &bits[1..] {
+            acc = b.xor2(acc, bit);
+        }
+        b.output("p", acc);
+        let nl = b.finish().unwrap();
+        let universe = FaultUniverse::collapsed(&nl);
+        let mut atpg = Atpg::new(&nl);
+        let class = atpg.classify(universe.faults(), 10_000);
+        assert!(class.redundant.is_empty());
+        assert!(class.aborted.is_empty());
+    }
+}

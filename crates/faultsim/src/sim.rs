@@ -1,0 +1,408 @@
+//! Parallel-pattern single-fault-propagation simulation with fault dropping.
+
+use crate::fault::{Fault, FaultSite};
+use bibs_netlist::{GateId, NetDriver, Netlist};
+use rand::Rng;
+
+/// A fault simulator bound to one (combinational) netlist and one fault
+/// list.
+///
+/// Patterns are applied in blocks of up to 64 (one per `u64` lane). Detected
+/// faults are dropped from subsequent blocks; the per-fault first-detection
+/// pattern index is recorded so coverage-vs-pattern-count curves (the
+/// paper's Table 2 rows 5–8) can be reconstructed exactly.
+#[derive(Debug)]
+pub struct FaultSimulator<'a> {
+    netlist: &'a Netlist,
+    order: Vec<GateId>,
+    faults: Vec<Fault>,
+    /// `detection[i]` = pattern index at which fault *i* was first detected.
+    detection: Vec<Option<u64>>,
+    good: Vec<u64>,
+    faulty: Vec<u64>,
+    patterns_applied: u64,
+}
+
+/// The outcome of a fault simulation run.
+#[derive(Debug, Clone)]
+pub struct FaultSimReport {
+    faults: Vec<Fault>,
+    detection: Vec<Option<u64>>,
+    patterns_applied: u64,
+}
+
+impl FaultSimReport {
+    /// The simulated fault list.
+    pub fn faults(&self) -> &[Fault] {
+        &self.faults
+    }
+
+    /// First-detection pattern index per fault, aligned with
+    /// [`FaultSimReport::faults`].
+    pub fn detection(&self) -> &[Option<u64>] {
+        &self.detection
+    }
+
+    /// Total number of patterns applied.
+    pub fn patterns_applied(&self) -> u64 {
+        self.patterns_applied
+    }
+
+    /// Number of detected faults.
+    pub fn detected_count(&self) -> usize {
+        self.detection.iter().filter(|d| d.is_some()).count()
+    }
+
+    /// The faults never detected.
+    pub fn undetected(&self) -> Vec<Fault> {
+        self.faults
+            .iter()
+            .zip(&self.detection)
+            .filter(|(_, d)| d.is_none())
+            .map(|(f, _)| *f)
+            .collect()
+    }
+
+    /// Fault coverage as a fraction of the simulated fault list.
+    pub fn coverage(&self) -> f64 {
+        if self.faults.is_empty() {
+            return 1.0;
+        }
+        self.detected_count() as f64 / self.faults.len() as f64
+    }
+
+    /// The number of patterns needed to detect at least
+    /// `ceil(fraction · detectable)` faults, where `detectable` is the
+    /// number of faults detected by the end of the run.
+    ///
+    /// This is the paper's Table 2 metric: "# of patterns to achieve
+    /// 99.5 % (100 %) fault coverage" — coverage of *detectable* faults.
+    /// Returns `None` if nothing was detected.
+    pub fn patterns_for_detectable_coverage(&self, fraction: f64) -> Option<u64> {
+        let mut hits: Vec<u64> = self.detection.iter().flatten().copied().collect();
+        if hits.is_empty() {
+            return None;
+        }
+        hits.sort_unstable();
+        let need = ((fraction * hits.len() as f64).ceil() as usize).clamp(1, hits.len());
+        Some(hits[need - 1] + 1)
+    }
+}
+
+impl<'a> FaultSimulator<'a> {
+    /// Creates a simulator over `netlist` for the given fault list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the netlist is sequential (run on the combinational
+    /// equivalent — see the crate docs) or combinationally cyclic.
+    pub fn new(netlist: &'a Netlist, faults: Vec<Fault>) -> Self {
+        assert_eq!(
+            netlist.dff_count(),
+            0,
+            "fault-simulate the combinational equivalent"
+        );
+        let order = netlist.levelize().expect("acyclic combinational netlist");
+        let n = faults.len();
+        FaultSimulator {
+            netlist,
+            order,
+            faults,
+            detection: vec![None; n],
+            good: vec![0u64; netlist.net_count()],
+            faulty: vec![0u64; netlist.net_count()],
+            patterns_applied: 0,
+        }
+    }
+
+    /// Applies one block of up to 64 patterns.
+    ///
+    /// `input_words[i]` carries the value of primary input *i* across all
+    /// lanes; only the low `lanes` lanes count as patterns. Returns the
+    /// number of newly detected faults.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input_words` does not match the input width or
+    /// `lanes` is 0 or exceeds 64.
+    pub fn apply_block(&mut self, input_words: &[u64], lanes: usize) -> usize {
+        assert!((1..=64).contains(&lanes), "1..=64 lanes per block");
+        assert_eq!(input_words.len(), self.netlist.input_width());
+        let lane_mask: u64 = if lanes == 64 { !0 } else { (1u64 << lanes) - 1 };
+
+        // Good machine.
+        self.eval_into_good(input_words);
+
+        let outputs: Vec<usize> = self.netlist.outputs().iter().map(|o| o.index()).collect();
+        let mut newly = 0usize;
+        for fi in 0..self.faults.len() {
+            if self.detection[fi].is_some() {
+                continue;
+            }
+            let fault = self.faults[fi];
+            self.eval_into_faulty(input_words, fault);
+            let mut diff = 0u64;
+            for &o in &outputs {
+                diff |= self.good[o] ^ self.faulty[o];
+            }
+            diff &= lane_mask;
+            if diff != 0 {
+                let lane = diff.trailing_zeros() as u64;
+                self.detection[fi] = Some(self.patterns_applied + lane);
+                newly += 1;
+            }
+        }
+        self.patterns_applied += lanes as u64;
+        newly
+    }
+
+    fn eval_into_good(&mut self, input_words: &[u64]) {
+        for net in self.netlist.net_ids() {
+            match self.netlist.driver(net) {
+                NetDriver::Input(i) => self.good[net.index()] = input_words[i],
+                NetDriver::Const(v) => self.good[net.index()] = if v { !0 } else { 0 },
+                _ => {}
+            }
+        }
+        let mut scratch: Vec<u64> = Vec::with_capacity(8);
+        for &gid in &self.order {
+            let gate = self.netlist.gate(gid);
+            scratch.clear();
+            scratch.extend(gate.inputs.iter().map(|i| self.good[i.index()]));
+            self.good[gate.output.index()] = gate.kind.eval_words(&scratch);
+        }
+    }
+
+    fn eval_into_faulty(&mut self, input_words: &[u64], fault: Fault) {
+        let stuck_word = if fault.stuck_at { !0u64 } else { 0u64 };
+        let fault_net = match fault.site {
+            FaultSite::Net(n) => Some(n),
+            FaultSite::GatePin { .. } => None,
+        };
+        for net in self.netlist.net_ids() {
+            let v = match self.netlist.driver(net) {
+                NetDriver::Input(i) => input_words[i],
+                NetDriver::Const(v) => {
+                    if v {
+                        !0
+                    } else {
+                        0
+                    }
+                }
+                _ => continue,
+            };
+            self.faulty[net.index()] = if fault_net == Some(net) { stuck_word } else { v };
+        }
+        let mut scratch: Vec<u64> = Vec::with_capacity(8);
+        for &gid in &self.order {
+            let gate = self.netlist.gate(gid);
+            scratch.clear();
+            scratch.extend(gate.inputs.iter().map(|i| self.faulty[i.index()]));
+            if let FaultSite::GatePin { gate: fg, pin } = fault.site {
+                if fg == gid {
+                    scratch[pin] = stuck_word;
+                }
+            }
+            let mut out = gate.kind.eval_words(&scratch);
+            if fault_net == Some(gate.output) {
+                out = stuck_word;
+            }
+            self.faulty[gate.output.index()] = out;
+        }
+    }
+
+    /// Applies uniformly random patterns in blocks of 64 until every fault
+    /// is detected or `max_patterns` is reached. Returns the report.
+    pub fn run_random(&mut self, rng: &mut impl Rng, max_patterns: u64) -> FaultSimReport {
+        self.run_random_with_plateau(rng, max_patterns, max_patterns)
+    }
+
+    /// Like [`FaultSimulator::run_random`], but also stops once no new
+    /// fault has been detected for `plateau` consecutive patterns — the
+    /// practical convergence criterion for streams that still carry
+    /// undetectable faults.
+    pub fn run_random_with_plateau(
+        &mut self,
+        rng: &mut impl Rng,
+        max_patterns: u64,
+        plateau: u64,
+    ) -> FaultSimReport {
+        let width = self.netlist.input_width();
+        let mut last_detection_at = 0u64;
+        while self.patterns_applied < max_patterns
+            && self.detection.iter().any(|d| d.is_none())
+            && self.patterns_applied.saturating_sub(last_detection_at) < plateau
+        {
+            let lanes = 64u64.min(max_patterns - self.patterns_applied) as usize;
+            let words: Vec<u64> = (0..width).map(|_| rng.gen::<u64>()).collect();
+            if self.apply_block(&words, lanes) > 0 {
+                last_detection_at = self.patterns_applied;
+            }
+        }
+        self.report()
+    }
+
+    /// Applies all `2^w` input patterns (w = input width).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input width exceeds 24 (exhaustive application would
+    /// be unreasonable).
+    pub fn run_exhaustive(&mut self) -> FaultSimReport {
+        let width = self.netlist.input_width();
+        assert!(width <= 24, "exhaustive simulation capped at 24 inputs");
+        let total: u64 = 1u64 << width;
+        let mut base: u64 = 0;
+        while base < total {
+            let lanes = 64u64.min(total - base) as usize;
+            // Lane k carries pattern (base + k): input bit i of that
+            // pattern goes to lane k of word i.
+            let mut words = vec![0u64; width];
+            for lane in 0..lanes {
+                let pat = base + lane as u64;
+                for (i, w) in words.iter_mut().enumerate() {
+                    if (pat >> i) & 1 == 1 {
+                        *w |= 1u64 << lane;
+                    }
+                }
+            }
+            self.apply_block(&words, lanes);
+            base += lanes as u64;
+            if self.detection.iter().all(|d| d.is_some()) {
+                break;
+            }
+        }
+        self.report()
+    }
+
+    /// Applies an explicit pattern sequence (each pattern one `bool` per
+    /// input), in blocks.
+    pub fn run_patterns(&mut self, patterns: &[Vec<bool>]) -> FaultSimReport {
+        let width = self.netlist.input_width();
+        for chunk in patterns.chunks(64) {
+            let mut words = vec![0u64; width];
+            for (lane, pat) in chunk.iter().enumerate() {
+                assert_eq!(pat.len(), width, "pattern width mismatch");
+                for (i, &bit) in pat.iter().enumerate() {
+                    if bit {
+                        words[i] |= 1u64 << lane;
+                    }
+                }
+            }
+            self.apply_block(&words, chunk.len());
+            if self.detection.iter().all(|d| d.is_some()) {
+                break;
+            }
+        }
+        self.report()
+    }
+
+    /// The current report (can be taken mid-run).
+    pub fn report(&self) -> FaultSimReport {
+        FaultSimReport {
+            faults: self.faults.clone(),
+            detection: self.detection.clone(),
+            patterns_applied: self.patterns_applied,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::FaultUniverse;
+    use bibs_netlist::builder::NetlistBuilder;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn adder4() -> Netlist {
+        let mut b = NetlistBuilder::new("add4");
+        let a = b.input_word("a", 4);
+        let c = b.input_word("b", 4);
+        let (s, co) = b.ripple_carry_adder(&a, &c, None);
+        b.output_word("s", &s);
+        b.output("co", co);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn adder_reaches_full_coverage_exhaustively() {
+        let nl = adder4();
+        let faults = FaultUniverse::collapsed(&nl);
+        let mut sim = FaultSimulator::new(&nl, faults.faults().to_vec());
+        let report = sim.run_exhaustive();
+        assert_eq!(report.undetected().len(), 0);
+        assert!((report.coverage() - 1.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn random_matches_exhaustive_detectability() {
+        let nl = adder4();
+        let faults = FaultUniverse::collapsed(&nl);
+        let mut sim = FaultSimulator::new(&nl, faults.faults().to_vec());
+        let mut rng = StdRng::seed_from_u64(42);
+        let report = sim.run_random(&mut rng, 100_000);
+        assert_eq!(report.undetected().len(), 0);
+    }
+
+    #[test]
+    fn detection_indices_are_consistent() {
+        let nl = adder4();
+        let faults = FaultUniverse::collapsed(&nl);
+        let mut sim = FaultSimulator::new(&nl, faults.faults().to_vec());
+        let report = sim.run_exhaustive();
+        for d in report.detection().iter().flatten() {
+            assert!(*d < report.patterns_applied());
+        }
+        let p100 = report.patterns_for_detectable_coverage(1.0).unwrap();
+        let p995 = report.patterns_for_detectable_coverage(0.995).unwrap();
+        assert!(p995 <= p100);
+        assert!(p100 <= report.patterns_applied());
+    }
+
+    #[test]
+    fn undetectable_fault_stays_undetected() {
+        // y = a AND (NOT a) is constant 0: its sa0 faults are redundant.
+        let mut b = NetlistBuilder::new("red");
+        let a = b.input("a");
+        let na = b.not(a);
+        let y = b.and2(a, na);
+        b.output("y", y);
+        let nl = b.finish().unwrap();
+        let faults = vec![Fault::net_sa0(nl.outputs()[0])];
+        let mut sim = FaultSimulator::new(&nl, faults);
+        let report = sim.run_exhaustive();
+        assert_eq!(report.detected_count(), 0);
+        assert!(report.patterns_for_detectable_coverage(1.0).is_none());
+    }
+
+    #[test]
+    fn explicit_pattern_run_detects() {
+        let mut b = NetlistBuilder::new("and");
+        let a = b.input("a");
+        let c = b.input("b");
+        let y = b.and2(a, c);
+        b.output("y", y);
+        let nl = b.finish().unwrap();
+        let faults = vec![Fault::net_sa0(nl.outputs()[0])];
+        let mut sim = FaultSimulator::new(&nl, faults);
+        // Only the pattern (1,1) detects y/sa0.
+        let report = sim.run_patterns(&[
+            vec![false, false],
+            vec![true, false],
+            vec![true, true],
+        ]);
+        assert_eq!(report.detection()[0], Some(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "combinational equivalent")]
+    fn sequential_netlists_rejected() {
+        let mut b = NetlistBuilder::new("seq");
+        let a = b.input("a");
+        let r = b.register(&[a]);
+        b.output("o", r[0]);
+        let nl = b.finish().unwrap();
+        let _ = FaultSimulator::new(&nl, Vec::new());
+    }
+}

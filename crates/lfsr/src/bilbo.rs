@@ -1,0 +1,319 @@
+//! BILBO and CBILBO register models with area/delay accounting.
+//!
+//! A BILBO register (Könemann–Mucha–Zwiehoff, ref \[1\] of the paper) is a
+//! register that can be reconfigured as a normal parallel register, a scan
+//! shift register, a test pattern generator (LFSR) or a signature analyzer
+//! (MISR) — **but not TPG and SA simultaneously**. That restriction is what
+//! forces the third condition in the paper's Definition 1 (no kernel I/O
+//! port pair may share a BILBO register). The CBILBO (ref \[7\]) removes the
+//! restriction at roughly double the per-bit cost, which is why the paper
+//! uses it "only when necessary".
+
+use crate::bitvec::BitVec;
+use crate::fsr::{Lfsr, LfsrKind};
+use crate::misr::Misr;
+use crate::poly::{primitive_polynomial, Polynomial};
+use std::fmt;
+
+/// Operating mode of a BILBO register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BilboMode {
+    /// Transparent parallel register (system mode).
+    Normal,
+    /// Serial scan shift register.
+    Scan,
+    /// Autonomous LFSR test pattern generation.
+    Generate,
+    /// MISR signature compression of the parallel inputs.
+    Compress,
+}
+
+impl fmt::Display for BilboMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BilboMode::Normal => "normal",
+            BilboMode::Scan => "scan",
+            BilboMode::Generate => "generate",
+            BilboMode::Compress => "compress",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A behavioural model of one BILBO register.
+///
+/// # Example
+///
+/// ```
+/// use bibs_lfsr::bilbo::{BilboMode, BilboRegister};
+/// use bibs_lfsr::bitvec::BitVec;
+///
+/// let mut r = BilboRegister::new(8);
+/// r.set_mode(BilboMode::Generate);
+/// let first = r.contents().clone();
+/// r.clock(&BitVec::zeros(8));
+/// assert_ne!(r.contents(), &first, "TPG mode self-advances");
+/// ```
+#[derive(Debug, Clone)]
+pub struct BilboRegister {
+    width: usize,
+    mode: BilboMode,
+    poly: Polynomial,
+    lfsr: Lfsr,
+    misr: Misr,
+    normal: BitVec,
+    scan_in: bool,
+}
+
+impl BilboRegister {
+    /// Creates a `width`-bit BILBO register in [`BilboMode::Normal`] using
+    /// the table's primitive polynomial of matching degree.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0 or exceeds 96 (no primitive polynomial
+    /// available).
+    pub fn new(width: usize) -> Self {
+        let poly = primitive_polynomial(width as u32)
+            .expect("primitive polynomial available for width 1..=96");
+        BilboRegister::with_polynomial(width, &poly)
+    }
+
+    /// Creates a BILBO register with an explicit characteristic polynomial.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the polynomial degree differs from `width`.
+    pub fn with_polynomial(width: usize, poly: &Polynomial) -> Self {
+        assert_eq!(
+            poly.degree() as usize,
+            width,
+            "polynomial degree must equal register width"
+        );
+        BilboRegister {
+            width,
+            mode: BilboMode::Normal,
+            poly: poly.clone(),
+            lfsr: Lfsr::new(poly, LfsrKind::Type1),
+            misr: Misr::new(poly),
+            normal: BitVec::zeros(width),
+            scan_in: false,
+        }
+    }
+
+    /// Register width in bits.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Current operating mode.
+    pub fn mode(&self) -> BilboMode {
+        self.mode
+    }
+
+    /// Switches the operating mode. State carries over: entering
+    /// [`BilboMode::Generate`] seeds the LFSR from the current contents
+    /// (or `00…01` if those are all zero, which would dead-lock the LFSR).
+    pub fn set_mode(&mut self, mode: BilboMode) {
+        let contents = self.contents().clone();
+        self.mode = mode;
+        match mode {
+            BilboMode::Generate => {
+                let seed = if contents.is_zero() {
+                    let mut s = BitVec::zeros(self.width);
+                    s.set(self.width - 1, true);
+                    s
+                } else {
+                    contents
+                };
+                self.lfsr = Lfsr::with_seed(&self.poly, LfsrKind::Type1, seed);
+            }
+            BilboMode::Compress => {
+                self.misr.reset();
+            }
+            BilboMode::Normal | BilboMode::Scan => {
+                self.normal = contents;
+            }
+        }
+    }
+
+    /// Sets the serial scan input used in [`BilboMode::Scan`].
+    pub fn set_scan_in(&mut self, bit: bool) {
+        self.scan_in = bit;
+    }
+
+    /// The current register contents, whatever the mode.
+    pub fn contents(&self) -> &BitVec {
+        match self.mode {
+            BilboMode::Normal | BilboMode::Scan => &self.normal,
+            BilboMode::Generate => self.lfsr.state(),
+            BilboMode::Compress => self.misr.signature(),
+        }
+    }
+
+    /// Applies one clock edge with the given parallel input word.
+    ///
+    /// * `Normal` — loads `inputs`;
+    /// * `Scan` — shifts by one, inserting the scan-in bit;
+    /// * `Generate` — advances the LFSR (ignores `inputs`);
+    /// * `Compress` — absorbs `inputs` into the MISR.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` differs from the register width.
+    pub fn clock(&mut self, inputs: &BitVec) {
+        assert_eq!(inputs.len(), self.width, "input width must match register");
+        match self.mode {
+            BilboMode::Normal => self.normal = inputs.clone(),
+            BilboMode::Scan => {
+                self.normal.shift_up(self.scan_in);
+            }
+            BilboMode::Generate => self.lfsr.step(),
+            BilboMode::Compress => self.misr.absorb(inputs),
+        }
+    }
+}
+
+/// Area and delay accounting calibrated to the paper's reported numbers.
+///
+/// The paper's Example 2 states that 2 extra D flip-flops add **7.2 %** area
+/// to a 12-bit BILBO register (Magic layout). With a plain D flip-flop at 6
+/// gate equivalents, a BILBO cell at 13.9 GE reproduces that ratio:
+/// `2·6 / (12·13.9) = 7.19 %`. Delay follows the paper's Table 2 assumption:
+/// each BILBO register on a path adds one time unit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AreaModel {
+    /// Gate equivalents of a plain D flip-flop.
+    pub dff_ge: f64,
+    /// Gate equivalents of one BILBO register cell (flip-flop + mode mux +
+    /// feedback XOR + control share).
+    pub bilbo_cell_ge: f64,
+    /// Gate equivalents of one CBILBO cell (two flip-flop ranks, so TPG and
+    /// SA can run concurrently).
+    pub cbilbo_cell_ge: f64,
+    /// Extra delay (time units) a BILBO register adds on a functional path.
+    pub bilbo_delay: u32,
+}
+
+impl Default for AreaModel {
+    fn default() -> Self {
+        AreaModel {
+            dff_ge: 6.0,
+            bilbo_cell_ge: 13.9,
+            cbilbo_cell_ge: 25.0,
+            bilbo_delay: 1,
+        }
+    }
+}
+
+impl AreaModel {
+    /// Area of a `width`-bit BILBO register in gate equivalents.
+    pub fn bilbo_area(&self, width: usize) -> f64 {
+        self.bilbo_cell_ge * width as f64
+    }
+
+    /// Area of a `width`-bit CBILBO register in gate equivalents.
+    pub fn cbilbo_area(&self, width: usize) -> f64 {
+        self.cbilbo_cell_ge * width as f64
+    }
+
+    /// Area of `count` plain D flip-flops in gate equivalents.
+    pub fn dff_area(&self, count: usize) -> f64 {
+        self.dff_ge * count as f64
+    }
+
+    /// Extra area fraction of adding `extra_ffs` plain flip-flops to a
+    /// `width`-bit BILBO register — the metric of the paper's Example 2.
+    pub fn extra_ff_overhead(&self, width: usize, extra_ffs: usize) -> f64 {
+        self.dff_area(extra_ffs) / self.bilbo_area(width)
+    }
+
+    /// Area cost of converting plain registers (total `ff_count` bits) to
+    /// BILBO registers: the difference between BILBO cells and the plain
+    /// flip-flops they replace.
+    pub fn conversion_overhead(&self, ff_count: usize) -> f64 {
+        (self.bilbo_cell_ge - self.dff_ge) * ff_count as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normal_mode_loads_inputs() {
+        let mut r = BilboRegister::new(4);
+        r.clock(&BitVec::from_u64(0b1010, 4));
+        assert_eq!(r.contents().to_u64(), 0b1010);
+    }
+
+    #[test]
+    fn generate_mode_cycles_through_all_nonzero_states() {
+        let mut r = BilboRegister::new(4);
+        r.clock(&BitVec::from_u64(0b0001, 4));
+        r.set_mode(BilboMode::Generate);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..15 {
+            seen.insert(r.contents().to_u64());
+            r.clock(&BitVec::zeros(4));
+        }
+        assert_eq!(seen.len(), 15);
+        assert!(!seen.contains(&0));
+    }
+
+    #[test]
+    fn generate_mode_survives_zero_contents() {
+        let mut r = BilboRegister::new(4);
+        r.set_mode(BilboMode::Generate);
+        let s0 = r.contents().to_u64();
+        assert_ne!(s0, 0, "zero seed must be replaced");
+        r.clock(&BitVec::zeros(4));
+        assert_ne!(r.contents().to_u64(), s0);
+    }
+
+    #[test]
+    fn compress_mode_distinguishes_streams() {
+        let mut a = BilboRegister::new(8);
+        let mut b = BilboRegister::new(8);
+        a.set_mode(BilboMode::Compress);
+        b.set_mode(BilboMode::Compress);
+        for t in 0u64..50 {
+            a.clock(&BitVec::from_u64(t & 0xFF, 8));
+            let v = if t == 20 { (t & 0xFF) ^ 4 } else { t & 0xFF };
+            b.clock(&BitVec::from_u64(v, 8));
+        }
+        assert_ne!(a.contents().to_u64(), b.contents().to_u64());
+    }
+
+    #[test]
+    fn scan_mode_shifts_serially() {
+        let mut r = BilboRegister::new(3);
+        r.set_mode(BilboMode::Scan);
+        for &bit in &[true, false, true] {
+            r.set_scan_in(bit);
+            r.clock(&BitVec::zeros(3));
+        }
+        // First bit shifted in is now at the last stage.
+        assert!(r.contents().get(2));
+        assert!(!r.contents().get(1));
+        assert!(r.contents().get(0));
+    }
+
+    #[test]
+    fn area_model_reproduces_example_2_overhead() {
+        let m = AreaModel::default();
+        let ovh = m.extra_ff_overhead(12, 2);
+        assert!(
+            (ovh - 0.072).abs() < 0.002,
+            "Example 2 reports 7.2% extra area, model gives {:.3}%",
+            ovh * 100.0
+        );
+    }
+
+    #[test]
+    fn cbilbo_costs_more_than_bilbo() {
+        let m = AreaModel::default();
+        assert!(m.cbilbo_area(8) > m.bilbo_area(8));
+        assert!(m.bilbo_area(8) > m.dff_area(8));
+    }
+}

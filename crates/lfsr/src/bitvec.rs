@@ -1,0 +1,258 @@
+//! A small fixed-length bit vector used for LFSR/MISR state of arbitrary
+//! width.
+//!
+//! Kernel input widths in the paper's experiments reach 64+ bits (the BIBS
+//! TPG for `c5a2m` concatenates eight 8-bit registers plus extra
+//! flip-flops), so a single `u64` is not enough; [`BitVec`] packs bits into
+//! `u64` words.
+
+use std::fmt;
+
+/// A fixed-length vector of bits packed into `u64` words.
+///
+/// Bit 0 is the first (most-significant, in the paper's stage-numbering)
+/// LFSR stage; the container itself is orderless and just indexes bits.
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct BitVec {
+    len: usize,
+    words: Vec<u64>,
+}
+
+impl BitVec {
+    /// Creates an all-zero bit vector of the given length.
+    pub fn zeros(len: usize) -> Self {
+        BitVec {
+            len,
+            words: vec![0u64; len.div_ceil(64)],
+        }
+    }
+
+    /// Creates a bit vector from the low `len` bits of `value`
+    /// (bit *i* of `value` becomes bit *i*).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len > 64`.
+    pub fn from_u64(value: u64, len: usize) -> Self {
+        assert!(len <= 64, "from_u64 supports at most 64 bits");
+        let mut bv = BitVec::zeros(len);
+        if len > 0 {
+            let mask = if len == 64 { !0u64 } else { (1u64 << len) - 1 };
+            if !bv.words.is_empty() {
+                bv.words[0] = value & mask;
+            }
+        }
+        bv
+    }
+
+    /// Creates a bit vector from a slice of bools.
+    pub fn from_bits(bits: &[bool]) -> Self {
+        let mut bv = BitVec::zeros(bits.len());
+        for (i, &b) in bits.iter().enumerate() {
+            bv.set(i, b);
+        }
+        bv
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the vector has zero length.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Gets bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Sets bit `i` to `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    pub fn set(&mut self, i: usize, v: bool) {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        let (w, b) = (i / 64, i % 64);
+        if v {
+            self.words[w] |= 1u64 << b;
+        } else {
+            self.words[w] &= !(1u64 << b);
+        }
+    }
+
+    /// Returns `true` if every bit is zero.
+    pub fn is_zero(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Parity (XOR) of all bits.
+    pub fn parity(&self) -> bool {
+        self.count_ones() % 2 == 1
+    }
+
+    /// Parity of `self AND mask`, the tap computation of a Fibonacci LFSR.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    pub fn masked_parity(&self, mask: &BitVec) -> bool {
+        assert_eq!(self.len, mask.len, "bit vector lengths must match");
+        self.words
+            .iter()
+            .zip(&mask.words)
+            .map(|(&a, &b)| (a & b).count_ones() as usize)
+            .sum::<usize>()
+            % 2
+            == 1
+    }
+
+    /// Shifts all bits one position toward higher indices (bit *i* moves to
+    /// bit *i+1*), inserting `fill` at bit 0. The former last bit is
+    /// discarded and returned.
+    pub fn shift_up(&mut self, fill: bool) -> bool {
+        if self.len == 0 {
+            return false;
+        }
+        let out = self.get(self.len - 1);
+        let mut carry = fill as u64;
+        for w in &mut self.words {
+            let new_carry = *w >> 63;
+            *w = (*w << 1) | carry;
+            carry = new_carry;
+        }
+        // Clear bits above len in the top word.
+        let top_bits = self.len % 64;
+        if top_bits != 0 {
+            let last = self.words.len() - 1;
+            self.words[last] &= (1u64 << top_bits) - 1;
+        }
+        out
+    }
+
+    /// Interprets the low 64 bits as an integer (bit *i* of the result is
+    /// bit *i* of the vector).
+    pub fn to_u64(&self) -> u64 {
+        self.words.first().copied().unwrap_or(0)
+    }
+
+    /// Iterates over bits from index 0 upward.
+    pub fn iter(&self) -> impl Iterator<Item = bool> + '_ {
+        (0..self.len).map(move |i| self.get(i))
+    }
+}
+
+impl fmt::Debug for BitVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BitVec[")?;
+        for b in self.iter() {
+            write!(f, "{}", b as u8)?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl fmt::Display for BitVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for b in self.iter() {
+            write!(f, "{}", b as u8)?;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<bool> for BitVec {
+    fn from_iter<T: IntoIterator<Item = bool>>(iter: T) -> Self {
+        let bits: Vec<bool> = iter.into_iter().collect();
+        BitVec::from_bits(&bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_round_trip() {
+        let mut bv = BitVec::zeros(130);
+        bv.set(0, true);
+        bv.set(64, true);
+        bv.set(129, true);
+        assert!(bv.get(0) && bv.get(64) && bv.get(129));
+        assert!(!bv.get(1) && !bv.get(63) && !bv.get(128));
+        assert_eq!(bv.count_ones(), 3);
+    }
+
+    #[test]
+    fn from_u64_matches_bits() {
+        let bv = BitVec::from_u64(0b1011, 4);
+        assert!(bv.get(0) && bv.get(1) && !bv.get(2) && bv.get(3));
+        assert_eq!(bv.to_u64(), 0b1011);
+    }
+
+    #[test]
+    fn shift_up_crosses_word_boundary() {
+        let mut bv = BitVec::zeros(65);
+        bv.set(63, true);
+        let out = bv.shift_up(true);
+        assert!(!out);
+        assert!(bv.get(64), "bit 63 moved to 64 across the word boundary");
+        assert!(bv.get(0), "fill inserted at bit 0");
+        assert_eq!(bv.count_ones(), 2);
+    }
+
+    #[test]
+    fn shift_up_discards_and_returns_last_bit() {
+        let mut bv = BitVec::from_u64(0b100, 3);
+        let out = bv.shift_up(false);
+        assert!(out);
+        assert!(bv.is_zero());
+    }
+
+    #[test]
+    fn masked_parity_counts_taps() {
+        let state = BitVec::from_u64(0b1101, 4);
+        let taps = BitVec::from_u64(0b1001, 4);
+        // bits 0 and 3 are tapped; both set -> even parity.
+        assert!(!state.masked_parity(&taps));
+        let taps2 = BitVec::from_u64(0b0101, 4);
+        // bits 0 and 2; 0b1101 has bit0=1, bit2=1 -> even.
+        assert!(!state.masked_parity(&taps2));
+        let taps3 = BitVec::from_u64(0b0010, 4);
+        assert!(!state.masked_parity(&taps3)); // bit1 = 0
+        let taps4 = BitVec::from_u64(0b0001, 4);
+        assert!(state.masked_parity(&taps4)); // bit0 = 1
+    }
+
+    #[test]
+    fn parity_of_whole_vector() {
+        assert!(BitVec::from_u64(0b0111, 4).parity());
+        assert!(!BitVec::from_u64(0b0101, 4).parity());
+    }
+
+    #[test]
+    fn from_bits_and_iter() {
+        let bits = vec![true, false, true, true, false];
+        let bv: BitVec = bits.iter().copied().collect();
+        assert_eq!(bv.iter().collect::<Vec<_>>(), bits);
+    }
+
+    #[test]
+    fn display_formats_bits() {
+        let bv = BitVec::from_u64(0b101, 3);
+        assert_eq!(bv.to_string(), "101");
+    }
+}

@@ -1,0 +1,239 @@
+//! Integer factorization of LFSR period candidates.
+//!
+//! Primitivity of a degree-*n* characteristic polynomial requires knowing the
+//! prime factorization of `2^n - 1` (the candidate maximal period). This
+//! module provides deterministic Miller–Rabin primality testing and Pollard's
+//! rho factorization over `u128`, sufficient for every degree the crate's
+//! polynomial table covers.
+
+/// Multiplies `a * b mod m` without overflow for moduli up to 2^127.
+///
+/// Uses Russian-peasant doubling, so it is O(log b); factorization workloads
+/// here are small enough that this is never a bottleneck.
+pub fn mulmod(a: u128, b: u128, m: u128) -> u128 {
+    debug_assert!(m > 0);
+    // Fast path: product fits in u128.
+    if let Some(p) = a.checked_mul(b) {
+        return p % m;
+    }
+    let mut a = a % m;
+    let mut b = b % m;
+    let mut acc: u128 = 0;
+    while b > 0 {
+        if b & 1 == 1 {
+            acc = acc.checked_add(a).map_or_else(
+                || acc.wrapping_add(a).wrapping_sub(m),
+                |s| if s >= m { s - m } else { s },
+            );
+        }
+        a = a.checked_add(a).map_or_else(
+            || a.wrapping_add(a).wrapping_sub(m),
+            |s| if s >= m { s - m } else { s },
+        );
+        b >>= 1;
+    }
+    acc
+}
+
+/// Computes `base^exp mod m`.
+pub fn powmod(base: u128, mut exp: u128, m: u128) -> u128 {
+    debug_assert!(m > 0);
+    if m == 1 {
+        return 0;
+    }
+    let mut base = base % m;
+    let mut acc: u128 = 1;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            acc = mulmod(acc, base, m);
+        }
+        base = mulmod(base, base, m);
+        exp >>= 1;
+    }
+    acc
+}
+
+/// Deterministic Miller–Rabin primality test for `u128` values up to 2^127.
+///
+/// Uses the first 13 primes as bases, which is deterministic for all
+/// `n < 3.3 × 10^24`; larger inputs fall back to the same bases, which is
+/// still overwhelmingly reliable and more than adequate for `2^n - 1`
+/// cofactors with `n ≤ 96`.
+pub fn is_prime(n: u128) -> bool {
+    if n < 2 {
+        return false;
+    }
+    for &p in &[2u128, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41] {
+        if n == p {
+            return true;
+        }
+        if n.is_multiple_of(p) {
+            return false;
+        }
+    }
+    // n - 1 = d * 2^s with d odd.
+    let mut d = n - 1;
+    let mut s = 0u32;
+    while d & 1 == 0 {
+        d >>= 1;
+        s += 1;
+    }
+    'witness: for &a in &[2u128, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41] {
+        let mut x = powmod(a, d, n);
+        if x == 1 || x == n - 1 {
+            continue;
+        }
+        for _ in 1..s {
+            x = mulmod(x, x, n);
+            if x == n - 1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+fn pollard_rho(n: u128) -> u128 {
+    debug_assert!(n > 1 && !n.is_multiple_of(2) && !is_prime(n));
+    let mut c: u128 = 1;
+    loop {
+        let f = |x: u128| (mulmod(x, x, n) + c) % n;
+        let mut x: u128 = 2;
+        let mut y: u128 = 2;
+        let mut d: u128 = 1;
+        while d == 1 {
+            x = f(x);
+            y = f(f(y));
+            let diff = x.abs_diff(y);
+            d = gcd(diff, n);
+        }
+        if d != n {
+            return d;
+        }
+        c += 1; // cycle found a trivial factor; retry with a new constant
+    }
+}
+
+/// Greatest common divisor.
+pub fn gcd(mut a: u128, mut b: u128) -> u128 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+/// Returns the distinct prime factors of `n`, sorted ascending.
+///
+/// # Example
+///
+/// ```
+/// use bibs_lfsr::factor::prime_factors;
+///
+/// // 2^12 - 1 = 4095 = 3^2 · 5 · 7 · 13
+/// assert_eq!(prime_factors(4095), vec![3, 5, 7, 13]);
+/// ```
+pub fn prime_factors(n: u128) -> Vec<u128> {
+    let mut factors = Vec::new();
+    let mut stack = vec![n];
+    while let Some(mut m) = stack.pop() {
+        if m < 2 {
+            continue;
+        }
+        // Strip small primes first — fast and helps rho.
+        for &p in &[2u128, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47] {
+            while m % p == 0 {
+                if !factors.contains(&p) {
+                    factors.push(p);
+                }
+                m /= p;
+            }
+        }
+        if m < 2 {
+            continue;
+        }
+        if is_prime(m) {
+            if !factors.contains(&m) {
+                factors.push(m);
+            }
+            continue;
+        }
+        let d = pollard_rho(m);
+        stack.push(d);
+        stack.push(m / d);
+    }
+    factors.sort_unstable();
+    factors
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mulmod_handles_overflow() {
+        let m = (1u128 << 100) - 3;
+        let a = (1u128 << 99) + 7;
+        let b = (1u128 << 98) + 11;
+        // Cross-check against a slow shift-add reference.
+        let mut expect = 0u128;
+        let mut aa = a % m;
+        let mut bb = b;
+        while bb > 0 {
+            if bb & 1 == 1 {
+                expect = (expect + aa) % m;
+            }
+            aa = (aa * 2) % m;
+            bb >>= 1;
+        }
+        assert_eq!(mulmod(a, b, m), expect);
+    }
+
+    #[test]
+    fn powmod_small_cases() {
+        assert_eq!(powmod(2, 10, 1000), 24);
+        assert_eq!(powmod(3, 0, 7), 1);
+        assert_eq!(powmod(5, 3, 13), 125 % 13);
+    }
+
+    #[test]
+    fn primality_of_known_values() {
+        assert!(is_prime(2));
+        assert!(is_prime(3));
+        assert!(!is_prime(1));
+        assert!(!is_prime(561)); // Carmichael number
+        assert!(is_prime((1u128 << 31) - 1)); // Mersenne prime M31
+        assert!(!is_prime((1u128 << 29) - 1)); // 233 · 1103 · 2089
+        assert!(is_prime((1u128 << 61) - 1)); // Mersenne prime M61
+        assert!(!is_prime((1u128 << 67) - 1)); // 193707721 · 761838257287
+    }
+
+    #[test]
+    fn factors_of_mersenne_numbers() {
+        assert_eq!(prime_factors((1 << 4) - 1), vec![3, 5]);
+        assert_eq!(prime_factors((1 << 11) - 1), vec![23, 89]);
+        assert_eq!(
+            prime_factors((1u128 << 29) - 1),
+            vec![233, 1103, 2089]
+        );
+        assert_eq!(
+            prime_factors((1u128 << 67) - 1),
+            vec![193707721, 761838257287]
+        );
+    }
+
+    #[test]
+    fn factors_strip_repeats() {
+        // 2^12 - 1 = 3^2 · 5 · 7 · 13 — the square must not duplicate 3.
+        assert_eq!(prime_factors(4095), vec![3, 5, 7, 13]);
+    }
+
+    #[test]
+    fn gcd_basics() {
+        assert_eq!(gcd(12, 18), 6);
+        assert_eq!(gcd(17, 5), 1);
+        assert_eq!(gcd(0, 9), 9);
+    }
+}

@@ -1,0 +1,202 @@
+//! Arithmetic in GF(2)\[x\] for polynomials of degree ≤ 127, and the
+//! irreducibility/primitivity tests behind the crate's verified primitive
+//! polynomial table.
+//!
+//! A polynomial is packed into a `u128`: bit *i* is the coefficient of
+//! `x^i`. Degree ≤ 127 comfortably covers every LFSR width the BIBS
+//! experiments need (kernel widths top out around 70 bits).
+
+use crate::factor::prime_factors;
+
+/// The degree of a packed polynomial (position of the highest set bit).
+///
+/// # Panics
+///
+/// Panics if `p == 0` (the zero polynomial has no degree).
+pub fn degree(p: u128) -> u32 {
+    assert!(p != 0, "zero polynomial has no degree");
+    127 - p.leading_zeros()
+}
+
+/// Multiplies two polynomials modulo `m` in GF(2)\[x\].
+///
+/// # Panics
+///
+/// Panics if `m == 0`.
+pub fn mulmod(mut a: u128, mut b: u128, m: u128) -> u128 {
+    let dm = degree(m);
+    a = reduce(a, m);
+    let mut acc: u128 = 0;
+    while b != 0 {
+        if b & 1 == 1 {
+            acc ^= a;
+        }
+        b >>= 1;
+        a <<= 1;
+        if a >> dm & 1 == 1 {
+            a ^= m;
+        }
+    }
+    reduce(acc, m)
+}
+
+/// Reduces `a` modulo `m` in GF(2)\[x\].
+pub fn reduce(mut a: u128, m: u128) -> u128 {
+    let dm = degree(m);
+    while a != 0 && degree(a) >= dm {
+        a ^= m << (degree(a) - dm);
+    }
+    a
+}
+
+/// Computes `a^e mod m` in GF(2)\[x\], with the exponent an ordinary integer.
+pub fn powmod(mut a: u128, mut e: u128, m: u128) -> u128 {
+    let mut acc: u128 = reduce(1, m);
+    a = reduce(a, m);
+    while e > 0 {
+        if e & 1 == 1 {
+            acc = mulmod(acc, a, m);
+        }
+        a = mulmod(a, a, m);
+        e >>= 1;
+    }
+    acc
+}
+
+/// Polynomial GCD in GF(2)\[x\].
+pub fn gcd(mut a: u128, mut b: u128) -> u128 {
+    while b != 0 {
+        let r = reduce(a, b);
+        a = b;
+        b = r;
+    }
+    a
+}
+
+/// Tests whether `p` is irreducible over GF(2) using Rabin's test.
+///
+/// `p` must have degree ≥ 1. The test verifies `x^(2^n) ≡ x (mod p)` and
+/// that `gcd(x^(2^(n/q)) - x, p) = 1` for every prime divisor `q` of `n`.
+pub fn is_irreducible(p: u128) -> bool {
+    let n = degree(p);
+    if n == 0 {
+        return false;
+    }
+    if p & 1 == 0 {
+        // Divisible by x.
+        return n == 1; // p = x itself is irreducible
+    }
+    let x: u128 = 0b10;
+    // x^(2^n) mod p via repeated squaring of x, n times.
+    let mut t = reduce(x, p);
+    for _ in 0..n {
+        t = mulmod(t, t, p);
+    }
+    if t != reduce(x, p) {
+        return false;
+    }
+    for q in prime_factors(n as u128) {
+        let k = n as u128 / q;
+        let mut u = reduce(x, p);
+        for _ in 0..k {
+            u = mulmod(u, u, p);
+        }
+        let g = gcd(u ^ reduce(x, p), p);
+        if g != 1 {
+            return false;
+        }
+    }
+    true
+}
+
+/// Tests whether `p` is primitive over GF(2).
+///
+/// A degree-*n* irreducible polynomial is primitive iff the multiplicative
+/// order of `x` modulo `p` is exactly `2^n - 1`; equivalently
+/// `x^((2^n-1)/q) ≠ 1` for every prime factor `q` of `2^n - 1`.
+///
+/// An LFSR whose characteristic polynomial is primitive is *maximal*: it
+/// cycles through all `2^n - 1` nonzero states — the property the paper's
+/// TPG needs to apply a functionally exhaustive test set (Theorem 4).
+///
+/// # Panics
+///
+/// Panics if `degree(p) > 96` — factoring `2^n - 1` beyond that is not
+/// guaranteed to terminate quickly with the built-in factorizer.
+pub fn is_primitive(p: u128) -> bool {
+    let n = degree(p);
+    assert!(n <= 96, "primitivity test supports degree ≤ 96");
+    if n == 0 || !is_irreducible(p) {
+        return false;
+    }
+    if n == 1 {
+        // x + 1 is primitive for GF(2); x alone is not (order undefined).
+        return p == 0b11;
+    }
+    let order: u128 = (1u128 << n) - 1;
+    let x: u128 = 0b10;
+    for q in prime_factors(order) {
+        if powmod(x, order / q, p) == 1 {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn degree_of_packed_polys() {
+        assert_eq!(degree(0b1), 0);
+        assert_eq!(degree(0b10011), 4); // x^4 + x + 1
+    }
+
+    #[test]
+    fn reduce_and_mulmod() {
+        let m = 0b10011; // x^4 + x + 1
+        assert_eq!(reduce(0b10000, m), 0b0011); // x^4 = x + 1
+        // x^3 * x = x^4 = x+1
+        assert_eq!(mulmod(0b1000, 0b10, m), 0b0011);
+    }
+
+    #[test]
+    fn known_irreducible_polys() {
+        assert!(is_irreducible(0b111)); // x^2+x+1
+        assert!(is_irreducible(0b10011)); // x^4+x+1
+    }
+
+    #[test]
+    fn x4_cyclotomic_is_irreducible_but_not_primitive() {
+        // x^4+x^3+x^2+x+1 divides x^5 - 1, so ord(x) = 5 < 15: irreducible
+        // (2 has order 4 mod 5) but not primitive.
+        let p = 0b11111u128;
+        assert!(is_irreducible(p));
+        assert!(!is_primitive(p));
+        // And x^4 + x + 1 IS primitive.
+        assert!(is_primitive(0b10011));
+    }
+
+    #[test]
+    fn reducible_polys_rejected() {
+        // x^2 + 1 = (x+1)^2
+        assert!(!is_irreducible(0b101));
+        assert!(!is_primitive(0b101));
+        // x^3 + x^2 + x + 1 = (x+1)(x^2+1)
+        assert!(!is_irreducible(0b1111));
+    }
+
+    #[test]
+    fn primitive_trinomials() {
+        assert!(is_primitive(0b1011)); // x^3 + x + 1
+        assert!(is_primitive(0b1101)); // x^3 + x^2 + 1
+        assert!(is_primitive(0b100101)); // x^5 + x^2 + 1
+    }
+
+    #[test]
+    fn poly_gcd() {
+        // gcd((x+1)^2, (x+1)x) = x+1
+        assert_eq!(gcd(0b101, 0b110), 0b11);
+    }
+}

@@ -1,0 +1,204 @@
+//! Multiple-input signature registers (MISRs).
+//!
+//! When a BILBO register operates as a signature analyzer (SA), it compresses
+//! the kernel's output stream into a signature. The paper's Table 2 test
+//! sessions configure the driven BILBO registers as SAs; this module models
+//! that compression and its aliasing behaviour.
+
+use crate::bitvec::BitVec;
+use crate::poly::Polynomial;
+
+/// A multiple-input signature register built on a type-1 LFSR.
+///
+/// Each clock, the register shifts (with LFSR feedback) and XORs one parallel
+/// input bit into each stage. After *N* cycles the state is the signature of
+/// the *N*-word response stream. For a well-designed MISR the aliasing
+/// probability approaches `2^-n` (see [`Misr::aliasing_probability`]).
+///
+/// # Example
+///
+/// ```
+/// use bibs_lfsr::misr::Misr;
+/// use bibs_lfsr::poly::primitive_polynomial;
+///
+/// let p = primitive_polynomial(8).expect("in table");
+/// let mut good = Misr::new(&p);
+/// let mut bad = Misr::new(&p);
+/// for t in 0u64..100 {
+///     good.absorb_u64(t.wrapping_mul(0x9E37_79B9) & 0xFF);
+///     // A single flipped bit in one cycle:
+///     let v = t.wrapping_mul(0x9E37_79B9) & 0xFF;
+///     bad.absorb_u64(if t == 50 { v ^ 1 } else { v });
+/// }
+/// assert_ne!(good.signature_u64(), bad.signature_u64());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Misr {
+    poly: Polynomial,
+    taps: BitVec,
+    state: BitVec,
+    cycles: u64,
+}
+
+impl Misr {
+    /// Creates an all-zero MISR with the given characteristic polynomial.
+    pub fn new(poly: &Polynomial) -> Self {
+        let n = poly.degree() as usize;
+        let mut taps = BitVec::zeros(n);
+        for t in poly.tap_stages() {
+            taps.set(t as usize - 1, true);
+        }
+        Misr {
+            poly: poly.clone(),
+            taps,
+            state: BitVec::zeros(n),
+            cycles: 0,
+        }
+    }
+
+    /// Number of stages (signature width).
+    pub fn width(&self) -> usize {
+        self.state.len()
+    }
+
+    /// The characteristic polynomial.
+    pub fn polynomial(&self) -> &Polynomial {
+        &self.poly
+    }
+
+    /// Number of words absorbed so far.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Absorbs one parallel input word (one bit per stage).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` differs from the MISR width.
+    pub fn absorb(&mut self, inputs: &BitVec) {
+        assert_eq!(inputs.len(), self.width(), "input width must match MISR");
+        let fb = self.state.masked_parity(&self.taps);
+        self.state.shift_up(fb);
+        for i in 0..self.width() {
+            if inputs.get(i) {
+                let v = self.state.get(i);
+                self.state.set(i, !v);
+            }
+        }
+        self.cycles += 1;
+    }
+
+    /// Absorbs one parallel input word packed into a `u64` (bit *i* goes to
+    /// stage *i+1*).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the width exceeds 64.
+    pub fn absorb_u64(&mut self, word: u64) {
+        assert!(self.width() <= 64);
+        let bits = BitVec::from_u64(word, self.width());
+        self.absorb(&bits);
+    }
+
+    /// The current signature.
+    pub fn signature(&self) -> &BitVec {
+        &self.state
+    }
+
+    /// The current signature packed into a `u64`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the width exceeds 64.
+    pub fn signature_u64(&self) -> u64 {
+        assert!(self.width() <= 64);
+        self.state.to_u64()
+    }
+
+    /// Resets the signature to zero.
+    pub fn reset(&mut self) {
+        self.state = BitVec::zeros(self.width());
+        self.cycles = 0;
+    }
+
+    /// The asymptotic aliasing probability `2^-n` of an *n*-stage MISR:
+    /// the chance a corrupted response stream maps to the fault-free
+    /// signature.
+    pub fn aliasing_probability(&self) -> f64 {
+        (self.width() as f64).exp2().recip()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::poly::primitive_polynomial;
+
+    #[test]
+    fn identical_streams_give_identical_signatures() {
+        let p = primitive_polynomial(8).unwrap();
+        let mut a = Misr::new(&p);
+        let mut b = Misr::new(&p);
+        for t in 0u64..500 {
+            a.absorb_u64(t & 0xFF);
+            b.absorb_u64(t & 0xFF);
+        }
+        assert_eq!(a.signature_u64(), b.signature_u64());
+        assert_eq!(a.cycles(), 500);
+    }
+
+    #[test]
+    fn single_bit_error_changes_signature() {
+        let p = primitive_polynomial(8).unwrap();
+        // A single-bit error never aliases in a linear compactor.
+        for err_cycle in [0u64, 13, 99] {
+            let mut good = Misr::new(&p);
+            let mut bad = Misr::new(&p);
+            for t in 0u64..100 {
+                let v = (t * 37) & 0xFF;
+                good.absorb_u64(v);
+                bad.absorb_u64(if t == err_cycle { v ^ 0x10 } else { v });
+            }
+            assert_ne!(good.signature_u64(), bad.signature_u64());
+        }
+    }
+
+    #[test]
+    fn misr_is_linear() {
+        // signature(a xor b) == signature(a) xor signature(b) from zero state.
+        let p = primitive_polynomial(8).unwrap();
+        let stream_a: Vec<u64> = (0..64).map(|t| (t * 97 + 5) & 0xFF).collect();
+        let stream_b: Vec<u64> = (0..64).map(|t| (t * 41 + 11) & 0xFF).collect();
+        let mut ma = Misr::new(&p);
+        let mut mb = Misr::new(&p);
+        let mut mab = Misr::new(&p);
+        for i in 0..64 {
+            ma.absorb_u64(stream_a[i]);
+            mb.absorb_u64(stream_b[i]);
+            mab.absorb_u64(stream_a[i] ^ stream_b[i]);
+        }
+        assert_eq!(
+            mab.signature_u64(),
+            ma.signature_u64() ^ mb.signature_u64()
+        );
+    }
+
+    #[test]
+    fn aliasing_probability_matches_width() {
+        let p = primitive_polynomial(16).unwrap();
+        let m = Misr::new(&p);
+        assert!((m.aliasing_probability() - 1.0 / 65536.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_restores_zero_state() {
+        let p = primitive_polynomial(8).unwrap();
+        let mut m = Misr::new(&p);
+        m.absorb_u64(0xAB);
+        assert_ne!(m.signature_u64(), 0);
+        m.reset();
+        assert_eq!(m.signature_u64(), 0);
+        assert_eq!(m.cycles(), 0);
+    }
+}

@@ -1,0 +1,447 @@
+//! Characteristic polynomials over GF(2) and the verified primitive
+//! polynomial table.
+//!
+//! [`primitive_polynomial`] serves LFSR design requests (SC_TPG/MC_TPG ask
+//! for "a maximal length LFSR of degree M"). Table entries are *verified* by
+//! the crate's own primitivity checker ([`crate::gf2::is_primitive`]) in
+//! tests — no tap constants are trusted on faith — and degrees missing from
+//! the table are found by search at first use and cached.
+
+use crate::gf2;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{Mutex, OnceLock};
+
+/// A polynomial over GF(2), stored as its set of nonzero exponents.
+///
+/// The paper's Example 2 uses `x^12 + x^7 + x^4 + x^3 + 1`:
+///
+/// ```
+/// use bibs_lfsr::poly::Polynomial;
+///
+/// let p = Polynomial::from_exponents(&[12, 7, 4, 3, 0]);
+/// assert_eq!(p.degree(), 12);
+/// assert!(p.is_primitive());
+/// assert_eq!(p.to_string(), "x^12 + x^7 + x^4 + x^3 + 1");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Polynomial {
+    /// Nonzero exponents, sorted descending. Always contains the degree;
+    /// a characteristic polynomial of an LFSR also always contains 0.
+    exps: Vec<u32>,
+}
+
+impl Polynomial {
+    /// Builds a polynomial from its nonzero exponents (any order, duplicates
+    /// cancel as in GF(2) addition).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the resulting polynomial is zero.
+    pub fn from_exponents(exps: &[u32]) -> Self {
+        let mut v: Vec<u32> = Vec::new();
+        for &e in exps {
+            if let Some(pos) = v.iter().position(|&x| x == e) {
+                v.remove(pos); // x^e + x^e = 0 in GF(2)
+            } else {
+                v.push(e);
+            }
+        }
+        assert!(!v.is_empty(), "zero polynomial is not allowed");
+        v.sort_unstable_by(|a, b| b.cmp(a));
+        Polynomial { exps: v }
+    }
+
+    /// Builds a polynomial from packed form (bit *i* = coefficient of
+    /// `x^i`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `packed == 0`.
+    pub fn from_packed(packed: u128) -> Self {
+        assert!(packed != 0, "zero polynomial is not allowed");
+        let exps: Vec<u32> = (0..128).filter(|&i| packed >> i & 1 == 1).collect();
+        Polynomial::from_exponents(&exps)
+    }
+
+    /// The degree (largest exponent).
+    pub fn degree(&self) -> u32 {
+        self.exps[0]
+    }
+
+    /// The exponents with nonzero coefficients, sorted descending.
+    pub fn exponents(&self) -> &[u32] {
+        &self.exps
+    }
+
+    /// The number of nonzero terms.
+    pub fn weight(&self) -> usize {
+        self.exps.len()
+    }
+
+    /// Packs into a `u128` (bit *i* = coefficient of `x^i`).
+    ///
+    /// Returns `None` if the degree exceeds 127.
+    pub fn to_packed(&self) -> Option<u128> {
+        if self.degree() > 127 {
+            return None;
+        }
+        Some(self.exps.iter().fold(0u128, |acc, &e| acc | 1u128 << e))
+    }
+
+    /// Whether this polynomial is irreducible over GF(2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the degree exceeds 127.
+    pub fn is_irreducible(&self) -> bool {
+        gf2::is_irreducible(self.to_packed().expect("degree ≤ 127 required"))
+    }
+
+    /// Whether this polynomial is primitive over GF(2) — i.e. an LFSR built
+    /// from it is maximal (period `2^n - 1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the degree exceeds 96 (see [`crate::gf2::is_primitive`]).
+    pub fn is_primitive(&self) -> bool {
+        gf2::is_primitive(self.to_packed().expect("degree ≤ 127 required"))
+    }
+
+    /// The Fibonacci-LFSR tap stages for this characteristic polynomial.
+    ///
+    /// For a type-1 LFSR with stages `s_1..s_n` shifting toward higher
+    /// indices (the paper's convention: stage *i* at time *t* equals stage
+    /// *i−1* at time *t−1*), the feedback into `s_1` is the XOR of the
+    /// returned stages. Derivation: `a_k = Σ_{j∈T} a_{k-j}` has
+    /// characteristic polynomial `x^n + Σ_{j∈T} x^{n-j}`, so
+    /// `T = { n − i : i ∈ exponents, i < n }`.
+    pub fn tap_stages(&self) -> Vec<u32> {
+        let n = self.degree();
+        let mut taps: Vec<u32> = self
+            .exps
+            .iter()
+            .filter(|&&e| e < n)
+            .map(|&e| n - e)
+            .collect();
+        taps.sort_unstable();
+        taps
+    }
+}
+
+/// Error returned when parsing a [`Polynomial`] from text fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsePolynomialError {
+    message: String,
+}
+
+impl fmt::Display for ParsePolynomialError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid polynomial: {}", self.message)
+    }
+}
+
+impl std::error::Error for ParsePolynomialError {}
+
+impl std::str::FromStr for Polynomial {
+    type Err = ParsePolynomialError;
+
+    /// Parses the display form, e.g. `"x^12 + x^7 + x^4 + x^3 + 1"`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use bibs_lfsr::poly::Polynomial;
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let p: Polynomial = "x^12 + x^7 + x^4 + x^3 + 1".parse()?;
+    /// assert_eq!(p.degree(), 12);
+    /// assert!(p.is_primitive());
+    /// # Ok(())
+    /// # }
+    /// ```
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = |m: &str| ParsePolynomialError {
+            message: m.to_string(),
+        };
+        let mut exps = Vec::new();
+        for term in s.split('+') {
+            let term = term.trim();
+            if term.is_empty() {
+                return Err(err("empty term"));
+            }
+            let exp = if term == "1" {
+                0
+            } else if term == "x" {
+                1
+            } else if let Some(e) = term.strip_prefix("x^") {
+                e.parse::<u32>()
+                    .map_err(|_| err(&format!("bad exponent {e:?}")))?
+            } else {
+                return Err(err(&format!("unrecognized term {term:?}")));
+            };
+            if exps.contains(&exp) {
+                return Err(err(&format!("repeated exponent {exp}")));
+            }
+            exps.push(exp);
+        }
+        if exps.is_empty() {
+            return Err(err("no terms"));
+        }
+        Ok(Polynomial::from_exponents(&exps))
+    }
+}
+
+impl fmt::Display for Polynomial {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, &e) in self.exps.iter().enumerate() {
+            if i > 0 {
+                write!(f, " + ")?;
+            }
+            match e {
+                0 => write!(f, "1")?,
+                1 => write!(f, "x")?,
+                _ => write!(f, "x^{e}")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Primitive polynomial table, degrees 1..=64.
+///
+/// Each entry lists the nonzero exponents. Every entry is checked by
+/// `tests::table_entries_are_primitive` using the crate's own primitivity
+/// test; the degree-12 entry is the exact polynomial the paper's Example 2
+/// uses.
+const TABLE: &[&[u32]] = &[
+    &[1, 0],
+    &[2, 1, 0],
+    &[3, 1, 0],
+    &[4, 1, 0],
+    &[5, 2, 0],
+    &[6, 1, 0],
+    &[7, 1, 0],
+    &[8, 4, 3, 2, 0],
+    &[9, 4, 0],
+    &[10, 3, 0],
+    &[11, 2, 0],
+    &[12, 7, 4, 3, 0], // the paper's Example 2 polynomial
+    &[13, 4, 3, 1, 0],
+    &[14, 5, 3, 1, 0],
+    &[15, 1, 0],
+    &[16, 5, 3, 2, 0],
+    &[17, 3, 0],
+    &[18, 7, 0],
+    &[19, 5, 2, 1, 0],
+    &[20, 3, 0],
+    &[21, 2, 0],
+    &[22, 1, 0],
+    &[23, 5, 0],
+    &[24, 4, 3, 1, 0],
+    &[25, 3, 0],
+    &[26, 6, 2, 1, 0],
+    &[27, 5, 2, 1, 0],
+    &[28, 3, 0],
+    &[29, 2, 0],
+    &[30, 6, 4, 1, 0],
+    &[31, 3, 0],
+    &[32, 7, 6, 2, 0],
+    &[33, 13, 0],
+    &[34, 8, 4, 3, 0],
+    &[35, 2, 0],
+    &[36, 11, 0],
+    &[37, 6, 4, 1, 0],
+    &[38, 6, 5, 1, 0],
+    &[39, 4, 0],
+    &[40, 5, 4, 3, 0],
+    &[41, 3, 0],
+    &[42, 7, 4, 3, 0],
+    &[43, 6, 4, 3, 0],
+    &[44, 6, 5, 2, 0],
+    &[45, 4, 3, 1, 0],
+    &[46, 8, 7, 6, 0],
+    &[47, 5, 0],
+    &[48, 9, 7, 4, 0],
+    &[49, 9, 0],
+    &[50, 4, 3, 2, 0],
+    &[51, 6, 3, 1, 0],
+    &[52, 3, 0],
+    &[53, 6, 2, 1, 0],
+    &[54, 8, 6, 3, 0],
+    &[55, 24, 0],
+    &[56, 7, 4, 2, 0],
+    &[57, 7, 0],
+    &[58, 19, 0],
+    &[59, 7, 4, 2, 0],
+    &[60, 1, 0],
+    &[61, 5, 2, 1, 0],
+    &[62, 6, 5, 3, 0],
+    &[63, 1, 0],
+    &[64, 4, 3, 1, 0],
+];
+
+fn search_cache() -> &'static Mutex<HashMap<u32, Polynomial>> {
+    static CACHE: OnceLock<Mutex<HashMap<u32, Polynomial>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Returns a primitive polynomial of the requested degree.
+///
+/// Degrees 1..=64 are served from the verified table; degrees 65..=96 are
+/// found by search on first use (trinomials first, then pentanomials) and
+/// cached. Returns `None` for degree 0 or degree > 96.
+///
+/// # Example
+///
+/// ```
+/// use bibs_lfsr::poly::primitive_polynomial;
+///
+/// let p = primitive_polynomial(12).expect("in table");
+/// assert_eq!(p.to_string(), "x^12 + x^7 + x^4 + x^3 + 1");
+/// ```
+pub fn primitive_polynomial(degree: u32) -> Option<Polynomial> {
+    if degree == 0 || degree > 96 {
+        return None;
+    }
+    if let Some(entry) = TABLE.get(degree as usize - 1) {
+        debug_assert_eq!(entry[0], degree);
+        return Some(Polynomial::from_exponents(entry));
+    }
+    let mut cache = search_cache().lock().expect("poisoned polynomial cache");
+    if let Some(p) = cache.get(&degree) {
+        return Some(p.clone());
+    }
+    let found = find_primitive(degree)?;
+    cache.insert(degree, found.clone());
+    Some(found)
+}
+
+/// Searches for a low-weight primitive polynomial of the given degree:
+/// trinomials `x^n + x^k + 1`, then pentanomials `x^n + x^a + x^b + x^c + 1`.
+///
+/// Returns `None` for degree 0, degree > 96, or (never observed for
+/// n ≤ 96) if no trinomial or pentanomial is primitive.
+pub fn find_primitive(degree: u32) -> Option<Polynomial> {
+    if degree == 0 || degree > 96 {
+        return None;
+    }
+    if degree == 1 {
+        return Some(Polynomial::from_exponents(&[1, 0]));
+    }
+    for k in 1..degree {
+        let p = Polynomial::from_exponents(&[degree, k, 0]);
+        if p.is_primitive() {
+            return Some(p);
+        }
+    }
+    for a in (3..degree).rev() {
+        for b in 2..a {
+            for c in 1..b {
+                let p = Polynomial::from_exponents(&[degree, a, b, c, 0]);
+                if p.is_primitive() {
+                    return Some(p);
+                }
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_entries_are_primitive() {
+        for entry in TABLE {
+            let p = Polynomial::from_exponents(entry);
+            assert!(
+                p.is_primitive(),
+                "table entry for degree {} ({p}) is not primitive",
+                entry[0]
+            );
+        }
+    }
+
+    #[test]
+    fn table_covers_degrees_1_to_64() {
+        for (i, entry) in TABLE.iter().enumerate() {
+            assert_eq!(entry[0] as usize, i + 1, "table must be degree-ordered");
+        }
+        assert_eq!(TABLE.len(), 64);
+    }
+
+    #[test]
+    fn paper_polynomial_is_the_degree_12_entry() {
+        let p = primitive_polynomial(12).unwrap();
+        assert_eq!(p.exponents(), &[12, 7, 4, 3, 0]);
+    }
+
+    #[test]
+    fn gf2_duplicate_exponents_cancel() {
+        let p = Polynomial::from_exponents(&[3, 1, 1, 0]);
+        assert_eq!(p.exponents(), &[3, 0]);
+    }
+
+    #[test]
+    fn tap_stages_follow_fibonacci_convention() {
+        // x^4 + x + 1 -> taps {3, 4}: a_k = a_{k-3} + a_{k-4}.
+        let p = Polynomial::from_exponents(&[4, 1, 0]);
+        assert_eq!(p.tap_stages(), vec![3, 4]);
+        // x^12 + x^7 + x^4 + x^3 + 1 -> {5, 8, 9, 12}.
+        let p = Polynomial::from_exponents(&[12, 7, 4, 3, 0]);
+        assert_eq!(p.tap_stages(), vec![5, 8, 9, 12]);
+    }
+
+    #[test]
+    fn find_primitive_beyond_table() {
+        let p = find_primitive(65).expect("degree 65 searchable");
+        assert_eq!(p.degree(), 65);
+        assert!(p.is_primitive());
+    }
+
+    #[test]
+    fn primitive_polynomial_caches_search_results() {
+        let a = primitive_polynomial(66).expect("degree 66 searchable");
+        let b = primitive_polynomial(66).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn out_of_range_degrees_rejected() {
+        assert!(primitive_polynomial(0).is_none());
+        assert!(primitive_polynomial(97).is_none());
+    }
+
+    #[test]
+    fn packed_round_trip() {
+        let p = Polynomial::from_exponents(&[8, 4, 3, 2, 0]);
+        let packed = p.to_packed().unwrap();
+        assert_eq!(Polynomial::from_packed(packed), p);
+    }
+
+    #[test]
+    fn display_renders_terms() {
+        let p = Polynomial::from_exponents(&[2, 1, 0]);
+        assert_eq!(p.to_string(), "x^2 + x + 1");
+    }
+
+    #[test]
+    fn parse_round_trips_display() {
+        for degree in [1u32, 2, 8, 12, 24] {
+            let p = primitive_polynomial(degree).unwrap();
+            let parsed: Polynomial = p.to_string().parse().unwrap();
+            assert_eq!(parsed, p);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        assert!("".parse::<Polynomial>().is_err());
+        assert!("x^2 + y".parse::<Polynomial>().is_err());
+        assert!("x^2 + x^2".parse::<Polynomial>().is_err());
+        assert!("x^".parse::<Polynomial>().is_err());
+        assert!("x^3 + + 1".parse::<Polynomial>().is_err());
+    }
+}

@@ -1,0 +1,70 @@
+//! Statistical check of MISR aliasing: the probability that a random
+//! nonzero error stream maps to the fault-free signature approaches
+//! `2^-n` — the figure [`Misr::aliasing_probability`] reports and the
+//! reason the paper's SAs are trusted to catch what the TPG exposes.
+
+use bibs_lfsr::misr::Misr;
+use bibs_lfsr::poly::primitive_polynomial;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Runs `trials` random error streams through a degree-`n` MISR and
+/// returns the observed aliasing rate.
+fn aliasing_rate(n: u32, trials: u32, seed: u64) -> f64 {
+    let poly = primitive_polynomial(n).expect("degree in table");
+    let mask = (1u64 << n) - 1;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut aliases = 0u32;
+    for _ in 0..trials {
+        let mut good = Misr::new(&poly);
+        let mut bad = Misr::new(&poly);
+        let len = rng.gen_range(8..40);
+        let mut any_error = false;
+        for _ in 0..len {
+            let w = rng.gen::<u64>() & mask;
+            // Random error word, frequently zero so streams differ in just
+            // a few cycles.
+            let e = if rng.gen_bool(0.2) {
+                let e = rng.gen::<u64>() & mask;
+                any_error |= e != 0;
+                e
+            } else {
+                0
+            };
+            good.absorb_u64(w);
+            bad.absorb_u64(w ^ e);
+        }
+        if !any_error {
+            continue; // identical streams don't count as aliasing trials
+        }
+        if good.signature_u64() == bad.signature_u64() {
+            aliases += 1;
+        }
+    }
+    aliases as f64 / trials as f64
+}
+
+#[test]
+fn aliasing_rate_matches_two_to_minus_n() {
+    // Degree 6: expected rate 1/64 ≈ 1.56 %. With 40k trials the standard
+    // error is ≈ 0.06 %, so a [0.8%, 2.5%] window is a safe 10σ-ish band.
+    let rate = aliasing_rate(6, 40_000, 0xA11A5);
+    assert!(
+        rate > 0.008 && rate < 0.025,
+        "degree-6 aliasing rate {rate:.4} should be near 1/64"
+    );
+}
+
+#[test]
+fn wider_misrs_alias_less() {
+    let narrow = aliasing_rate(4, 20_000, 7);
+    let wide = aliasing_rate(10, 20_000, 7);
+    assert!(
+        narrow > wide,
+        "1/16 ({narrow:.4}) must exceed 1/1024 ({wide:.4})"
+    );
+    // And the model's headline number agrees with the construction.
+    let poly = primitive_polynomial(10).unwrap();
+    let misr = Misr::new(&poly);
+    assert!((misr.aliasing_probability() - 1.0 / 1024.0).abs() < 1e-12);
+}

@@ -1,0 +1,159 @@
+//! Property-based tests for the LFSR substrate.
+
+use bibs_lfsr::bitvec::BitVec;
+use bibs_lfsr::fsr::{CompleteLfsr, Lfsr, LfsrKind, ShiftRegister};
+use bibs_lfsr::gf2;
+use bibs_lfsr::misr::Misr;
+use bibs_lfsr::poly::{primitive_polynomial, Polynomial};
+use proptest::prelude::*;
+
+proptest! {
+    /// BitVec shift_up behaves like a wide integer shift.
+    #[test]
+    fn bitvec_shift_matches_reference(bits in proptest::collection::vec(any::<bool>(), 1..150), fill: bool) {
+        let mut bv = BitVec::from_bits(&bits);
+        let out = bv.shift_up(fill);
+        prop_assert_eq!(out, *bits.last().unwrap());
+        prop_assert_eq!(bv.get(0), fill);
+        for i in 1..bits.len() {
+            prop_assert_eq!(bv.get(i), bits[i - 1]);
+        }
+    }
+
+    /// masked_parity equals the XOR of the selected bits.
+    #[test]
+    fn masked_parity_matches_reference(
+        bits in proptest::collection::vec(any::<bool>(), 1..100),
+        seed in any::<u64>(),
+    ) {
+        let n = bits.len();
+        let mask_bits: Vec<bool> = (0..n).map(|i| (seed >> (i % 64)) & 1 == 1).collect();
+        let bv = BitVec::from_bits(&bits);
+        let mask = BitVec::from_bits(&mask_bits);
+        let expect = bits.iter().zip(&mask_bits).filter(|(&b, &m)| b && m).count() % 2 == 1;
+        prop_assert_eq!(bv.masked_parity(&mask), expect);
+    }
+
+    /// A type-1 LFSR's period divides 2^n − 1 for any nonzero seed and
+    /// equals it for the table's primitive polynomials.
+    #[test]
+    fn lfsr_period_is_maximal(degree in 2u32..12, seed in 1u64..1000) {
+        let poly = primitive_polynomial(degree).unwrap();
+        let max = (1u64 << degree) - 1;
+        let seed = (seed % max) + 1;
+        let lfsr = Lfsr::with_seed_u64(&poly, LfsrKind::Type1, seed & max);
+        prop_assert_eq!(lfsr.period(), max);
+    }
+
+    /// The complete LFSR visits exactly 2^n states from any seed.
+    #[test]
+    fn complete_lfsr_period_is_power_of_two(degree in 2u32..10) {
+        let poly = primitive_polynomial(degree).unwrap();
+        let complete = CompleteLfsr::new(&poly);
+        prop_assert_eq!(complete.period(), 1u64 << degree);
+    }
+
+    /// The type-1 shift property holds at every step: stage i at t equals
+    /// stage i−1 at t−1 (the property the paper's TPG construction needs).
+    #[test]
+    fn type1_shift_property(degree in 2u32..16, steps in 1usize..50) {
+        let poly = primitive_polynomial(degree).unwrap();
+        let mut lfsr = Lfsr::new(&poly, LfsrKind::Type1);
+        for _ in 0..steps {
+            let before = lfsr.state().clone();
+            lfsr.step();
+            for i in 2..=lfsr.width() {
+                prop_assert_eq!(lfsr.stage(i), before.get(i - 2));
+            }
+        }
+    }
+
+    /// MISR linearity: sig(a ⊕ b) = sig(a) ⊕ sig(b) from the zero state.
+    #[test]
+    fn misr_is_linear(
+        degree in 2u32..16,
+        stream in proptest::collection::vec((any::<u64>(), any::<u64>()), 1..64),
+    ) {
+        let poly = primitive_polynomial(degree).unwrap();
+        let mask = if degree == 64 { !0 } else { (1u64 << degree) - 1 };
+        let mut ma = Misr::new(&poly);
+        let mut mb = Misr::new(&poly);
+        let mut mab = Misr::new(&poly);
+        for &(a, b) in &stream {
+            ma.absorb_u64(a & mask);
+            mb.absorb_u64(b & mask);
+            mab.absorb_u64((a ^ b) & mask);
+        }
+        prop_assert_eq!(mab.signature_u64(), ma.signature_u64() ^ mb.signature_u64());
+    }
+
+    /// Single-bit errors never alias in a MISR (linear compaction).
+    #[test]
+    fn misr_never_aliases_single_bit_errors(
+        degree in 2u32..12,
+        stream in proptest::collection::vec(any::<u64>(), 1..40),
+        err_pos in any::<proptest::sample::Index>(),
+        err_bit in 0u32..12,
+    ) {
+        let poly = primitive_polynomial(degree).unwrap();
+        let mask = (1u64 << degree) - 1;
+        let err_idx = err_pos.index(stream.len());
+        let err_bit = err_bit % degree;
+        let mut good = Misr::new(&poly);
+        let mut bad = Misr::new(&poly);
+        for (i, &w) in stream.iter().enumerate() {
+            good.absorb_u64(w & mask);
+            let v = if i == err_idx { (w ^ (1 << err_bit)) & mask } else { w & mask };
+            bad.absorb_u64(v);
+        }
+        prop_assert_ne!(good.signature_u64(), bad.signature_u64());
+    }
+
+    /// A shift register is a pure delay line.
+    #[test]
+    fn shift_register_is_a_delay(len in 1usize..20, input in proptest::collection::vec(any::<bool>(), 1..60)) {
+        let mut sr = ShiftRegister::new(len);
+        for (t, &bit) in input.iter().enumerate() {
+            let out = sr.output();
+            let expect = if t >= len { input[t - len] } else { false };
+            prop_assert_eq!(out, expect, "cycle {}", t);
+            sr.shift(bit);
+        }
+    }
+
+    /// Primitive implies irreducible; packing round-trips.
+    #[test]
+    fn primitive_implies_irreducible(degree in 1u32..24) {
+        let p = primitive_polynomial(degree).unwrap();
+        prop_assert!(p.is_irreducible());
+        prop_assert!(p.is_primitive());
+        let packed = p.to_packed().unwrap();
+        prop_assert_eq!(Polynomial::from_packed(packed), p);
+    }
+
+    /// GF(2) modular arithmetic: (a·b)·c ≡ a·(b·c) and a·(b⊕c) ≡ a·b ⊕ a·c.
+    #[test]
+    fn gf2_ring_laws(a in 1u128..1u128 << 20, b in 1u128..1u128 << 20, c in 1u128..1u128 << 20) {
+        let m = primitive_polynomial(24).unwrap().to_packed().unwrap();
+        let ab_c = gf2::mulmod(gf2::mulmod(a, b, m), c, m);
+        let a_bc = gf2::mulmod(a, gf2::mulmod(b, c, m), m);
+        prop_assert_eq!(ab_c, a_bc);
+        let left = gf2::mulmod(a, b ^ c, m);
+        let right = gf2::mulmod(a, b, m) ^ gf2::mulmod(a, c, m);
+        prop_assert_eq!(left, right);
+    }
+
+    /// Fermat for GF(2^n): x^(2^n) ≡ x mod any irreducible p of degree n.
+    #[test]
+    fn frobenius_fixes_field(degree in 2u32..20, x in 1u128..1u128 << 16) {
+        let p = primitive_polynomial(degree).unwrap().to_packed().unwrap();
+        let x = gf2::reduce(x, p);
+        if x != 0 {
+            let mut t = x;
+            for _ in 0..degree {
+                t = gf2::mulmod(t, t, p);
+            }
+            prop_assert_eq!(t, x);
+        }
+    }
+}

@@ -1,0 +1,523 @@
+//! Word-level netlist construction.
+//!
+//! [`NetlistBuilder`] provides the arithmetic building blocks the
+//! MABAL-substitute datapath generator needs: ripple-carry adders, array
+//! multipliers (optionally truncated, since the paper's filter datapaths keep
+//! only the 8 least-significant multiplier outputs between stages), muxes and
+//! registers.
+
+use crate::netlist::{
+    Dff, DffId, Gate, GateId, GateKind, Net, NetDriver, NetId, Netlist, NetlistError,
+};
+
+/// Handle to a flip-flop input declared with
+/// [`NetlistBuilder::register_deferred`] and not yet driven.
+///
+/// Not `Clone`/`Copy`: each handle must be resolved exactly once.
+#[derive(Debug)]
+pub struct DeferredInput(NetId);
+
+/// Incrementally builds a [`Netlist`].
+///
+/// # Example
+///
+/// ```
+/// use bibs_netlist::builder::NetlistBuilder;
+/// use bibs_netlist::GateKind;
+///
+/// # fn main() -> Result<(), bibs_netlist::NetlistError> {
+/// let mut b = NetlistBuilder::new("mac");
+/// let a = b.input_word("a", 8);
+/// let x = b.input_word("x", 8);
+/// let prod = b.array_multiplier(&a, &x, 8); // keep 8 LSBs, like the paper
+/// let reg = b.register(&prod);
+/// b.output_word("y", &reg);
+/// let nl = b.finish()?;
+/// assert_eq!(nl.output_width(), 8);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct NetlistBuilder {
+    name: String,
+    nets: Vec<Net>,
+    gates: Vec<Gate>,
+    dffs: Vec<Dff>,
+    inputs: Vec<NetId>,
+    outputs: Vec<NetId>,
+    const0: Option<NetId>,
+    const1: Option<NetId>,
+}
+
+impl NetlistBuilder {
+    /// Creates an empty builder for a netlist with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        NetlistBuilder {
+            name: name.into(),
+            nets: Vec::new(),
+            gates: Vec::new(),
+            dffs: Vec::new(),
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+            const0: None,
+            const1: None,
+        }
+    }
+
+    fn fresh_net(&mut self, name: Option<String>) -> NetId {
+        let id = NetId(self.nets.len() as u32);
+        self.nets.push(Net {
+            name,
+            driver: NetDriver::Floating,
+        });
+        id
+    }
+
+    /// Declares a single-bit primary input.
+    pub fn input(&mut self, name: impl Into<String>) -> NetId {
+        let id = self.fresh_net(Some(name.into()));
+        let pi_index = self.inputs.len();
+        self.nets[id.index()].driver = NetDriver::Input(pi_index);
+        self.inputs.push(id);
+        id
+    }
+
+    /// Declares a `width`-bit primary input bus named `name[0]..name[width-1]`
+    /// (bit 0 is least significant).
+    pub fn input_word(&mut self, name: &str, width: usize) -> Vec<NetId> {
+        (0..width).map(|i| self.input(format!("{name}[{i}]"))).collect()
+    }
+
+    /// Marks an existing net as a primary output.
+    pub fn output(&mut self, name: impl Into<String>, net: NetId) {
+        let name = name.into();
+        if self.nets[net.index()].name.is_none() {
+            self.nets[net.index()].name = Some(name);
+        }
+        self.outputs.push(net);
+    }
+
+    /// Marks an existing bus as a primary output named
+    /// `name[0]..name[width-1]`.
+    pub fn output_word(&mut self, name: &str, bits: &[NetId]) {
+        for (i, &bit) in bits.iter().enumerate() {
+            self.output(format!("{name}[{i}]"), bit);
+        }
+    }
+
+    /// Returns the constant-0 net, creating it on first use.
+    pub fn const0(&mut self) -> NetId {
+        if let Some(id) = self.const0 {
+            return id;
+        }
+        let id = self.fresh_net(Some("const0".into()));
+        self.nets[id.index()].driver = NetDriver::Const(false);
+        self.const0 = Some(id);
+        id
+    }
+
+    /// Returns the constant-1 net, creating it on first use.
+    pub fn const1(&mut self) -> NetId {
+        if let Some(id) = self.const1 {
+            return id;
+        }
+        let id = self.fresh_net(Some("const1".into()));
+        self.nets[id.index()].driver = NetDriver::Const(true);
+        self.const1 = Some(id);
+        id
+    }
+
+    /// Adds a gate of the given kind over `inputs`, returning its output net.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` is empty, or has length ≠ 1 for unary kinds.
+    pub fn gate(&mut self, kind: GateKind, inputs: &[NetId]) -> NetId {
+        assert!(!inputs.is_empty(), "gate must have at least one input");
+        if kind.is_unary() {
+            assert_eq!(inputs.len(), 1, "{kind} gate takes exactly one input");
+        } else {
+            assert!(inputs.len() >= 2, "{kind} gate takes at least two inputs");
+        }
+        let out = self.fresh_net(None);
+        let gid = GateId(self.gates.len() as u32);
+        self.gates.push(Gate {
+            kind,
+            inputs: inputs.to_vec(),
+            output: out,
+        });
+        self.nets[out.index()].driver = NetDriver::Gate(gid);
+        out
+    }
+
+    /// Two-input AND.
+    pub fn and2(&mut self, a: NetId, b: NetId) -> NetId {
+        self.gate(GateKind::And, &[a, b])
+    }
+
+    /// Two-input OR.
+    pub fn or2(&mut self, a: NetId, b: NetId) -> NetId {
+        self.gate(GateKind::Or, &[a, b])
+    }
+
+    /// Two-input XOR.
+    pub fn xor2(&mut self, a: NetId, b: NetId) -> NetId {
+        self.gate(GateKind::Xor, &[a, b])
+    }
+
+    /// Inverter.
+    pub fn not(&mut self, a: NetId) -> NetId {
+        self.gate(GateKind::Not, &[a])
+    }
+
+    /// Declares a D flip-flop whose data input is wired up later, for
+    /// sequential feedback loops (e.g. LFSR feedback, where the first
+    /// stage's input depends on later stages' outputs).
+    ///
+    /// Returns the Q net and a [`DeferredInput`] handle that **must** be
+    /// passed to [`NetlistBuilder::resolve_deferred`] before
+    /// [`NetlistBuilder::finish`], or validation fails with a floating
+    /// net.
+    pub fn register_deferred(&mut self) -> (NetId, DeferredInput) {
+        let d = self.fresh_net(None);
+        let q = self.fresh_net(None);
+        let id = DffId(self.dffs.len() as u32);
+        self.dffs.push(Dff { d, q });
+        self.nets[q.index()].driver = NetDriver::Dff(id);
+        (q, DeferredInput(d))
+    }
+
+    /// Connects a deferred flip-flop input to `src` (through a buffer).
+    pub fn resolve_deferred(&mut self, handle: DeferredInput, src: NetId) {
+        let gid = GateId(self.gates.len() as u32);
+        self.gates.push(Gate {
+            kind: GateKind::Buf,
+            inputs: vec![src],
+            output: handle.0,
+        });
+        self.nets[handle.0.index()].driver = NetDriver::Gate(gid);
+    }
+
+    /// Adds a bank of D flip-flops over the bus `d`, returning the Q bus.
+    pub fn register(&mut self, d: &[NetId]) -> Vec<NetId> {
+        d.iter()
+            .map(|&bit| {
+                let q = self.fresh_net(None);
+                let id = DffId(self.dffs.len() as u32);
+                self.dffs.push(Dff { d: bit, q });
+                self.nets[q.index()].driver = NetDriver::Dff(id);
+                q
+            })
+            .collect()
+    }
+
+    /// Full adder over three bits; returns `(sum, carry)`.
+    pub fn full_adder(&mut self, a: NetId, b: NetId, cin: NetId) -> (NetId, NetId) {
+        let axb = self.xor2(a, b);
+        let sum = self.xor2(axb, cin);
+        let t1 = self.and2(a, b);
+        let t2 = self.and2(axb, cin);
+        let carry = self.or2(t1, t2);
+        (sum, carry)
+    }
+
+    /// Half adder over two bits; returns `(sum, carry)`.
+    pub fn half_adder(&mut self, a: NetId, b: NetId) -> (NetId, NetId) {
+        let sum = self.xor2(a, b);
+        let carry = self.and2(a, b);
+        (sum, carry)
+    }
+
+    /// Ripple-carry adder over equal-width buses; returns `(sum, carry_out)`.
+    ///
+    /// With `cin: None` the least-significant stage is a half adder, the way
+    /// a synthesis tool would implement `a + b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buses differ in width or are empty.
+    pub fn ripple_carry_adder(
+        &mut self,
+        a: &[NetId],
+        b: &[NetId],
+        cin: Option<NetId>,
+    ) -> (Vec<NetId>, NetId) {
+        assert_eq!(a.len(), b.len(), "adder operand widths must match");
+        assert!(!a.is_empty(), "adder width must be positive");
+        let mut sum = Vec::with_capacity(a.len());
+        let mut carry = cin;
+        for i in 0..a.len() {
+            let (s, c) = match carry {
+                Some(c) => self.full_adder(a[i], b[i], c),
+                None => self.half_adder(a[i], b[i]),
+            };
+            sum.push(s);
+            carry = Some(c);
+        }
+        (sum, carry.expect("width checked positive"))
+    }
+
+    /// Unsigned array multiplier over equal-width buses, producing the low
+    /// `out_width` product bits.
+    ///
+    /// The paper's filter datapaths route only the 8 least-significant
+    /// multiplier outputs to the next stage; passing `out_width = a.len()`
+    /// reproduces that truncation. `out_width` up to `2 * a.len()` yields the
+    /// full product.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buses differ in width, are empty, or
+    /// `out_width > 2 * a.len()`.
+    pub fn array_multiplier(&mut self, a: &[NetId], b: &[NetId], out_width: usize) -> Vec<NetId> {
+        let n = a.len();
+        assert_eq!(n, b.len(), "multiplier operand widths must match");
+        assert!(n > 0, "multiplier width must be positive");
+        assert!(out_width <= 2 * n, "product has at most {} bits", 2 * n);
+
+        // Partial products: pp[j] = a & b[j], shifted left by j.
+        // Row-by-row carry-save reduction with ripple rows (classic array
+        // multiplier structure).
+        let mut acc: Vec<NetId> = Vec::new(); // running sum, LSB first
+        for (j, &bj) in b.iter().enumerate() {
+            if j >= out_width {
+                break; // all remaining partial products are above the cut
+            }
+            let pp: Vec<NetId> = a
+                .iter()
+                .map(|&ai| self.and2(ai, bj))
+                .collect();
+            if j == 0 {
+                acc = pp;
+            } else {
+                // Add pp << j into acc.
+                let mut carry: Option<NetId> = None;
+                for (k, &p) in pp.iter().enumerate() {
+                    let pos = j + k;
+                    if pos >= out_width {
+                        break;
+                    }
+                    while acc.len() <= pos {
+                        let z = self.const0();
+                        acc.push(z);
+                    }
+                    let (s, c) = match carry {
+                        Some(c) => self.full_adder(acc[pos], p, c),
+                        None => self.half_adder(acc[pos], p),
+                    };
+                    acc[pos] = s;
+                    carry = Some(c);
+                }
+                // Propagate the final carry if it is still below the cut.
+                if let Some(mut c) = carry {
+                    let mut pos = j + pp.len();
+                    while pos < out_width {
+                        if pos < acc.len() {
+                            let (s, c2) = self.half_adder(acc[pos], c);
+                            acc[pos] = s;
+                            c = c2;
+                            pos += 1;
+                        } else {
+                            acc.push(c);
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        acc.truncate(out_width);
+        while acc.len() < out_width {
+            let z = self.const0();
+            acc.push(z);
+        }
+        acc
+    }
+
+    /// Two-way multiplexer: `sel ? b : a`, bitwise over equal-width buses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buses differ in width.
+    pub fn mux2_word(&mut self, sel: NetId, a: &[NetId], b: &[NetId]) -> Vec<NetId> {
+        assert_eq!(a.len(), b.len(), "mux operand widths must match");
+        let nsel = self.not(sel);
+        a.iter()
+            .zip(b)
+            .map(|(&ai, &bi)| {
+                let t0 = self.and2(nsel, ai);
+                let t1 = self.and2(sel, bi);
+                self.or2(t0, t1)
+            })
+            .collect()
+    }
+
+    /// Bitwise AND over equal-width buses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buses differ in width.
+    pub fn and_word(&mut self, a: &[NetId], b: &[NetId]) -> Vec<NetId> {
+        assert_eq!(a.len(), b.len());
+        a.iter().zip(b).map(|(&x, &y)| self.and2(x, y)).collect()
+    }
+
+    /// Bitwise XOR over equal-width buses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buses differ in width.
+    pub fn xor_word(&mut self, a: &[NetId], b: &[NetId]) -> Vec<NetId> {
+        assert_eq!(a.len(), b.len());
+        a.iter().zip(b).map(|(&x, &y)| self.xor2(x, y)).collect()
+    }
+
+    /// Finishes construction, validating the netlist.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any net is floating or the combinational part is
+    /// cyclic.
+    pub fn finish(self) -> Result<Netlist, NetlistError> {
+        let nl = Netlist {
+            name: self.name,
+            nets: self.nets,
+            gates: self.gates,
+            dffs: self.dffs,
+            inputs: self.inputs,
+            outputs: self.outputs,
+        };
+        nl.validate()?;
+        Ok(nl)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::PatternSim;
+
+    /// Drives `nl` with the integers `a`,`b` split over two equal input
+    /// words and returns the output bus as an integer.
+    fn eval2(nl: &Netlist, a: u64, b: u64) -> u64 {
+        let w = nl.input_width() / 2;
+        let mut sim = PatternSim::new(nl);
+        let bits: Vec<u64> = (0..nl.input_width())
+            .map(|i| {
+                let v = if i < w { (a >> i) & 1 } else { (b >> (i - w)) & 1 };
+                if v == 1 {
+                    !0u64
+                } else {
+                    0
+                }
+            })
+            .collect();
+        sim.set_inputs(&bits);
+        sim.eval_comb();
+        let mut out = 0u64;
+        for (i, &o) in nl.outputs().iter().enumerate() {
+            if sim.value(o) & 1 == 1 {
+                out |= 1 << i;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn ripple_carry_adder_adds() {
+        let mut b = NetlistBuilder::new("add4");
+        let x = b.input_word("x", 4);
+        let y = b.input_word("y", 4);
+        let (s, co) = b.ripple_carry_adder(&x, &y, None);
+        b.output_word("s", &s);
+        b.output("co", co);
+        let nl = b.finish().unwrap();
+        for a in 0..16u64 {
+            for c in 0..16u64 {
+                assert_eq!(eval2(&nl, a, c), a + c, "{a}+{c}");
+            }
+        }
+    }
+
+    #[test]
+    fn full_multiplier_multiplies() {
+        let mut b = NetlistBuilder::new("mul4");
+        let x = b.input_word("x", 4);
+        let y = b.input_word("y", 4);
+        let p = b.array_multiplier(&x, &y, 8);
+        b.output_word("p", &p);
+        let nl = b.finish().unwrap();
+        for a in 0..16u64 {
+            for c in 0..16u64 {
+                assert_eq!(eval2(&nl, a, c), a * c, "{a}*{c}");
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_multiplier_keeps_low_bits() {
+        let mut b = NetlistBuilder::new("mul4t");
+        let x = b.input_word("x", 4);
+        let y = b.input_word("y", 4);
+        let p = b.array_multiplier(&x, &y, 4);
+        b.output_word("p", &p);
+        let nl = b.finish().unwrap();
+        for a in 0..16u64 {
+            for c in 0..16u64 {
+                assert_eq!(eval2(&nl, a, c), (a * c) & 0xF, "{a}*{c} mod 16");
+            }
+        }
+    }
+
+    #[test]
+    fn mux2_selects() {
+        let mut b = NetlistBuilder::new("mux");
+        let sel = b.input("sel");
+        let x = b.input_word("x", 3);
+        let y = b.input_word("y", 3);
+        let m = b.mux2_word(sel, &x, &y);
+        b.output_word("m", &m);
+        let nl = b.finish().unwrap();
+        let mut sim = PatternSim::new(&nl);
+        // sel=0 in lane 0, sel=1 in lane 1; x=0b101, y=0b010 in both lanes.
+        let mut inputs = vec![0u64; nl.input_width()];
+        inputs[0] = 0b10; // sel
+        inputs[1] = !0; // x[0]=1
+        inputs[2] = 0; // x[1]=0
+        inputs[3] = !0; // x[2]=1
+        inputs[4] = 0; // y[0]=0
+        inputs[5] = !0; // y[1]=1
+        inputs[6] = 0; // y[2]=0
+        sim.set_inputs(&inputs);
+        sim.eval_comb();
+        let out: Vec<u64> = nl.outputs().iter().map(|&o| sim.value(o)).collect();
+        assert_eq!(out[0] & 0b11, 0b01); // lane0 -> x bit0=1, lane1 -> y bit0=0
+        assert_eq!(out[1] & 0b11, 0b10);
+        assert_eq!(out[2] & 0b11, 0b01);
+    }
+
+    #[test]
+    fn builder_detects_floating_net() {
+        let mut b = NetlistBuilder::new("bad");
+        let a = b.input("a");
+        // Create a floating net by hand and use it.
+        let floating = b.fresh_net(Some("dangling".into()));
+        let x = b.and2(a, floating);
+        b.output("o", x);
+        let err = b.finish().unwrap_err();
+        assert!(matches!(err, NetlistError::FloatingNet { .. }));
+    }
+
+    #[test]
+    fn word_helpers_are_bitwise() {
+        let mut b = NetlistBuilder::new("bw");
+        let x = b.input_word("x", 2);
+        let y = b.input_word("y", 2);
+        let a = b.and_word(&x, &y);
+        let e = b.xor_word(&x, &y);
+        b.output_word("a", &a);
+        b.output_word("e", &e);
+        let nl = b.finish().unwrap();
+        // x=0b10, y=0b11 -> and=0b10, xor=0b01
+        assert_eq!(eval2(&nl, 0b10, 0b11), 0b01_10);
+    }
+}

@@ -1,0 +1,299 @@
+//! A compact, round-trippable text format for gate-level netlists.
+//!
+//! Plays the role of the EDIF export in the authors' BITS system at the
+//! gate level (the RTL-level counterpart lives in `bibs_rtl::fmt`). One
+//! statement per line:
+//!
+//! ```text
+//! netlist add2 {
+//!   nets 9;
+//!   input 0 "a[0]";
+//!   input 1 "b[0]";
+//!   const 2 0;
+//!   gate xor 3 <- 0 1;
+//!   dff 4 <- 3;
+//!   output 4 "s[0]";
+//! }
+//! ```
+//!
+//! Net ids are the netlist's own indices; `gate KIND OUT <- IN...`
+//! declares a gate driving net `OUT`, `dff Q <- D` a flip-flop.
+
+use crate::netlist::{
+    Dff, DffId, Gate, GateId, GateKind, Net, NetDriver, NetId, Netlist, NetlistError,
+};
+use std::fmt;
+
+/// Errors from [`from_text`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// Malformed syntax.
+    Syntax {
+        /// Description of the problem.
+        message: String,
+    },
+    /// The parsed structure failed netlist validation.
+    Invalid(NetlistError),
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Syntax { message } => write!(f, "syntax error: {message}"),
+            ParseError::Invalid(e) => write!(f, "invalid netlist: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<NetlistError> for ParseError {
+    fn from(e: NetlistError) -> Self {
+        ParseError::Invalid(e)
+    }
+}
+
+/// Serializes a netlist to the text format.
+pub fn to_text(netlist: &Netlist) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("netlist {} {{\n", netlist.name()));
+    out.push_str(&format!("  nets {};\n", netlist.net_count()));
+    for (i, &net) in netlist.inputs().iter().enumerate() {
+        let name = netlist.net_name(net).unwrap_or("");
+        out.push_str(&format!("  input {} \"{}\"; # pi {}\n", net.index(), name, i));
+    }
+    for net in netlist.net_ids() {
+        if let NetDriver::Const(v) = netlist.driver(net) {
+            out.push_str(&format!("  const {} {};\n", net.index(), v as u8));
+        }
+    }
+    for gid in netlist.gate_ids() {
+        let g = netlist.gate(gid);
+        let ins: Vec<String> = g.inputs.iter().map(|i| i.index().to_string()).collect();
+        out.push_str(&format!(
+            "  gate {} {} <- {};\n",
+            g.kind,
+            g.output.index(),
+            ins.join(" ")
+        ));
+    }
+    for ff in netlist.dffs() {
+        out.push_str(&format!("  dff {} <- {};\n", ff.q.index(), ff.d.index()));
+    }
+    for &net in netlist.outputs() {
+        let name = netlist.net_name(net).unwrap_or("");
+        out.push_str(&format!("  output {} \"{}\";\n", net.index(), name));
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn parse_kind(s: &str) -> Option<GateKind> {
+    Some(match s {
+        "and" => GateKind::And,
+        "or" => GateKind::Or,
+        "nand" => GateKind::Nand,
+        "nor" => GateKind::Nor,
+        "xor" => GateKind::Xor,
+        "xnor" => GateKind::Xnor,
+        "not" => GateKind::Not,
+        "buf" => GateKind::Buf,
+        _ => return None,
+    })
+}
+
+/// Parses a netlist from the text format.
+///
+/// # Errors
+///
+/// Returns [`ParseError`] on malformed syntax or failed validation.
+pub fn from_text(text: &str) -> Result<Netlist, ParseError> {
+    let syntax = |message: String| ParseError::Syntax { message };
+    let mut name = String::new();
+    let mut nets: Vec<Net> = Vec::new();
+    let mut gates: Vec<Gate> = Vec::new();
+    let mut dffs: Vec<Dff> = Vec::new();
+    let mut inputs: Vec<NetId> = Vec::new();
+    let mut outputs: Vec<NetId> = Vec::new();
+    let mut seen_header = false;
+
+    let parse_id = |tok: &str, what: &str| -> Result<usize, ParseError> {
+        tok.trim_end_matches(';')
+            .parse::<usize>()
+            .map_err(|_| syntax(format!("invalid {what} {tok:?}")))
+    };
+
+    for raw in text.lines() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() || line == "}" {
+            continue;
+        }
+        let tokens: Vec<&str> = line.split_whitespace().collect();
+        match tokens[0] {
+            "netlist" => {
+                name = tokens
+                    .get(1)
+                    .ok_or_else(|| syntax("missing netlist name".into()))?
+                    .to_string();
+                seen_header = true;
+            }
+            "nets" => {
+                let count = parse_id(tokens.get(1).ok_or_else(|| syntax("missing net count".into()))?, "net count")?;
+                nets = (0..count)
+                    .map(|_| Net {
+                        name: None,
+                        driver: NetDriver::Floating,
+                    })
+                    .collect();
+            }
+            "input" => {
+                let id = parse_id(tokens.get(1).ok_or_else(|| syntax("missing input net".into()))?, "net id")?;
+                let net = NetId(id as u32);
+                let pi = inputs.len();
+                let slot = nets
+                    .get_mut(id)
+                    .ok_or_else(|| syntax(format!("net {id} out of range")))?;
+                slot.driver = NetDriver::Input(pi);
+                if let Some(n) = line.split('"').nth(1) {
+                    if !n.is_empty() {
+                        slot.name = Some(n.to_string());
+                    }
+                }
+                inputs.push(net);
+            }
+            "const" => {
+                let id = parse_id(tokens.get(1).ok_or_else(|| syntax("missing const net".into()))?, "net id")?;
+                let v = parse_id(tokens.get(2).ok_or_else(|| syntax("missing const value".into()))?, "value")?;
+                nets.get_mut(id)
+                    .ok_or_else(|| syntax(format!("net {id} out of range")))?
+                    .driver = NetDriver::Const(v != 0);
+            }
+            "gate" => {
+                let kind = parse_kind(tokens.get(1).copied().unwrap_or(""))
+                    .ok_or_else(|| syntax(format!("unknown gate kind in {line:?}")))?;
+                let out = parse_id(tokens.get(2).ok_or_else(|| syntax("missing gate output".into()))?, "net id")?;
+                let arrow = tokens.get(3).copied().unwrap_or("");
+                if arrow != "<-" {
+                    return Err(syntax(format!("expected '<-' in {line:?}")));
+                }
+                let ins: Result<Vec<NetId>, ParseError> = tokens[4..]
+                    .iter()
+                    .map(|t| parse_id(t, "net id").map(|i| NetId(i as u32)))
+                    .collect();
+                let gid = GateId(gates.len() as u32);
+                gates.push(Gate {
+                    kind,
+                    inputs: ins?,
+                    output: NetId(out as u32),
+                });
+                nets.get_mut(out)
+                    .ok_or_else(|| syntax(format!("net {out} out of range")))?
+                    .driver = NetDriver::Gate(gid);
+            }
+            "dff" => {
+                let q = parse_id(tokens.get(1).ok_or_else(|| syntax("missing dff q".into()))?, "net id")?;
+                let arrow = tokens.get(2).copied().unwrap_or("");
+                if arrow != "<-" {
+                    return Err(syntax(format!("expected '<-' in {line:?}")));
+                }
+                let d = parse_id(tokens.get(3).ok_or_else(|| syntax("missing dff d".into()))?, "net id")?;
+                let id = DffId(dffs.len() as u32);
+                dffs.push(Dff {
+                    d: NetId(d as u32),
+                    q: NetId(q as u32),
+                });
+                nets.get_mut(q)
+                    .ok_or_else(|| syntax(format!("net {q} out of range")))?
+                    .driver = NetDriver::Dff(id);
+            }
+            "output" => {
+                let id = parse_id(tokens.get(1).ok_or_else(|| syntax("missing output net".into()))?, "net id")?;
+                let net = NetId(id as u32);
+                if let Some(n) = line.split('"').nth(1) {
+                    let slot = nets
+                        .get_mut(id)
+                        .ok_or_else(|| syntax(format!("net {id} out of range")))?;
+                    if slot.name.is_none() && !n.is_empty() {
+                        slot.name = Some(n.to_string());
+                    }
+                }
+                outputs.push(net);
+            }
+            other => return Err(syntax(format!("unknown statement {other:?}"))),
+        }
+    }
+    if !seen_header {
+        return Err(syntax("missing 'netlist' header".into()));
+    }
+    Ok(Netlist::from_parts(name, nets, gates, dffs, inputs, outputs)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetlistBuilder;
+    use crate::sim::{broadcast_pattern, PatternSim};
+
+    fn sample() -> Netlist {
+        let mut b = NetlistBuilder::new("mix");
+        let a = b.input_word("a", 3);
+        let c = b.input_word("b", 3);
+        let (s, co) = b.ripple_carry_adder(&a, &c, None);
+        let reg = b.register(&s);
+        b.output_word("s", &reg);
+        b.output("co", co);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn round_trip_preserves_structure_and_function() {
+        let nl = sample();
+        let text = to_text(&nl);
+        let parsed = from_text(&text).unwrap();
+        assert_eq!(parsed.name(), nl.name());
+        assert_eq!(parsed.net_count(), nl.net_count());
+        assert_eq!(parsed.gate_count(), nl.gate_count());
+        assert_eq!(parsed.dff_count(), nl.dff_count());
+        assert_eq!(parsed.input_width(), nl.input_width());
+        assert_eq!(parsed.output_width(), nl.output_width());
+        // Same function: compare a few evaluations of the comb equivalents.
+        let c1 = nl.combinational_equivalent();
+        let c2 = parsed.combinational_equivalent();
+        for (a, b) in [(3u64, 5u64), (7, 7), (0, 1)] {
+            let mut words = broadcast_pattern(a, 3);
+            words.extend(broadcast_pattern(b, 3));
+            let mut s1 = PatternSim::new(&c1);
+            s1.set_inputs(&words);
+            s1.eval_comb();
+            let mut s2 = PatternSim::new(&c2);
+            s2.set_inputs(&words);
+            s2.eval_comb();
+            let o1: Vec<_> = c1.outputs().to_vec();
+            let o2: Vec<_> = c2.outputs().to_vec();
+            assert_eq!(s1.output_lane(&o1, 0), s2.output_lane(&o2, 0));
+        }
+        // Second round trip is textual fixpoint.
+        assert_eq!(to_text(&parsed), text);
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        assert!(matches!(
+            from_text("nets 3;"),
+            Err(ParseError::Syntax { .. })
+        ));
+        assert!(matches!(
+            from_text("netlist t {\n gate frob 1 <- 0;\n}"),
+            Err(ParseError::Syntax { .. })
+        ));
+        assert!(matches!(
+            from_text("netlist t {\n nets 2;\n input 5 \"x\";\n}"),
+            Err(ParseError::Syntax { .. })
+        ));
+        // Valid syntax but floating net -> validation error.
+        assert!(matches!(
+            from_text("netlist t {\n nets 2;\n input 0 \"x\";\n output 1 \"y\";\n}"),
+            Err(ParseError::Invalid(_))
+        ));
+    }
+}

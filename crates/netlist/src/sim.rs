@@ -1,0 +1,300 @@
+//! 64-way bit-parallel logic simulation.
+//!
+//! [`PatternSim`] evaluates 64 independent input patterns per pass — one per
+//! bit lane of a `u64` — which is the classic speed trick of
+//! parallel-pattern fault simulators and exactly what the paper's
+//! fault-coverage experiments need.
+
+use crate::netlist::{GateId, NetDriver, NetId, Netlist};
+
+/// A 64-lane logic simulator bound to a netlist.
+///
+/// Lanes are independent: lane *k* of every net value is the simulation of
+/// input pattern *k*. Sequential circuits are advanced with [`PatternSim::clock`],
+/// which moves every flip-flop's D value to its Q in all lanes at once.
+///
+/// # Example
+///
+/// ```
+/// use bibs_netlist::builder::NetlistBuilder;
+/// use bibs_netlist::sim::PatternSim;
+/// use bibs_netlist::GateKind;
+///
+/// # fn main() -> Result<(), bibs_netlist::NetlistError> {
+/// let mut b = NetlistBuilder::new("inv");
+/// let a = b.input("a");
+/// let y = b.gate(GateKind::Not, &[a]);
+/// b.output("y", y);
+/// let nl = b.finish()?;
+///
+/// let mut sim = PatternSim::new(&nl);
+/// sim.set_inputs(&[0b01]); // lane 0: a=1, lane 1: a=0
+/// sim.eval_comb();
+/// assert_eq!(sim.value(nl.outputs()[0]) & 0b11, 0b10);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct PatternSim<'a> {
+    netlist: &'a Netlist,
+    order: Vec<GateId>,
+    values: Vec<u64>,
+}
+
+impl<'a> PatternSim<'a> {
+    /// Creates a simulator for `netlist` with all values (including
+    /// flip-flop state) initialized to 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the netlist has a combinational cycle; validated netlists
+    /// from [`NetlistBuilder::finish`](crate::builder::NetlistBuilder::finish)
+    /// never do.
+    pub fn new(netlist: &'a Netlist) -> Self {
+        let order = netlist
+            .levelize()
+            .expect("netlist must be combinationally acyclic");
+        PatternSim {
+            netlist,
+            order,
+            values: vec![0u64; netlist.net_count()],
+        }
+    }
+
+    /// Sets the primary input values, one word of 64 lanes per input bit,
+    /// in [`Netlist::inputs`] order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words.len()` differs from the input width.
+    pub fn set_inputs(&mut self, words: &[u64]) {
+        assert_eq!(
+            words.len(),
+            self.netlist.inputs().len(),
+            "one word per primary input required"
+        );
+        for (&net, &w) in self.netlist.inputs().iter().zip(words) {
+            self.values[net.index()] = w;
+        }
+    }
+
+    /// Sets a single primary input net's 64-lane word.
+    pub fn set_input(&mut self, net: NetId, word: u64) {
+        debug_assert!(matches!(
+            self.netlist.driver(net),
+            NetDriver::Input(_)
+        ));
+        self.values[net.index()] = word;
+    }
+
+    /// Overrides a flip-flop's current Q value (all 64 lanes).
+    ///
+    /// Used to model test-mode register preloads (scan, LFSR seeds).
+    pub fn set_state(&mut self, q: NetId, word: u64) {
+        self.values[q.index()] = word;
+    }
+
+    /// Evaluates the combinational logic in topological order.
+    ///
+    /// Constants and flip-flop Q values are taken from current state;
+    /// primary inputs from the last [`PatternSim::set_inputs`] call.
+    pub fn eval_comb(&mut self) {
+        for net in self.netlist.net_ids() {
+            if let NetDriver::Const(v) = self.netlist.driver(net) {
+                self.values[net.index()] = if v { !0u64 } else { 0 };
+            }
+        }
+        let mut scratch: Vec<u64> = Vec::with_capacity(8);
+        for &gid in &self.order {
+            let gate = self.netlist.gate(gid);
+            scratch.clear();
+            scratch.extend(gate.inputs.iter().map(|i| self.values[i.index()]));
+            self.values[gate.output.index()] = gate.kind.eval_words(&scratch);
+        }
+    }
+
+    /// Advances every flip-flop: Q ← D in all lanes.
+    ///
+    /// Call [`PatternSim::eval_comb`] first so D values are up to date.
+    pub fn clock(&mut self) {
+        // Capture all D values before writing any Q, so back-to-back
+        // flip-flops shift correctly.
+        let captured: Vec<u64> = self
+            .netlist
+            .dffs()
+            .iter()
+            .map(|ff| self.values[ff.d.index()])
+            .collect();
+        for (ff, v) in self.netlist.dffs().iter().zip(captured) {
+            self.values[ff.q.index()] = v;
+        }
+    }
+
+    /// Convenience: evaluate then clock, one full cycle.
+    pub fn step(&mut self) {
+        self.eval_comb();
+        self.clock();
+    }
+
+    /// The current 64-lane word on a net.
+    pub fn value(&self, net: NetId) -> u64 {
+        self.values[net.index()]
+    }
+
+    /// The current primary output words, in [`Netlist::outputs`] order.
+    pub fn outputs(&self) -> Vec<u64> {
+        self.netlist
+            .outputs()
+            .iter()
+            .map(|&o| self.values[o.index()])
+            .collect()
+    }
+
+    /// Resets all net values and flip-flop state to 0.
+    pub fn reset(&mut self) {
+        self.values.iter_mut().for_each(|v| *v = 0);
+    }
+
+    /// Extracts lane `lane` of an output bus as an integer (bit *i* of the
+    /// result is output bit *i*).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane >= 64` or the bus has more than 64 bits.
+    pub fn output_lane(&self, bus: &[NetId], lane: usize) -> u64 {
+        assert!(lane < 64);
+        assert!(bus.len() <= 64);
+        let mut out = 0u64;
+        for (i, &net) in bus.iter().enumerate() {
+            if (self.values[net.index()] >> lane) & 1 == 1 {
+                out |= 1 << i;
+            }
+        }
+        out
+    }
+}
+
+/// Packs up to 64 single-pattern input assignments into lane words.
+///
+/// `patterns[k][i]` is the value of input bit `i` in pattern `k`; the result
+/// has one word per input bit with pattern `k` in lane `k`.
+///
+/// # Panics
+///
+/// Panics if more than 64 patterns are supplied or widths are inconsistent.
+pub fn pack_patterns(patterns: &[Vec<bool>]) -> Vec<u64> {
+    assert!(patterns.len() <= 64, "at most 64 patterns per pack");
+    let width = patterns.first().map_or(0, Vec::len);
+    let mut words = vec![0u64; width];
+    for (lane, pat) in patterns.iter().enumerate() {
+        assert_eq!(pat.len(), width, "all patterns must have equal width");
+        for (i, &bit) in pat.iter().enumerate() {
+            if bit {
+                words[i] |= 1u64 << lane;
+            }
+        }
+    }
+    words
+}
+
+/// Expands an integer into `width` lane words where every lane carries the
+/// same pattern (bit *i* of `value` on input *i*).
+pub fn broadcast_pattern(value: u64, width: usize) -> Vec<u64> {
+    (0..width)
+        .map(|i| if (value >> i) & 1 == 1 { !0u64 } else { 0 })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetlistBuilder;
+
+    #[test]
+    fn pipeline_shifts_through_registers() {
+        let mut b = NetlistBuilder::new("pipe2");
+        let a = b.input("a");
+        let r1 = b.register(&[a]);
+        let r2 = b.register(&r1);
+        b.output("o", r2[0]);
+        let nl = b.finish().unwrap();
+        let mut sim = PatternSim::new(&nl);
+        sim.set_inputs(&[!0u64]);
+        sim.step();
+        assert_eq!(sim.outputs()[0], 0, "one stage filled");
+        sim.step();
+        assert_eq!(sim.outputs()[0], !0u64, "two stages filled");
+    }
+
+    #[test]
+    fn lanes_are_independent() {
+        let mut b = NetlistBuilder::new("and");
+        let a = b.input("a");
+        let c = b.input("b");
+        let y = b.and2(a, c);
+        b.output("y", y);
+        let nl = b.finish().unwrap();
+        let mut sim = PatternSim::new(&nl);
+        // 4 lanes: exhaustive 2-input truth table.
+        sim.set_inputs(&[0b0011, 0b0101]);
+        sim.eval_comb();
+        assert_eq!(sim.outputs()[0] & 0b1111, 0b0001);
+    }
+
+    #[test]
+    fn pack_patterns_round_trips() {
+        let pats = vec![
+            vec![true, false, true],
+            vec![false, false, true],
+            vec![true, true, false],
+        ];
+        let words = pack_patterns(&pats);
+        assert_eq!(words.len(), 3);
+        for (lane, pat) in pats.iter().enumerate() {
+            for (i, &bit) in pat.iter().enumerate() {
+                assert_eq!((words[i] >> lane) & 1 == 1, bit);
+            }
+        }
+    }
+
+    #[test]
+    fn broadcast_pattern_fills_lanes() {
+        let words = broadcast_pattern(0b101, 3);
+        assert_eq!(words, vec![!0u64, 0, !0u64]);
+    }
+
+    #[test]
+    fn output_lane_extracts_bus_value() {
+        let mut b = NetlistBuilder::new("id");
+        let x = b.input_word("x", 4);
+        b.output_word("y", &x);
+        let nl = b.finish().unwrap();
+        let mut sim = PatternSim::new(&nl);
+        let pats = vec![
+            vec![true, false, true, false],  // 0b0101 = 5
+            vec![false, true, false, true],  // 0b1010 = 10
+        ];
+        sim.set_inputs(&pack_patterns(&pats));
+        sim.eval_comb();
+        let out: Vec<NetId> = nl.outputs().to_vec();
+        assert_eq!(sim.output_lane(&out, 0), 5);
+        assert_eq!(sim.output_lane(&out, 1), 10);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut b = NetlistBuilder::new("r");
+        let a = b.input("a");
+        let r = b.register(&[a]);
+        b.output("o", r[0]);
+        let nl = b.finish().unwrap();
+        let mut sim = PatternSim::new(&nl);
+        sim.set_inputs(&[!0u64]);
+        sim.step();
+        sim.eval_comb();
+        assert_eq!(sim.outputs()[0], !0u64);
+        sim.reset();
+        sim.eval_comb();
+        assert_eq!(sim.outputs()[0], 0);
+    }
+}

@@ -1,0 +1,195 @@
+//! Property-based tests for the netlist substrate.
+
+use bibs_netlist::builder::NetlistBuilder;
+use bibs_netlist::sim::{broadcast_pattern, pack_patterns, PatternSim};
+use bibs_netlist::{GateKind, Netlist};
+use proptest::prelude::*;
+
+fn eval_two_operands(nl: &Netlist, a: u64, b: u64, width: usize) -> u64 {
+    let mut sim = PatternSim::new(nl);
+    let mut words = broadcast_pattern(a, width);
+    words.extend(broadcast_pattern(b, width));
+    sim.set_inputs(&words);
+    sim.eval_comb();
+    let outs: Vec<_> = nl.outputs().to_vec();
+    sim.output_lane(&outs, 0)
+}
+
+proptest! {
+    /// Ripple-carry adders agree with machine addition at any width.
+    #[test]
+    fn adder_matches_u64(width in 1usize..12, a in 0u64..4096, b in 0u64..4096) {
+        let mask = (1u64 << width) - 1;
+        let (a, b) = (a & mask, b & mask);
+        let mut builder = NetlistBuilder::new("add");
+        let x = builder.input_word("x", width);
+        let y = builder.input_word("y", width);
+        let (sum, carry) = builder.ripple_carry_adder(&x, &y, None);
+        builder.output_word("s", &sum);
+        builder.output("c", carry);
+        let nl = builder.finish().unwrap();
+        let got = eval_two_operands(&nl, a, b, width);
+        prop_assert_eq!(got, a + b, "width {} {}+{}", width, a, b);
+    }
+
+    /// Array multipliers agree with machine multiplication, at every
+    /// truncation the paper's datapaths use.
+    #[test]
+    fn multiplier_matches_u64(
+        width in 1usize..8,
+        keep_frac in 0usize..3,
+        a in 0u64..256,
+        b in 0u64..256,
+    ) {
+        let mask = (1u64 << width) - 1;
+        let (a, b) = (a & mask, b & mask);
+        let out_width = match keep_frac {
+            0 => width,          // the paper's truncation
+            1 => 2 * width,      // full product
+            _ => width + width / 2,
+        };
+        let mut builder = NetlistBuilder::new("mul");
+        let x = builder.input_word("x", width);
+        let y = builder.input_word("y", width);
+        let p = builder.array_multiplier(&x, &y, out_width);
+        builder.output_word("p", &p);
+        let nl = builder.finish().unwrap();
+        let got = eval_two_operands(&nl, a, b, width);
+        let expect = if out_width == 64 { a * b } else { (a * b) & ((1u64 << out_width) - 1) };
+        prop_assert_eq!(got, expect, "width {} out {} {}*{}", width, out_width, a, b);
+    }
+
+    /// Subtraction via the builder's full-adder + inverted operand trick.
+    #[test]
+    fn mux_selects_correct_operand(width in 1usize..10, a in 0u64..1024, b in 0u64..1024, sel: bool) {
+        let mask = (1u64 << width) - 1;
+        let (a, b) = (a & mask, b & mask);
+        let mut builder = NetlistBuilder::new("mux");
+        let s = builder.input("sel");
+        let x = builder.input_word("x", width);
+        let y = builder.input_word("y", width);
+        let m = builder.mux2_word(s, &x, &y);
+        builder.output_word("m", &m);
+        let nl = builder.finish().unwrap();
+        let mut sim = PatternSim::new(&nl);
+        let mut words = vec![if sel { !0u64 } else { 0 }];
+        words.extend(broadcast_pattern(a, width));
+        words.extend(broadcast_pattern(b, width));
+        sim.set_inputs(&words);
+        sim.eval_comb();
+        let outs: Vec<_> = nl.outputs().to_vec();
+        prop_assert_eq!(sim.output_lane(&outs, 0), if sel { b } else { a });
+    }
+
+    /// Lanes are independent: packing N patterns gives the same per-lane
+    /// results as N broadcast evaluations.
+    #[test]
+    fn lanes_match_individual_runs(
+        patterns in proptest::collection::vec(
+            proptest::collection::vec(any::<bool>(), 6), 1..16)
+    ) {
+        let mut builder = NetlistBuilder::new("f");
+        let ins = builder.input_word("x", 6);
+        let g1 = builder.gate(GateKind::And, &[ins[0], ins[1]]);
+        let g2 = builder.gate(GateKind::Xor, &[g1, ins[2]]);
+        let g3 = builder.gate(GateKind::Nor, &[ins[3], ins[4], ins[5]]);
+        let g4 = builder.gate(GateKind::Or, &[g2, g3]);
+        builder.output("y", g4);
+        let nl = builder.finish().unwrap();
+
+        let mut sim = PatternSim::new(&nl);
+        sim.set_inputs(&pack_patterns(&patterns));
+        sim.eval_comb();
+        let packed = sim.value(nl.outputs()[0]);
+
+        for (lane, pat) in patterns.iter().enumerate() {
+            let mut single = PatternSim::new(&nl);
+            let words: Vec<u64> = pat.iter().map(|&b| if b { !0 } else { 0 }).collect();
+            single.set_inputs(&words);
+            single.eval_comb();
+            let expect = single.value(nl.outputs()[0]) & 1;
+            prop_assert_eq!((packed >> lane) & 1, expect, "lane {}", lane);
+        }
+    }
+
+    /// The combinational equivalent of a pipeline computes the same
+    /// function as the sequential circuit after a full flush — the BALLAST
+    /// property the fault-coverage pipeline rests on.
+    #[test]
+    fn comb_equivalent_matches_flushed_pipeline(
+        width in 1usize..6,
+        stages in 1usize..4,
+        a in 0u64..64,
+        b in 0u64..64,
+    ) {
+        let mask = (1u64 << width) - 1;
+        let (a, b) = (a & mask, b & mask);
+        let mut builder = NetlistBuilder::new("pipe");
+        let x = builder.input_word("x", width);
+        let y = builder.input_word("y", width);
+        let (sum, _c) = builder.ripple_carry_adder(&x, &y, None);
+        let mut bus = sum;
+        for _ in 0..stages {
+            bus = builder.register(&bus);
+        }
+        builder.output_word("o", &bus);
+        let nl = builder.finish().unwrap();
+        prop_assert_eq!(nl.sequential_depth(), stages);
+
+        // Sequential: hold inputs, clock `stages` times.
+        let mut seq = PatternSim::new(&nl);
+        let mut words = broadcast_pattern(a, width);
+        words.extend(broadcast_pattern(b, width));
+        seq.set_inputs(&words);
+        for _ in 0..stages {
+            seq.step();
+        }
+        seq.eval_comb();
+        let outs: Vec<_> = nl.outputs().to_vec();
+        let seq_val = seq.output_lane(&outs, 0);
+
+        // Combinational equivalent: one evaluation.
+        let comb = nl.combinational_equivalent();
+        let mut cs = PatternSim::new(&comb);
+        cs.set_inputs(&words);
+        cs.eval_comb();
+        let comb_outs: Vec<_> = comb.outputs().to_vec();
+        prop_assert_eq!(cs.output_lane(&comb_outs, 0), seq_val);
+    }
+
+    /// Levelization always orders drivers before readers.
+    #[test]
+    fn levelize_respects_dependencies(ops in proptest::collection::vec(0u8..6, 1..40)) {
+        // Build a random DAG of gates over a growing net pool.
+        let mut builder = NetlistBuilder::new("rand");
+        let mut pool = vec![builder.input("a"), builder.input("b"), builder.input("c")];
+        for (i, &op) in ops.iter().enumerate() {
+            let x = pool[i % pool.len()];
+            let y = pool[(i * 7 + 1) % pool.len()];
+            let kind = match op {
+                0 => GateKind::And,
+                1 => GateKind::Or,
+                2 => GateKind::Xor,
+                3 => GateKind::Nand,
+                4 => GateKind::Nor,
+                _ => GateKind::Xnor,
+            };
+            let out = builder.gate(kind, &[x, y]);
+            pool.push(out);
+        }
+        builder.output("y", *pool.last().unwrap());
+        let nl = builder.finish().unwrap();
+        let order = nl.levelize().unwrap();
+        let mut pos = vec![usize::MAX; nl.gate_count()];
+        for (i, g) in order.iter().enumerate() {
+            pos[g.index()] = i;
+        }
+        for gid in nl.gate_ids() {
+            for &input in &nl.gate(gid).inputs {
+                if let bibs_netlist::NetDriver::Gate(src) = nl.driver(input) {
+                    prop_assert!(pos[src.index()] < pos[gid.index()]);
+                }
+            }
+        }
+    }
+}

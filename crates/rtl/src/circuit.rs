@@ -1,0 +1,655 @@
+//! The circuit graph data structure (Section 3.1 of the paper).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a vertex (an RTL block) within a [`Circuit`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct VertexId(pub(crate) u32);
+
+/// Identifier of an edge (a register or wire connection) within a
+/// [`Circuit`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct EdgeId(pub(crate) u32);
+
+impl VertexId {
+    /// The raw index of this vertex.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl EdgeId {
+    /// The raw index of this edge.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for VertexId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// The role of a vertex in the circuit graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum VertexKind {
+    /// A combinational logic block.
+    Logic,
+    /// A fanout block: transfers its input to all outputs unaltered.
+    Fanout,
+    /// A vacuous block: pure wires between back-to-back registers.
+    Vacuous,
+    /// A primary input.
+    Input,
+    /// A primary output.
+    Output,
+}
+
+impl fmt::Display for VertexKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            VertexKind::Logic => "logic",
+            VertexKind::Fanout => "fanout",
+            VertexKind::Vacuous => "vacuous",
+            VertexKind::Input => "input",
+            VertexKind::Output => "output",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The word-level function of a logic block, used when elaborating the RTL
+/// circuit to a gate-level netlist for fault simulation.
+///
+/// The paper's datapaths are built from adders and multipliers; `Opaque`
+/// covers blocks whose internals are irrelevant to the structural analyses.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Default)]
+pub enum LogicFunction {
+    /// Word addition (modulo `2^width`).
+    Add,
+    /// Word multiplication keeping the low `out_width` product bits — the
+    /// paper's filter datapaths keep only the 8 least-significant multiplier
+    /// outputs between stages.
+    Mul {
+        /// Number of low product bits kept.
+        out_width: u32,
+    },
+    /// Word subtraction (modulo `2^width`).
+    Sub,
+    /// A block with unspecified combinational contents.
+    #[default]
+    Opaque,
+}
+
+
+/// A vertex of the circuit graph.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Vertex {
+    /// The block's name (unique within the circuit).
+    pub name: String,
+    /// The block's role.
+    pub kind: VertexKind,
+    /// Word-level function, meaningful only for [`VertexKind::Logic`].
+    pub function: LogicFunction,
+}
+
+/// The kind of connection an edge represents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EdgeKind {
+    /// A connection through a register of the given bit width. The paper
+    /// sets `w(e)` to the register width.
+    Register {
+        /// The register's bit width.
+        width: u32,
+    },
+    /// A direct wire connection; the paper sets `w(e) = ∞`.
+    Wire,
+}
+
+impl EdgeKind {
+    /// The sequential length contribution: 1 for a register edge, 0 for a
+    /// wire edge.
+    pub fn seq_len(self) -> u32 {
+        match self {
+            EdgeKind::Register { .. } => 1,
+            EdgeKind::Wire => 0,
+        }
+    }
+
+    /// The register width, if this is a register edge.
+    pub fn width(self) -> Option<u32> {
+        match self {
+            EdgeKind::Register { width } => Some(width),
+            EdgeKind::Wire => None,
+        }
+    }
+}
+
+/// An edge of the circuit graph.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Edge {
+    /// Source vertex (the block driving the connection).
+    pub from: VertexId,
+    /// Destination vertex (the block driven by the connection).
+    pub to: VertexId,
+    /// Register or wire.
+    pub kind: EdgeKind,
+    /// The register's name for register edges (unique within the circuit);
+    /// `None` for wires.
+    pub name: Option<String>,
+}
+
+impl Edge {
+    /// Whether this is a register edge.
+    pub fn is_register(&self) -> bool {
+        matches!(self.kind, EdgeKind::Register { .. })
+    }
+}
+
+/// Errors detected when finishing a [`CircuitBuilder`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CircuitBuildError {
+    /// Two vertices share a name.
+    DuplicateVertexName(String),
+    /// Two register edges share a name.
+    DuplicateRegisterName(String),
+    /// The wire-only subgraph contains a cycle, i.e. a combinational loop,
+    /// which the paper's model forbids (it may behave asynchronously).
+    CombinationalCycle {
+        /// A vertex on the combinational cycle.
+        vertex: VertexId,
+    },
+    /// An `Input` vertex has incoming edges or an `Output` vertex has
+    /// outgoing edges.
+    BadIoDirection {
+        /// The offending vertex.
+        vertex: VertexId,
+    },
+}
+
+impl fmt::Display for CircuitBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CircuitBuildError::DuplicateVertexName(n) => {
+                write!(f, "duplicate vertex name {n:?}")
+            }
+            CircuitBuildError::DuplicateRegisterName(n) => {
+                write!(f, "duplicate register name {n:?}")
+            }
+            CircuitBuildError::CombinationalCycle { vertex } => {
+                write!(f, "combinational cycle through vertex {vertex}")
+            }
+            CircuitBuildError::BadIoDirection { vertex } => {
+                write!(f, "primary input/output vertex {vertex} has edges in the wrong direction")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CircuitBuildError {}
+
+/// A validated circuit graph.
+///
+/// Construct with [`CircuitBuilder`]; the structure is immutable except for
+/// [`Circuit::split_register_edge`], which models inserting an extra
+/// transparent register (the fix the paper prescribes for cycles containing
+/// a single register edge).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Circuit {
+    pub(crate) name: String,
+    pub(crate) vertices: Vec<Vertex>,
+    pub(crate) edges: Vec<Edge>,
+    pub(crate) out_edges: Vec<Vec<EdgeId>>,
+    pub(crate) in_edges: Vec<Vec<EdgeId>>,
+}
+
+impl Circuit {
+    /// The circuit's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of vertices.
+    pub fn vertex_count(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Looks up a vertex.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn vertex(&self, id: VertexId) -> &Vertex {
+        &self.vertices[id.index()]
+    }
+
+    /// Looks up an edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn edge(&self, id: EdgeId) -> &Edge {
+        &self.edges[id.index()]
+    }
+
+    /// Iterates over all vertex ids.
+    pub fn vertex_ids(&self) -> impl Iterator<Item = VertexId> + '_ {
+        (0..self.vertices.len() as u32).map(VertexId)
+    }
+
+    /// Iterates over all edge ids.
+    pub fn edge_ids(&self) -> impl Iterator<Item = EdgeId> + '_ {
+        (0..self.edges.len() as u32).map(EdgeId)
+    }
+
+    /// Iterates over all register edge ids.
+    pub fn register_edges(&self) -> impl Iterator<Item = EdgeId> + '_ {
+        self.edge_ids().filter(|&e| self.edge(e).is_register())
+    }
+
+    /// Outgoing edges of a vertex — the block's *output ports* in the
+    /// paper's terminology.
+    pub fn out_edges(&self, v: VertexId) -> &[EdgeId] {
+        &self.out_edges[v.index()]
+    }
+
+    /// Incoming edges of a vertex — the block's *input ports*.
+    pub fn in_edges(&self, v: VertexId) -> &[EdgeId] {
+        &self.in_edges[v.index()]
+    }
+
+    /// Finds a vertex by name.
+    pub fn vertex_by_name(&self, name: &str) -> Option<VertexId> {
+        self.vertices
+            .iter()
+            .position(|v| v.name == name)
+            .map(|i| VertexId(i as u32))
+    }
+
+    /// Finds a register edge by register name.
+    pub fn register_by_name(&self, name: &str) -> Option<EdgeId> {
+        self.edges
+            .iter()
+            .position(|e| e.name.as_deref() == Some(name))
+            .map(|i| EdgeId(i as u32))
+    }
+
+    /// All primary input vertices.
+    pub fn inputs(&self) -> Vec<VertexId> {
+        self.vertex_ids()
+            .filter(|&v| self.vertex(v).kind == VertexKind::Input)
+            .collect()
+    }
+
+    /// All primary output vertices.
+    pub fn outputs(&self) -> Vec<VertexId> {
+        self.vertex_ids()
+            .filter(|&v| self.vertex(v).kind == VertexKind::Output)
+            .collect()
+    }
+
+    /// Total flip-flop count over all register edges.
+    pub fn total_register_bits(&self) -> u32 {
+        self.edges
+            .iter()
+            .filter_map(|e| e.kind.width())
+            .sum()
+    }
+
+    /// Splits a register edge `u -R-> v` into `u -R-> X -R'-> v` where `X`
+    /// is a new vacuous vertex and `R'` a new register of the same width.
+    ///
+    /// This models the paper's remedy for a cycle containing a single
+    /// register edge: "an extra register needs to be added in the circuit
+    /// [that is] transparent during normal functional mode". Returns the new
+    /// register's edge id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `edge` is not a register edge.
+    pub fn split_register_edge(&mut self, edge: EdgeId, new_name: &str) -> EdgeId {
+        let e = self.edges[edge.index()].clone();
+        let width = match e.kind {
+            EdgeKind::Register { width } => width,
+            EdgeKind::Wire => panic!("can only split register edges"),
+        };
+        let x = VertexId(self.vertices.len() as u32);
+        self.vertices.push(Vertex {
+            name: format!("{}_split", new_name),
+            kind: VertexKind::Vacuous,
+            function: LogicFunction::Opaque,
+        });
+        let new_edge = EdgeId(self.edges.len() as u32);
+        self.edges.push(Edge {
+            from: x,
+            to: e.to,
+            kind: EdgeKind::Register { width },
+            name: Some(new_name.to_string()),
+        });
+        self.edges[edge.index()].to = x;
+        self.rebuild_adjacency();
+        new_edge
+    }
+
+    /// Converts a wire edge into a register edge of the given width.
+    ///
+    /// This models inserting a register on a direct connection — used to
+    /// buffer primary inputs/outputs before applying a BILBO-style TDM.
+    /// Note it adds a pipeline stage to the functional behaviour.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `edge` is already a register edge.
+    pub fn convert_wire_to_register(&mut self, edge: EdgeId, name: impl Into<String>, width: u32) {
+        let e = &mut self.edges[edge.index()];
+        assert_eq!(e.kind, EdgeKind::Wire, "edge is already a register");
+        e.kind = EdgeKind::Register { width };
+        e.name = Some(name.into());
+    }
+
+    pub(crate) fn rebuild_adjacency(&mut self) {
+        self.out_edges = vec![Vec::new(); self.vertices.len()];
+        self.in_edges = vec![Vec::new(); self.vertices.len()];
+        for (i, e) in self.edges.iter().enumerate() {
+            self.out_edges[e.from.index()].push(EdgeId(i as u32));
+            self.in_edges[e.to.index()].push(EdgeId(i as u32));
+        }
+    }
+}
+
+/// Incremental builder for [`Circuit`].
+///
+/// See the [crate-level example](crate) for usage.
+#[derive(Debug, Clone)]
+pub struct CircuitBuilder {
+    name: String,
+    vertices: Vec<Vertex>,
+    edges: Vec<Edge>,
+}
+
+impl CircuitBuilder {
+    /// Creates an empty builder for a circuit with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        CircuitBuilder {
+            name: name.into(),
+            vertices: Vec::new(),
+            edges: Vec::new(),
+        }
+    }
+
+    fn add_vertex(&mut self, name: impl Into<String>, kind: VertexKind) -> VertexId {
+        let id = VertexId(self.vertices.len() as u32);
+        self.vertices.push(Vertex {
+            name: name.into(),
+            kind,
+            function: LogicFunction::Opaque,
+        });
+        id
+    }
+
+    /// Adds a primary input vertex.
+    pub fn input(&mut self, name: impl Into<String>) -> VertexId {
+        self.add_vertex(name, VertexKind::Input)
+    }
+
+    /// Adds a primary output vertex.
+    pub fn output(&mut self, name: impl Into<String>) -> VertexId {
+        self.add_vertex(name, VertexKind::Output)
+    }
+
+    /// Adds a combinational logic block with unspecified contents.
+    pub fn logic(&mut self, name: impl Into<String>) -> VertexId {
+        self.add_vertex(name, VertexKind::Logic)
+    }
+
+    /// Adds a combinational logic block with a word-level function.
+    pub fn logic_fn(&mut self, name: impl Into<String>, function: LogicFunction) -> VertexId {
+        let id = self.add_vertex(name, VertexKind::Logic);
+        self.vertices[id.index()].function = function;
+        id
+    }
+
+    /// Adds a fanout block.
+    pub fn fanout(&mut self, name: impl Into<String>) -> VertexId {
+        self.add_vertex(name, VertexKind::Fanout)
+    }
+
+    /// Adds a vacuous block.
+    pub fn vacuous(&mut self, name: impl Into<String>) -> VertexId {
+        self.add_vertex(name, VertexKind::Vacuous)
+    }
+
+    /// Adds a register edge of the given width.
+    pub fn register(
+        &mut self,
+        name: impl Into<String>,
+        width: u32,
+        from: VertexId,
+        to: VertexId,
+    ) -> EdgeId {
+        let id = EdgeId(self.edges.len() as u32);
+        self.edges.push(Edge {
+            from,
+            to,
+            kind: EdgeKind::Register { width },
+            name: Some(name.into()),
+        });
+        id
+    }
+
+    /// Adds a wire edge.
+    pub fn wire(&mut self, from: VertexId, to: VertexId) -> EdgeId {
+        let id = EdgeId(self.edges.len() as u32);
+        self.edges.push(Edge {
+            from,
+            to,
+            kind: EdgeKind::Wire,
+            name: None,
+        });
+        id
+    }
+
+    /// Finishes construction, validating the circuit graph.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on duplicate names, combinational (wire-only)
+    /// cycles, or edges entering an input / leaving an output.
+    pub fn finish(self) -> Result<Circuit, CircuitBuildError> {
+        // Name uniqueness.
+        let mut names: Vec<&str> = self.vertices.iter().map(|v| v.name.as_str()).collect();
+        names.sort_unstable();
+        if let Some(w) = names.windows(2).find(|w| w[0] == w[1]) {
+            return Err(CircuitBuildError::DuplicateVertexName(w[0].to_string()));
+        }
+        let mut regs: Vec<&str> = self
+            .edges
+            .iter()
+            .filter_map(|e| e.name.as_deref())
+            .collect();
+        regs.sort_unstable();
+        if let Some(w) = regs.windows(2).find(|w| w[0] == w[1]) {
+            return Err(CircuitBuildError::DuplicateRegisterName(w[0].to_string()));
+        }
+        let mut circuit = Circuit {
+            name: self.name,
+            vertices: self.vertices,
+            edges: self.edges,
+            out_edges: Vec::new(),
+            in_edges: Vec::new(),
+        };
+        circuit.rebuild_adjacency();
+        // IO direction.
+        for v in circuit.vertex_ids() {
+            match circuit.vertex(v).kind {
+                VertexKind::Input if !circuit.in_edges(v).is_empty() => {
+                    return Err(CircuitBuildError::BadIoDirection { vertex: v });
+                }
+                VertexKind::Output if !circuit.out_edges(v).is_empty() => {
+                    return Err(CircuitBuildError::BadIoDirection { vertex: v });
+                }
+                _ => {}
+            }
+        }
+        // Combinational (wire-only) cycles: Kahn over the wire subgraph.
+        let n = circuit.vertex_count();
+        let mut indeg = vec![0usize; n];
+        for e in &circuit.edges {
+            if e.kind == EdgeKind::Wire {
+                indeg[e.to.index()] += 1;
+            }
+        }
+        let mut queue: Vec<usize> = (0..n).filter(|&v| indeg[v] == 0).collect();
+        let mut seen = 0usize;
+        while let Some(v) = queue.pop() {
+            seen += 1;
+            for &eid in circuit.out_edges(VertexId(v as u32)) {
+                let e = circuit.edge(eid);
+                if e.kind == EdgeKind::Wire {
+                    indeg[e.to.index()] -= 1;
+                    if indeg[e.to.index()] == 0 {
+                        queue.push(e.to.index());
+                    }
+                }
+            }
+        }
+        if seen != n {
+            let stuck = (0..n).find(|&v| indeg[v] > 0).expect("cycle exists");
+            return Err(CircuitBuildError::CombinationalCycle {
+                vertex: VertexId(stuck as u32),
+            });
+        }
+        Ok(circuit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_records_structure() {
+        let mut b = CircuitBuilder::new("t");
+        let pi = b.input("PI");
+        let f = b.fanout("F");
+        let c = b.logic("C");
+        let po = b.output("PO");
+        b.wire(pi, f);
+        b.wire(f, c);
+        let r = b.register("R", 8, f, c);
+        b.register("Rout", 8, c, po);
+        let circuit = b.finish().unwrap();
+        assert_eq!(circuit.vertex_count(), 4);
+        assert_eq!(circuit.edge_count(), 4);
+        assert_eq!(circuit.register_edges().count(), 2);
+        assert_eq!(circuit.edge(r).kind, EdgeKind::Register { width: 8 });
+        assert_eq!(circuit.total_register_bits(), 16);
+        assert_eq!(circuit.in_edges(c).len(), 2);
+    }
+
+    #[test]
+    fn duplicate_vertex_names_rejected() {
+        let mut b = CircuitBuilder::new("t");
+        b.logic("X");
+        b.logic("X");
+        assert!(matches!(
+            b.finish(),
+            Err(CircuitBuildError::DuplicateVertexName(_))
+        ));
+    }
+
+    #[test]
+    fn duplicate_register_names_rejected() {
+        let mut b = CircuitBuilder::new("t");
+        let a = b.logic("A");
+        let c = b.logic("B");
+        b.register("R", 4, a, c);
+        b.register("R", 4, c, a);
+        assert!(matches!(
+            b.finish(),
+            Err(CircuitBuildError::DuplicateRegisterName(_))
+        ));
+    }
+
+    #[test]
+    fn combinational_cycle_rejected() {
+        let mut b = CircuitBuilder::new("t");
+        let a = b.logic("A");
+        let c = b.logic("B");
+        b.wire(a, c);
+        b.wire(c, a);
+        assert!(matches!(
+            b.finish(),
+            Err(CircuitBuildError::CombinationalCycle { .. })
+        ));
+    }
+
+    #[test]
+    fn sequential_cycle_allowed_at_build_time() {
+        // Cycles through registers are legal structure (the F/H loop of
+        // the paper's Figure 3); the TDM handles them later.
+        let mut b = CircuitBuilder::new("t");
+        let f = b.logic("F");
+        let h = b.logic("H");
+        b.register("R1", 4, f, h);
+        b.register("R2", 4, h, f);
+        assert!(b.finish().is_ok());
+    }
+
+    #[test]
+    fn io_direction_enforced() {
+        let mut b = CircuitBuilder::new("t");
+        let pi = b.input("PI");
+        let c = b.logic("C");
+        b.wire(c, pi);
+        assert!(matches!(
+            b.finish(),
+            Err(CircuitBuildError::BadIoDirection { .. })
+        ));
+    }
+
+    #[test]
+    fn split_register_edge_inserts_vacuous_stage() {
+        let mut b = CircuitBuilder::new("t");
+        let f = b.logic("F");
+        let h = b.logic("H");
+        let r1 = b.register("R1", 4, f, h);
+        b.register("R2", 4, h, f);
+        let mut circuit = b.finish().unwrap();
+        let before_edges = circuit.edge_count();
+        let new_edge = circuit.split_register_edge(r1, "R1b");
+        assert_eq!(circuit.edge_count(), before_edges + 1);
+        assert!(circuit.edge(new_edge).is_register());
+        // R1 now ends at the vacuous vertex; the new edge continues to H.
+        let mid = circuit.edge(r1).to;
+        assert_eq!(circuit.vertex(mid).kind, VertexKind::Vacuous);
+        assert_eq!(circuit.edge(new_edge).from, mid);
+        assert_eq!(circuit.vertex(circuit.edge(new_edge).to).name, "H");
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let mut b = CircuitBuilder::new("t");
+        let a = b.logic("A");
+        let c = b.logic("B");
+        b.register("R", 4, a, c);
+        let circuit = b.finish().unwrap();
+        assert_eq!(circuit.vertex_by_name("A"), Some(a));
+        assert!(circuit.register_by_name("R").is_some());
+        assert!(circuit.vertex_by_name("Z").is_none());
+    }
+}

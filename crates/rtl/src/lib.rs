@@ -1,0 +1,54 @@
+//! RTL circuit model and circuit graph for the BIBS reproduction.
+//!
+//! Section 3.1 of the paper models a circuit under consideration (CUC) as a
+//! directed graph `G = (V, E, w)`:
+//!
+//! * vertices represent combinational **logic blocks**, **fanout blocks**,
+//!   **vacuous blocks** (pure wire blocks between back-to-back registers) and
+//!   **primary inputs/outputs**;
+//! * edges represent connections either **through a register** (weight = the
+//!   register width) or **through wires** (weight = ∞);
+//! * combinational cycles are forbidden (they would behave asynchronously).
+//!
+//! This crate provides that model ([`Circuit`], [`CircuitBuilder`]) plus the
+//! structural analyses the BIBS TDM is built on:
+//!
+//! * cycle enumeration (a cycle must contain at least one register edge);
+//! * **balance** checking — all directed paths between every vertex pair
+//!   have equal *sequential length* (number of register edges);
+//! * **URFS** (unbalanced reconvergent-fanout structure) witnesses;
+//! * per-source sequential-length maps, reachability, and output **cones**;
+//! * a compact text format ([`fmt`]) standing in for the EDIF import/export
+//!   of the authors' BITS system.
+//!
+//! # Example
+//!
+//! ```
+//! use bibs_rtl::CircuitBuilder;
+//!
+//! // The paper's Figure 2: PI -R1-> C1 -R2-> C2 -R3-> PO
+//! let mut b = CircuitBuilder::new("fig2");
+//! let pi = b.input("PI");
+//! let c1 = b.logic("C1");
+//! let c2 = b.logic("C2");
+//! let po = b.output("PO");
+//! b.register("R1", 8, pi, c1);
+//! b.register("R2", 8, c1, c2);
+//! b.register("R3", 8, c2, po);
+//! let circuit = b.finish().expect("well-formed");
+//! assert!(circuit.is_acyclic());
+//! assert!(circuit.is_balanced());
+//! ```
+#![warn(missing_docs)]
+
+
+mod analysis;
+mod circuit;
+pub mod dot;
+pub mod fmt;
+
+pub use analysis::{BalanceReport, PairImbalance, SeqLen};
+pub use circuit::{
+    Circuit, CircuitBuildError, CircuitBuilder, Edge, EdgeId, EdgeKind, LogicFunction, Vertex,
+    VertexId, VertexKind,
+};

@@ -1,0 +1,172 @@
+//! Property-based tests for the circuit-graph analyses.
+
+use bibs_rtl::{Circuit, CircuitBuilder, SeqLen, VertexId};
+use proptest::prelude::*;
+
+/// Builds a random layered DAG circuit: `layers` layers of logic blocks,
+/// edges only forward, each edge randomly register (with width) or wire.
+/// Always acyclic and combinationally legal.
+fn random_dag(
+    layer_sizes: &[usize],
+    edge_choices: &[(usize, usize, bool, u8)],
+) -> Circuit {
+    let mut b = CircuitBuilder::new("rand");
+    let pi = b.input("PI");
+    let mut layers: Vec<Vec<VertexId>> = Vec::new();
+    let mut counter = 0usize;
+    for &size in layer_sizes {
+        let layer: Vec<VertexId> = (0..size)
+            .map(|_| {
+                counter += 1;
+                b.logic(format!("L{counter}"))
+            })
+            .collect();
+        layers.push(layer);
+    }
+    let po = b.output("PO");
+    // PI feeds every first-layer block through a register (keeps IO legal).
+    for (i, &v) in layers[0].clone().iter().enumerate() {
+        b.register(format!("Rin{i}"), 4, pi, v);
+    }
+    // Random forward edges between consecutive layers.
+    let mut reg_count = 0usize;
+    for &(from_idx, to_idx, is_reg, width) in edge_choices {
+        let li = from_idx % (layers.len() - 1);
+        let from = layers[li][from_idx % layers[li].len()];
+        let to = layers[li + 1][to_idx % layers[li + 1].len()];
+        if is_reg {
+            reg_count += 1;
+            b.register(format!("R{reg_count}"), (width % 8) as u32 + 1, from, to);
+        } else {
+            b.wire(from, to);
+        }
+    }
+    // Every last-layer block feeds the PO through a register.
+    for (i, &v) in layers.last().unwrap().clone().iter().enumerate() {
+        b.register(format!("Rout{i}"), 4, v, po);
+    }
+    // Ensure connectivity: chain each layer's first block to the next.
+    for w in 0..layers.len() - 1 {
+        b.wire(layers[w][0], layers[w + 1][0]);
+    }
+    b.finish().expect("layered DAGs are well-formed")
+}
+
+fn dag_strategy() -> impl Strategy<Value = Circuit> {
+    (
+        proptest::collection::vec(1usize..4, 2..5),
+        proptest::collection::vec(
+            (any::<usize>(), any::<usize>(), any::<bool>(), any::<u8>()),
+            0..15,
+        ),
+    )
+        .prop_map(|(layers, edges)| random_dag(&layers, &edges))
+}
+
+proptest! {
+    /// Layered DAGs are always acyclic, and topo_order is a valid
+    /// topological order.
+    #[test]
+    fn topo_order_is_valid(circuit in dag_strategy()) {
+        prop_assert!(circuit.is_acyclic());
+        let order = circuit.topo_order().unwrap();
+        prop_assert_eq!(order.len(), circuit.vertex_count());
+        let mut pos = vec![usize::MAX; circuit.vertex_count()];
+        for (i, v) in order.iter().enumerate() {
+            pos[v.index()] = i;
+        }
+        for e in circuit.edge_ids() {
+            let edge = circuit.edge(e);
+            prop_assert!(pos[edge.from.index()] < pos[edge.to.index()]);
+        }
+    }
+
+    /// balance_report and seq_lengths agree: the circuit is balanced iff
+    /// no per-source map contains a conflict.
+    #[test]
+    fn balance_consistency(circuit in dag_strategy()) {
+        let report = circuit.balance_report();
+        let any_conflict = circuit.vertex_ids().any(|src| {
+            circuit
+                .seq_lengths_from(src)
+                .unwrap()
+                .iter()
+                .any(|l| matches!(l, SeqLen::Conflict { .. }))
+        });
+        prop_assert_eq!(report.is_balanced(), !any_conflict);
+        prop_assert_eq!(circuit.is_balanced(), report.is_balanced());
+    }
+
+    /// Sequential lengths are path-consistent: for every edge u→v with
+    /// weight w, reachable u implies d(v) bounds compatible with d(u)+w.
+    #[test]
+    fn seq_lengths_respect_edges(circuit in dag_strategy()) {
+        for src in circuit.vertex_ids() {
+            let lens = circuit.seq_lengths_from(src).unwrap();
+            for e in circuit.edge_ids() {
+                let edge = circuit.edge(e);
+                let w = edge.kind.seq_len();
+                let (umin, umax) = match lens[edge.from.index()] {
+                    SeqLen::Unreachable => continue,
+                    SeqLen::Exact(d) => (d, d),
+                    SeqLen::Conflict { min, max } => (min, max),
+                };
+                match lens[edge.to.index()] {
+                    SeqLen::Unreachable => prop_assert!(false, "target must be reachable"),
+                    SeqLen::Exact(d) => {
+                        prop_assert!(d >= umin + w || d <= umax + w);
+                    }
+                    SeqLen::Conflict { min, max } => {
+                        prop_assert!(min <= umin + w);
+                        prop_assert!(max >= umax + w);
+                    }
+                }
+            }
+        }
+    }
+
+    /// The text format round-trips any generated circuit.
+    #[test]
+    fn text_format_round_trips(circuit in dag_strategy()) {
+        let text = bibs_rtl::fmt::to_text(&circuit);
+        let parsed = bibs_rtl::fmt::from_text(&text).unwrap();
+        prop_assert_eq!(parsed.vertex_count(), circuit.vertex_count());
+        prop_assert_eq!(parsed.edge_count(), circuit.edge_count());
+        prop_assert_eq!(parsed.total_register_bits(), circuit.total_register_bits());
+        // Printing again is a fixpoint.
+        prop_assert_eq!(bibs_rtl::fmt::to_text(&parsed), text);
+    }
+
+    /// Reachability is reflexive and monotone along edges.
+    #[test]
+    fn reachability_closure(circuit in dag_strategy()) {
+        for src in circuit.vertex_ids() {
+            let reach = circuit.reachable_from_filtered(src, |_| true);
+            prop_assert!(reach[src.index()]);
+            for e in circuit.edge_ids() {
+                let edge = circuit.edge(e);
+                if reach[edge.from.index()] {
+                    prop_assert!(reach[edge.to.index()]);
+                }
+            }
+        }
+    }
+
+    /// Splitting a register edge preserves acyclicity and adds exactly one
+    /// register and one vacuous vertex.
+    #[test]
+    fn split_register_preserves_structure(circuit in dag_strategy(), pick in any::<proptest::sample::Index>()) {
+        let regs: Vec<_> = circuit.register_edges().collect();
+        prop_assume!(!regs.is_empty());
+        let target = regs[pick.index(regs.len())];
+        let mut c2 = circuit.clone();
+        let new_edge = c2.split_register_edge(target, "Rs");
+        prop_assert!(c2.is_acyclic());
+        prop_assert_eq!(c2.edge_count(), circuit.edge_count() + 1);
+        prop_assert_eq!(c2.vertex_count(), circuit.vertex_count() + 1);
+        prop_assert_eq!(
+            c2.edge(new_edge).kind.width(),
+            circuit.edge(target).kind.width()
+        );
+    }
+}

@@ -1,0 +1,41 @@
+//! Compares the BIBS TDM with the Krasniewski–Albicki TDM on one of the
+//! paper's filter datapaths, at reduced width so it runs in seconds.
+//!
+//! This is the Table 2 experiment in miniature: hardware, delay, sessions
+//! and coverage-driven pattern counts for both methodologies.
+//!
+//! Run with `cargo run --release --example filter_comparison`.
+
+use bibs_bench::{render_table2, table2_column, Table2Options, Tdm};
+use bibs_datapath::filters::scaled;
+
+fn main() {
+    let width = 4;
+    let circuit = scaled("c3a2m", width);
+    println!(
+        "circuit {} ({} registers, {} flip-flops, balanced = {})",
+        circuit.name(),
+        circuit.register_edges().count(),
+        circuit.total_register_bits(),
+        circuit.is_balanced()
+    );
+    let options = Table2Options::default();
+    let b = table2_column(&circuit, Tdm::Bibs, &options);
+    let k = table2_column(&circuit, Tdm::Ka85, &options);
+    println!("{}", render_table2(&[(b.clone(), k.clone())]));
+    println!("reading the shape (matches the paper's Table 2):");
+    println!(
+        "  hardware: BIBS {} vs [3] {} BILBO registers — BIBS saves {}",
+        b.bilbo_count,
+        k.bilbo_count,
+        k.bilbo_count - b.bilbo_count
+    );
+    println!(
+        "  performance: max delay {} vs {} time units",
+        b.max_delay, k.max_delay
+    );
+    println!(
+        "  test time to 100%: BIBS {} vs [3] {} — the paper's trade-off",
+        b.time_100, k.time_100
+    );
+}

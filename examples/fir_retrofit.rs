@@ -1,0 +1,67 @@
+//! Retrofitting BIST onto filter structures that are *not* born balanced:
+//! a transposed-form FIR (unbalanced reconvergence) and a biquad IIR
+//! section (feedback cycle).
+//!
+//! Shows the two harder paths through the BIBS TDM: extra internal BILBO
+//! conversions to balance an URFS, and the CBILBO / register-splitting
+//! remedies for cycles (Theorem 2 and its single-register-cycle note).
+//!
+//! Run with `cargo run --release --example fir_retrofit`.
+
+use bibs::bibs::{ensure_io_registers, select, BibsOptions, SingleRegisterCycleFix};
+use bibs::design::{is_bibs_testable, kernels};
+use bibs::kstep::k_step;
+use bibs_datapath::filters::{biquad_iir, fir_transposed};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("== transposed-form FIR (4 taps) ==");
+    let fir = fir_transposed(4);
+    println!(
+        "balanced = {}, k-step functional testability = {:?}",
+        fir.is_balanced(),
+        k_step(&fir)
+    );
+    let result = select(&fir, &BibsOptions::default())?;
+    println!(
+        "BIBS converts {} of {} registers ({} as CBILBO) -> {} kernel(s), testable = {}",
+        result.design.register_count(),
+        fir.register_edges().count(),
+        result.design.cbilbo.len(),
+        kernels(&result.circuit, &result.design).len(),
+        is_bibs_testable(&result.circuit, &result.design)
+    );
+    let names: Vec<_> = result
+        .design
+        .bilbo
+        .iter()
+        .chain(&result.design.cbilbo)
+        .filter_map(|&e| result.circuit.edge(e).name.clone())
+        .collect();
+    println!("converted: {names:?}");
+
+    println!("\n== biquad IIR section (feedback cycle) ==");
+    let mut iir = biquad_iir();
+    println!("acyclic = {}", iir.is_acyclic());
+    // The accumulator output reaches the PO through a wire; BIST needs a
+    // register there to act as the signature analyzer.
+    let inserted = ensure_io_registers(&mut iir, 8);
+    println!("inserted {} output register(s)", inserted.len());
+    for fix in [
+        SingleRegisterCycleFix::Cbilbo,
+        SingleRegisterCycleFix::SplitRegister,
+    ] {
+        let options = BibsOptions {
+            cycle_fix: fix,
+            ..BibsOptions::default()
+        };
+        let result = select(&iir, &options)?;
+        println!(
+            "{fix:?}: {} BILBO + {} CBILBO registers, {} register edges total, testable = {}",
+            result.design.bilbo.len(),
+            result.design.cbilbo.len(),
+            result.circuit.register_edges().count(),
+            is_bibs_testable(&result.circuit, &result.design)
+        );
+    }
+    Ok(())
+}

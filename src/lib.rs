@@ -1,0 +1,27 @@
+//! **bibs** — facade crate for the BIBS (Built-In test for Balanced
+//! Structure) reproduction.
+//!
+//! Re-exports the core methodology ([`bibs_core`]) at the top level and the
+//! substrate crates under their own names. See the workspace README for the
+//! architecture and `DESIGN.md` for the paper-to-module map.
+//!
+//! # Example
+//!
+//! ```
+//! use bibs::kstep::is_one_step;
+//! use bibs_datapath::filters::c5a2m;
+//!
+//! // The paper's filter datapaths are balanced, hence 1-step
+//! // functionally testable — the property the whole TDM rests on.
+//! assert!(is_one_step(&c5a2m()));
+//! ```
+#![warn(missing_docs)]
+
+
+pub use bibs_core::*;
+
+pub use bibs_datapath as datapath;
+pub use bibs_faultsim as faultsim;
+pub use bibs_lfsr as lfsr;
+pub use bibs_netlist as netlist;
+pub use bibs_rtl as rtl;
