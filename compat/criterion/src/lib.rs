@@ -1,0 +1,347 @@
+//! Offline, API-compatible subset of the `criterion` benchmark harness.
+//!
+//! The BIBS build environment has no network access to crates.io, so the
+//! workspace vendors the criterion surface its benches use:
+//! [`criterion_group!`], [`criterion_main!`], [`Criterion::bench_function`],
+//! [`Criterion::benchmark_group`], [`Bencher::iter`],
+//! [`Bencher::iter_batched`], [`BenchmarkId`], [`BatchSize`] and
+//! [`black_box`].
+//!
+//! Measurement model: each benchmark is calibrated until one batch takes
+//! ≥ `CALIBRATION_TARGET`, then `sample_size` batches are timed and the
+//! per-iteration mean / median / min are reported as text, e.g.
+//!
+//! ```text
+//! fault_sim_block64/8     time: [med 183.21 µs  mean 184.02 µs  min 180.77 µs]  (20 samples × 54 iters)
+//! ```
+//!
+//! No plotting, no statistical regression against saved baselines — the
+//! numbers land on stdout and in `EXPERIMENTS.md` by hand, which is how
+//! this repository records results anyway.
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How long calibration grows a batch before sampling starts.
+const CALIBRATION_TARGET: Duration = Duration::from_millis(8);
+
+/// Default number of measured samples per benchmark.
+const DEFAULT_SAMPLE_SIZE: usize = 20;
+
+/// How `iter_batched` amortizes setup cost. Only `SmallInput` semantics
+/// are distinguished here: every variant times the routine per batch and
+/// excludes setup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Inputs are cheap to set up; batches may be large.
+    SmallInput,
+    /// Inputs are expensive; batches stay small.
+    LargeInput,
+    /// One setup per routine call.
+    PerIteration,
+}
+
+/// A benchmark identifier: `function_id/parameter`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter, rendered `name/param`.
+    pub fn new(function_id: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_id.into(), parameter),
+        }
+    }
+
+    /// An id carrying only a parameter (grouped benches).
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// The timing loop handed to benchmark closures.
+#[derive(Debug)]
+pub struct Bencher {
+    sample_size: usize,
+    /// Mean/median/min per-iteration nanoseconds plus sample geometry,
+    /// filled in by `iter`/`iter_batched`.
+    result: Option<Sample>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Sample {
+    mean_ns: f64,
+    median_ns: f64,
+    min_ns: f64,
+    samples: usize,
+    iters_per_sample: u64,
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+impl Bencher {
+    fn new(sample_size: usize) -> Self {
+        Bencher {
+            sample_size,
+            result: None,
+        }
+    }
+
+    /// Times `routine`, automatically sizing batches.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Calibrate: double the batch until it takes long enough to trust
+        // the clock.
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= CALIBRATION_TARGET || iters >= 1 << 30 {
+                break;
+            }
+            iters = iters.saturating_mul(2);
+        }
+        // Sample.
+        let mut per_iter: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            per_iter.push(start.elapsed().as_secs_f64() * 1e9 / iters as f64);
+        }
+        self.record(per_iter, iters);
+    }
+
+    /// Times `routine` over inputs produced by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        // Calibrate the per-call cost with one-input batches.
+        let mut iters: u64 = 1;
+        loop {
+            let inputs: Vec<I> = (0..iters).map(|_| setup()).collect();
+            let start = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= CALIBRATION_TARGET || iters >= 1 << 20 {
+                break;
+            }
+            iters = iters.saturating_mul(2);
+        }
+        let mut per_iter: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let inputs: Vec<I> = (0..iters).map(|_| setup()).collect();
+            let start = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            per_iter.push(start.elapsed().as_secs_f64() * 1e9 / iters as f64);
+        }
+        self.record(per_iter, iters);
+    }
+
+    fn record(&mut self, mut per_iter: Vec<f64>, iters: u64) {
+        per_iter.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+        let n = per_iter.len().max(1);
+        let mean = per_iter.iter().sum::<f64>() / n as f64;
+        let median = per_iter.get(n / 2).copied().unwrap_or(mean);
+        let min = per_iter.first().copied().unwrap_or(mean);
+        self.result = Some(Sample {
+            mean_ns: mean,
+            median_ns: median,
+            min_ns: min,
+            samples: n,
+            iters_per_sample: iters,
+        });
+    }
+}
+
+fn report(name: &str, sample: Option<Sample>) {
+    match sample {
+        Some(s) => println!(
+            "{name:<44} time: [med {}  mean {}  min {}]  ({} samples × {} iters)",
+            fmt_ns(s.median_ns),
+            fmt_ns(s.mean_ns),
+            fmt_ns(s.min_ns),
+            s.samples,
+            s.iters_per_sample
+        ),
+        None => println!("{name:<44} (no measurement recorded)"),
+    }
+}
+
+/// The benchmark registry / driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(DEFAULT_SAMPLE_SIZE);
+        f(&mut b);
+        report(id, b.result);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            sample_size: DEFAULT_SAMPLE_SIZE,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and sample size.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of measured samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id), b.result);
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id), b.result);
+        self
+    }
+
+    /// Finishes the group (renders nothing extra in this subset).
+    pub fn finish(self) {}
+}
+
+/// Declares a function that runs the listed benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench`/`cargo test --benches` pass harness flags
+            // (`--bench`, `--test`, filters); this subset runs everything
+            // unconditionally and ignores them.
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher::new(3);
+        b.iter(|| (0..100u64).sum::<u64>());
+        let s = b.result.expect("sample recorded");
+        assert!(s.min_ns > 0.0 && s.mean_ns >= s.min_ns);
+        assert_eq!(s.samples, 3);
+    }
+
+    #[test]
+    fn iter_batched_excludes_setup() {
+        let mut b = Bencher::new(2);
+        b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput);
+        assert!(b.result.is_some());
+    }
+
+    #[test]
+    fn ids_render() {
+        assert_eq!(BenchmarkId::new("f", 8).to_string(), "f/8");
+        assert_eq!(BenchmarkId::from_parameter(8).to_string(), "8");
+    }
+
+    #[test]
+    fn group_runs() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2);
+        group.bench_with_input(BenchmarkId::from_parameter(1), &1, |b, _| {
+            b.iter(|| black_box(1 + 1))
+        });
+        group.finish();
+        c.bench_function("lone", |b| b.iter(|| black_box(2 * 2)));
+    }
+}

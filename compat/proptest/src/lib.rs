@@ -1,0 +1,656 @@
+//! Offline, API-compatible subset of the `proptest` crate.
+//!
+//! The BIBS build environment has no network access to crates.io, so the
+//! workspace vendors the slice of proptest it uses: the [`proptest!`]
+//! macro (including `#![proptest_config(..)]`), range / tuple / `any` /
+//! [`collection::vec`] strategies, [`Strategy::prop_map`] and
+//! [`Strategy::prop_filter_map`], [`sample::Index`], and the
+//! `prop_assert*` / `prop_assume!` macros.
+//!
+//! Differences from upstream, deliberately accepted:
+//!
+//! * **No shrinking.** A failing case reports the assertion message; the
+//!   per-test RNG is seeded from the test *name*, so a failure reproduces
+//!   exactly on re-run — which is what matters for CI triage.
+//! * Strategies are generators (`new_value`), not value trees.
+//! * Rejection (via `prop_assume!` or `prop_filter*`) re-draws from the
+//!   same stream, with a global cap so a bad strategy cannot loop forever.
+#![warn(missing_docs)]
+
+use std::marker::PhantomData;
+use std::ops::Range;
+
+/// Test-runner plumbing: the per-test RNG, config and case outcome.
+pub mod test_runner {
+    /// Deterministic generator used to drive all strategies of one test.
+    ///
+    /// Seeded from the test function's name so every run of the suite
+    /// draws the same cases — failures are reproducible without persisted
+    /// regression files.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Creates the RNG for the named test.
+        pub fn deterministic(name: &str) -> Self {
+            // FNV-1a over the test name, then SplitMix64 in `next_u64`.
+            let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            TestRng { state: h }
+        }
+
+        /// Next 64 uniform bits (SplitMix64).
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    /// Why a test case ended without passing.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// The case was rejected (`prop_assume!` failed); draw another.
+        Reject(String),
+        /// The case failed an assertion.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        /// A failed-assertion outcome.
+        pub fn fail(msg: String) -> Self {
+            TestCaseError::Fail(msg)
+        }
+
+        /// A rejected-case outcome.
+        pub fn reject(msg: String) -> Self {
+            TestCaseError::Reject(msg)
+        }
+    }
+
+    /// Per-`proptest!` block configuration.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of successful cases required.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` successful cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 256 }
+        }
+    }
+}
+
+pub use test_runner::Config as ProptestConfig;
+
+use test_runner::TestRng;
+
+/// A value generator. Upstream proptest's `Strategy` produces shrinkable
+/// value trees; this subset produces plain values.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Keeps only values satisfying `f`, re-drawing otherwise.
+    fn prop_filter<F>(self, reason: &'static str, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            reason,
+            f,
+        }
+    }
+
+    /// Maps values through `f`, re-drawing whenever `f` returns `None`.
+    fn prop_filter_map<O, F>(self, reason: &'static str, f: F) -> FilterMap<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> Option<O>,
+    {
+        FilterMap {
+            inner: self,
+            reason,
+            f,
+        }
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy {
+            inner: std::rc::Rc::new(self),
+        }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).new_value(rng)
+    }
+}
+
+/// Retry budget for `prop_filter*` strategies before giving up.
+const FILTER_RETRIES: usize = 65_536;
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn new_value(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.new_value(rng))
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+#[derive(Debug, Clone)]
+pub struct Filter<S, F> {
+    inner: S,
+    reason: &'static str,
+    f: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn new_value(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..FILTER_RETRIES {
+            let v = self.inner.new_value(rng);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter exhausted retries: {}", self.reason);
+    }
+}
+
+/// See [`Strategy::prop_filter_map`].
+#[derive(Debug, Clone)]
+pub struct FilterMap<S, F> {
+    inner: S,
+    reason: &'static str,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> Option<O>> Strategy for FilterMap<S, F> {
+    type Value = O;
+    fn new_value(&self, rng: &mut TestRng) -> O {
+        for _ in 0..FILTER_RETRIES {
+            if let Some(v) = (self.f)(self.inner.new_value(rng)) {
+                return v;
+            }
+        }
+        panic!("prop_filter_map exhausted retries: {}", self.reason);
+    }
+}
+
+/// A type-erased strategy (upstream's `BoxedStrategy`).
+#[derive(Clone)]
+pub struct BoxedStrategy<T> {
+    inner: std::rc::Rc<dyn Strategy<Value = T>>,
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        self.inner.new_value(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let off = ((rng.next_u64() as u128 * span) >> 64) as i128;
+                (self.start as i128 + off) as $t
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<u128> {
+    type Value = u128;
+    fn new_value(&self, rng: &mut TestRng) -> u128 {
+        assert!(self.start < self.end, "empty range strategy");
+        let span = self.end - self.start;
+        let draw = ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128;
+        self.start + draw % span
+    }
+}
+
+impl Strategy for Range<i128> {
+    type Value = i128;
+    fn new_value(&self, rng: &mut TestRng) -> i128 {
+        assert!(self.start < self.end, "empty range strategy");
+        let span = self.end.wrapping_sub(self.start) as u128;
+        let draw = ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128;
+        self.start.wrapping_add((draw % span) as i128)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.new_value(rng),)+)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+/// Always produces a clone of the given value (upstream's `Just`).
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn new_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical "uniform-ish" strategy, used by [`any`].
+pub trait Arbitrary: Sized {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// The strategy returned by [`any`].
+#[derive(Debug)]
+pub struct Any<T>(PhantomData<T>);
+
+impl<T> Clone for Any<T> {
+    fn clone(&self) -> Self {
+        Any(PhantomData)
+    }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// A strategy for any value of type `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// A length specification for [`vec`]: a fixed size or a half-open
+    /// range of sizes.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    /// See [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi - self.size.lo) as u64;
+            let len = self.size.lo + (rng.next_u64() % span) as usize;
+            (0..len).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+
+    /// A strategy producing `Vec`s of `element` values with a length drawn
+    /// from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+/// Sampling helpers.
+pub mod sample {
+    use super::{Arbitrary, TestRng};
+
+    /// An arbitrary index into a collection whose length is only known at
+    /// use time (upstream's `proptest::sample::Index`).
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct Index(usize);
+
+    impl Index {
+        /// Maps this index into `0..len`.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `len` is zero.
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index on empty collection");
+            self.0 % len
+        }
+    }
+
+    impl Arbitrary for Index {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            Index(rng.next_u64() as usize)
+        }
+    }
+}
+
+/// `proptest::prelude` equivalent: the names tests conventionally glob.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::sample;
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{any, Arbitrary, BoxedStrategy, Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the case (not
+/// the process) so the runner can report it.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// `assert_eq!` for `proptest!` bodies.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}` (left: `{:?}`, right: `{:?}`)",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}` (left: `{:?}`, right: `{:?}`): {}",
+            stringify!($left), stringify!($right), l, r, format!($($fmt)*)
+        );
+    }};
+}
+
+/// `assert_ne!` for `proptest!` bodies.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}` (both: `{:?}`)",
+            stringify!($left), stringify!($right), l
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}` (both: `{:?}`): {}",
+            stringify!($left), stringify!($right), l, format!($($fmt)*)
+        );
+    }};
+}
+
+/// Rejects the current case (drawing a fresh one) when the precondition
+/// does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                ::std::string::String::from(stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Binds `name in strategy` / `name: Type` parameters of a `proptest!`
+/// function body. Internal.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($rng:ident) => {};
+    ($rng:ident,) => {};
+    ($rng:ident, $name:ident in $strat:expr, $($rest:tt)*) => {
+        let $name = $crate::Strategy::new_value(&($strat), $rng);
+        $crate::__proptest_bind!($rng, $($rest)*);
+    };
+    ($rng:ident, $name:ident in $strat:expr) => {
+        let $name = $crate::Strategy::new_value(&($strat), $rng);
+    };
+    ($rng:ident, $name:ident : $ty:ty, $($rest:tt)*) => {
+        let $name: $ty = $crate::Arbitrary::arbitrary($rng);
+        $crate::__proptest_bind!($rng, $($rest)*);
+    };
+    ($rng:ident, $name:ident : $ty:ty) => {
+        let $name: $ty = $crate::Arbitrary::arbitrary($rng);
+    };
+}
+
+/// Expands the test functions of a `proptest!` block. Internal.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (cfg = $cfg:expr;) => {};
+    (cfg = $cfg:expr; $(#[$meta:meta])* fn $name:ident($($params:tt)*) $body:block $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::test_runner::Config = $cfg;
+            let mut __rng = $crate::test_runner::TestRng::deterministic(concat!(
+                module_path!(), "::", stringify!($name)
+            ));
+            let mut __passed: u32 = 0;
+            let mut __rejected: u32 = 0;
+            while __passed < __cfg.cases {
+                let __outcome = (|__case_rng: &mut $crate::test_runner::TestRng|
+                    -> ::core::result::Result<(), $crate::test_runner::TestCaseError> {
+                    $crate::__proptest_bind!(__case_rng, $($params)*);
+                    $body
+                    ::core::result::Result::Ok(())
+                })(&mut __rng);
+                match __outcome {
+                    ::core::result::Result::Ok(()) => __passed += 1,
+                    ::core::result::Result::Err(
+                        $crate::test_runner::TestCaseError::Reject(__why),
+                    ) => {
+                        __rejected += 1;
+                        if __rejected > __cfg.cases.saturating_mul(256) {
+                            panic!(
+                                "proptest {}: too many rejected cases ({}), last: {}",
+                                stringify!($name), __rejected, __why
+                            );
+                        }
+                    }
+                    ::core::result::Result::Err(
+                        $crate::test_runner::TestCaseError::Fail(__msg),
+                    ) => {
+                        panic!(
+                            "proptest {} failed after {} passing case(s): {}",
+                            stringify!($name), __passed, __msg
+                        );
+                    }
+                }
+            }
+        }
+        $crate::__proptest_fns!(cfg = $cfg; $($rest)*);
+    };
+}
+
+/// The `proptest!` block macro: wraps `#[test]` functions whose arguments
+/// are drawn from strategies.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!(cfg = $cfg; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!(
+            cfg = <$crate::test_runner::Config as ::core::default::Default>::default();
+            $($rest)*
+        );
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = crate::test_runner::TestRng::deterministic("ranges");
+        for _ in 0..1000 {
+            let v = (3usize..17).new_value(&mut rng);
+            assert!((3..17).contains(&v));
+        }
+    }
+
+    #[test]
+    fn vec_sizes_respected() {
+        let mut rng = crate::test_runner::TestRng::deterministic("vecs");
+        for _ in 0..200 {
+            let v = collection::vec(any::<bool>(), 2..9).new_value(&mut rng);
+            assert!((2..9).contains(&v.len()));
+            let w = collection::vec(any::<u8>(), 6).new_value(&mut rng);
+            assert_eq!(w.len(), 6);
+        }
+    }
+
+    #[test]
+    fn filter_map_applies() {
+        let mut rng = crate::test_runner::TestRng::deterministic("fm");
+        let s = (0u32..100).prop_filter_map("even only", |v| (v % 2 == 0).then_some(v * 3));
+        for _ in 0..100 {
+            let v = s.new_value(&mut rng);
+            assert_eq!(v % 3, 0);
+            assert_eq!((v / 3) % 2, 0);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// The macro binds `in`-style and `:`-style params together.
+        #[test]
+        fn macro_smoke(a in 1usize..10, flag: bool, v in collection::vec(any::<u64>(), 1..4)) {
+            prop_assert!((1..10).contains(&a));
+            prop_assert!(!v.is_empty() && v.len() < 4);
+            prop_assume!(a != 9); // exercise rejection path
+            prop_assert_ne!(a, 9);
+            let _ = flag;
+        }
+
+        #[test]
+        fn tuple_and_map_strategies(pair in (1u32..5, 1u32..5).prop_map(|(a, b)| a * b)) {
+            prop_assert!((1..25).contains(&pair));
+        }
+    }
+}

@@ -1,0 +1,19 @@
+//! Offline stub of `serde`.
+//!
+//! Provides the `Serialize` / `Deserialize` names in both the trait and
+//! macro namespaces so `use serde::{Deserialize, Serialize};` plus
+//! `#[derive(Serialize, Deserialize)]` compile without the registry crate.
+//! The derives (from the sibling `serde_derive` stub) expand to nothing —
+//! no code in this workspace serializes anything yet. See the stub crate's
+//! docs for the swap-back path.
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`. Never implemented by the no-op
+/// derive; exists so trait-position references compile.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`. Never implemented by the
+/// no-op derive; exists so trait-position references compile.
+pub trait Deserialize<'de> {}

@@ -1,0 +1,22 @@
+//! Offline stub of `serde_derive`.
+//!
+//! The BIBS build environment has no network access to crates.io. The
+//! workspace's types carry `#[derive(Serialize, Deserialize)]` to keep the
+//! door open for wire formats, but nothing actually serializes yet — so
+//! these derives expand to **nothing**. When a real serialization consumer
+//! lands, swap the `serde` workspace dependency back to the registry crate
+//! and this stub becomes dead code.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; accepts (and ignores) `#[serde(...)]` attributes.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; accepts (and ignores) `#[serde(...)]` attributes.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

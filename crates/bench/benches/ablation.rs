@@ -64,13 +64,13 @@ fn bench_lfsr_kind_ablation(c: &mut Criterion) {
     // type-1-based TPG covers all patterns of a skewed kernel while the
     // type-2 shift property violation loses coverage. (Asserted once; the
     // bench then measures the verification cost itself.)
-    let s = GeneralizedStructure::single_cone(
-        "abl",
-        &[("R1", 2, 2), ("R2", 2, 1), ("R3", 2, 0)],
-    );
+    let s = GeneralizedStructure::single_cone("abl", &[("R1", 2, 2), ("R2", 2, 1), ("R3", 2, 0)]);
     let design = sc_tpg(&s);
     let cov = cone_coverage(&design, 0);
-    assert!(cov.is_exhaustive_modulo_zero(), "type-1 TPG must be exhaustive");
+    assert!(
+        cov.is_exhaustive_modulo_zero(),
+        "type-1 TPG must be exhaustive"
+    );
 
     let mut group = c.benchmark_group("lfsr_kind_ablation");
     group.bench_function("verify_type1_tpg", |b| {
@@ -78,7 +78,10 @@ fn bench_lfsr_kind_ablation(c: &mut Criterion) {
     });
     // Raw stepping cost difference between the two kinds at TPG width.
     let poly = design.polynomial().expect("degree within table").clone();
-    for (kind, name) in [(LfsrKind::Type1, "step_type1"), (LfsrKind::Type2, "step_type2")] {
+    for (kind, name) in [
+        (LfsrKind::Type1, "step_type1"),
+        (LfsrKind::Type2, "step_type2"),
+    ] {
         let mut lfsr = Lfsr::new(&poly, kind);
         group.bench_function(name, |b| {
             b.iter(|| {

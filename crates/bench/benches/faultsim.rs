@@ -4,7 +4,8 @@
 
 use bibs_faultsim::atpg::Atpg;
 use bibs_faultsim::fault::FaultUniverse;
-use bibs_faultsim::sim::FaultSimulator;
+use bibs_faultsim::par::ParFaultSimulator;
+use bibs_faultsim::sim::{BlockSim, FaultSimulator};
 use bibs_netlist::builder::NetlistBuilder;
 use bibs_netlist::Netlist;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
@@ -33,13 +34,54 @@ fn bench_fault_sim_block(c: &mut Criterion) {
             b.iter_batched(
                 || FaultSimulator::new(&nl, observable.clone()),
                 |mut sim| {
-                    let words: Vec<u64> =
-                        (0..nl.input_width()).map(|_| rng.gen()).collect();
+                    let words: Vec<u64> = (0..nl.input_width()).map(|_| rng.gen()).collect();
                     black_box(sim.apply_block(&words, 64))
                 },
                 criterion::BatchSize::SmallInput,
             )
         });
+    }
+    group.finish();
+}
+
+/// Serial vs parallel engine on the same 256-pattern random stream over
+/// the 8-bit array multiplier (the c4a4m-scale workload): identical
+/// reports by construction, so the only thing measured is wall clock.
+fn bench_engines(c: &mut Criterion) {
+    let nl = multiplier(8);
+    let universe = FaultUniverse::collapsed(&nl);
+    let (observable, _) = universe.split_by_observability(&nl);
+    let mut group = c.benchmark_group("fault_sim_engine_mul8_256pat");
+    group.sample_size(10);
+    group.bench_function("serial", |b| {
+        b.iter_batched(
+            || {
+                (
+                    FaultSimulator::new(&nl, observable.clone()),
+                    StdRng::seed_from_u64(3),
+                )
+            },
+            |(mut sim, mut rng)| black_box(sim.run_random(&mut rng, 256).detected_count()),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("parallel", threads),
+            &threads,
+            |b, &threads| {
+                b.iter_batched(
+                    || {
+                        (
+                            ParFaultSimulator::with_threads(&nl, observable.clone(), threads),
+                            StdRng::seed_from_u64(3),
+                        )
+                    },
+                    |(mut sim, mut rng)| black_box(sim.run_random(&mut rng, 256).detected_count()),
+                    criterion::BatchSize::SmallInput,
+                )
+            },
+        );
     }
     group.finish();
 }
@@ -63,5 +105,11 @@ fn bench_collapse(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_fault_sim_block, bench_podem, bench_collapse);
+criterion_group!(
+    benches,
+    bench_fault_sim_block,
+    bench_engines,
+    bench_podem,
+    bench_collapse
+);
 criterion_main!(benches);

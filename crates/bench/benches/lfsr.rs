@@ -14,16 +14,12 @@ fn bench_lfsr_step(c: &mut Criterion) {
         let poly = primitive_polynomial(degree).expect("table covers 1..=64");
         for (kind, name) in [(LfsrKind::Type1, "type1"), (LfsrKind::Type2, "type2")] {
             let mut lfsr = Lfsr::new(&poly, kind);
-            group.bench_with_input(
-                BenchmarkId::new(name, degree),
-                &degree,
-                |b, _| {
-                    b.iter(|| {
-                        lfsr.step();
-                        black_box(lfsr.state().is_zero())
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(name, degree), &degree, |b, _| {
+                b.iter(|| {
+                    lfsr.step();
+                    black_box(lfsr.state().is_zero())
+                })
+            });
         }
         let mut complete = CompleteLfsr::new(&poly);
         group.bench_with_input(BenchmarkId::new("complete", degree), &degree, |b, _| {
@@ -58,5 +54,10 @@ fn bench_polynomials(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_lfsr_step, bench_misr_absorb, bench_polynomials);
+criterion_group!(
+    benches,
+    bench_lfsr_step,
+    bench_misr_absorb,
+    bench_polynomials
+);
 criterion_main!(benches);

@@ -30,20 +30,16 @@ fn bench_bibs_select(c: &mut Criterion) {
     // The unbalanced transposed FIR exercises the violation-driven search.
     for taps in [4usize, 8] {
         let fir = fir_transposed(taps);
-        group.bench_with_input(
-            BenchmarkId::new("fir", taps),
-            &fir,
-            |b, fir| {
-                b.iter(|| {
-                    black_box(
-                        select(fir, &BibsOptions::default())
-                            .expect("selectable")
-                            .design
-                            .register_count(),
-                    )
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("fir", taps), &fir, |b, fir| {
+            b.iter(|| {
+                black_box(
+                    select(fir, &BibsOptions::default())
+                        .expect("selectable")
+                        .design
+                        .register_count(),
+                )
+            })
+        });
     }
     group.finish();
 }
@@ -71,5 +67,10 @@ fn bench_schedule(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_bibs_select, bench_ka85_select, bench_schedule);
+criterion_group!(
+    benches,
+    bench_bibs_select,
+    bench_ka85_select,
+    bench_schedule
+);
 criterion_main!(benches);

@@ -55,10 +55,7 @@ fn bench_permutation_search(c: &mut Criterion) {
 }
 
 fn bench_tpg_simulation(c: &mut Criterion) {
-    let s = GeneralizedStructure::single_cone(
-        "ex2",
-        &[("R1", 4, 2), ("R2", 4, 1), ("R3", 4, 0)],
-    );
+    let s = GeneralizedStructure::single_cone("ex2", &[("R1", 4, 2), ("R2", 4, 1), ("R3", 4, 0)]);
     let design = mc_tpg(&s);
     let mut sim = TpgSimulator::new(&design);
     c.bench_function("tpg_sim_step_and_view", |b| {

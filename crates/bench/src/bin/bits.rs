@@ -22,6 +22,8 @@ use bibs_core::mintpg::minimize_degree;
 use bibs_core::schedule::schedule;
 use bibs_core::structure::GeneralizedStructure;
 use bibs_core::tpg::mc_tpg;
+use bibs_core::verify::verify_exhaustive;
+use bibs_faultsim::par::default_jobs;
 use bibs_lfsr::bilbo::AreaModel;
 use bibs_rtl::fmt::from_text;
 use bibs_rtl::{Circuit, VertexKind};
@@ -111,7 +113,11 @@ fn run(circuit: &Circuit, tdm: &str) -> Result<(), Box<dyn std::error::Error>> {
         })
         .collect();
     let sessions = schedule(&design, &ks);
-    println!("\n{} kernel(s), {} test session(s)", ks.len(), sessions.len());
+    println!(
+        "\n{} kernel(s), {} test session(s)",
+        ks.len(),
+        sessions.len()
+    );
 
     // 3. TPG per kernel (with the minimal-LFSR pass).
     let mut patterns = Vec::new();
@@ -128,6 +134,18 @@ fn run(circuit: &Circuit, tdm: &str) -> Result<(), Box<dyn std::error::Error>> {
             min.design.extra_flip_flops(),
             min.design.test_time()
         );
+        // Brute-force check of functional exhaustiveness where feasible
+        // (cones are verified concurrently on BIBS_JOBS worker threads).
+        if min.design.lfsr_degree() <= 16 {
+            let covs = verify_exhaustive(&min.design);
+            let ok = covs.iter().all(|c| c.is_exhaustive_modulo_zero());
+            println!(
+                "  exhaustiveness: {} over {} cone(s) ({} thread(s))",
+                if ok { "verified" } else { "FAILED" },
+                covs.len(),
+                default_jobs()
+            );
+        }
         // The controller runs pseudo-random sessions; size them by the
         // kernel width (functionally exhaustive when feasible, else a
         // pseudo-random budget).

@@ -3,7 +3,8 @@
 //! detectable faults) for BIBS and \[3\] on one circuit.
 //!
 //! Run with `cargo run --release -p bibs-bench --bin coverage -- [circuit] [width]`
-//! (defaults: c5a2m, width 4). Pipe to a file and plot.
+//! (defaults: c5a2m, width 4). Pipe to a file and plot. Per-kernel
+//! engine stats go to stderr; `BIBS_JOBS` sets the worker-thread count.
 
 use bibs_bench::{apply_tdm, kernel_fault_stats, Table2Options, Tdm};
 use bibs_datapath::filters::scaled;
@@ -25,6 +26,7 @@ fn main() {
         let mut detectable = 0usize;
         for kernel in &kernels {
             let stats = kernel_fault_stats(&circuit, &design, kernel, &options);
+            eprintln!("{tdm} kernel sim: {}", stats.sim);
             detectable += stats.detectable();
             let last = stats.detection_indices.last().copied().unwrap_or(0);
             events.extend(stats.detection_indices.iter().map(|&i| offset + i));

@@ -11,28 +11,49 @@ use bibs_core::tpg::mc_tpg;
 
 fn figure21() -> GeneralizedStructure {
     let regs = (1..=3)
-        .map(|i| TpgRegister { name: format!("R{i}"), width: 4 })
+        .map(|i| TpgRegister {
+            name: format!("R{i}"),
+            width: 4,
+        })
         .collect();
     let cones = vec![
         Cone {
             name: "O1".into(),
             deps: vec![
-                ConeDep { register: 0, seq_len: 2 },
-                ConeDep { register: 1, seq_len: 0 },
+                ConeDep {
+                    register: 0,
+                    seq_len: 2,
+                },
+                ConeDep {
+                    register: 1,
+                    seq_len: 0,
+                },
             ],
         },
         Cone {
             name: "O2".into(),
             deps: vec![
-                ConeDep { register: 0, seq_len: 0 },
-                ConeDep { register: 2, seq_len: 1 },
+                ConeDep {
+                    register: 0,
+                    seq_len: 0,
+                },
+                ConeDep {
+                    register: 2,
+                    seq_len: 1,
+                },
             ],
         },
         Cone {
             name: "O3".into(),
             deps: vec![
-                ConeDep { register: 1, seq_len: 1 },
-                ConeDep { register: 2, seq_len: 0 },
+                ConeDep {
+                    register: 1,
+                    seq_len: 1,
+                },
+                ConeDep {
+                    register: 2,
+                    seq_len: 0,
+                },
             ],
         },
     ];

@@ -31,7 +31,9 @@ fn main() {
     // Partial-scan solution: {R3, R9} balances the circuit.
     let r3 = f4.register_by_name("R3").unwrap();
     let r9 = f4.register_by_name("R9").unwrap();
-    let balanced = f4.balance_report_filtered(|e| e != r3 && e != r9).is_balanced();
+    let balanced = f4
+        .balance_report_filtered(|e| e != r3 && e != r9)
+        .is_balanced();
     println!("  converting R3, R9 to scan balances the circuit: {balanced}");
     for tdm in [Tdm::Bibs, Tdm::Ka85] {
         let (_, design, kernels) = apply_tdm(&f4, tdm);

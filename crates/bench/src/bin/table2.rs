@@ -5,6 +5,8 @@
 //!
 //! Run with `cargo run --release -p bibs-bench --bin table2`.
 //! Optional argument: a word width (default 8; the paper's width).
+//! Fault simulation runs on `BIBS_JOBS` worker threads (default: all
+//! cores); the results are bit-identical for any thread count.
 
 use bibs_bench::{render_table2, table2_column, Table2Options, Tdm};
 use bibs_datapath::filters::scaled;
@@ -15,6 +17,10 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(8);
     let options = Table2Options::default();
+    eprintln!(
+        "fault-simulating on {} worker thread(s) (set BIBS_JOBS to override)",
+        options.jobs
+    );
     let mut columns = Vec::new();
     for name in ["c5a2m", "c3a2m", "c4a4m"] {
         let circuit = scaled(name, width);
@@ -43,4 +49,22 @@ fn main() {
             b.circuit
         );
     }
+    // Engine observability: aggregate fault-sim throughput over every
+    // kernel of every column.
+    let all = columns
+        .iter()
+        .flat_map(|(b, k)| b.kernel_stats.iter().chain(&k.kernel_stats));
+    let (mut evals, mut blocks, mut wall) = (0u64, 0u64, std::time::Duration::ZERO);
+    for s in all {
+        evals += s.sim.fault_evals;
+        blocks += s.sim.blocks;
+        wall += s.sim.wall;
+    }
+    let secs = wall.as_secs_f64();
+    println!(
+        "fault-sim engine: {evals} faulty-machine evals over {blocks} blocks in {:.2} s ({:.0}/s, {} thread(s))",
+        secs,
+        if secs > 0.0 { evals as f64 / secs } else { 0.0 },
+        options.jobs
+    );
 }

@@ -15,15 +15,27 @@ use bibs_lfsr::bilbo::AreaModel;
 
 fn two_cone(name: &str, d: [[u32; 2]; 2]) -> GeneralizedStructure {
     let regs = vec![
-        TpgRegister { name: "R1".into(), width: 4 },
-        TpgRegister { name: "R2".into(), width: 4 },
+        TpgRegister {
+            name: "R1".into(),
+            width: 4,
+        },
+        TpgRegister {
+            name: "R2".into(),
+            width: 4,
+        },
     ];
     let cones = (0..2)
         .map(|x| Cone {
             name: format!("O{}", x + 1),
             deps: vec![
-                ConeDep { register: 0, seq_len: d[x][0] },
-                ConeDep { register: 1, seq_len: d[x][1] },
+                ConeDep {
+                    register: 0,
+                    seq_len: d[x][0],
+                },
+                ConeDep {
+                    register: 1,
+                    seq_len: d[x][1],
+                },
             ],
         })
         .collect();
@@ -34,10 +46,8 @@ fn main() {
     let model = AreaModel::default();
 
     println!("Example 2 (Figure 13):");
-    let ex2 = GeneralizedStructure::single_cone(
-        "fig12a",
-        &[("R1", 4, 2), ("R2", 4, 1), ("R3", 4, 0)],
-    );
+    let ex2 =
+        GeneralizedStructure::single_cone("fig12a", &[("R1", 4, 2), ("R2", 4, 1), ("R3", 4, 0)]);
     let d2 = sc_tpg(&ex2);
     println!(
         "  LFSR degree {}, {} extra FFs, area overhead {:.1}%, test time {} = 2^12-1+2",
@@ -49,10 +59,8 @@ fn main() {
     println!("  polynomial: {}", d2.polynomial().unwrap());
 
     println!("Example 3 (Figure 15): d = (1, 2, 0)");
-    let ex3 = GeneralizedStructure::single_cone(
-        "fig12c",
-        &[("R1", 4, 1), ("R2", 4, 2), ("R3", 4, 0)],
-    );
+    let ex3 =
+        GeneralizedStructure::single_cone("fig12c", &[("R1", 4, 1), ("R2", 4, 2), ("R3", 4, 0)]);
     let d3 = sc_tpg(&ex3);
     println!(
         "  {} shared signal(s), R2 starts at L{}, R3 at L{}, degree {}",
@@ -119,7 +127,11 @@ fn main() {
                 cov.cone,
                 cov.observed,
                 cov.total,
-                if cov.saw_all_zero { "seen" } else { "via complete LFSR" },
+                if cov.saw_all_zero {
+                    "seen"
+                } else {
+                    "via complete LFSR"
+                },
                 cov.is_exhaustive_modulo_zero()
             );
         }

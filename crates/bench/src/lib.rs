@@ -16,7 +16,6 @@
 //!    session maximum (kernels of a session run concurrently).
 #![warn(missing_docs)]
 
-
 use bibs_core::bibs::{self, BibsOptions};
 use bibs_core::delay::maximal_delay;
 use bibs_core::design::{kernels, BilboDesign, Kernel};
@@ -25,7 +24,9 @@ use bibs_core::schedule::{schedule, schedule_test_time, sequential_test_time, Te
 use bibs_datapath::elab::elaborate_kernel;
 use bibs_faultsim::atpg::Atpg;
 use bibs_faultsim::fault::{Fault, FaultUniverse};
-use bibs_faultsim::sim::FaultSimulator;
+use bibs_faultsim::par::{default_jobs, ParFaultSimulator};
+use bibs_faultsim::sim::BlockSim;
+use bibs_faultsim::stats::SimStats;
 use bibs_rtl::{Circuit, VertexKind};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -67,6 +68,9 @@ pub struct KernelFaultStats {
     pub detected: usize,
     /// Sorted first-detection pattern indices.
     pub detection_indices: Vec<u64>,
+    /// Fault-simulation engine counters for the random phase (threads,
+    /// evaluations, per-shard balance, wall time).
+    pub sim: SimStats,
 }
 
 impl KernelFaultStats {
@@ -126,6 +130,11 @@ pub struct Table2Options {
     pub plateau: u64,
     /// PODEM backtrack limit.
     pub backtrack_limit: usize,
+    /// Worker threads for fault simulation (default: `BIBS_JOBS` or the
+    /// machine's available parallelism — see
+    /// [`bibs_faultsim::par::default_jobs`]). The results are
+    /// bit-identical for any value; this only trades wall-clock time.
+    pub jobs: usize,
 }
 
 impl Default for Table2Options {
@@ -135,6 +144,7 @@ impl Default for Table2Options {
             max_patterns: 1_000_000,
             plateau: 100_000,
             backtrack_limit: 100_000,
+            jobs: default_jobs(),
         }
     }
 }
@@ -188,7 +198,7 @@ pub fn kernel_fault_stats(
 
     // Phase 1: random simulation with fault dropping and a detection
     // plateau; surviving faults go to PODEM.
-    let mut sim = FaultSimulator::new(&comb, observable);
+    let mut sim = ParFaultSimulator::with_threads(&comb, observable, options.jobs);
     let mut rng = StdRng::seed_from_u64(options.seed ^ kernel.input_edges.len() as u64);
     let report = sim.run_random_with_plateau(&mut rng, options.max_patterns, options.plateau);
 
@@ -207,6 +217,7 @@ pub fn kernel_fault_stats(
         unreached: class.detectable.len(),
         detected: report.detected_count(),
         detection_indices,
+        sim: report.stats().clone(),
     }
 }
 
@@ -254,14 +265,38 @@ pub fn render_table2(columns: &[(Table2Column, Table2Column)]) -> String {
     out.push('\n');
     type RowFn = Box<dyn Fn(&Table2Column) -> String>;
     let rows: Vec<(&str, RowFn)> = vec![
-        ("1 # of kernels", Box::new(|c: &Table2Column| c.kernel_count.to_string())),
-        ("2 # of test sessions", Box::new(|c: &Table2Column| c.session_count.to_string())),
-        ("3 # of BILBO registers", Box::new(|c: &Table2Column| c.bilbo_count.to_string())),
-        ("4 Maximal delay", Box::new(|c: &Table2Column| c.max_delay.to_string())),
-        ("5 # patterns @ 99.5% FC", Box::new(|c: &Table2Column| c.patterns_995.to_string())),
-        ("6 Test time @ 99.5% FC", Box::new(|c: &Table2Column| c.time_995.to_string())),
-        ("7 # patterns @ 100% FC", Box::new(|c: &Table2Column| c.patterns_100.to_string())),
-        ("8 Test time @ 100% FC", Box::new(|c: &Table2Column| c.time_100.to_string())),
+        (
+            "1 # of kernels",
+            Box::new(|c: &Table2Column| c.kernel_count.to_string()),
+        ),
+        (
+            "2 # of test sessions",
+            Box::new(|c: &Table2Column| c.session_count.to_string()),
+        ),
+        (
+            "3 # of BILBO registers",
+            Box::new(|c: &Table2Column| c.bilbo_count.to_string()),
+        ),
+        (
+            "4 Maximal delay",
+            Box::new(|c: &Table2Column| c.max_delay.to_string()),
+        ),
+        (
+            "5 # patterns @ 99.5% FC",
+            Box::new(|c: &Table2Column| c.patterns_995.to_string()),
+        ),
+        (
+            "6 Test time @ 99.5% FC",
+            Box::new(|c: &Table2Column| c.time_995.to_string()),
+        ),
+        (
+            "7 # patterns @ 100% FC",
+            Box::new(|c: &Table2Column| c.patterns_100.to_string()),
+        ),
+        (
+            "8 Test time @ 100% FC",
+            Box::new(|c: &Table2Column| c.time_100.to_string()),
+        ),
     ];
     for (name, f) in rows {
         let mut line = format!("{name:<34}");

@@ -182,8 +182,7 @@ pub fn select(circuit: &Circuit, options: &BibsOptions) -> Result<BibsResult, Bi
     let mut circuit = circuit.clone();
     let mandatory = mandatory_io_registers(&circuit)?;
 
-    let width =
-        |c: &Circuit, e: EdgeId| c.edge(e).kind.width().unwrap_or(0);
+    let width = |c: &Circuit, e: EdgeId| c.edge(e).kind.width().unwrap_or(0);
     let cost = |c: &Circuit, s: &SearchState| -> u64 {
         let b: u64 = s.extra.iter().map(|&e| width(c, e) as u64).sum();
         let cb: u64 = s.cbilbo.iter().map(|&e| width(c, e) as u64).sum();
@@ -254,10 +253,8 @@ pub fn select(circuit: &Circuit, options: &BibsOptions) -> Result<BibsResult, Bi
                     // Mutating the shared circuit invalidates fairness
                     // across branches, but splits are rare and strictly
                     // necessary for every branch containing `register`.
-                    let new_edge = circuit.split_register_edge(
-                        register,
-                        &format!("Rsplit{}", register.index()),
-                    );
+                    let new_edge = circuit
+                        .split_register_edge(register, &format!("Rsplit{}", register.index()));
                     let mut next = state.clone();
                     next.extra.insert(new_edge);
                     let nc = cost(&circuit, &next);
@@ -335,7 +332,9 @@ fn violation_candidates(v: &Violation) -> Vec<EdgeId> {
     match v {
         Violation::KernelCycle { cycle_registers } => cycle_registers.clone(),
         Violation::KernelImbalance { path_registers, .. } => path_registers.clone(),
-        Violation::KernelTooWide { internal_registers, .. } => internal_registers.clone(),
+        Violation::KernelTooWide {
+            internal_registers, ..
+        } => internal_registers.clone(),
         Violation::PortConflict { path_registers, .. } => path_registers.clone(),
     }
 }
@@ -360,10 +359,8 @@ fn greedy_complete(
                         design.cbilbo.insert(register);
                     }
                     SingleRegisterCycleFix::SplitRegister => {
-                        let new_edge = circuit.split_register_edge(
-                            register,
-                            &format!("Rsplit{}", register.index()),
-                        );
+                        let new_edge = circuit
+                            .split_register_edge(register, &format!("Rsplit{}", register.index()));
                         design.bilbo.insert(new_edge);
                     }
                 }
@@ -416,8 +413,14 @@ mod tests {
         let result = select(&c, &BibsOptions::default()).unwrap();
         assert!(is_bibs_testable(&result.circuit, &result.design));
         // Theorem 2: both cycle registers must be converted.
-        assert!(result.design.bilbo.contains(&c.register_by_name("Rfh").unwrap()));
-        assert!(result.design.bilbo.contains(&c.register_by_name("Rhf").unwrap()));
+        assert!(result
+            .design
+            .bilbo
+            .contains(&c.register_by_name("Rfh").unwrap()));
+        assert!(result
+            .design
+            .bilbo
+            .contains(&c.register_by_name("Rhf").unwrap()));
         assert_eq!(result.design.register_count(), 4);
     }
 
@@ -434,7 +437,10 @@ mod tests {
         let result = select(&c, &BibsOptions::default()).unwrap();
         assert!(is_bibs_testable(&result.circuit, &result.design));
         let rloop = c.register_by_name("Rloop").unwrap();
-        assert!(result.design.cbilbo.contains(&rloop), "lone cycle register becomes CBILBO");
+        assert!(
+            result.design.cbilbo.contains(&rloop),
+            "lone cycle register becomes CBILBO"
+        );
     }
 
     #[test]

@@ -42,7 +42,11 @@ impl CstpRun {
 ///
 /// Panics if the netlist is sequential or has more than 20 inputs.
 pub fn simulate_cstp(netlist: &Netlist, seed: u64, limit_multiple: u64) -> CstpRun {
-    assert_eq!(netlist.dff_count(), 0, "CSTP model takes the combinational kernel");
+    assert_eq!(
+        netlist.dff_count(),
+        0,
+        "CSTP model takes the combinational kernel"
+    );
     let m = netlist.input_width();
     let p = netlist.output_width();
     assert!(m <= 20, "CSTP simulation capped at 20 inputs");

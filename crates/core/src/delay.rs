@@ -74,6 +74,9 @@ mod tests {
     #[test]
     fn empty_design_has_zero_delay() {
         let c = c5a2m();
-        assert_eq!(maximal_delay(&c, &crate::design::BilboDesign::new()), Some(0));
+        assert_eq!(
+            maximal_delay(&c, &crate::design::BilboDesign::new()),
+            Some(0)
+        );
     }
 }

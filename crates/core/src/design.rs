@@ -170,7 +170,11 @@ impl fmt::Display for Violation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Violation::KernelCycle { cycle_registers } => {
-                write!(f, "kernel cycle through {} register(s)", cycle_registers.len())
+                write!(
+                    f,
+                    "kernel cycle through {} register(s)",
+                    cycle_registers.len()
+                )
             }
             Violation::KernelImbalance { from, to, .. } => {
                 write!(f, "kernel imbalance between {from} and {to}")
@@ -296,12 +300,10 @@ pub fn find_violation(circuit: &Circuit, design: &BilboDesign) -> Option<Violati
                 // Separating the roles requires cutting a register edge on
                 // such a path (wire edges cannot be cut) — or making the
                 // register a CBILBO.
-                let path_registers = registers_on_undirected_path(
-                    circuit,
-                    edge.to,
-                    edge.from,
-                    |x| keep_in(&kernel, x),
-                );
+                let path_registers =
+                    registers_on_undirected_path(circuit, edge.to, edge.from, |x| {
+                        keep_in(&kernel, x)
+                    });
                 return Some(Violation::PortConflict {
                     register: e,
                     path_registers,
@@ -490,7 +492,10 @@ mod tests {
         let rfh = c.register_by_name("Rfh").unwrap();
         let design = BilboDesign::from_bilbos([rin, rout, rfh]);
         match find_violation(&c, &design) {
-            Some(Violation::PortConflict { register, path_registers }) => {
+            Some(Violation::PortConflict {
+                register,
+                path_registers,
+            }) => {
                 assert_eq!(register, rfh);
                 assert_eq!(path_registers, vec![c.register_by_name("Rhf").unwrap()]);
             }

@@ -195,30 +195,57 @@ mod tests {
 
     fn example7() -> GeneralizedStructure {
         let regs = vec![
-            TpgRegister { name: "R1".into(), width: 4 },
-            TpgRegister { name: "R2".into(), width: 4 },
-            TpgRegister { name: "R3".into(), width: 4 },
+            TpgRegister {
+                name: "R1".into(),
+                width: 4,
+            },
+            TpgRegister {
+                name: "R2".into(),
+                width: 4,
+            },
+            TpgRegister {
+                name: "R3".into(),
+                width: 4,
+            },
         ];
         let cones = vec![
             Cone {
                 name: "O1".into(),
                 deps: vec![
-                    ConeDep { register: 0, seq_len: 2 },
-                    ConeDep { register: 1, seq_len: 0 },
+                    ConeDep {
+                        register: 0,
+                        seq_len: 2,
+                    },
+                    ConeDep {
+                        register: 1,
+                        seq_len: 0,
+                    },
                 ],
             },
             Cone {
                 name: "O2".into(),
                 deps: vec![
-                    ConeDep { register: 0, seq_len: 0 },
-                    ConeDep { register: 2, seq_len: 1 },
+                    ConeDep {
+                        register: 0,
+                        seq_len: 0,
+                    },
+                    ConeDep {
+                        register: 2,
+                        seq_len: 1,
+                    },
                 ],
             },
             Cone {
                 name: "O3".into(),
                 deps: vec![
-                    ConeDep { register: 1, seq_len: 1 },
-                    ConeDep { register: 2, seq_len: 0 },
+                    ConeDep {
+                        register: 1,
+                        seq_len: 1,
+                    },
+                    ConeDep {
+                        register: 2,
+                        seq_len: 0,
+                    },
                 ],
             },
         ];
@@ -259,17 +286,29 @@ mod tests {
         // Two cones on disjoint registers: the matrix approach can share,
         // needing only max-width stages.
         let regs = vec![
-            TpgRegister { name: "A".into(), width: 4 },
-            TpgRegister { name: "B".into(), width: 6 },
+            TpgRegister {
+                name: "A".into(),
+                width: 4,
+            },
+            TpgRegister {
+                name: "B".into(),
+                width: 6,
+            },
         ];
         let cones = vec![
             Cone {
                 name: "O1".into(),
-                deps: vec![ConeDep { register: 0, seq_len: 0 }],
+                deps: vec![ConeDep {
+                    register: 0,
+                    seq_len: 0,
+                }],
             },
             Cone {
                 name: "O2".into(),
-                deps: vec![ConeDep { register: 1, seq_len: 0 }],
+                deps: vec![ConeDep {
+                    register: 1,
+                    seq_len: 0,
+                }],
             },
         ];
         let s = GeneralizedStructure::new("t", regs, cones).unwrap();

@@ -37,7 +37,10 @@ impl fmt::Display for Ka85Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Ka85Error::UnregisteredPort { block, port } => {
-                write!(f, "input port {port} of block {block} has no feeding register")
+                write!(
+                    f,
+                    "input port {port} of block {block} has no feeding register"
+                )
             }
             Ka85Error::UnbufferedIo { edge } => {
                 write!(f, "primary I/O on edge {edge} has no register to convert")
@@ -129,9 +132,7 @@ pub fn select(circuit: &Circuit) -> Result<BilboDesign, Ka85Error> {
         for &b in design.bilbo.clone().iter() {
             let edge = circuit.edge(b);
             let keep = |e: EdgeId| e == b || !design.bilbo.contains(&e);
-            if let Some(path) =
-                register_path(circuit, edge.to, edge.from, |e| keep(e) && e != b)
-            {
+            if let Some(path) = register_path(circuit, edge.to, edge.from, |e| keep(e) && e != b) {
                 let cheapest = cheapest_register(circuit, &path);
                 design.bilbo.insert(cheapest);
                 promoted = true;

@@ -39,7 +39,6 @@
 //!   analysis (Section 2).
 #![warn(missing_docs)]
 
-
 pub mod bibs;
 pub mod controller;
 pub mod cstp;

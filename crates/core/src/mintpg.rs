@@ -73,8 +73,7 @@ pub fn offsets_independent(poly: &Polynomial, offsets: &[i64]) -> bool {
 /// Checks the condition for every cone of a TPG design under a candidate
 /// polynomial.
 pub fn design_satisfies(design: &TpgDesign, poly: &Polynomial) -> bool {
-    (0..design.structure().cones.len())
-        .all(|x| offsets_independent(poly, &design.cone_offsets(x)))
+    (0..design.structure().cones.len()).all(|x| offsets_independent(poly, &design.cone_offsets(x)))
 }
 
 /// Enumerates primitive polynomials of a given degree: all primitive
@@ -174,7 +173,7 @@ mod tests {
         let p = primitive_polynomial(8).unwrap();
         assert!(offsets_independent(&p, &[0, 1, 2, 3, 4, 5, 6, 7]));
         assert!(offsets_independent(&p, &[3, 5, 9])); // shifted window of 3
-        // Duplicate offsets are dependent.
+                                                      // Duplicate offsets are dependent.
         assert!(!offsets_independent(&p, &[2, 2]));
         // More offsets than stages can never be independent.
         assert!(!offsets_independent(&p, &(0..9).collect::<Vec<_>>()));
@@ -192,22 +191,40 @@ mod tests {
     fn independence_predicts_brute_force_coverage() {
         // Example 5's shape at 2-bit width: degree 5 constructive.
         let regs = vec![
-            TpgRegister { name: "R1".into(), width: 2 },
-            TpgRegister { name: "R2".into(), width: 2 },
+            TpgRegister {
+                name: "R1".into(),
+                width: 2,
+            },
+            TpgRegister {
+                name: "R2".into(),
+                width: 2,
+            },
         ];
         let cones = vec![
             Cone {
                 name: "O1".into(),
                 deps: vec![
-                    ConeDep { register: 0, seq_len: 2 },
-                    ConeDep { register: 1, seq_len: 0 },
+                    ConeDep {
+                        register: 0,
+                        seq_len: 2,
+                    },
+                    ConeDep {
+                        register: 1,
+                        seq_len: 0,
+                    },
                 ],
             },
             Cone {
                 name: "O2".into(),
                 deps: vec![
-                    ConeDep { register: 0, seq_len: 1 },
-                    ConeDep { register: 1, seq_len: 0 },
+                    ConeDep {
+                        register: 0,
+                        seq_len: 1,
+                    },
+                    ConeDep {
+                        register: 1,
+                        seq_len: 0,
+                    },
                 ],
             },
         ];
@@ -229,14 +246,26 @@ mod tests {
         // A cone with a gap in its window: constructive degree exceeds the
         // dependency width, so there is room to shrink.
         let regs = vec![
-            TpgRegister { name: "R1".into(), width: 3 },
-            TpgRegister { name: "R2".into(), width: 3 },
+            TpgRegister {
+                name: "R1".into(),
+                width: 3,
+            },
+            TpgRegister {
+                name: "R2".into(),
+                width: 3,
+            },
         ];
         let cones = vec![Cone {
             name: "O".into(),
             deps: vec![
-                ConeDep { register: 0, seq_len: 3 },
-                ConeDep { register: 1, seq_len: 0 },
+                ConeDep {
+                    register: 0,
+                    seq_len: 3,
+                },
+                ConeDep {
+                    register: 1,
+                    seq_len: 0,
+                },
             ],
         }];
         let s = GeneralizedStructure::new("gap", regs, cones).unwrap();
@@ -261,15 +290,27 @@ mod tests {
     fn examples_5_and_6_shrink_to_the_lower_bound() {
         let make = |d: [[u32; 2]; 2], name: &str| {
             let regs = vec![
-                TpgRegister { name: "R1".into(), width: 4 },
-                TpgRegister { name: "R2".into(), width: 4 },
+                TpgRegister {
+                    name: "R1".into(),
+                    width: 4,
+                },
+                TpgRegister {
+                    name: "R2".into(),
+                    width: 4,
+                },
             ];
             let cones = (0..2)
                 .map(|x| Cone {
                     name: format!("O{}", x + 1),
                     deps: vec![
-                        ConeDep { register: 0, seq_len: d[x][0] },
-                        ConeDep { register: 1, seq_len: d[x][1] },
+                        ConeDep {
+                            register: 0,
+                            seq_len: d[x][0],
+                        },
+                        ConeDep {
+                            register: 1,
+                            seq_len: d[x][1],
+                        },
                     ],
                 })
                 .collect();

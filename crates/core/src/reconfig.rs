@@ -95,7 +95,10 @@ fn cone_substructure(structure: &GeneralizedStructure, cone: usize) -> Generaliz
     let new_deps = deps
         .iter()
         .map(|dep| crate::structure::ConeDep {
-            register: reg_map.iter().position(|&o| o == dep.register).expect("mapped"),
+            register: reg_map
+                .iter()
+                .position(|&o| o == dep.register)
+                .expect("mapped"),
             seq_len: dep.seq_len,
         })
         .collect();
@@ -121,22 +124,40 @@ mod tests {
     /// and (0,1).
     fn example6() -> GeneralizedStructure {
         let regs = vec![
-            TpgRegister { name: "R1".into(), width: 4 },
-            TpgRegister { name: "R2".into(), width: 4 },
+            TpgRegister {
+                name: "R1".into(),
+                width: 4,
+            },
+            TpgRegister {
+                name: "R2".into(),
+                width: 4,
+            },
         ];
         let cones = vec![
             Cone {
                 name: "O1".into(),
                 deps: vec![
-                    ConeDep { register: 0, seq_len: 2 },
-                    ConeDep { register: 1, seq_len: 0 },
+                    ConeDep {
+                        register: 0,
+                        seq_len: 2,
+                    },
+                    ConeDep {
+                        register: 1,
+                        seq_len: 0,
+                    },
                 ],
             },
             Cone {
                 name: "O2".into(),
                 deps: vec![
-                    ConeDep { register: 0, seq_len: 0 },
-                    ConeDep { register: 1, seq_len: 1 },
+                    ConeDep {
+                        register: 0,
+                        seq_len: 0,
+                    },
+                    ConeDep {
+                        register: 1,
+                        seq_len: 1,
+                    },
                 ],
             },
         ];
@@ -162,22 +183,40 @@ mod tests {
     fn each_configuration_is_exhaustive_for_its_cone() {
         // Scaled-down Example 6 so brute force stays fast.
         let regs = vec![
-            TpgRegister { name: "R1".into(), width: 2 },
-            TpgRegister { name: "R2".into(), width: 2 },
+            TpgRegister {
+                name: "R1".into(),
+                width: 2,
+            },
+            TpgRegister {
+                name: "R2".into(),
+                width: 2,
+            },
         ];
         let cones = vec![
             Cone {
                 name: "O1".into(),
                 deps: vec![
-                    ConeDep { register: 0, seq_len: 2 },
-                    ConeDep { register: 1, seq_len: 0 },
+                    ConeDep {
+                        register: 0,
+                        seq_len: 2,
+                    },
+                    ConeDep {
+                        register: 1,
+                        seq_len: 0,
+                    },
                 ],
             },
             Cone {
                 name: "O2".into(),
                 deps: vec![
-                    ConeDep { register: 0, seq_len: 0 },
-                    ConeDep { register: 1, seq_len: 1 },
+                    ConeDep {
+                        register: 0,
+                        seq_len: 0,
+                    },
+                    ConeDep {
+                        register: 1,
+                        seq_len: 1,
+                    },
                 ],
             },
         ];

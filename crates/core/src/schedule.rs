@@ -63,7 +63,9 @@ pub fn schedule(design: &BilboDesign, kernels: &[Kernel]) -> Vec<TestSession> {
     };
     let sessions = colors.iter().copied().max().unwrap_or(0) + 1;
     let mut out: Vec<TestSession> = (0..sessions)
-        .map(|_| TestSession { kernels: Vec::new() })
+        .map(|_| TestSession {
+            kernels: Vec::new(),
+        })
         .collect();
     for (k, &c) in colors.iter().enumerate() {
         out[c].kernels.push(k);
@@ -104,7 +106,11 @@ fn try_color(conflict: &[Vec<bool>], colors: &mut Vec<usize>, v: usize, k: usize
         return true;
     }
     // Symmetry breaking: vertex v may use at most (max used so far + 1).
-    let max_used = colors[..v].iter().copied().filter(|&c| c != usize::MAX).max();
+    let max_used = colors[..v]
+        .iter()
+        .copied()
+        .filter(|&c| c != usize::MAX)
+        .max();
     let limit = max_used.map_or(0, |m| (m + 1).min(k - 1));
     for c in 0..=limit {
         if (0..v).all(|u| !conflict[v][u] || colors[u] != c) {
@@ -199,7 +205,9 @@ mod tests {
         // In sequence: 4,440. Scheduled in two sessions: 2,172."
         let patterns = vec![2140, 2140, 32, 32, 32, 32, 32];
         let sessions = vec![
-            TestSession { kernels: vec![0, 1] },
+            TestSession {
+                kernels: vec![0, 1],
+            },
             TestSession {
                 kernels: vec![2, 3, 4, 5, 6],
             },

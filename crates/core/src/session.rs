@@ -47,7 +47,10 @@ pub fn session_patterns(design: &TpgDesign, structure: &GeneralizedStructure) ->
         structure.is_single_cone(),
         "session streams are defined for single-cone kernels"
     );
-    assert!(design.lfsr_degree() <= 20, "session stream capped at degree 20");
+    assert!(
+        design.lfsr_degree() <= 20,
+        "session stream capped at degree 20"
+    );
     let mut sim = TpgSimulator::new(design);
     // Warm the shift-register extension.
     for _ in 0..design.flip_flop_count() + structure.sequential_depth() as usize {
@@ -115,18 +118,75 @@ pub fn session_detects(
     comb: &Netlist,
     fault: Fault,
 ) -> bool {
+    session_detects_batch(design, structure, comb, &[fault], 1)[0]
+}
+
+/// Signature-detection verdicts for a whole fault list, aligned with
+/// `faults`, computed on `jobs` worker threads (0 and 1 both mean
+/// inline; pass [`bibs_faultsim::par::default_jobs`] to honor the
+/// `BIBS_JOBS` knob).
+///
+/// The golden signature and the pattern stream are computed once and
+/// shared; each fault's verdict is a pure function of
+/// `(design, kernel, fault)`, so the result is identical for any `jobs`.
+pub fn session_detects_batch(
+    design: &TpgDesign,
+    structure: &GeneralizedStructure,
+    comb: &Netlist,
+    faults: &[Fault],
+    jobs: usize,
+) -> Vec<bool> {
     let golden = golden_signature(design, structure, comb);
     let patterns = session_patterns(design, structure);
     let sig_poly = primitive_polynomial(comb.output_width() as u32)
         .expect("signature register width within table");
-    let mut misr = Misr::new(&sig_poly);
-    // Replay the stream through the faulty machine and compress.
-    let fsim = SequentialFaultSim::new(comb);
-    for pattern in &patterns {
-        let faulty_outs = fsim.faulty_output_vector(pattern, fault);
-        misr.absorb(&BitVec::from_bits(&faulty_outs));
+    let n = faults.len();
+
+    // Replays the stream through the faulty machine and compresses.
+    let verdict = |fsim: &SequentialFaultSim, fault: Fault| -> bool {
+        let mut misr = Misr::new(&sig_poly);
+        for pattern in &patterns {
+            let faulty_outs = fsim.faulty_output_vector(pattern, fault);
+            misr.absorb(&BitVec::from_bits(&faulty_outs));
+        }
+        misr.signature() != &golden.signature
+    };
+
+    let jobs = jobs.clamp(1, n.max(1));
+    if jobs <= 1 {
+        let fsim = SequentialFaultSim::new(comb);
+        return faults.iter().map(|&f| verdict(&fsim, f)).collect();
     }
-    misr.signature() != &golden.signature
+    let cursor = std::sync::atomic::AtomicUsize::new(0);
+    let cursor = &cursor;
+    let verdict = &verdict;
+    let collected: Vec<Vec<(usize, bool)>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..jobs)
+            .map(|_| {
+                s.spawn(move || {
+                    let fsim = SequentialFaultSim::new(comb);
+                    let mut out = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        out.push((i, verdict(&fsim, faults[i])));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("session-detect worker panicked"))
+            .collect()
+    });
+    let mut verdicts = vec![false; n];
+    for (i, v) in collected.into_iter().flatten() {
+        verdicts[i] = v;
+    }
+    verdicts
 }
 
 #[cfg(test)]
@@ -162,8 +222,7 @@ mod tests {
     fn session_patterns_are_functionally_exhaustive() {
         let (s, design, _) = adder_kernel();
         let patterns = session_patterns(&design, &s);
-        let distinct: std::collections::HashSet<Vec<bool>> =
-            patterns.into_iter().collect();
+        let distinct: std::collections::HashSet<Vec<bool>> = patterns.into_iter().collect();
         assert_eq!(distinct.len(), 1 << 6, "every pattern, including zero");
     }
 
@@ -194,17 +253,21 @@ mod tests {
             })
             .collect();
 
-        let mut aliased = 0usize;
         for &fault in &observable {
             let responds = patterns
                 .iter()
                 .zip(&golden_stream)
                 .any(|(p, g)| fsim.faulty_output_vector(p, fault) != *g);
             assert!(responds, "{fault} must corrupt some response");
-            if !session_detects(&design, &s, &comb, fault) {
-                aliased += 1;
-            }
         }
+        // Batch verdicts on worker threads; spot-check the single-fault
+        // entry point agrees on the first fault.
+        let verdicts = session_detects_batch(&design, &s, &comb, &observable, 4);
+        assert_eq!(
+            verdicts[0],
+            session_detects(&design, &s, &comb, observable[0])
+        );
+        let aliased = verdicts.iter().filter(|&&v| !v).count();
         let limit = observable.len() / 10;
         assert!(
             aliased <= limit,

@@ -42,10 +42,7 @@ pub struct Cone {
 impl Cone {
     /// The total input width the cone depends on (its *cone size* `w`).
     pub fn input_width(&self, registers: &[TpgRegister]) -> u32 {
-        self.deps
-            .iter()
-            .map(|d| registers[d.register].width)
-            .sum()
+        self.deps.iter().map(|d| registers[d.register].width).sum()
     }
 }
 
@@ -377,19 +374,12 @@ mod tests {
 
     #[test]
     fn permutation_reindexes_cones() {
-        let s = GeneralizedStructure::single_cone(
-            "t",
-            &[("R1", 4, 2), ("R2", 4, 1), ("R3", 4, 0)],
-        );
+        let s = GeneralizedStructure::single_cone("t", &[("R1", 4, 2), ("R2", 4, 1), ("R3", 4, 0)]);
         let p = s.permuted(&[2, 0, 1]); // new order: R3, R1, R2
         assert_eq!(p.registers[0].name, "R3");
         assert_eq!(p.registers[1].name, "R1");
         // R1 is now index 1; its dep must carry seq_len 2.
-        let dep = p.cones[0]
-            .deps
-            .iter()
-            .find(|d| d.register == 1)
-            .unwrap();
+        let dep = p.cones[0].deps.iter().find(|d| d.register == 1).unwrap();
         assert_eq!(dep.seq_len, 2);
     }
 

@@ -361,8 +361,7 @@ impl TpgSimulator {
     pub fn step(&mut self) {
         if self.history_depth > 0 {
             self.history.pop_back();
-            self.history
-                .push_front(self.lfsr.stage(self.lfsr.width()));
+            self.history.push_front(self.lfsr.stage(self.lfsr.width()));
         }
         self.lfsr.step();
         self.time += 1;
@@ -416,10 +415,7 @@ mod tests {
 
     /// Example 2: Figure 12(a) kernel, 4-bit registers, d = (2, 1, 0).
     fn example2() -> GeneralizedStructure {
-        GeneralizedStructure::single_cone(
-            "ex2",
-            &[("R1", 4, 2), ("R2", 4, 1), ("R3", 4, 0)],
-        )
+        GeneralizedStructure::single_cone("ex2", &[("R1", 4, 2), ("R2", 4, 1), ("R3", 4, 0)])
     }
 
     #[test]
@@ -440,10 +436,8 @@ mod tests {
     fn example3_sharing_and_separation() {
         // Example 3: same registers, d = (1, 2, 0): R2 shares one signal
         // with R1 (Δ = -1), R3 is separated by two FFs (Δ = +2).
-        let s = GeneralizedStructure::single_cone(
-            "ex3",
-            &[("R1", 4, 1), ("R2", 4, 2), ("R3", 4, 0)],
-        );
+        let s =
+            GeneralizedStructure::single_cone("ex3", &[("R1", 4, 1), ("R2", 4, 2), ("R3", 4, 0)]);
         let design = sc_tpg(&s);
         // R1 at labels 1..4; R2 at 4..7 (sharing L4); R3 at 10..13.
         assert_eq!(design.cell_label(0, 0), 1);
@@ -476,28 +470,50 @@ mod tests {
     fn example5_two_cone_kernel_nine_stage_lfsr() {
         // Figure 17: R1, R2 4-bit; Ω1: d=(2,0); Ω2: d=(1,0).
         let regs = vec![
-            TpgRegister { name: "R1".into(), width: 4 },
-            TpgRegister { name: "R2".into(), width: 4 },
+            TpgRegister {
+                name: "R1".into(),
+                width: 4,
+            },
+            TpgRegister {
+                name: "R2".into(),
+                width: 4,
+            },
         ];
         let cones = vec![
             Cone {
                 name: "O1".into(),
                 deps: vec![
-                    ConeDep { register: 0, seq_len: 2 },
-                    ConeDep { register: 1, seq_len: 0 },
+                    ConeDep {
+                        register: 0,
+                        seq_len: 2,
+                    },
+                    ConeDep {
+                        register: 1,
+                        seq_len: 0,
+                    },
                 ],
             },
             Cone {
                 name: "O2".into(),
                 deps: vec![
-                    ConeDep { register: 0, seq_len: 1 },
-                    ConeDep { register: 1, seq_len: 0 },
+                    ConeDep {
+                        register: 0,
+                        seq_len: 1,
+                    },
+                    ConeDep {
+                        register: 1,
+                        seq_len: 0,
+                    },
                 ],
             },
         ];
         let s = GeneralizedStructure::new("ex5", regs, cones).unwrap();
         let design = mc_tpg(&s);
-        assert_eq!(design.displacement(1, 0), 6, "R2 starts 2 FFs after R1 ends");
+        assert_eq!(
+            design.displacement(1, 0),
+            6,
+            "R2 starts 2 FFs after R1 ends"
+        );
         assert!(design.extra_flip_flops() >= 2);
         assert_eq!(design.lfsr_degree(), 9, "paper: 9-stage LFSR required");
     }
@@ -506,22 +522,40 @@ mod tests {
     fn example6_eleven_stage_lfsr() {
         // Figure 19: Ω1: d=(2,0); Ω2: d=(0,1) → 11-stage LFSR.
         let regs = vec![
-            TpgRegister { name: "R1".into(), width: 4 },
-            TpgRegister { name: "R2".into(), width: 4 },
+            TpgRegister {
+                name: "R1".into(),
+                width: 4,
+            },
+            TpgRegister {
+                name: "R2".into(),
+                width: 4,
+            },
         ];
         let cones = vec![
             Cone {
                 name: "O1".into(),
                 deps: vec![
-                    ConeDep { register: 0, seq_len: 2 },
-                    ConeDep { register: 1, seq_len: 0 },
+                    ConeDep {
+                        register: 0,
+                        seq_len: 2,
+                    },
+                    ConeDep {
+                        register: 1,
+                        seq_len: 0,
+                    },
                 ],
             },
             Cone {
                 name: "O2".into(),
                 deps: vec![
-                    ConeDep { register: 0, seq_len: 0 },
-                    ConeDep { register: 1, seq_len: 1 },
+                    ConeDep {
+                        register: 0,
+                        seq_len: 0,
+                    },
+                    ConeDep {
+                        register: 1,
+                        seq_len: 1,
+                    },
                 ],
             },
         ];
@@ -534,30 +568,57 @@ mod tests {
     /// Ω1(R1:2, R2:0), Ω2(R1:0, R3:1), Ω3(R2:1, R3:0).
     pub(crate) fn example7() -> GeneralizedStructure {
         let regs = vec![
-            TpgRegister { name: "R1".into(), width: 4 },
-            TpgRegister { name: "R2".into(), width: 4 },
-            TpgRegister { name: "R3".into(), width: 4 },
+            TpgRegister {
+                name: "R1".into(),
+                width: 4,
+            },
+            TpgRegister {
+                name: "R2".into(),
+                width: 4,
+            },
+            TpgRegister {
+                name: "R3".into(),
+                width: 4,
+            },
         ];
         let cones = vec![
             Cone {
                 name: "O1".into(),
                 deps: vec![
-                    ConeDep { register: 0, seq_len: 2 },
-                    ConeDep { register: 1, seq_len: 0 },
+                    ConeDep {
+                        register: 0,
+                        seq_len: 2,
+                    },
+                    ConeDep {
+                        register: 1,
+                        seq_len: 0,
+                    },
                 ],
             },
             Cone {
                 name: "O2".into(),
                 deps: vec![
-                    ConeDep { register: 0, seq_len: 0 },
-                    ConeDep { register: 2, seq_len: 1 },
+                    ConeDep {
+                        register: 0,
+                        seq_len: 0,
+                    },
+                    ConeDep {
+                        register: 2,
+                        seq_len: 1,
+                    },
                 ],
             },
             Cone {
                 name: "O3".into(),
                 deps: vec![
-                    ConeDep { register: 1, seq_len: 1 },
-                    ConeDep { register: 2, seq_len: 0 },
+                    ConeDep {
+                        register: 1,
+                        seq_len: 1,
+                    },
+                    ConeDep {
+                        register: 2,
+                        seq_len: 0,
+                    },
                 ],
             },
         ];

@@ -154,10 +154,7 @@ mod tests {
     use crate::tpg::{sc_tpg, TpgSimulator};
     use bibs_netlist::sim::PatternSim;
 
-    fn hw_register_states(
-        hw: &TpgNetlist,
-        logic: &mut PatternSim<'_>,
-    ) -> Vec<u64> {
+    fn hw_register_states(hw: &TpgNetlist, logic: &mut PatternSim<'_>) -> Vec<u64> {
         logic.eval_comb();
         let outs = hw.netlist.outputs();
         hw.cell_outputs
@@ -174,10 +171,8 @@ mod tests {
     /// cycle-by-cycle once synchronized.
     #[test]
     fn hardware_matches_analytical_simulator() {
-        let s = GeneralizedStructure::single_cone(
-            "hw",
-            &[("R1", 3, 2), ("R2", 3, 1), ("R3", 3, 0)],
-        );
+        let s =
+            GeneralizedStructure::single_cone("hw", &[("R1", 3, 2), ("R2", 3, 1), ("R3", 3, 0)]);
         let design = sc_tpg(&s);
         let hw = synthesize_tpg(&design).expect("synthesizes");
         let mut logic = PatternSim::new(&hw.netlist);

@@ -10,7 +10,9 @@
 //! LFSR, ref \[15\]).
 
 use crate::tpg::{TpgDesign, TpgSimulator};
+use bibs_faultsim::par::default_jobs;
 use std::collections::HashSet;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Coverage of one cone under a TPG design.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -31,8 +33,7 @@ impl ConeCoverage {
     /// Whether the cone is functionally exhaustively tested, counting the
     /// all-0 pattern as supplied by a complete LFSR when missing.
     pub fn is_exhaustive_modulo_zero(&self) -> bool {
-        self.observed == self.total
-            || (!self.saw_all_zero && self.observed == self.total - 1)
+        self.observed == self.total || (!self.saw_all_zero && self.observed == self.total - 1)
     }
 
     /// Whether the cone saw strictly every pattern, including all-0.
@@ -75,10 +76,55 @@ pub fn cone_coverage(design: &TpgDesign, cone: usize) -> ConeCoverage {
     }
 }
 
-/// Verifies every cone of the design; returns the coverages.
+/// Verifies every cone of the design; returns the coverages in cone
+/// order.
+///
+/// Cones are independent, so they are verified on
+/// [`bibs_faultsim::par::default_jobs`] worker threads (the `BIBS_JOBS`
+/// knob applies); use [`verify_exhaustive_jobs`] for an explicit count.
 pub fn verify_exhaustive(design: &TpgDesign) -> Vec<ConeCoverage> {
-    (0..design.structure().cones.len())
-        .map(|x| cone_coverage(design, x))
+    verify_exhaustive_jobs(design, default_jobs())
+}
+
+/// [`verify_exhaustive`] with an explicit worker-thread count. The result
+/// is identical (and in cone order) for any `jobs` — each cone's coverage
+/// is a pure function of the design.
+pub fn verify_exhaustive_jobs(design: &TpgDesign, jobs: usize) -> Vec<ConeCoverage> {
+    let n = design.structure().cones.len();
+    let jobs = jobs.clamp(1, n.max(1));
+    if jobs <= 1 || n <= 1 {
+        return (0..n).map(|x| cone_coverage(design, x)).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let cursor = &cursor;
+    let collected: Vec<Vec<(usize, ConeCoverage)>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..jobs)
+            .map(|_| {
+                s.spawn(move || {
+                    let mut out = Vec::new();
+                    loop {
+                        let x = cursor.fetch_add(1, Ordering::Relaxed);
+                        if x >= n {
+                            break;
+                        }
+                        out.push((x, cone_coverage(design, x)));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("cone-verify worker panicked"))
+            .collect()
+    });
+    let mut results: Vec<Option<ConeCoverage>> = vec![None; n];
+    for (x, cov) in collected.into_iter().flatten() {
+        results[x] = Some(cov);
+    }
+    results
+        .into_iter()
+        .map(|c| c.expect("every cone verified exactly once"))
         .collect()
 }
 
@@ -91,10 +137,7 @@ mod tests {
     #[test]
     fn theorem4_small_single_cone() {
         // 2-bit registers with d = (2, 1, 0): degree 6, cone width 6.
-        let s = GeneralizedStructure::single_cone(
-            "t",
-            &[("R1", 2, 2), ("R2", 2, 1), ("R3", 2, 0)],
-        );
+        let s = GeneralizedStructure::single_cone("t", &[("R1", 2, 2), ("R2", 2, 1), ("R3", 2, 0)]);
         let design = sc_tpg(&s);
         assert_eq!(design.lfsr_degree(), 6);
         let cov = cone_coverage(&design, 0);
@@ -110,10 +153,7 @@ mod tests {
     #[test]
     fn theorem4_with_sharing() {
         // d = (1, 2, 0) triggers signal sharing (Example 3's shape).
-        let s = GeneralizedStructure::single_cone(
-            "t",
-            &[("R1", 2, 1), ("R2", 2, 2), ("R3", 2, 0)],
-        );
+        let s = GeneralizedStructure::single_cone("t", &[("R1", 2, 1), ("R2", 2, 2), ("R3", 2, 0)]);
         let design = sc_tpg(&s);
         let cov = cone_coverage(&design, 0);
         assert!(cov.is_exhaustive_modulo_zero(), "{cov:?}");
@@ -124,22 +164,40 @@ mod tests {
         // Two 3-bit registers, two cones with different skews (Example 5
         // shape scaled down).
         let regs = vec![
-            TpgRegister { name: "R1".into(), width: 3 },
-            TpgRegister { name: "R2".into(), width: 3 },
+            TpgRegister {
+                name: "R1".into(),
+                width: 3,
+            },
+            TpgRegister {
+                name: "R2".into(),
+                width: 3,
+            },
         ];
         let cones = vec![
             Cone {
                 name: "O1".into(),
                 deps: vec![
-                    ConeDep { register: 0, seq_len: 2 },
-                    ConeDep { register: 1, seq_len: 0 },
+                    ConeDep {
+                        register: 0,
+                        seq_len: 2,
+                    },
+                    ConeDep {
+                        register: 1,
+                        seq_len: 0,
+                    },
                 ],
             },
             Cone {
                 name: "O2".into(),
                 deps: vec![
-                    ConeDep { register: 0, seq_len: 1 },
-                    ConeDep { register: 1, seq_len: 0 },
+                    ConeDep {
+                        register: 0,
+                        seq_len: 1,
+                    },
+                    ConeDep {
+                        register: 1,
+                        seq_len: 0,
+                    },
                 ],
             },
         ];

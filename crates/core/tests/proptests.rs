@@ -12,10 +12,7 @@ use bibs_rtl::{Circuit, CircuitBuilder, VertexId};
 use proptest::prelude::*;
 
 /// Random layered circuit with registered I/O (the BIBS preconditions).
-fn random_circuit(
-    layer_sizes: &[usize],
-    edge_choices: &[(usize, usize, bool, u8)],
-) -> Circuit {
+fn random_circuit(layer_sizes: &[usize], edge_choices: &[(usize, usize, bool, u8)]) -> Circuit {
     let mut b = CircuitBuilder::new("rand");
     let pi = b.input("PI");
     let mut layers: Vec<Vec<VertexId>> = Vec::new();

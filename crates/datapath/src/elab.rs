@@ -104,9 +104,7 @@ pub fn elaborate_kernel(
 ) -> Result<ElabResult, ElabError> {
     let in_kernel = |v: VertexId| kernel.contains(&v);
     let keep = |e: EdgeId| {
-        !cut.contains(&e)
-            && in_kernel(circuit.edge(e).from)
-            && in_kernel(circuit.edge(e).to)
+        !cut.contains(&e) && in_kernel(circuit.edge(e).from) && in_kernel(circuit.edge(e).to)
     };
     let order = circuit
         .topo_order_filtered(keep)
@@ -118,8 +116,7 @@ pub fn elaborate_kernel(
     // Incoming cut edges become PI words feeding their target vertex as an
     // extra input port.
     let mut input_edges = Vec::new();
-    let mut extra_inputs: Vec<Vec<(EdgeId, Vec<NetId>)>> =
-        vec![Vec::new(); circuit.vertex_count()];
+    let mut extra_inputs: Vec<Vec<(EdgeId, Vec<NetId>)>> = vec![Vec::new(); circuit.vertex_count()];
     for e in circuit.edge_ids() {
         if cut.contains(&e) && in_kernel(circuit.edge(e).to) {
             let width = circuit

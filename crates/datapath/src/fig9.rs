@@ -59,7 +59,9 @@ pub fn bibs_bilbo_names() -> &'static [&'static str] {
 /// The register names the TDM of \[3\] converts (all 10 registers, 52
 /// flip-flops).
 pub fn ka85_bilbo_names() -> &'static [&'static str] {
-    &["R1", "R2", "R3", "R4", "Rc1", "Rc2", "Rc3", "Rc4", "Rc5", "R10"]
+    &[
+        "R1", "R2", "R3", "R4", "Rc1", "Rc2", "Rc3", "Rc4", "Rc5", "R10",
+    ]
 }
 
 /// Resolves a name list to edge ids on `circuit`.

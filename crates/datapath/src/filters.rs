@@ -71,7 +71,9 @@ fn rescale(circuit: &Circuit, width: u32) -> Circuit {
         match edge.kind {
             bibs_rtl::EdgeKind::Register { .. } => {
                 b.register(
-                    edge.name.clone().unwrap_or_else(|| format!("r{}", e.index())),
+                    edge.name
+                        .clone()
+                        .unwrap_or_else(|| format!("r{}", e.index())),
                     width,
                     ids[edge.from.index()],
                     ids[edge.to.index()],
@@ -91,13 +93,7 @@ fn rescale(circuit: &Circuit, width: u32) -> Circuit {
 ///
 /// This is the operand-alignment structure a pipelining synthesis tool
 /// emits to keep a datapath balanced.
-fn delayed_operand(
-    b: &mut CircuitBuilder,
-    pi: VertexId,
-    base: &str,
-    delays: u32,
-    to: VertexId,
-) {
+fn delayed_operand(b: &mut CircuitBuilder, pi: VertexId, base: &str, delays: u32, to: VertexId) {
     let mut cur = pi;
     for k in 0..delays {
         let v = b.vacuous(format!("V{base}{k}"));
@@ -463,9 +459,7 @@ mod tests {
         let feedback: Vec<_> = (0..3)
             .map(|s| c.register_by_name(&format!("Ry{s}")).unwrap())
             .collect();
-        assert!(c
-            .find_cycle_filtered(|e| !feedback.contains(&e))
-            .is_none());
+        assert!(c.find_cycle_filtered(|e| !feedback.contains(&e)).is_none());
         // Any 2-of-3 cut still leaves the remaining section's cycle.
         assert!(c
             .find_cycle_filtered(|e| e != feedback[0] && e != feedback[1])
@@ -486,9 +480,18 @@ mod tests {
     fn gate_counts_reported_for_table1() {
         // Not the paper's absolute numbers (different cell library), but
         // the ordering must match Table 1: c4a4m > c5a2m > c3a2m.
-        let g5 = elaborate_whole(&c5a2m()).unwrap().netlist.logic_gate_count();
-        let g3 = elaborate_whole(&c3a2m()).unwrap().netlist.logic_gate_count();
-        let g4 = elaborate_whole(&c4a4m()).unwrap().netlist.logic_gate_count();
+        let g5 = elaborate_whole(&c5a2m())
+            .unwrap()
+            .netlist
+            .logic_gate_count();
+        let g3 = elaborate_whole(&c3a2m())
+            .unwrap()
+            .netlist
+            .logic_gate_count();
+        let g4 = elaborate_whole(&c4a4m())
+            .unwrap()
+            .netlist
+            .logic_gate_count();
         assert!(g4 > g5, "c4a4m ({g4}) must exceed c5a2m ({g5})");
         assert!(g5 > g3, "c5a2m ({g5}) must exceed c3a2m ({g3})");
     }

@@ -24,7 +24,6 @@
 //! simulation.
 #![warn(missing_docs)]
 
-
 pub mod elab;
 pub mod examples;
 pub mod fig9;

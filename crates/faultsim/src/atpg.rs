@@ -304,9 +304,7 @@ impl<'a> Atpg<'a> {
         }
         for gid in self.netlist.gate_ids() {
             let gate = self.netlist.gate(gid);
-            if self.unknown_at(gate.output)
-                && gate.inputs.iter().any(|&i| self.error_at(i))
-            {
+            if self.unknown_at(gate.output) && gate.inputs.iter().any(|&i| self.error_at(i)) {
                 frontier.push(gid);
             }
         }
@@ -366,7 +364,11 @@ impl<'a> Atpg<'a> {
                 NetDriver::Gate(gid) => {
                     let gate = self.netlist.gate(gid);
                     // Remove the gate's output inversion.
-                    let inner = if gate.kind.is_inverting() { !value } else { value };
+                    let inner = if gate.kind.is_inverting() {
+                        !value
+                    } else {
+                        value
+                    };
                     let x_input = gate
                         .inputs
                         .iter()
@@ -406,7 +408,7 @@ impl<'a> Atpg<'a> {
 mod tests {
     use super::*;
     use crate::fault::FaultUniverse;
-    use crate::sim::FaultSimulator;
+    use crate::sim::{BlockSim, FaultSimulator};
     use bibs_netlist::builder::NetlistBuilder;
 
     fn adder4() -> Netlist {

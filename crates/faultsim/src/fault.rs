@@ -221,9 +221,7 @@ impl FaultUniverse {
         }
         self.faults.iter().partition(|f| match f.site {
             FaultSite::Net(n) => observable_net[n.index()],
-            FaultSite::GatePin { gate, .. } => {
-                observable_net[netlist.gate(gate).output.index()]
-            }
+            FaultSite::GatePin { gate, .. } => observable_net[netlist.gate(gate).output.index()],
         })
     }
 }

@@ -7,7 +7,9 @@
 //! * a single-stuck-at **fault model** with structural equivalence
 //!   collapsing ([`fault`]);
 //! * a 64-way parallel-pattern **fault simulator** with fault dropping
-//!   ([`sim`]);
+//!   ([`sim`]), plus a multi-threaded engine ([`par`]) that produces
+//!   bit-identical reports (thread count via `BIBS_JOBS` or
+//!   [`par::default_jobs`]);
 //! * **PODEM** combinational ATPG ([`atpg`]) to prove faults undetectable —
 //!   which defines the "detectable" universe that the 100 % rows measure.
 //!   (The paper: "only an ATPG system for combinational logic is required",
@@ -26,7 +28,7 @@
 //! ```
 //! use bibs_netlist::builder::NetlistBuilder;
 //! use bibs_faultsim::fault::FaultUniverse;
-//! use bibs_faultsim::sim::FaultSimulator;
+//! use bibs_faultsim::sim::{BlockSim, FaultSimulator};
 //!
 //! # fn main() -> Result<(), bibs_netlist::NetlistError> {
 //! let mut b = NetlistBuilder::new("add2");
@@ -46,8 +48,14 @@
 //! ```
 #![warn(missing_docs)]
 
-
 pub mod atpg;
+mod eval;
 pub mod fault;
+pub mod par;
 pub mod seq;
 pub mod sim;
+pub mod stats;
+
+pub use par::{default_jobs, ParFaultSimulator};
+pub use sim::{BlockSim, FaultSimReport, FaultSimulator};
+pub use stats::SimStats;

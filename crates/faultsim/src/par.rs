@@ -1,0 +1,411 @@
+//! Multi-threaded sharded fault simulation.
+//!
+//! [`ParFaultSimulator`] shards the *undetected* fault list across
+//! `std::thread::scope` workers. Each block is processed as:
+//!
+//! 1. **one** good-machine evaluation ([`crate::eval`]) into a buffer all
+//!    workers share read-only;
+//! 2. workers steal fixed-size chunks of the undetected list off an
+//!    `AtomicUsize` cursor, evaluating each fault into a worker-private
+//!    `faulty` buffer and recording `(position, first-diff-lane)` hits;
+//! 3. the main thread merges the hits and compacts the undetected list.
+//!
+//! # Determinism
+//!
+//! The parallel report is **bit-identical** to the serial
+//! [`crate::sim::FaultSimulator`]'s, for any thread count, because:
+//!
+//! * the pattern stream is formed by the shared [`BlockSim`] drivers, so
+//!   both engines draw the same RNG words and schedule the same blocks;
+//! * per-fault detection is a pure function of `(netlist, block, fault)`
+//!   computed by the shared kernels in [`crate::eval`] — *which* worker
+//!   evaluates a fault cannot change the answer;
+//! * workers touch disjoint positions of the undetected list, so merging
+//!   their hit lists is order-independent: fault *i*'s first-detection
+//!   index is `patterns_applied + trailing_zeros(diff)` regardless of
+//!   join order;
+//! * fault dropping is block-granular in both engines (a fault detected
+//!   in block *b* is still evaluated by nobody else in block *b* and by
+//!   no one in block *b+1*).
+//!
+//! Work stealing only redistributes *throughput* between shards (visible
+//! in [`SimStats::per_shard_fault_evals`]); it never changes the report.
+//! `tests/par_equivalence.rs` pins this across circuits, seeds and thread
+//! counts.
+
+use crate::eval;
+use crate::fault::Fault;
+use crate::sim::{BlockSim, FaultSimReport, FaultSimulator};
+use crate::stats::SimStats;
+use bibs_netlist::{GateId, Netlist};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// Faults a worker grabs per steal; small enough to balance dropped-fault
+/// skew, large enough to keep cursor contention negligible.
+const STEAL_CHUNK: usize = 32;
+
+/// Below this many undetected faults a block is simulated inline on the
+/// calling thread — spawning would cost more than the work.
+const SERIAL_CUTOFF: usize = 48;
+
+/// The worker-thread count to use by default: the `BIBS_JOBS` environment
+/// variable if set to a positive integer, otherwise
+/// [`std::thread::available_parallelism`] (1 if that is unavailable).
+pub fn default_jobs() -> usize {
+    if let Ok(v) = std::env::var("BIBS_JOBS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Multi-threaded drop-in replacement for [`FaultSimulator`].
+///
+/// Construct with [`ParFaultSimulator::new`] (thread count from
+/// [`default_jobs`]) or [`ParFaultSimulator::with_threads`], then drive it
+/// through the [`BlockSim`] trait exactly like the serial engine:
+///
+/// ```
+/// use bibs_netlist::builder::NetlistBuilder;
+/// use bibs_faultsim::fault::FaultUniverse;
+/// use bibs_faultsim::par::ParFaultSimulator;
+/// use bibs_faultsim::sim::BlockSim;
+///
+/// # fn main() -> Result<(), bibs_netlist::NetlistError> {
+/// let mut b = NetlistBuilder::new("add2");
+/// let a = b.input_word("a", 2);
+/// let c = b.input_word("b", 2);
+/// let (s, co) = b.ripple_carry_adder(&a, &c, None);
+/// b.output_word("s", &s);
+/// b.output("co", co);
+/// let nl = b.finish()?;
+///
+/// let faults = FaultUniverse::collapsed(&nl);
+/// let mut sim = ParFaultSimulator::with_threads(&nl, faults.faults().to_vec(), 4);
+/// let report = sim.run_exhaustive();
+/// assert_eq!(report.undetected().len(), 0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct ParFaultSimulator<'a> {
+    netlist: &'a Netlist,
+    order: Vec<GateId>,
+    faults: Vec<Fault>,
+    detection: Vec<Option<u64>>,
+    /// Indices (into `faults`) of the faults still undetected — the work
+    /// list the workers shard. Compacted after every block.
+    undetected: Vec<u32>,
+    good: Vec<u64>,
+    /// One faulty-machine buffer per worker, reused across blocks.
+    faulty_bufs: Vec<Vec<u64>>,
+    outputs: Vec<usize>,
+    patterns_applied: u64,
+    threads: usize,
+    stats: SimStats,
+}
+
+impl<'a> ParFaultSimulator<'a> {
+    /// Creates a parallel simulator with [`default_jobs`] worker threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the netlist is sequential or combinationally cyclic, or
+    /// if the fault list exceeds `u32::MAX` entries.
+    pub fn new(netlist: &'a Netlist, faults: Vec<Fault>) -> Self {
+        Self::with_threads(netlist, faults, default_jobs())
+    }
+
+    /// Creates a parallel simulator with an explicit worker-thread count
+    /// (clamped to at least 1). `with_threads(nl, faults, 1)` behaves
+    /// exactly like the serial engine, inline on the calling thread.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`ParFaultSimulator::new`].
+    pub fn with_threads(netlist: &'a Netlist, faults: Vec<Fault>, threads: usize) -> Self {
+        assert_eq!(
+            netlist.dff_count(),
+            0,
+            "fault-simulate the combinational equivalent"
+        );
+        assert!(
+            faults.len() <= u32::MAX as usize,
+            "fault list exceeds u32 index space"
+        );
+        let order = netlist.levelize().expect("acyclic combinational netlist");
+        let threads = threads.max(1);
+        let n = faults.len();
+        ParFaultSimulator {
+            netlist,
+            order,
+            faults,
+            detection: vec![None; n],
+            undetected: (0..n as u32).collect(),
+            good: vec![0u64; netlist.net_count()],
+            faulty_bufs: vec![vec![0u64; netlist.net_count()]; threads],
+            outputs: netlist.outputs().iter().map(|o| o.index()).collect(),
+            patterns_applied: 0,
+            threads,
+            stats: SimStats::new(threads),
+        }
+    }
+
+    /// The configured worker-thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+}
+
+impl BlockSim for ParFaultSimulator<'_> {
+    fn netlist(&self) -> &Netlist {
+        self.netlist
+    }
+
+    fn apply_block(&mut self, input_words: &[u64], lanes: usize) -> usize {
+        assert!((1..=64).contains(&lanes), "1..=64 lanes per block");
+        assert_eq!(input_words.len(), self.netlist.input_width());
+        let lane_mask: u64 = if lanes == 64 { !0 } else { (1u64 << lanes) - 1 };
+        let started = Instant::now();
+
+        // Good machine once, shared read-only by every worker.
+        let mut scratch: Vec<u64> = Vec::with_capacity(8);
+        eval::eval_good(
+            self.netlist,
+            &self.order,
+            input_words,
+            &mut self.good,
+            &mut scratch,
+        );
+        self.stats.good_evals += 1;
+
+        let netlist = self.netlist;
+        let order = &self.order;
+        let faults = &self.faults;
+        let undetected = &self.undetected;
+        let good = &self.good;
+        let outputs = &self.outputs;
+
+        // Per-shard results: (undetected-list position, first diff lane).
+        let shard_results: Vec<(Vec<(usize, u64)>, u64)> =
+            if self.threads <= 1 || undetected.len() <= SERIAL_CUTOFF {
+                // Inline path on shard 0 — same kernels, no spawning.
+                let buf = &mut self.faulty_bufs[0];
+                let mut hits = Vec::new();
+                let mut evals = 0u64;
+                for (pos, &fi) in undetected.iter().enumerate() {
+                    eval::eval_faulty(
+                        netlist,
+                        order,
+                        input_words,
+                        faults[fi as usize],
+                        buf,
+                        &mut scratch,
+                    );
+                    evals += 1;
+                    let diff = eval::output_diff(outputs, good, buf, lane_mask);
+                    if diff != 0 {
+                        hits.push((pos, diff.trailing_zeros() as u64));
+                    }
+                }
+                vec![(hits, evals)]
+            } else {
+                let cursor = AtomicUsize::new(0);
+                let cursor = &cursor;
+                std::thread::scope(|s| {
+                    let handles: Vec<_> = self
+                        .faulty_bufs
+                        .iter_mut()
+                        .map(|buf| {
+                            s.spawn(move || {
+                                let mut scratch: Vec<u64> = Vec::with_capacity(8);
+                                let mut hits: Vec<(usize, u64)> = Vec::new();
+                                let mut evals = 0u64;
+                                loop {
+                                    let start = cursor.fetch_add(STEAL_CHUNK, Ordering::Relaxed);
+                                    if start >= undetected.len() {
+                                        break;
+                                    }
+                                    let end = (start + STEAL_CHUNK).min(undetected.len());
+                                    for pos in start..end {
+                                        eval::eval_faulty(
+                                            netlist,
+                                            order,
+                                            input_words,
+                                            faults[undetected[pos] as usize],
+                                            buf,
+                                            &mut scratch,
+                                        );
+                                        evals += 1;
+                                        let diff = eval::output_diff(outputs, good, buf, lane_mask);
+                                        if diff != 0 {
+                                            hits.push((pos, diff.trailing_zeros() as u64));
+                                        }
+                                    }
+                                }
+                                (hits, evals)
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("fault-sim worker panicked"))
+                        .collect()
+                })
+            };
+
+        // Deterministic merge: workers own disjoint positions, and each
+        // hit's detection index depends only on (fault, block).
+        let mut newly = 0usize;
+        for (shard, (hits, evals)) in shard_results.into_iter().enumerate() {
+            self.stats.per_shard_fault_evals[shard] += evals;
+            self.stats.fault_evals += evals;
+            for (pos, lane) in hits {
+                let fi = self.undetected[pos] as usize;
+                debug_assert!(self.detection[fi].is_none());
+                self.detection[fi] = Some(self.patterns_applied + lane);
+                newly += 1;
+            }
+        }
+        let detection = &self.detection;
+        self.undetected
+            .retain(|&fi| detection[fi as usize].is_none());
+
+        self.patterns_applied += lanes as u64;
+        self.stats.blocks += 1;
+        self.stats.faults_dropped += newly as u64;
+        self.stats.wall += started.elapsed();
+        newly
+    }
+
+    fn detection(&self) -> &[Option<u64>] {
+        &self.detection
+    }
+
+    fn patterns_applied(&self) -> u64 {
+        self.patterns_applied
+    }
+
+    fn report(&self) -> FaultSimReport {
+        FaultSimReport::from_parts(
+            self.faults.clone(),
+            self.detection.clone(),
+            self.patterns_applied,
+            self.stats.clone(),
+        )
+    }
+}
+
+/// Convenience: serial and parallel runs of the same random stream,
+/// asserting (in debug builds) that they agree. Returns the parallel
+/// report. Used by the equivalence tests; exposed because it is also a
+/// handy self-check harness for callers adopting the parallel engine.
+pub fn run_random_checked(
+    netlist: &Netlist,
+    faults: &[Fault],
+    seed_stream: &mut impl rand::Rng,
+    max_patterns: u64,
+    threads: usize,
+) -> FaultSimReport {
+    // Both engines must see identical RNG words, so fork the stream by
+    // drawing the block words once per... simplest correct scheme: run the
+    // serial engine on a clone of the stream state is impossible for a
+    // generic Rng, so draw a seed and derive two identical child streams.
+    use rand::{rngs::StdRng, SeedableRng};
+    let seed: u64 = seed_stream.gen();
+    let mut rng_a = StdRng::seed_from_u64(seed);
+    let mut rng_b = StdRng::seed_from_u64(seed);
+    let serial = FaultSimulator::new(netlist, faults.to_vec()).run_random(&mut rng_a, max_patterns);
+    let par = ParFaultSimulator::with_threads(netlist, faults.to_vec(), threads)
+        .run_random(&mut rng_b, max_patterns);
+    debug_assert_eq!(serial.detection(), par.detection());
+    debug_assert_eq!(serial.patterns_applied(), par.patterns_applied());
+    par
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::FaultUniverse;
+    use bibs_netlist::builder::NetlistBuilder;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn adder4() -> Netlist {
+        let mut b = NetlistBuilder::new("add4");
+        let a = b.input_word("a", 4);
+        let c = b.input_word("b", 4);
+        let (s, co) = b.ripple_carry_adder(&a, &c, None);
+        b.output_word("s", &s);
+        b.output("co", co);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn parallel_matches_serial_exhaustive() {
+        let nl = adder4();
+        let faults = FaultUniverse::collapsed(&nl).faults().to_vec();
+        let serial = FaultSimulator::new(&nl, faults.clone()).run_exhaustive();
+        for threads in [1, 2, 4] {
+            let par =
+                ParFaultSimulator::with_threads(&nl, faults.clone(), threads).run_exhaustive();
+            assert_eq!(serial.detection(), par.detection());
+            assert_eq!(serial.patterns_applied(), par.patterns_applied());
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial_random_stream() {
+        let nl = adder4();
+        let faults = FaultUniverse::collapsed(&nl).faults().to_vec();
+        let mut rng = StdRng::seed_from_u64(7);
+        let serial = FaultSimulator::new(&nl, faults.clone()).run_random(&mut rng, 10_000);
+        let mut rng = StdRng::seed_from_u64(7);
+        let par = ParFaultSimulator::with_threads(&nl, faults, 3).run_random(&mut rng, 10_000);
+        assert_eq!(serial.detection(), par.detection());
+        assert_eq!(serial.patterns_applied(), par.patterns_applied());
+    }
+
+    #[test]
+    fn stats_account_every_shard() {
+        let nl = adder4();
+        let faults = FaultUniverse::collapsed(&nl).faults().to_vec();
+        let mut sim = ParFaultSimulator::with_threads(&nl, faults, 4);
+        let report = sim.run_exhaustive();
+        let stats = report.stats();
+        assert_eq!(stats.threads, 4);
+        assert_eq!(stats.per_shard_fault_evals.len(), 4);
+        assert_eq!(
+            stats.per_shard_fault_evals.iter().sum::<u64>(),
+            stats.fault_evals
+        );
+        assert_eq!(stats.faults_dropped, report.detected_count() as u64);
+    }
+
+    #[test]
+    fn run_random_checked_self_checks() {
+        let nl = adder4();
+        let faults = FaultUniverse::collapsed(&nl).faults().to_vec();
+        let mut rng = StdRng::seed_from_u64(11);
+        let report = run_random_checked(&nl, &faults, &mut rng, 50_000, 2);
+        assert_eq!(report.undetected().len(), 0);
+    }
+
+    #[test]
+    fn jobs_env_overrides_parallelism() {
+        // Serialized via the single-threaded test harness assumption is
+        // unsafe; instead only check the parse path through a helper value.
+        std::env::set_var("BIBS_JOBS", "3");
+        assert_eq!(default_jobs(), 3);
+        std::env::set_var("BIBS_JOBS", "not-a-number");
+        assert!(default_jobs() >= 1);
+        std::env::remove_var("BIBS_JOBS");
+        assert!(default_jobs() >= 1);
+    }
+}

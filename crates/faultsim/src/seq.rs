@@ -62,8 +62,7 @@ impl<'a> SequentialFaultSim<'a> {
             z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
             (z ^ (z >> 31)) & !1u64 // keep lane 0 zero
         };
-        let mut good_state: Vec<u64> =
-            (0..self.netlist.dff_count()).map(|_| next()).collect();
+        let mut good_state: Vec<u64> = (0..self.netlist.dff_count()).map(|_| next()).collect();
         let mut faulty_state = good_state.clone();
 
         let mut detected_lanes = 0u64;
@@ -87,13 +86,7 @@ impl<'a> SequentialFaultSim<'a> {
         detected_lanes == !0u64
     }
 
-    fn eval(
-        &self,
-        vector: &[bool],
-        state: &[u64],
-        values: &mut [u64],
-        fault: Option<Fault>,
-    ) {
+    fn eval(&self, vector: &[bool], state: &[u64], values: &mut [u64], fault: Option<Fault>) {
         let stuck_word = fault.map(|f| if f.stuck_at { !0u64 } else { 0 });
         let fault_net = match fault.map(|f| f.site) {
             Some(FaultSite::Net(ne)) => Some(ne),
@@ -287,7 +280,13 @@ mod tests {
         let nl = b.finish().unwrap();
         let sim = SequentialFaultSim::new(&nl);
         let fault = Fault::net_sa0(nl.gate(nl.gate_ids().next().unwrap()).output);
-        assert!(!sim.detects(fault, &[vec![false]], 0), "no flush, no detection");
-        assert!(sim.detects(fault, &[vec![false]], 2), "flush drains the pipeline");
+        assert!(
+            !sim.detects(fault, &[vec![false]], 0),
+            "no flush, no detection"
+        );
+        assert!(
+            sim.detects(fault, &[vec![false]], 2),
+            "flush drains the pipeline"
+        );
     }
 }

@@ -1,27 +1,25 @@
-//! Parallel-pattern single-fault-propagation simulation with fault dropping.
+//! Parallel-pattern single-fault-propagation simulation with fault
+//! dropping.
+//!
+//! Two engines share this module's interface:
+//!
+//! * [`FaultSimulator`] — the serial reference engine defined here;
+//! * [`crate::par::ParFaultSimulator`] — the multi-threaded engine, which
+//!   produces **bit-identical** reports (see the `par` module docs for the
+//!   determinism argument).
+//!
+//! The pattern-stream drivers ([`BlockSim::run_random`],
+//! [`BlockSim::run_exhaustive`], …) are provided methods of the
+//! [`BlockSim`] trait, so both engines consume RNG streams and schedule
+//! blocks *identically by construction*; an engine only supplies
+//! [`BlockSim::apply_block`].
 
-use crate::fault::{Fault, FaultSite};
-use bibs_netlist::{GateId, NetDriver, Netlist};
+use crate::eval;
+use crate::fault::Fault;
+use crate::stats::SimStats;
+use bibs_netlist::{GateId, Netlist};
 use rand::Rng;
-
-/// A fault simulator bound to one (combinational) netlist and one fault
-/// list.
-///
-/// Patterns are applied in blocks of up to 64 (one per `u64` lane). Detected
-/// faults are dropped from subsequent blocks; the per-fault first-detection
-/// pattern index is recorded so coverage-vs-pattern-count curves (the
-/// paper's Table 2 rows 5–8) can be reconstructed exactly.
-#[derive(Debug)]
-pub struct FaultSimulator<'a> {
-    netlist: &'a Netlist,
-    order: Vec<GateId>,
-    faults: Vec<Fault>,
-    /// `detection[i]` = pattern index at which fault *i* was first detected.
-    detection: Vec<Option<u64>>,
-    good: Vec<u64>,
-    faulty: Vec<u64>,
-    patterns_applied: u64,
-}
+use std::time::Instant;
 
 /// The outcome of a fault simulation run.
 #[derive(Debug, Clone)]
@@ -29,9 +27,26 @@ pub struct FaultSimReport {
     faults: Vec<Fault>,
     detection: Vec<Option<u64>>,
     patterns_applied: u64,
+    stats: SimStats,
 }
 
 impl FaultSimReport {
+    /// Assembles a report from engine state. Crate-internal: only the
+    /// engines build reports.
+    pub(crate) fn from_parts(
+        faults: Vec<Fault>,
+        detection: Vec<Option<u64>>,
+        patterns_applied: u64,
+        stats: SimStats,
+    ) -> Self {
+        FaultSimReport {
+            faults,
+            detection,
+            patterns_applied,
+            stats,
+        }
+    }
+
     /// The simulated fault list.
     pub fn faults(&self) -> &[Fault] {
         &self.faults
@@ -46,6 +61,15 @@ impl FaultSimReport {
     /// Total number of patterns applied.
     pub fn patterns_applied(&self) -> u64 {
         self.patterns_applied
+    }
+
+    /// Engine counters for this run (throughput, shard balance, drops).
+    ///
+    /// Purely observational: two runs that are bit-identical in
+    /// [`FaultSimReport::detection`] may still differ here (wall time,
+    /// shard split).
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
     }
 
     /// Number of detected faults.
@@ -77,7 +101,12 @@ impl FaultSimReport {
     ///
     /// This is the paper's Table 2 metric: "# of patterns to achieve
     /// 99.5 % (100 %) fault coverage" — coverage of *detectable* faults.
-    /// Returns `None` if nothing was detected.
+    ///
+    /// Edge cases (pinned by `tests/report_edges.rs`): any `fraction ≤ 0`
+    /// still demands at least one detection (the count is clamped to
+    /// `1..=detected`), `fraction > 1` behaves like `1.0`, and the result
+    /// is `None` whenever nothing was detected — including the empty fault
+    /// list and all-undetectable lists.
     pub fn patterns_for_detectable_coverage(&self, fraction: f64) -> Option<u64> {
         let mut hits: Vec<u64> = self.detection.iter().flatten().copied().collect();
         if hits.is_empty() {
@@ -87,6 +116,201 @@ impl FaultSimReport {
         let need = ((fraction * hits.len() as f64).ceil() as usize).clamp(1, hits.len());
         Some(hits[need - 1] + 1)
     }
+}
+
+/// The block-level fault-simulation engine interface.
+///
+/// Implementors supply [`BlockSim::apply_block`]; the pattern-stream
+/// drivers are provided here **once** so that every engine draws the same
+/// RNG words, forms the same blocks and stops at the same point — the
+/// foundation of the serial/parallel equivalence guarantee.
+pub trait BlockSim {
+    /// The simulated netlist.
+    fn netlist(&self) -> &Netlist;
+
+    /// Applies one block of up to 64 patterns.
+    ///
+    /// `input_words[i]` carries the value of primary input *i* across all
+    /// lanes; only the low `lanes` lanes count as patterns. Returns the
+    /// number of newly detected faults.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input_words` does not match the input width or `lanes`
+    /// is 0 or exceeds 64.
+    fn apply_block(&mut self, input_words: &[u64], lanes: usize) -> usize;
+
+    /// First-detection pattern index per fault (current state).
+    fn detection(&self) -> &[Option<u64>];
+
+    /// Total number of patterns applied so far.
+    fn patterns_applied(&self) -> u64;
+
+    /// The current report (can be taken mid-run).
+    fn report(&self) -> FaultSimReport;
+
+    /// Whether every fault in the list has been detected.
+    fn all_detected(&self) -> bool {
+        self.detection().iter().all(|d| d.is_some())
+    }
+
+    /// Current coverage as a fraction of the simulated fault list (1.0
+    /// for an empty list).
+    fn coverage(&self) -> f64 {
+        let n = self.detection().len();
+        if n == 0 {
+            return 1.0;
+        }
+        self.detection().iter().filter(|d| d.is_some()).count() as f64 / n as f64
+    }
+
+    /// Applies uniformly random patterns in blocks of 64 until every
+    /// fault is detected or `max_patterns` is reached. Returns the report.
+    fn run_random(&mut self, rng: &mut impl Rng, max_patterns: u64) -> FaultSimReport
+    where
+        Self: Sized,
+    {
+        self.run_random_with_plateau(rng, max_patterns, max_patterns)
+    }
+
+    /// Like [`BlockSim::run_random`], but also stops once no new fault
+    /// has been detected for `plateau` consecutive patterns — the
+    /// practical convergence criterion for streams that still carry
+    /// undetectable faults.
+    fn run_random_with_plateau(
+        &mut self,
+        rng: &mut impl Rng,
+        max_patterns: u64,
+        plateau: u64,
+    ) -> FaultSimReport
+    where
+        Self: Sized,
+    {
+        self.run_random_driver(rng, max_patterns, plateau, 1.0)
+    }
+
+    /// Applies random patterns until coverage of the simulated fault list
+    /// reaches `coverage` (a fraction in `0..=1`) or `max_patterns` is
+    /// exhausted — the early-exit used by coverage-target experiments
+    /// ("patterns to 99.5 %"). Granularity is one 64-pattern block.
+    fn run_random_until(
+        &mut self,
+        rng: &mut impl Rng,
+        coverage: f64,
+        max_patterns: u64,
+    ) -> FaultSimReport
+    where
+        Self: Sized,
+    {
+        self.run_random_driver(rng, max_patterns, max_patterns, coverage)
+    }
+
+    /// The common random-stream driver behind the three `run_random*`
+    /// entry points. One RNG word is drawn per input per block, in input
+    /// order — any engine that implements `apply_block` correctly is
+    /// therefore stream-compatible with every other.
+    #[doc(hidden)]
+    fn run_random_driver(
+        &mut self,
+        rng: &mut impl Rng,
+        max_patterns: u64,
+        plateau: u64,
+        target: f64,
+    ) -> FaultSimReport
+    where
+        Self: Sized,
+    {
+        let width = self.netlist().input_width();
+        let mut last_detection_at = 0u64;
+        while self.patterns_applied() < max_patterns
+            && self.coverage() < target
+            && self.patterns_applied().saturating_sub(last_detection_at) < plateau
+        {
+            let lanes = 64u64.min(max_patterns - self.patterns_applied()) as usize;
+            let words: Vec<u64> = (0..width).map(|_| rng.gen::<u64>()).collect();
+            if self.apply_block(&words, lanes) > 0 {
+                last_detection_at = self.patterns_applied();
+            }
+        }
+        self.report()
+    }
+
+    /// Applies all `2^w` input patterns (w = input width).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input width exceeds 24 (exhaustive application would
+    /// be unreasonable).
+    fn run_exhaustive(&mut self) -> FaultSimReport {
+        let width = self.netlist().input_width();
+        assert!(width <= 24, "exhaustive simulation capped at 24 inputs");
+        let total: u64 = 1u64 << width;
+        let mut base: u64 = 0;
+        while base < total {
+            let lanes = 64u64.min(total - base) as usize;
+            // Lane k carries pattern (base + k): input bit i of that
+            // pattern goes to lane k of word i.
+            let mut words = vec![0u64; width];
+            for lane in 0..lanes {
+                let pat = base + lane as u64;
+                for (i, w) in words.iter_mut().enumerate() {
+                    if (pat >> i) & 1 == 1 {
+                        *w |= 1u64 << lane;
+                    }
+                }
+            }
+            self.apply_block(&words, lanes);
+            base += lanes as u64;
+            if self.all_detected() {
+                break;
+            }
+        }
+        self.report()
+    }
+
+    /// Applies an explicit pattern sequence (each pattern one `bool` per
+    /// input), in blocks.
+    fn run_patterns(&mut self, patterns: &[Vec<bool>]) -> FaultSimReport {
+        let width = self.netlist().input_width();
+        for chunk in patterns.chunks(64) {
+            let mut words = vec![0u64; width];
+            for (lane, pat) in chunk.iter().enumerate() {
+                assert_eq!(pat.len(), width, "pattern width mismatch");
+                for (i, &bit) in pat.iter().enumerate() {
+                    if bit {
+                        words[i] |= 1u64 << lane;
+                    }
+                }
+            }
+            self.apply_block(&words, chunk.len());
+            if self.all_detected() {
+                break;
+            }
+        }
+        self.report()
+    }
+}
+
+/// The serial fault simulator bound to one (combinational) netlist and
+/// one fault list — the reference implementation the parallel engine is
+/// verified against.
+///
+/// Patterns are applied in blocks of up to 64 (one per `u64` lane).
+/// Detected faults are dropped from subsequent blocks; the per-fault
+/// first-detection pattern index is recorded so coverage-vs-pattern-count
+/// curves (the paper's Table 2 rows 5–8) can be reconstructed exactly.
+#[derive(Debug)]
+pub struct FaultSimulator<'a> {
+    netlist: &'a Netlist,
+    order: Vec<GateId>,
+    faults: Vec<Fault>,
+    /// `detection[i]` = pattern index at which fault *i* was first
+    /// detected.
+    detection: Vec<Option<u64>>,
+    good: Vec<u64>,
+    faulty: Vec<u64>,
+    patterns_applied: u64,
+    stats: SimStats,
 }
 
 impl<'a> FaultSimulator<'a> {
@@ -112,26 +336,32 @@ impl<'a> FaultSimulator<'a> {
             good: vec![0u64; netlist.net_count()],
             faulty: vec![0u64; netlist.net_count()],
             patterns_applied: 0,
+            stats: SimStats::new(1),
         }
     }
+}
 
-    /// Applies one block of up to 64 patterns.
-    ///
-    /// `input_words[i]` carries the value of primary input *i* across all
-    /// lanes; only the low `lanes` lanes count as patterns. Returns the
-    /// number of newly detected faults.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `input_words` does not match the input width or
-    /// `lanes` is 0 or exceeds 64.
-    pub fn apply_block(&mut self, input_words: &[u64], lanes: usize) -> usize {
+impl BlockSim for FaultSimulator<'_> {
+    fn netlist(&self) -> &Netlist {
+        self.netlist
+    }
+
+    fn apply_block(&mut self, input_words: &[u64], lanes: usize) -> usize {
         assert!((1..=64).contains(&lanes), "1..=64 lanes per block");
         assert_eq!(input_words.len(), self.netlist.input_width());
         let lane_mask: u64 = if lanes == 64 { !0 } else { (1u64 << lanes) - 1 };
+        let started = Instant::now();
+        let mut scratch: Vec<u64> = Vec::with_capacity(8);
 
-        // Good machine.
-        self.eval_into_good(input_words);
+        // Good machine, shared by every fault of the block.
+        eval::eval_good(
+            self.netlist,
+            &self.order,
+            input_words,
+            &mut self.good,
+            &mut scratch,
+        );
+        self.stats.good_evals += 1;
 
         let outputs: Vec<usize> = self.netlist.outputs().iter().map(|o| o.index()).collect();
         let mut newly = 0usize;
@@ -139,13 +369,17 @@ impl<'a> FaultSimulator<'a> {
             if self.detection[fi].is_some() {
                 continue;
             }
-            let fault = self.faults[fi];
-            self.eval_into_faulty(input_words, fault);
-            let mut diff = 0u64;
-            for &o in &outputs {
-                diff |= self.good[o] ^ self.faulty[o];
-            }
-            diff &= lane_mask;
+            eval::eval_faulty(
+                self.netlist,
+                &self.order,
+                input_words,
+                self.faults[fi],
+                &mut self.faulty,
+                &mut scratch,
+            );
+            self.stats.fault_evals += 1;
+            self.stats.per_shard_fault_evals[0] += 1;
+            let diff = eval::output_diff(&outputs, &self.good, &self.faulty, lane_mask);
             if diff != 0 {
                 let lane = diff.trailing_zeros() as u64;
                 self.detection[fi] = Some(self.patterns_applied + lane);
@@ -153,156 +387,26 @@ impl<'a> FaultSimulator<'a> {
             }
         }
         self.patterns_applied += lanes as u64;
+        self.stats.blocks += 1;
+        self.stats.faults_dropped += newly as u64;
+        self.stats.wall += started.elapsed();
         newly
     }
 
-    fn eval_into_good(&mut self, input_words: &[u64]) {
-        for net in self.netlist.net_ids() {
-            match self.netlist.driver(net) {
-                NetDriver::Input(i) => self.good[net.index()] = input_words[i],
-                NetDriver::Const(v) => self.good[net.index()] = if v { !0 } else { 0 },
-                _ => {}
-            }
-        }
-        let mut scratch: Vec<u64> = Vec::with_capacity(8);
-        for &gid in &self.order {
-            let gate = self.netlist.gate(gid);
-            scratch.clear();
-            scratch.extend(gate.inputs.iter().map(|i| self.good[i.index()]));
-            self.good[gate.output.index()] = gate.kind.eval_words(&scratch);
-        }
+    fn detection(&self) -> &[Option<u64>] {
+        &self.detection
     }
 
-    fn eval_into_faulty(&mut self, input_words: &[u64], fault: Fault) {
-        let stuck_word = if fault.stuck_at { !0u64 } else { 0u64 };
-        let fault_net = match fault.site {
-            FaultSite::Net(n) => Some(n),
-            FaultSite::GatePin { .. } => None,
-        };
-        for net in self.netlist.net_ids() {
-            let v = match self.netlist.driver(net) {
-                NetDriver::Input(i) => input_words[i],
-                NetDriver::Const(v) => {
-                    if v {
-                        !0
-                    } else {
-                        0
-                    }
-                }
-                _ => continue,
-            };
-            self.faulty[net.index()] = if fault_net == Some(net) { stuck_word } else { v };
-        }
-        let mut scratch: Vec<u64> = Vec::with_capacity(8);
-        for &gid in &self.order {
-            let gate = self.netlist.gate(gid);
-            scratch.clear();
-            scratch.extend(gate.inputs.iter().map(|i| self.faulty[i.index()]));
-            if let FaultSite::GatePin { gate: fg, pin } = fault.site {
-                if fg == gid {
-                    scratch[pin] = stuck_word;
-                }
-            }
-            let mut out = gate.kind.eval_words(&scratch);
-            if fault_net == Some(gate.output) {
-                out = stuck_word;
-            }
-            self.faulty[gate.output.index()] = out;
-        }
+    fn patterns_applied(&self) -> u64 {
+        self.patterns_applied
     }
 
-    /// Applies uniformly random patterns in blocks of 64 until every fault
-    /// is detected or `max_patterns` is reached. Returns the report.
-    pub fn run_random(&mut self, rng: &mut impl Rng, max_patterns: u64) -> FaultSimReport {
-        self.run_random_with_plateau(rng, max_patterns, max_patterns)
-    }
-
-    /// Like [`FaultSimulator::run_random`], but also stops once no new
-    /// fault has been detected for `plateau` consecutive patterns — the
-    /// practical convergence criterion for streams that still carry
-    /// undetectable faults.
-    pub fn run_random_with_plateau(
-        &mut self,
-        rng: &mut impl Rng,
-        max_patterns: u64,
-        plateau: u64,
-    ) -> FaultSimReport {
-        let width = self.netlist.input_width();
-        let mut last_detection_at = 0u64;
-        while self.patterns_applied < max_patterns
-            && self.detection.iter().any(|d| d.is_none())
-            && self.patterns_applied.saturating_sub(last_detection_at) < plateau
-        {
-            let lanes = 64u64.min(max_patterns - self.patterns_applied) as usize;
-            let words: Vec<u64> = (0..width).map(|_| rng.gen::<u64>()).collect();
-            if self.apply_block(&words, lanes) > 0 {
-                last_detection_at = self.patterns_applied;
-            }
-        }
-        self.report()
-    }
-
-    /// Applies all `2^w` input patterns (w = input width).
-    ///
-    /// # Panics
-    ///
-    /// Panics if the input width exceeds 24 (exhaustive application would
-    /// be unreasonable).
-    pub fn run_exhaustive(&mut self) -> FaultSimReport {
-        let width = self.netlist.input_width();
-        assert!(width <= 24, "exhaustive simulation capped at 24 inputs");
-        let total: u64 = 1u64 << width;
-        let mut base: u64 = 0;
-        while base < total {
-            let lanes = 64u64.min(total - base) as usize;
-            // Lane k carries pattern (base + k): input bit i of that
-            // pattern goes to lane k of word i.
-            let mut words = vec![0u64; width];
-            for lane in 0..lanes {
-                let pat = base + lane as u64;
-                for (i, w) in words.iter_mut().enumerate() {
-                    if (pat >> i) & 1 == 1 {
-                        *w |= 1u64 << lane;
-                    }
-                }
-            }
-            self.apply_block(&words, lanes);
-            base += lanes as u64;
-            if self.detection.iter().all(|d| d.is_some()) {
-                break;
-            }
-        }
-        self.report()
-    }
-
-    /// Applies an explicit pattern sequence (each pattern one `bool` per
-    /// input), in blocks.
-    pub fn run_patterns(&mut self, patterns: &[Vec<bool>]) -> FaultSimReport {
-        let width = self.netlist.input_width();
-        for chunk in patterns.chunks(64) {
-            let mut words = vec![0u64; width];
-            for (lane, pat) in chunk.iter().enumerate() {
-                assert_eq!(pat.len(), width, "pattern width mismatch");
-                for (i, &bit) in pat.iter().enumerate() {
-                    if bit {
-                        words[i] |= 1u64 << lane;
-                    }
-                }
-            }
-            self.apply_block(&words, chunk.len());
-            if self.detection.iter().all(|d| d.is_some()) {
-                break;
-            }
-        }
-        self.report()
-    }
-
-    /// The current report (can be taken mid-run).
-    pub fn report(&self) -> FaultSimReport {
+    fn report(&self) -> FaultSimReport {
         FaultSimReport {
             faults: self.faults.clone(),
             detection: self.detection.clone(),
             patterns_applied: self.patterns_applied,
+            stats: self.stats.clone(),
         }
     }
 }
@@ -387,12 +491,44 @@ mod tests {
         let faults = vec![Fault::net_sa0(nl.outputs()[0])];
         let mut sim = FaultSimulator::new(&nl, faults);
         // Only the pattern (1,1) detects y/sa0.
-        let report = sim.run_patterns(&[
-            vec![false, false],
-            vec![true, false],
-            vec![true, true],
-        ]);
+        let report = sim.run_patterns(&[vec![false, false], vec![true, false], vec![true, true]]);
         assert_eq!(report.detection()[0], Some(2));
+    }
+
+    #[test]
+    fn run_random_until_stops_at_coverage_target() {
+        let nl = adder4();
+        let faults = FaultUniverse::collapsed(&nl);
+        let total = faults.faults().len();
+        let mut sim = FaultSimulator::new(&nl, faults.faults().to_vec());
+        let mut rng = StdRng::seed_from_u64(9);
+        let report = sim.run_random_until(&mut rng, 0.5, 100_000);
+        // At least half detected, and the engine did not keep going to
+        // full coverage (an adder block detects most faults instantly, so
+        // allow equality but require the early exit to have triggered at
+        // block granularity).
+        assert!(report.detected_count() * 2 >= total);
+        assert!(report.patterns_applied() <= 64);
+    }
+
+    #[test]
+    fn stats_track_evals_and_blocks() {
+        let nl = adder4();
+        let faults = FaultUniverse::collapsed(&nl);
+        let n = faults.faults().len() as u64;
+        let mut sim = FaultSimulator::new(&nl, faults.faults().to_vec());
+        let report = sim.run_exhaustive();
+        let stats = report.stats();
+        assert_eq!(stats.threads, 1);
+        assert!(stats.blocks >= 1);
+        assert_eq!(stats.good_evals, stats.blocks);
+        // Every fault is evaluated at least once, and fault dropping keeps
+        // the total at most faults × blocks.
+        assert!(stats.fault_evals >= n);
+        assert!(stats.fault_evals <= n * stats.blocks);
+        assert_eq!(stats.per_shard_fault_evals.len(), 1);
+        assert_eq!(stats.per_shard_fault_evals[0], stats.fault_evals);
+        assert_eq!(stats.faults_dropped, report.detected_count() as u64);
     }
 
     #[test]

@@ -1,0 +1,122 @@
+//! Fault-simulation observability: per-run counters exposed through
+//! [`crate::sim::FaultSimReport::stats`] and printed by the bench bins.
+
+use std::fmt;
+use std::time::Duration;
+
+/// Counters collected by a fault-simulation engine over one run.
+///
+/// The serial engine reports itself as a single shard; the parallel
+/// engine reports one entry per worker in
+/// [`SimStats::per_shard_fault_evals`], which makes load imbalance (e.g.
+/// from fault dropping) directly visible.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SimStats {
+    /// Worker threads the engine was configured with (1 for the serial
+    /// engine).
+    pub threads: usize,
+    /// Pattern blocks simulated (each block carries up to 64 patterns).
+    pub blocks: u64,
+    /// Good-machine evaluations (one per block — the evaluation is shared
+    /// across all faults of the block).
+    pub good_evals: u64,
+    /// Total faulty-machine evaluations across all shards.
+    pub fault_evals: u64,
+    /// Faulty-machine evaluations per worker shard.
+    pub per_shard_fault_evals: Vec<u64>,
+    /// Faults dropped from simulation after their first detection.
+    pub faults_dropped: u64,
+    /// Wall-clock time spent inside `apply_block`.
+    pub wall: Duration,
+}
+
+impl SimStats {
+    /// Fresh counters for an engine with `threads` workers.
+    pub fn new(threads: usize) -> Self {
+        SimStats {
+            threads,
+            per_shard_fault_evals: vec![0; threads],
+            ..SimStats::default()
+        }
+    }
+
+    /// Faulty-machine evaluations per wall-clock second (the engine's
+    /// primary throughput figure); 0.0 before any time has elapsed.
+    pub fn fault_evals_per_second(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.fault_evals as f64 / secs
+    }
+
+    /// Ratio of the busiest shard's evaluation count to the mean — 1.0 is
+    /// perfect balance. Returns 1.0 when nothing was evaluated.
+    pub fn shard_imbalance(&self) -> f64 {
+        let n = self.per_shard_fault_evals.len();
+        if n == 0 || self.fault_evals == 0 {
+            return 1.0;
+        }
+        let max = *self
+            .per_shard_fault_evals
+            .iter()
+            .max()
+            .expect("non-empty shard list") as f64;
+        let mean = self.fault_evals as f64 / n as f64;
+        if mean <= 0.0 {
+            1.0
+        } else {
+            max / mean
+        }
+    }
+}
+
+impl fmt::Display for SimStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} thread(s), {} block(s), {} fault evals ({:.0}/s, imbalance {:.2}), {} dropped, {:.1} ms",
+            self.threads,
+            self.blocks,
+            self.fault_evals,
+            self.fault_evals_per_second(),
+            self.shard_imbalance(),
+            self.faults_dropped,
+            self.wall.as_secs_f64() * 1e3
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn imbalance_of_even_shards_is_one() {
+        let mut s = SimStats::new(4);
+        s.per_shard_fault_evals = vec![10, 10, 10, 10];
+        s.fault_evals = 40;
+        assert!((s.shard_imbalance() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn imbalance_detects_skew() {
+        let mut s = SimStats::new(2);
+        s.per_shard_fault_evals = vec![30, 10];
+        s.fault_evals = 40;
+        assert!((s.shard_imbalance() - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_wall_time_gives_zero_throughput() {
+        let s = SimStats::new(1);
+        assert_eq!(s.fault_evals_per_second(), 0.0);
+    }
+
+    #[test]
+    fn display_renders() {
+        let s = SimStats::new(2);
+        let line = s.to_string();
+        assert!(line.contains("2 thread(s)"));
+    }
+}

@@ -3,7 +3,7 @@
 
 use bibs_faultsim::atpg::{Atpg, AtpgResult};
 use bibs_faultsim::fault::FaultUniverse;
-use bibs_faultsim::sim::FaultSimulator;
+use bibs_faultsim::sim::{BlockSim, FaultSimulator};
 use bibs_netlist::builder::NetlistBuilder;
 use bibs_netlist::{GateKind, Netlist};
 use proptest::prelude::*;
@@ -38,7 +38,10 @@ fn random_netlist(inputs: usize, ops: &[(u8, usize, usize)]) -> Netlist {
 }
 
 fn netlist_strategy() -> impl Strategy<Value = Netlist> {
-    (2usize..8, proptest::collection::vec((any::<u8>(), any::<usize>(), any::<usize>()), 1..25))
+    (
+        2usize..8,
+        proptest::collection::vec((any::<u8>(), any::<usize>(), any::<usize>()), 1..25),
+    )
         .prop_map(|(inputs, ops)| random_netlist(inputs, &ops))
 }
 

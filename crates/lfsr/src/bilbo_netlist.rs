@@ -205,11 +205,7 @@ mod tests {
             let word = (t.wrapping_mul(0x9E37_79B9) >> 3) & 0xF;
             h.clock(true, false, false, word);
             model.clock(&BitVec::from_u64(word, W));
-            assert_eq!(
-                h.state(&hw.netlist),
-                model.contents().to_u64(),
-                "cycle {t}"
-            );
+            assert_eq!(h.state(&hw.netlist), model.contents().to_u64(), "cycle {t}");
         }
     }
 

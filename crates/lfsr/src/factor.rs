@@ -214,10 +214,7 @@ mod tests {
     fn factors_of_mersenne_numbers() {
         assert_eq!(prime_factors((1 << 4) - 1), vec![3, 5]);
         assert_eq!(prime_factors((1 << 11) - 1), vec![23, 89]);
-        assert_eq!(
-            prime_factors((1u128 << 29) - 1),
-            vec![233, 1103, 2089]
-        );
+        assert_eq!(prime_factors((1u128 << 29) - 1), vec![233, 1103, 2089]);
         assert_eq!(
             prime_factors((1u128 << 67) - 1),
             vec![193707721, 761838257287]

@@ -157,7 +157,7 @@ mod tests {
     fn reduce_and_mulmod() {
         let m = 0b10011; // x^4 + x + 1
         assert_eq!(reduce(0b10000, m), 0b0011); // x^4 = x + 1
-        // x^3 * x = x^4 = x+1
+                                                // x^3 * x = x^4 = x+1
         assert_eq!(mulmod(0b1000, 0b10, m), 0b0011);
     }
 

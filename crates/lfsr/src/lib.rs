@@ -37,7 +37,6 @@
 //! ```
 #![warn(missing_docs)]
 
-
 pub mod bilbo;
 pub mod bilbo_netlist;
 pub mod bitvec;

@@ -178,10 +178,7 @@ mod tests {
             mb.absorb_u64(stream_b[i]);
             mab.absorb_u64(stream_a[i] ^ stream_b[i]);
         }
-        assert_eq!(
-            mab.signature_u64(),
-            ma.signature_u64() ^ mb.signature_u64()
-        );
+        assert_eq!(mab.signature_u64(), ma.signature_u64() ^ mb.signature_u64());
     }
 
     #[test]

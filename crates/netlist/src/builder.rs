@@ -85,7 +85,9 @@ impl NetlistBuilder {
     /// Declares a `width`-bit primary input bus named `name[0]..name[width-1]`
     /// (bit 0 is least significant).
     pub fn input_word(&mut self, name: &str, width: usize) -> Vec<NetId> {
-        (0..width).map(|i| self.input(format!("{name}[{i}]"))).collect()
+        (0..width)
+            .map(|i| self.input(format!("{name}[{i}]")))
+            .collect()
     }
 
     /// Marks an existing net as a primary output.
@@ -283,10 +285,7 @@ impl NetlistBuilder {
             if j >= out_width {
                 break; // all remaining partial products are above the cut
             }
-            let pp: Vec<NetId> = a
-                .iter()
-                .map(|&ai| self.and2(ai, bj))
-                .collect();
+            let pp: Vec<NetId> = a.iter().map(|&ai| self.and2(ai, bj)).collect();
             if j == 0 {
                 acc = pp;
             } else {
@@ -403,7 +402,11 @@ mod tests {
         let mut sim = PatternSim::new(nl);
         let bits: Vec<u64> = (0..nl.input_width())
             .map(|i| {
-                let v = if i < w { (a >> i) & 1 } else { (b >> (i - w)) & 1 };
+                let v = if i < w {
+                    (a >> i) & 1
+                } else {
+                    (b >> (i - w)) & 1
+                };
                 if v == 1 {
                     !0u64
                 } else {

@@ -60,7 +60,12 @@ pub fn to_text(netlist: &Netlist) -> String {
     out.push_str(&format!("  nets {};\n", netlist.net_count()));
     for (i, &net) in netlist.inputs().iter().enumerate() {
         let name = netlist.net_name(net).unwrap_or("");
-        out.push_str(&format!("  input {} \"{}\"; # pi {}\n", net.index(), name, i));
+        out.push_str(&format!(
+            "  input {} \"{}\"; # pi {}\n",
+            net.index(),
+            name,
+            i
+        ));
     }
     for net in netlist.net_ids() {
         if let NetDriver::Const(v) = netlist.driver(net) {
@@ -138,7 +143,12 @@ pub fn from_text(text: &str) -> Result<Netlist, ParseError> {
                 seen_header = true;
             }
             "nets" => {
-                let count = parse_id(tokens.get(1).ok_or_else(|| syntax("missing net count".into()))?, "net count")?;
+                let count = parse_id(
+                    tokens
+                        .get(1)
+                        .ok_or_else(|| syntax("missing net count".into()))?,
+                    "net count",
+                )?;
                 nets = (0..count)
                     .map(|_| Net {
                         name: None,
@@ -147,7 +157,12 @@ pub fn from_text(text: &str) -> Result<Netlist, ParseError> {
                     .collect();
             }
             "input" => {
-                let id = parse_id(tokens.get(1).ok_or_else(|| syntax("missing input net".into()))?, "net id")?;
+                let id = parse_id(
+                    tokens
+                        .get(1)
+                        .ok_or_else(|| syntax("missing input net".into()))?,
+                    "net id",
+                )?;
                 let net = NetId(id as u32);
                 let pi = inputs.len();
                 let slot = nets
@@ -162,8 +177,18 @@ pub fn from_text(text: &str) -> Result<Netlist, ParseError> {
                 inputs.push(net);
             }
             "const" => {
-                let id = parse_id(tokens.get(1).ok_or_else(|| syntax("missing const net".into()))?, "net id")?;
-                let v = parse_id(tokens.get(2).ok_or_else(|| syntax("missing const value".into()))?, "value")?;
+                let id = parse_id(
+                    tokens
+                        .get(1)
+                        .ok_or_else(|| syntax("missing const net".into()))?,
+                    "net id",
+                )?;
+                let v = parse_id(
+                    tokens
+                        .get(2)
+                        .ok_or_else(|| syntax("missing const value".into()))?,
+                    "value",
+                )?;
                 nets.get_mut(id)
                     .ok_or_else(|| syntax(format!("net {id} out of range")))?
                     .driver = NetDriver::Const(v != 0);
@@ -171,7 +196,12 @@ pub fn from_text(text: &str) -> Result<Netlist, ParseError> {
             "gate" => {
                 let kind = parse_kind(tokens.get(1).copied().unwrap_or(""))
                     .ok_or_else(|| syntax(format!("unknown gate kind in {line:?}")))?;
-                let out = parse_id(tokens.get(2).ok_or_else(|| syntax("missing gate output".into()))?, "net id")?;
+                let out = parse_id(
+                    tokens
+                        .get(2)
+                        .ok_or_else(|| syntax("missing gate output".into()))?,
+                    "net id",
+                )?;
                 let arrow = tokens.get(3).copied().unwrap_or("");
                 if arrow != "<-" {
                     return Err(syntax(format!("expected '<-' in {line:?}")));
@@ -191,12 +221,22 @@ pub fn from_text(text: &str) -> Result<Netlist, ParseError> {
                     .driver = NetDriver::Gate(gid);
             }
             "dff" => {
-                let q = parse_id(tokens.get(1).ok_or_else(|| syntax("missing dff q".into()))?, "net id")?;
+                let q = parse_id(
+                    tokens
+                        .get(1)
+                        .ok_or_else(|| syntax("missing dff q".into()))?,
+                    "net id",
+                )?;
                 let arrow = tokens.get(2).copied().unwrap_or("");
                 if arrow != "<-" {
                     return Err(syntax(format!("expected '<-' in {line:?}")));
                 }
-                let d = parse_id(tokens.get(3).ok_or_else(|| syntax("missing dff d".into()))?, "net id")?;
+                let d = parse_id(
+                    tokens
+                        .get(3)
+                        .ok_or_else(|| syntax("missing dff d".into()))?,
+                    "net id",
+                )?;
                 let id = DffId(dffs.len() as u32);
                 dffs.push(Dff {
                     d: NetId(d as u32),
@@ -207,7 +247,12 @@ pub fn from_text(text: &str) -> Result<Netlist, ParseError> {
                     .driver = NetDriver::Dff(id);
             }
             "output" => {
-                let id = parse_id(tokens.get(1).ok_or_else(|| syntax("missing output net".into()))?, "net id")?;
+                let id = parse_id(
+                    tokens
+                        .get(1)
+                        .ok_or_else(|| syntax("missing output net".into()))?,
+                    "net id",
+                )?;
                 let net = NetId(id as u32);
                 if let Some(n) = line.split('"').nth(1) {
                     let slot = nets
@@ -225,7 +270,9 @@ pub fn from_text(text: &str) -> Result<Netlist, ParseError> {
     if !seen_header {
         return Err(syntax("missing 'netlist' header".into()));
     }
-    Ok(Netlist::from_parts(name, nets, gates, dffs, inputs, outputs)?)
+    Ok(Netlist::from_parts(
+        name, nets, gates, dffs, inputs, outputs,
+    )?)
 }
 
 #[cfg(test)]

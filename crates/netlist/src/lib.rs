@@ -32,7 +32,6 @@
 //! ```
 #![warn(missing_docs)]
 
-
 pub mod builder;
 pub mod export;
 pub mod sim;

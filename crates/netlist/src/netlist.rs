@@ -446,7 +446,9 @@ impl Netlist {
             }
         }
         let mut order = Vec::with_capacity(n);
-        let mut queue: Vec<u32> = (0..n as u32).filter(|&g| indegree[g as usize] == 0).collect();
+        let mut queue: Vec<u32> = (0..n as u32)
+            .filter(|&g| indegree[g as usize] == 0)
+            .collect();
         while let Some(g) = queue.pop() {
             order.push(GateId(g));
             for &next in &fanout[g as usize] {
@@ -478,7 +480,9 @@ impl Netlist {
     pub fn sequential_depth(&self) -> usize {
         // Longest path in the DAG whose edge weights count flip-flops.
         // depth[net] = max flip-flops from any PI to this net.
-        let order = self.levelize().expect("netlist must be combinationally acyclic");
+        let order = self
+            .levelize()
+            .expect("netlist must be combinationally acyclic");
         let mut depth = vec![0usize; self.nets.len()];
         // Iterate until fixpoint over DFFs; bounded by dff count + 1 rounds.
         let rounds = self.dffs.len() + 1;

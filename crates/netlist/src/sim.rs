@@ -80,10 +80,7 @@ impl<'a> PatternSim<'a> {
 
     /// Sets a single primary input net's 64-lane word.
     pub fn set_input(&mut self, net: NetId, word: u64) {
-        debug_assert!(matches!(
-            self.netlist.driver(net),
-            NetDriver::Input(_)
-        ));
+        debug_assert!(matches!(self.netlist.driver(net), NetDriver::Input(_)));
         self.values[net.index()] = word;
     }
 
@@ -271,8 +268,8 @@ mod tests {
         let nl = b.finish().unwrap();
         let mut sim = PatternSim::new(&nl);
         let pats = vec![
-            vec![true, false, true, false],  // 0b0101 = 5
-            vec![false, true, false, true],  // 0b1010 = 10
+            vec![true, false, true, false], // 0b0101 = 5
+            vec![false, true, false, true], // 0b1010 = 10
         ];
         sim.set_inputs(&pack_patterns(&pats));
         sim.eval_comb();

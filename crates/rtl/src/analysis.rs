@@ -222,7 +222,10 @@ impl Circuit {
                         if nmin == nmax {
                             SeqLen::Exact(nmin)
                         } else {
-                            SeqLen::Conflict { min: nmin, max: nmax }
+                            SeqLen::Conflict {
+                                min: nmin,
+                                max: nmax,
+                            }
                         }
                     }
                     SeqLen::Exact(d) => {

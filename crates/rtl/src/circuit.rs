@@ -71,8 +71,7 @@ impl fmt::Display for VertexKind {
 ///
 /// The paper's datapaths are built from adders and multipliers; `Opaque`
 /// covers blocks whose internals are irrelevant to the structural analyses.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
 pub enum LogicFunction {
     /// Word addition (modulo `2^width`).
     Add,
@@ -89,7 +88,6 @@ pub enum LogicFunction {
     #[default]
     Opaque,
 }
-
 
 /// A vertex of the circuit graph.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -189,7 +187,10 @@ impl fmt::Display for CircuitBuildError {
                 write!(f, "combinational cycle through vertex {vertex}")
             }
             CircuitBuildError::BadIoDirection { vertex } => {
-                write!(f, "primary input/output vertex {vertex} has edges in the wrong direction")
+                write!(
+                    f,
+                    "primary input/output vertex {vertex} has edges in the wrong direction"
+                )
             }
         }
     }
@@ -304,10 +305,7 @@ impl Circuit {
 
     /// Total flip-flop count over all register edges.
     pub fn total_register_bits(&self) -> u32 {
-        self.edges
-            .iter()
-            .filter_map(|e| e.kind.width())
-            .sum()
+        self.edges.iter().filter_map(|e| e.kind.width()).sum()
     }
 
     /// Splits a register edge `u -R-> v` into `u -R-> X -R'-> v` where `X`

@@ -19,7 +19,9 @@
 //! `#` starts a comment running to end of line. [`to_text`] and
 //! [`from_text`] round-trip losslessly.
 
-use crate::circuit::{Circuit, CircuitBuildError, CircuitBuilder, EdgeKind, LogicFunction, VertexId, VertexKind};
+use crate::circuit::{
+    Circuit, CircuitBuildError, CircuitBuilder, EdgeKind, LogicFunction, VertexId, VertexKind,
+};
 use std::fmt;
 
 /// Errors from [`from_text`].
@@ -148,14 +150,20 @@ pub fn from_text(text: &str) -> Result<Circuit, ParseError> {
     let mut tokens: Vec<String> = Vec::new();
     for line in text.lines() {
         let line = line.split('#').next().unwrap_or("");
-        let spaced = line.replace('{', " { ").replace('}', " } ").replace(';', " ; ");
+        let spaced = line
+            .replace('{', " { ")
+            .replace('}', " } ")
+            .replace(';', " ; ");
         tokens.extend(spaced.split_whitespace().map(str::to_string));
     }
     let mut pos = 0usize;
     let next = |pos: &mut usize, tokens: &[String], what: &str| -> Result<String, ParseError> {
-        let t = tokens.get(*pos).cloned().ok_or_else(|| ParseError::Syntax {
-            message: format!("expected {what}, found end of input"),
-        })?;
+        let t = tokens
+            .get(*pos)
+            .cloned()
+            .ok_or_else(|| ParseError::Syntax {
+                message: format!("expected {what}, found end of input"),
+            })?;
         *pos += 1;
         Ok(t)
     };
@@ -278,10 +286,7 @@ mod tests {
         assert_eq!(parsed.name(), c.name());
         assert_eq!(parsed.vertex_count(), c.vertex_count());
         assert_eq!(parsed.edge_count(), c.edge_count());
-        assert_eq!(
-            parsed.register_edges().count(),
-            c.register_edges().count()
-        );
+        assert_eq!(parsed.register_edges().count(), c.register_edges().count());
         // Functions survive.
         let c2 = parsed.vertex_by_name("C2").unwrap();
         assert_eq!(
@@ -334,7 +339,10 @@ mod tests {
     #[test]
     fn logic_function_spellings() {
         assert_eq!(parse_function("add"), Some(LogicFunction::Add));
-        assert_eq!(parse_function("mul12"), Some(LogicFunction::Mul { out_width: 12 }));
+        assert_eq!(
+            parse_function("mul12"),
+            Some(LogicFunction::Mul { out_width: 12 })
+        );
         assert_eq!(parse_function("bogus"), None);
         assert_eq!(parse_function("mulx"), None);
     }

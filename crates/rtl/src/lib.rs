@@ -41,7 +41,6 @@
 //! ```
 #![warn(missing_docs)]
 
-
 mod analysis;
 mod circuit;
 pub mod dot;

@@ -6,10 +6,7 @@ use proptest::prelude::*;
 /// Builds a random layered DAG circuit: `layers` layers of logic blocks,
 /// edges only forward, each edge randomly register (with width) or wire.
 /// Always acyclic and combinationally legal.
-fn random_dag(
-    layer_sizes: &[usize],
-    edge_choices: &[(usize, usize, bool, u8)],
-) -> Circuit {
+fn random_dag(layer_sizes: &[usize], edge_choices: &[(usize, usize, bool, u8)]) -> Circuit {
     let mut b = CircuitBuilder::new("rand");
     let pi = b.input("PI");
     let mut layers: Vec<Vec<VertexId>> = Vec::new();

@@ -103,7 +103,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
         signatures.push(misr.signature_u64());
     }
-    assert_ne!(signatures[0], signatures[1], "the fault must change the signature");
+    assert_ne!(
+        signatures[0], signatures[1],
+        "the fault must change the signature"
+    );
     println!("fault detected: signatures differ");
     Ok(())
 }

@@ -33,7 +33,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     b.register("Ry", 3, mul, po);
     let circuit = b.finish()?;
 
-    println!("circuit {}: balanced = {}", circuit.name(), circuit.is_balanced());
+    println!(
+        "circuit {}: balanced = {}",
+        circuit.name(),
+        circuit.is_balanced()
+    );
 
     // 1. BIBS register selection: only the PI/PO registers convert.
     let result = select(&circuit, &BibsOptions::default())?;
@@ -55,7 +59,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .iter()
             .find(|dep| dep.register == i)
             .map(|dep| dep.seq_len);
-        println!("  input register {} (width {}), d = {:?}", reg.name, reg.width, d);
+        println!(
+            "  input register {} (width {}), d = {:?}",
+            reg.name, reg.width, d
+        );
     }
     let tpg = sc_tpg(&structure);
     println!(

@@ -17,7 +17,6 @@
 //! ```
 #![warn(missing_docs)]
 
-
 pub use bibs_core::*;
 
 pub use bibs_datapath as datapath;

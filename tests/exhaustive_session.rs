@@ -11,13 +11,13 @@
 use bibs::bibs::{select, BibsOptions};
 use bibs::design::kernels;
 use bibs::session::{session_detects, session_patterns};
-use bibs_faultsim::seq::SequentialFaultSim;
-use bibs_netlist::sim::PatternSim;
 use bibs::structure::GeneralizedStructure;
 use bibs::tpg::sc_tpg;
 use bibs_datapath::elab::elaborate_kernel;
 use bibs_datapath::filters::scaled;
 use bibs_faultsim::fault::FaultUniverse;
+use bibs_faultsim::seq::SequentialFaultSim;
+use bibs_netlist::sim::PatternSim;
 use std::collections::HashSet;
 
 #[test]
@@ -27,9 +27,8 @@ fn bibs_session_detects_every_observable_fault_of_c5a2m() {
     let ks = kernels(&result.circuit, &result.design);
     assert_eq!(ks.len(), 1, "BIBS: the whole datapath is one kernel");
 
-    let structure =
-        GeneralizedStructure::from_kernel(&result.circuit, &result.design, &ks[0])
-            .expect("balanced kernel");
+    let structure = GeneralizedStructure::from_kernel(&result.circuit, &result.design, &ks[0])
+        .expect("balanced kernel");
     assert!(structure.is_single_cone(), "c5a2m has a single output cone");
     let tpg = sc_tpg(&structure);
     assert_eq!(tpg.lfsr_degree(), 8, "eight 1-bit input registers");

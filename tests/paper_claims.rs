@@ -10,7 +10,7 @@ use bibs::structure::{Cone, ConeDep, GeneralizedStructure, TpgRegister};
 use bibs::tpg::{mc_tpg, sc_tpg};
 use bibs::verify::verify_exhaustive;
 use bibs::{ka85, rtl};
-use bibs_datapath::examples::{figure1, figure2, figure4, figure12a};
+use bibs_datapath::examples::{figure1, figure12a, figure2, figure4};
 use bibs_datapath::fig9;
 use bibs_datapath::filters::{c3a2m, c4a4m, c5a2m};
 use rtl::VertexKind;
@@ -96,8 +96,7 @@ fn figure9_hardware_comparison() {
     let c = fig9::figure9();
     // The paper's stated BIBS design: valid, 8 registers / 43 FFs, two
     // kernels.
-    let paper_bibs =
-        BilboDesign::from_bilbos(fig9::resolve(&c, fig9::bibs_bilbo_names()));
+    let paper_bibs = BilboDesign::from_bilbos(fig9::resolve(&c, fig9::bibs_bilbo_names()));
     assert!(is_bibs_testable(&c, &paper_bibs));
     assert_eq!(paper_bibs.register_count(), 8);
     assert_eq!(paper_bibs.flip_flop_count(&c), 43);
@@ -126,7 +125,12 @@ fn table2_structural_rows() {
     for (circuit, ka_kernels, bibs_regs, ka_regs, ka_delay) in cases {
         let r = select(&circuit, &BibsOptions::default()).unwrap();
         let bibs_kernels = kernels(&r.circuit, &r.design);
-        assert_eq!(bibs_kernels.len(), 1, "{}: BIBS single kernel", circuit.name());
+        assert_eq!(
+            bibs_kernels.len(),
+            1,
+            "{}: BIBS single kernel",
+            circuit.name()
+        );
         assert_eq!(r.design.register_count(), bibs_regs, "{}", circuit.name());
         assert_eq!(maximal_delay(&r.circuit, &r.design), Some(2));
         assert_eq!(
@@ -192,10 +196,8 @@ fn example2_tpg_from_real_kernel() {
 /// kernel shape (2-bit registers) applies a functionally exhaustive set.
 #[test]
 fn theorem4_functional_exhaustiveness() {
-    let s = GeneralizedStructure::single_cone(
-        "fig12a_w2",
-        &[("R1", 2, 2), ("R2", 2, 1), ("R3", 2, 0)],
-    );
+    let s =
+        GeneralizedStructure::single_cone("fig12a_w2", &[("R1", 2, 2), ("R2", 2, 1), ("R3", 2, 0)]);
     let tpg = sc_tpg(&s);
     for cov in verify_exhaustive(&tpg) {
         assert!(cov.is_exhaustive_modulo_zero());
@@ -216,22 +218,40 @@ fn examples7_and_8_fpet() {
         Cone {
             name: "O1".into(),
             deps: vec![
-                ConeDep { register: 0, seq_len: 2 },
-                ConeDep { register: 1, seq_len: 0 },
+                ConeDep {
+                    register: 0,
+                    seq_len: 2,
+                },
+                ConeDep {
+                    register: 1,
+                    seq_len: 0,
+                },
             ],
         },
         Cone {
             name: "O2".into(),
             deps: vec![
-                ConeDep { register: 0, seq_len: 0 },
-                ConeDep { register: 2, seq_len: 1 },
+                ConeDep {
+                    register: 0,
+                    seq_len: 0,
+                },
+                ConeDep {
+                    register: 2,
+                    seq_len: 1,
+                },
             ],
         },
         Cone {
             name: "O3".into(),
             deps: vec![
-                ConeDep { register: 1, seq_len: 1 },
-                ConeDep { register: 2, seq_len: 0 },
+                ConeDep {
+                    register: 1,
+                    seq_len: 1,
+                },
+                ConeDep {
+                    register: 2,
+                    seq_len: 0,
+                },
             ],
         },
     ];
