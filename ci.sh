@@ -22,6 +22,24 @@ cargo build --release --workspace
 step "cargo test"
 cargo test --workspace -q
 
+step "cargo doc (deny warnings)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
+
+step "bibs-lint gate (paper datapaths + shipped circuits, deny warnings)"
+cargo run --release -p bibs-lint --bin bibs-lint -- --deny warnings \
+  c5a2m c3a2m c4a4m fig9 \
+  circuits/fig4.ckt circuits/mac.ckt circuits/pipeline.ckt \
+  > /tmp/bibs-lint-gate.txt
+grep -q "0 deny" /tmp/bibs-lint-gate.txt
+
+step "bibs-lint rejects the broken fixture"
+if cargo run --release -p bibs-lint --bin bibs-lint -- \
+  circuits/bad_unbuffered_io.ckt > /tmp/bibs-lint-bad.txt 2>&1; then
+  echo "ci.sh: bad fixture unexpectedly passed the lint" >&2
+  exit 1
+fi
+grep -q "B000" /tmp/bibs-lint-bad.txt
+
 step "table2 smoke run (width 3, small pattern budget)"
 # Width 3 keeps each kernel tiny; the bin prints the engine stats line,
 # which doubles as a check that the parallel fault simulator ran.

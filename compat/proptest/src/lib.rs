@@ -348,7 +348,7 @@ pub mod collection {
     use super::{Strategy, TestRng};
     use std::ops::Range;
 
-    /// A length specification for [`vec`]: a fixed size or a half-open
+    /// A length specification for [`vec()`]: a fixed size or a half-open
     /// range of sizes.
     #[derive(Debug, Clone, Copy)]
     pub struct SizeRange {
@@ -372,7 +372,7 @@ pub mod collection {
         }
     }
 
-    /// See [`vec`].
+    /// See [`vec()`].
     #[derive(Debug, Clone)]
     pub struct VecStrategy<S> {
         element: S,

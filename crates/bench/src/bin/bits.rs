@@ -25,6 +25,7 @@ use bibs_core::tpg::mc_tpg;
 use bibs_core::verify::verify_exhaustive;
 use bibs_faultsim::par::default_jobs;
 use bibs_lfsr::bilbo::AreaModel;
+use bibs_lint::{lint_circuit, lint_design, LintConfig, Severity};
 use bibs_rtl::fmt::from_text;
 use bibs_rtl::{Circuit, VertexKind};
 use std::process::ExitCode;
@@ -76,6 +77,17 @@ fn run(circuit: &Circuit, tdm: &str) -> Result<(), Box<dyn std::error::Error>> {
         circuit.is_acyclic()
     );
 
+    // 0. Static lint of the bare circuit (notes only: cycles and URFSes
+    // here are what the selection exists to repair).
+    let lint_cfg = LintConfig::new();
+    let bare = lint_circuit(circuit, &lint_cfg);
+    if !bare.diagnostics.is_empty() {
+        println!("\nlint (bare circuit): {bare}");
+    }
+    if !bare.is_clean() {
+        return Err("bare circuit fails lint; aborting before selection".into());
+    }
+
     // 1. Register selection.
     let (circuit, design): (Circuit, BilboDesign) = match tdm {
         "ka85" => (circuit.clone(), ka85::select(circuit)?),
@@ -84,6 +96,19 @@ fn run(circuit: &Circuit, tdm: &str) -> Result<(), Box<dyn std::error::Error>> {
             (r.circuit, r.design)
         }
     };
+
+    // 1b. Static lint of the selected design — Definition 1, TPG and
+    // cross-layer checks must all pass before any simulation is run.
+    let selected = lint_design(&circuit, &design, &lint_cfg);
+    if !selected.is_clean() {
+        println!("\nlint (selected design):\n{selected}");
+        return Err("selected design fails lint; refusing to simulate".into());
+    }
+    println!(
+        "lint: design clean ({} note(s), {} warning(s))",
+        selected.count(Severity::Allow),
+        selected.count(Severity::Warn),
+    );
     let names: Vec<String> = design
         .bilbo
         .iter()

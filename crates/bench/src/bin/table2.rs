@@ -24,6 +24,13 @@ fn main() {
     let mut columns = Vec::new();
     for name in ["c5a2m", "c3a2m", "c4a4m"] {
         let circuit = scaled(name, width);
+        // Static lint gate: a datapath that violates the paper conditions
+        // would fault-simulate to garbage — refuse up front.
+        let report = bibs_lint::lint_full(&circuit, &bibs_lint::LintConfig::new());
+        if !report.is_clean() {
+            eprintln!("{name} fails lint:\n{report}");
+            std::process::exit(1);
+        }
         eprintln!("running {name} (width {width}) under BIBS ...");
         let b = table2_column(&circuit, Tdm::Bibs, &options);
         eprintln!("running {name} under [3] ...");

@@ -3,7 +3,7 @@
 //! [`ParFaultSimulator`] shards the *undetected* fault list across
 //! `std::thread::scope` workers. Each block is processed as:
 //!
-//! 1. **one** good-machine evaluation ([`crate::eval`]) into a buffer all
+//! 1. **one** good-machine evaluation (`crate::eval`) into a buffer all
 //!    workers share read-only;
 //! 2. workers steal fixed-size chunks of the undetected list off an
 //!    `AtomicUsize` cursor, evaluating each fault into a worker-private
@@ -18,7 +18,7 @@
 //! * the pattern stream is formed by the shared [`BlockSim`] drivers, so
 //!   both engines draw the same RNG words and schedule the same blocks;
 //! * per-fault detection is a pure function of `(netlist, block, fault)`
-//!   computed by the shared kernels in [`crate::eval`] — *which* worker
+//!   computed by the shared kernels in `crate::eval` — *which* worker
 //!   evaluates a fault cannot change the answer;
 //! * workers touch disjoint positions of the undetected list, so merging
 //!   their hit lists is order-independent: fault *i*'s first-detection

@@ -1,0 +1,150 @@
+//! Command-line front end for the `bibs-lint` static analyses.
+//!
+//! ```text
+//! bibs-lint                          # lint the four paper datapaths
+//! bibs-lint c5a2m circuits/mac.ckt   # builtins and .ckt files mix freely
+//! bibs-lint --deny warnings ...      # CI gate: warnings fail the run
+//! bibs-lint --format json ...        # machine-readable findings
+//! bibs-lint --allow B012 ...         # per-code severity overrides
+//! bibs-lint --list-codes             # print the code registry
+//! ```
+//!
+//! Exit status is 1 when any target produces a deny-level finding (after
+//! overrides and `--deny warnings` promotion), 2 on usage errors.
+
+use bibs_lint::{lint_ckt_text, lint_full, LintConfig, Severity, CODES};
+use std::process::ExitCode;
+
+/// Builtin circuit names resolvable without a file.
+const BUILTINS: &[&str] = &["c5a2m", "c3a2m", "c4a4m", "fig9"];
+
+fn usage() {
+    eprintln!(
+        "usage: bibs-lint [options] [target...]\n\
+         \n\
+         targets: builtin circuit names ({}) or .ckt file paths;\n\
+         default: all builtins\n\
+         \n\
+         options:\n\
+           --format text|json   output style (default text)\n\
+           --deny warnings      promote warn-level findings to deny\n\
+           --deny CODE          force CODE to deny severity\n\
+           --warn CODE          force CODE to warn severity\n\
+           --allow CODE         force CODE to allow severity\n\
+           --list-codes         print the diagnostic code registry and exit",
+        BUILTINS.join(", ")
+    );
+}
+
+fn builtin(name: &str) -> Option<bibs_rtl::Circuit> {
+    match name {
+        "c5a2m" => Some(bibs_datapath::filters::c5a2m()),
+        "c3a2m" => Some(bibs_datapath::filters::c3a2m()),
+        "c4a4m" => Some(bibs_datapath::filters::c4a4m()),
+        "fig9" => Some(bibs_datapath::fig9::figure9()),
+        _ => None,
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut config = LintConfig::new();
+    let mut format_json = false;
+    let mut targets: Vec<String> = Vec::new();
+
+    let mut i = 0;
+    while i < args.len() {
+        let arg = args[i].as_str();
+        match arg {
+            "--help" | "-h" => {
+                usage();
+                return ExitCode::SUCCESS;
+            }
+            "--list-codes" => {
+                for c in CODES {
+                    println!("{}  {:5}  {}", c.code, c.default_severity, c.summary);
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--format" => {
+                i += 1;
+                match args.get(i).map(String::as_str) {
+                    Some("json") => format_json = true,
+                    Some("text") => format_json = false,
+                    other => {
+                        eprintln!("bibs-lint: bad --format {other:?}");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "--deny" | "--warn" | "--allow" => {
+                i += 1;
+                let Some(code) = args.get(i) else {
+                    eprintln!("bibs-lint: {arg} needs an argument");
+                    return ExitCode::from(2);
+                };
+                if arg == "--deny" && code == "warnings" {
+                    config.deny_warnings = true;
+                } else if bibs_lint::code_info(code).is_some() {
+                    let sev = match arg {
+                        "--deny" => Severity::Deny,
+                        "--warn" => Severity::Warn,
+                        _ => Severity::Allow,
+                    };
+                    config.set(code, sev);
+                } else {
+                    eprintln!("bibs-lint: unknown code {code:?} (see --list-codes)");
+                    return ExitCode::from(2);
+                }
+            }
+            _ if arg.starts_with('-') => {
+                eprintln!("bibs-lint: unknown option {arg:?}");
+                usage();
+                return ExitCode::from(2);
+            }
+            _ => targets.push(arg.to_string()),
+        }
+        i += 1;
+    }
+    if targets.is_empty() {
+        targets = BUILTINS.iter().map(|s| s.to_string()).collect();
+    }
+
+    let mut any_deny = false;
+    let mut json_parts: Vec<String> = Vec::new();
+    for target in &targets {
+        let report = if let Some(circuit) = builtin(target) {
+            lint_full(&circuit, &config)
+        } else {
+            match std::fs::read_to_string(target) {
+                Ok(text) => lint_ckt_text(target, &text, &config),
+                Err(e) => {
+                    eprintln!("bibs-lint: cannot read {target}: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+        };
+        any_deny |= !report.is_clean();
+        if format_json {
+            json_parts.push(format!(
+                "{{\"target\":\"{}\",\"clean\":{},\"diagnostics\":{}}}",
+                target.replace('\\', "\\\\").replace('"', "\\\""),
+                report.is_clean(),
+                report.to_json()
+            ));
+        } else {
+            println!("== {target} ==");
+            println!("{report}");
+            println!();
+        }
+    }
+    if format_json {
+        println!("[{}]", json_parts.join(","));
+    }
+
+    if any_deny {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

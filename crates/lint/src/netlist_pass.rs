@@ -1,0 +1,352 @@
+//! Netlist-level lint passes: B001–B006.
+//!
+//! These run on possibly-**unvalidated** netlists (see
+//! [`Netlist::from_parts_unchecked`]) — the whole point is to diagnose the
+//! structures [`Netlist::validate`] rejects, plus inconsistencies validate
+//! does *not* check (driver-record clashes, dead cones, malformed word
+//! records) that otherwise surface as silently wrong simulations.
+
+use crate::diag::{LintConfig, Report};
+use bibs_netlist::{GateId, NetDriver, NetId, Netlist};
+
+/// Renders a net as `n7 ("a[3]")` or `n7` when unnamed.
+fn net_desc(nl: &Netlist, id: NetId) -> String {
+    match nl.net_name(id) {
+        Some(n) => format!("{id} (\"{n}\")"),
+        None => format!("{id}"),
+    }
+}
+
+/// Renders a gate as `g3:and -> n7 ("x")`.
+fn gate_desc(nl: &Netlist, id: GateId) -> String {
+    let g = nl.gate(id);
+    format!("{id}:{} -> {}", g.kind, net_desc(nl, g.output))
+}
+
+/// Runs every netlist-level pass on `netlist`.
+pub fn lint_netlist(netlist: &Netlist, config: &LintConfig) -> Report {
+    let mut report = Report::new();
+    undriven_nets(netlist, config, &mut report);
+    driver_consistency(netlist, config, &mut report);
+    gate_arity(netlist, config, &mut report);
+    combinational_cycles(netlist, config, &mut report);
+    dead_cones(netlist, config, &mut report);
+    word_records(netlist, config, &mut report);
+    report
+}
+
+/// B001 — every net must have a driver.
+fn undriven_nets(nl: &Netlist, config: &LintConfig, report: &mut Report) {
+    for id in nl.net_ids() {
+        if matches!(nl.driver(id), NetDriver::Floating) {
+            report.emit(
+                config,
+                "B001",
+                format!("net {} has no driver", net_desc(nl, id)),
+                net_desc(nl, id),
+            );
+        }
+    }
+}
+
+/// B002 — the per-net driver record must agree with the gate/flip-flop
+/// tables. A disagreement means two elements claim the same net (or a
+/// stale record), which the simulator would resolve silently and
+/// arbitrarily.
+fn driver_consistency(nl: &Netlist, config: &LintConfig, report: &mut Report) {
+    for gid in nl.gate_ids() {
+        let out = nl.gate(gid).output;
+        let rec = nl.driver(out);
+        if rec != NetDriver::Gate(gid) {
+            report.emit(
+                config,
+                "B002",
+                format!(
+                    "gate {} drives net {} but the net records driver {:?}",
+                    gate_desc(nl, gid),
+                    net_desc(nl, out),
+                    rec
+                ),
+                format!("{} vs {:?}", gate_desc(nl, gid), rec),
+            );
+        }
+    }
+    for (i, ff) in nl.dffs().iter().enumerate() {
+        let id = bibs_netlist::DffId::from_index(i);
+        let rec = nl.driver(ff.q);
+        if rec != NetDriver::Dff(id) {
+            report.emit(
+                config,
+                "B002",
+                format!(
+                    "flip-flop {id} drives net {} but the net records driver {:?}",
+                    net_desc(nl, ff.q),
+                    rec
+                ),
+                format!("{id} -> {} vs {:?}", net_desc(nl, ff.q), rec),
+            );
+        }
+    }
+}
+
+/// B006 — unary gates take exactly one input, all others at least two.
+fn gate_arity(nl: &Netlist, config: &LintConfig, report: &mut Report) {
+    for gid in nl.gate_ids() {
+        let g = nl.gate(gid);
+        let arity = g.inputs.len();
+        let bad = if g.kind.is_unary() {
+            arity != 1
+        } else {
+            arity < 2
+        };
+        if bad {
+            report.emit(
+                config,
+                "B006",
+                format!(
+                    "gate {} has {arity} input(s); kind {} requires {}",
+                    gate_desc(nl, gid),
+                    g.kind,
+                    if g.kind.is_unary() {
+                        "exactly 1".to_string()
+                    } else {
+                        "at least 2".to_string()
+                    }
+                ),
+                gate_desc(nl, gid),
+            );
+        }
+    }
+}
+
+/// B003 — the combinational part must be acyclic; the witness is an
+/// explicit gate cycle.
+fn combinational_cycles(nl: &Netlist, config: &LintConfig, report: &mut Report) {
+    // Kahn over gate-to-gate dependencies; survivors are exactly the gates
+    // on (or downstream-locked behind) cycles.
+    let n = nl.gate_count();
+    let mut indegree = vec![0usize; n];
+    let mut fanout: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (gi, gate) in nl.gates().iter().enumerate() {
+        for &inp in &gate.inputs {
+            if inp.index() >= nl.net_count() {
+                // Out-of-range reference; reported via B002/B001 ground
+                // rules elsewhere — skip to stay panic-free.
+                continue;
+            }
+            if let NetDriver::Gate(src) = nl.driver(inp) {
+                if src.index() < n {
+                    fanout[src.index()].push(gi);
+                    indegree[gi] += 1;
+                }
+            }
+        }
+    }
+    let mut queue: Vec<usize> = (0..n).filter(|&g| indegree[g] == 0).collect();
+    let mut remaining = n;
+    while let Some(g) = queue.pop() {
+        remaining -= 1;
+        for &next in &fanout[g] {
+            indegree[next] -= 1;
+            if indegree[next] == 0 {
+                queue.push(next);
+            }
+        }
+    }
+    if remaining == 0 {
+        return;
+    }
+    // Extract one explicit cycle among the stuck gates with an iterative
+    // DFS (gray/black coloring).
+    let stuck: Vec<usize> = (0..n).filter(|&g| indegree[g] > 0).collect();
+    let mut color = vec![0u8; n]; // 0 white, 1 gray, 2 black
+    for &start in &stuck {
+        if color[start] != 0 {
+            continue;
+        }
+        let mut stack: Vec<(usize, usize)> = vec![(start, 0)];
+        color[start] = 1;
+        while let Some(&(g, idx)) = stack.last() {
+            // Only follow edges that stay inside the stuck set.
+            let nexts: Vec<usize> = fanout[g]
+                .iter()
+                .copied()
+                .filter(|&x| indegree[x] > 0)
+                .collect();
+            if idx >= nexts.len() {
+                color[g] = 2;
+                stack.pop();
+                continue;
+            }
+            stack.last_mut().expect("just peeked").1 += 1;
+            let next = nexts[idx];
+            match color[next] {
+                1 => {
+                    let pos = stack
+                        .iter()
+                        .position(|&(v, _)| v == next)
+                        .expect("gray gate is on the stack");
+                    let cycle: Vec<usize> = stack[pos..].iter().map(|&(v, _)| v).collect();
+                    let mut witness: Vec<String> = cycle
+                        .iter()
+                        .map(|&g| gate_desc(nl, GateId::from_index(g)))
+                        .collect();
+                    witness.push(gate_desc(nl, GateId::from_index(cycle[0])));
+                    report.emit(
+                        config,
+                        "B003",
+                        format!(
+                            "combinational cycle through {} gate(s); the loop \
+                             has no stable value",
+                            cycle.len()
+                        ),
+                        witness.join(" => "),
+                    );
+                    return;
+                }
+                0 => {
+                    color[next] = 1;
+                    stack.push((next, 0));
+                }
+                _ => {}
+            }
+        }
+    }
+    // A cycle exists (remaining > 0) but DFS found none reachable — should
+    // not happen; still report without a witness rather than stay silent.
+    report.emit(
+        config,
+        "B003",
+        format!("{remaining} gate(s) locked behind a combinational cycle"),
+        String::new(),
+    );
+}
+
+/// B004 — gates whose output cone reaches no primary output: dead logic.
+///
+/// One finding is emitted per *root* (a dead gate nothing consumes), with
+/// the total dead-gate count, so a truncated multiplier's high half shows
+/// up as a handful of notes rather than hundreds.
+fn dead_cones(nl: &Netlist, config: &LintConfig, report: &mut Report) {
+    // Backward liveness from the primary outputs.
+    let mut live_net = vec![false; nl.net_count()];
+    let mut stack: Vec<NetId> = Vec::new();
+    for &o in nl.outputs() {
+        if o.index() < nl.net_count() && !live_net[o.index()] {
+            live_net[o.index()] = true;
+            stack.push(o);
+        }
+    }
+    let mut live_gate = vec![false; nl.gate_count()];
+    while let Some(net) = stack.pop() {
+        let mark = |nets: &[NetId], stack: &mut Vec<NetId>, live_net: &mut Vec<bool>| {
+            for &i in nets {
+                if i.index() < live_net.len() && !live_net[i.index()] {
+                    live_net[i.index()] = true;
+                    stack.push(i);
+                }
+            }
+        };
+        match nl.driver(net) {
+            NetDriver::Gate(g) if g.index() < nl.gate_count() => {
+                live_gate[g.index()] = true;
+                mark(&nl.gate(g).inputs.clone(), &mut stack, &mut live_net);
+            }
+            NetDriver::Dff(ff) if ff.index() < nl.dff_count() => {
+                mark(&[nl.dff(ff).d], &mut stack, &mut live_net);
+            }
+            _ => {}
+        }
+    }
+    let dead_total = live_gate.iter().filter(|&&l| !l).count();
+    if dead_total == 0 {
+        return;
+    }
+    // Which nets are consumed by *anything* (live or dead)?
+    let mut consumed = vec![false; nl.net_count()];
+    for g in nl.gates() {
+        for &i in &g.inputs {
+            if i.index() < consumed.len() {
+                consumed[i.index()] = true;
+            }
+        }
+    }
+    for ff in nl.dffs() {
+        if ff.d.index() < consumed.len() {
+            consumed[ff.d.index()] = true;
+        }
+    }
+    for gid in nl.gate_ids() {
+        if live_gate[gid.index()] {
+            continue;
+        }
+        let out = nl.gate(gid).output;
+        let is_root = out.index() >= consumed.len() || !consumed[out.index()];
+        if is_root {
+            report.emit(
+                config,
+                "B004",
+                format!(
+                    "dead logic cone rooted at fanout-free gate {} \
+                     ({dead_total} dead gate(s) in this netlist); its faults \
+                     are structurally undetectable",
+                    gate_desc(nl, gid)
+                ),
+                gate_desc(nl, gid),
+            );
+        }
+    }
+}
+
+/// B005 — the PI/PO word records must be internally consistent: each
+/// input net's driver record names its position, and no net appears twice
+/// in the input list.
+fn word_records(nl: &Netlist, config: &LintConfig, report: &mut Report) {
+    let mut seen = vec![false; nl.net_count()];
+    for (i, &net) in nl.inputs().iter().enumerate() {
+        if net.index() >= nl.net_count() {
+            report.emit(
+                config,
+                "B005",
+                format!("primary input {i} references out-of-range net {net}"),
+                format!("pi {i} -> {net}"),
+            );
+            continue;
+        }
+        if seen[net.index()] {
+            report.emit(
+                config,
+                "B005",
+                format!(
+                    "net {} appears more than once in the primary-input list",
+                    net_desc(nl, net)
+                ),
+                format!("pi {i} -> {}", net_desc(nl, net)),
+            );
+        }
+        seen[net.index()] = true;
+        let rec = nl.driver(net);
+        if rec != NetDriver::Input(i) {
+            report.emit(
+                config,
+                "B005",
+                format!(
+                    "primary input {i} is net {} but the net records driver {:?}",
+                    net_desc(nl, net),
+                    rec
+                ),
+                format!("pi {i} -> {} vs {:?}", net_desc(nl, net), rec),
+            );
+        }
+    }
+    for (i, &net) in nl.outputs().iter().enumerate() {
+        if net.index() >= nl.net_count() {
+            report.emit(
+                config,
+                "B005",
+                format!("primary output {i} references out-of-range net {net}"),
+                format!("po {i} -> {net}"),
+            );
+        }
+    }
+}

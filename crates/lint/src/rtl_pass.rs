@@ -1,0 +1,138 @@
+//! RTL/structure-level lint passes on bare circuit graphs: B010–B013.
+//!
+//! "Bare" means *before* BILBO selection: a cycle or an URFS here is
+//! normal input for the TDM (it exists to repair them), so B010/B011
+//! default to `allow` — they become the hard `B020`/`B021` errors only
+//! when they survive *inside a kernel* of a selected design (see
+//! [`crate::design_pass`]).
+
+use crate::diag::{LintConfig, Report};
+use bibs_rtl::{Circuit, EdgeKind, LogicFunction, VertexKind};
+
+/// Runs every RTL-level pass on `circuit`.
+pub fn lint_circuit(circuit: &Circuit, config: &LintConfig) -> Report {
+    let mut report = Report::new();
+    cycles(circuit, config, &mut report);
+    balance(circuit, config, &mut report);
+    operand_widths(circuit, config, &mut report);
+    dangling_blocks(circuit, config, &mut report);
+    report
+}
+
+/// B010 — directed cycles in the bare circuit (Theorem 2 territory: a
+/// cycle needs at least two converted registers, or a CBILBO).
+fn cycles(circuit: &Circuit, config: &LintConfig, report: &mut Report) {
+    if let Some(cycle) = circuit.find_cycle() {
+        let regs = cycle
+            .iter()
+            .filter(|&&e| circuit.edge(e).is_register())
+            .count();
+        report.emit(
+            config,
+            "B010",
+            format!(
+                "directed cycle with {regs} register edge(s); BIBS selection \
+                 must cut it (two BILBOs, or a CBILBO if only one register)"
+            ),
+            circuit.describe_cycle(&cycle),
+        );
+    }
+}
+
+/// B011 — URFS witnesses: vertex pairs joined by unequal-sequential-length
+/// paths, each reported with a concrete min/max path pair by name.
+fn balance(circuit: &Circuit, config: &LintConfig, report: &mut Report) {
+    let b = circuit.balance_report();
+    if !b.acyclic {
+        // Balance is undefined on cyclic graphs; B010 already fired.
+        return;
+    }
+    for im in &b.imbalances {
+        let witness = match circuit.witness_paths(im.from, im.to) {
+            Some((short, long)) => format!(
+                "{}; shorter: {}; longer: {}",
+                im.describe(circuit),
+                circuit.describe_path(&short),
+                circuit.describe_path(&long)
+            ),
+            None => im.describe(circuit),
+        };
+        report.emit(
+            config,
+            "B011",
+            format!(
+                "unbalanced reconvergent fanout: paths of sequential length \
+                 {} and {} join {} to {}",
+                im.min,
+                im.max,
+                circuit.vertex_name(im.from),
+                circuit.vertex_name(im.to)
+            ),
+            witness,
+        );
+    }
+}
+
+/// B012 — an Add/Sub block fed by register edges of different widths
+/// silently truncates to the narrower operand during elaboration.
+fn operand_widths(circuit: &Circuit, config: &LintConfig, report: &mut Report) {
+    for v in circuit.vertex_ids() {
+        let vx = circuit.vertex(v);
+        if vx.kind != VertexKind::Logic
+            || !matches!(vx.function, LogicFunction::Add | LogicFunction::Sub)
+        {
+            continue;
+        }
+        let widths: Vec<(String, u32)> = circuit
+            .in_edges(v)
+            .iter()
+            .filter_map(|&e| match circuit.edge(e).kind {
+                EdgeKind::Register { width } => Some((circuit.edge_label(e), width)),
+                EdgeKind::Wire => None,
+            })
+            .collect();
+        let Some(&(_, first)) = widths.first() else {
+            continue;
+        };
+        if widths.iter().any(|&(_, w)| w != first) {
+            let list: Vec<String> = widths.iter().map(|(label, _)| label.clone()).collect();
+            report.emit(
+                config,
+                "B012",
+                format!(
+                    "operand registers of {} {} have different widths; the \
+                     wider operand is truncated",
+                    vx.function_name(),
+                    circuit.vertex_name(v)
+                ),
+                format!("{} <- {}", circuit.vertex_name(v), list.join(", ")),
+            );
+        }
+    }
+}
+
+/// B013 — blocks with no in-edges or no out-edges: their values are
+/// undefined or unobservable, and elaboration rejects them later anyway.
+fn dangling_blocks(circuit: &Circuit, config: &LintConfig, report: &mut Report) {
+    for v in circuit.vertex_ids() {
+        let vx = circuit.vertex(v);
+        if matches!(vx.kind, VertexKind::Input | VertexKind::Output) {
+            continue;
+        }
+        let no_in = circuit.in_edges(v).is_empty();
+        let no_out = circuit.out_edges(v).is_empty();
+        if no_in || no_out {
+            let what = match (no_in, no_out) {
+                (true, true) => "no inputs and no outputs",
+                (true, false) => "no inputs (value undefined)",
+                _ => "no outputs (value unobservable)",
+            };
+            report.emit(
+                config,
+                "B013",
+                format!("{} block {} has {what}", vx.kind, circuit.vertex_name(v)),
+                circuit.vertex_name(v).to_string(),
+            );
+        }
+    }
+}

@@ -32,6 +32,14 @@ pub enum ParseError {
         /// Description of the problem.
         message: String,
     },
+    /// A net was assigned more than one driver (two gates, a gate and a
+    /// flip-flop, …). The single-driver invariant would otherwise be
+    /// silently repaired by "last writer wins", hiding the conflict from
+    /// simulation.
+    DoubleDrive {
+        /// The multiply-driven net's index.
+        net: usize,
+    },
     /// The parsed structure failed netlist validation.
     Invalid(NetlistError),
 }
@@ -40,6 +48,9 @@ impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ParseError::Syntax { message } => write!(f, "syntax error: {message}"),
+            ParseError::DoubleDrive { net } => {
+                write!(f, "net n{net} is driven more than once")
+            }
             ParseError::Invalid(e) => write!(f, "invalid netlist: {e}"),
         }
     }
@@ -107,6 +118,19 @@ fn parse_kind(s: &str) -> Option<GateKind> {
     })
 }
 
+/// Assigns `driver` to net `id`, rejecting out-of-range ids and — crucially
+/// — nets that already have a driver (see [`ParseError::DoubleDrive`]).
+fn drive_net(nets: &mut [Net], id: usize, driver: NetDriver) -> Result<&mut Net, ParseError> {
+    let slot = nets.get_mut(id).ok_or_else(|| ParseError::Syntax {
+        message: format!("net {id} out of range"),
+    })?;
+    if !matches!(slot.driver, NetDriver::Floating) {
+        return Err(ParseError::DoubleDrive { net: id });
+    }
+    slot.driver = driver;
+    Ok(slot)
+}
+
 /// Parses a netlist from the text format.
 ///
 /// # Errors
@@ -165,10 +189,7 @@ pub fn from_text(text: &str) -> Result<Netlist, ParseError> {
                 )?;
                 let net = NetId(id as u32);
                 let pi = inputs.len();
-                let slot = nets
-                    .get_mut(id)
-                    .ok_or_else(|| syntax(format!("net {id} out of range")))?;
-                slot.driver = NetDriver::Input(pi);
+                let slot = drive_net(&mut nets, id, NetDriver::Input(pi))?;
                 if let Some(n) = line.split('"').nth(1) {
                     if !n.is_empty() {
                         slot.name = Some(n.to_string());
@@ -189,9 +210,7 @@ pub fn from_text(text: &str) -> Result<Netlist, ParseError> {
                         .ok_or_else(|| syntax("missing const value".into()))?,
                     "value",
                 )?;
-                nets.get_mut(id)
-                    .ok_or_else(|| syntax(format!("net {id} out of range")))?
-                    .driver = NetDriver::Const(v != 0);
+                drive_net(&mut nets, id, NetDriver::Const(v != 0))?;
             }
             "gate" => {
                 let kind = parse_kind(tokens.get(1).copied().unwrap_or(""))
@@ -216,9 +235,7 @@ pub fn from_text(text: &str) -> Result<Netlist, ParseError> {
                     inputs: ins?,
                     output: NetId(out as u32),
                 });
-                nets.get_mut(out)
-                    .ok_or_else(|| syntax(format!("net {out} out of range")))?
-                    .driver = NetDriver::Gate(gid);
+                drive_net(&mut nets, out, NetDriver::Gate(gid))?;
             }
             "dff" => {
                 let q = parse_id(
@@ -242,9 +259,7 @@ pub fn from_text(text: &str) -> Result<Netlist, ParseError> {
                     d: NetId(d as u32),
                     q: NetId(q as u32),
                 });
-                nets.get_mut(q)
-                    .ok_or_else(|| syntax(format!("net {q} out of range")))?
-                    .driver = NetDriver::Dff(id);
+                drive_net(&mut nets, q, NetDriver::Dff(id))?;
             }
             "output" => {
                 let id = parse_id(
@@ -341,6 +356,31 @@ mod tests {
         assert!(matches!(
             from_text("netlist t {\n nets 2;\n input 0 \"x\";\n output 1 \"y\";\n}"),
             Err(ParseError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn double_driven_net_rejected() {
+        // Two gates driving net 2.
+        let text = "netlist t {\n nets 3;\n input 0 \"a\";\n input 1 \"b\";\n \
+                    gate and 2 <- 0 1;\n gate or 2 <- 0 1;\n output 2 \"o\";\n}";
+        assert!(matches!(
+            from_text(text),
+            Err(ParseError::DoubleDrive { net: 2 })
+        ));
+        // A gate and a dff driving the same net.
+        let text2 = "netlist t {\n nets 3;\n input 0 \"a\";\n input 1 \"b\";\n \
+                     gate and 2 <- 0 1;\n dff 2 <- 0;\n output 2 \"o\";\n}";
+        assert!(matches!(
+            from_text(text2),
+            Err(ParseError::DoubleDrive { net: 2 })
+        ));
+        // Redeclaring an input over a const.
+        let text3 = "netlist t {\n nets 2;\n const 0 1;\n input 0 \"a\";\n \
+                     gate not 1 <- 0;\n output 1 \"o\";\n}";
+        assert!(matches!(
+            from_text(text3),
+            Err(ParseError::DoubleDrive { net: 0 })
         ));
     }
 }

@@ -20,6 +20,13 @@ impl NetId {
     pub fn index(self) -> usize {
         self.0 as usize
     }
+
+    /// Builds an id from a raw index. For deserializers and analysis
+    /// tooling; an out-of-range id only trips when it is used on a
+    /// [`Netlist`].
+    pub fn from_index(index: usize) -> Self {
+        NetId(index as u32)
+    }
 }
 
 impl GateId {
@@ -27,12 +34,22 @@ impl GateId {
     pub fn index(self) -> usize {
         self.0 as usize
     }
+
+    /// Builds an id from a raw index (see [`NetId::from_index`]).
+    pub fn from_index(index: usize) -> Self {
+        GateId(index as u32)
+    }
 }
 
 impl DffId {
     /// Returns the raw index of this flip-flop.
     pub fn index(self) -> usize {
         self.0 as usize
+    }
+
+    /// Builds an id from a raw index (see [`NetId::from_index`]).
+    pub fn from_index(index: usize) -> Self {
+        DffId(index as u32)
     }
 }
 
@@ -280,6 +297,59 @@ impl Netlist {
         };
         nl.validate()?;
         Ok(nl)
+    }
+
+    /// Assembles a netlist from raw parts **without** validating it.
+    ///
+    /// For analysis tooling (e.g. the `bibs-lint` structural passes) that
+    /// must be able to represent malformed netlists in order to diagnose
+    /// them. Simulation and transformation methods assume the invariants
+    /// documented on [`Netlist`] hold; run [`Netlist::validate`] (or the
+    /// lint passes) before trusting any results on an unchecked value.
+    pub fn from_parts_unchecked(
+        name: String,
+        nets: Vec<Net>,
+        gates: Vec<Gate>,
+        dffs: Vec<Dff>,
+        inputs: Vec<NetId>,
+        outputs: Vec<NetId>,
+    ) -> Netlist {
+        Netlist {
+            name,
+            nets,
+            gates,
+            dffs,
+            inputs,
+            outputs,
+        }
+    }
+
+    /// Decomposes the netlist into its raw parts
+    /// `(name, nets, gates, dffs, inputs, outputs)`.
+    ///
+    /// Inverse of [`Netlist::from_parts`] /
+    /// [`Netlist::from_parts_unchecked`]; lets tooling mutate the parts and
+    /// reassemble (e.g. lint tests crafting deliberately malformed
+    /// netlists).
+    #[allow(clippy::type_complexity)]
+    pub fn into_parts(
+        self,
+    ) -> (
+        String,
+        Vec<Net>,
+        Vec<Gate>,
+        Vec<Dff>,
+        Vec<NetId>,
+        Vec<NetId>,
+    ) {
+        (
+            self.name,
+            self.nets,
+            self.gates,
+            self.dffs,
+            self.inputs,
+            self.outputs,
+        )
     }
 
     /// The netlist's name.

@@ -51,6 +51,20 @@ pub struct PairImbalance {
     pub max: u32,
 }
 
+impl PairImbalance {
+    /// Renders the imbalance with vertex *names* looked up in `circuit`,
+    /// e.g. `"FO1 ~> H: paths of sequential length 1 and 2"`.
+    pub fn describe(&self, circuit: &Circuit) -> String {
+        format!(
+            "{} ~> {}: paths of sequential length {} and {}",
+            circuit.vertex_name(self.from),
+            circuit.vertex_name(self.to),
+            self.min,
+            self.max
+        )
+    }
+}
+
 /// The result of a balance analysis.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BalanceReport {
@@ -291,6 +305,76 @@ impl Circuit {
         self.balance_report().is_balanced()
     }
 
+    /// Concrete witness paths for a (potential) imbalance: a
+    /// minimum-sequential-length path and a maximum-sequential-length path
+    /// from `from` to `to` in the subgraph of edges accepted by `keep`.
+    ///
+    /// Returns `None` if the filtered subgraph is cyclic or `to` is
+    /// unreachable from `from`. For a balanced pair the two paths have equal
+    /// sequential length (they may still be distinct edge sequences); for a
+    /// [`PairImbalance`] they are the unequal-length pair the paper's URFS
+    /// definition talks about. Render them with
+    /// [`Circuit::describe_path`].
+    pub fn witness_paths_filtered(
+        &self,
+        from: VertexId,
+        to: VertexId,
+        keep: impl Fn(EdgeId) -> bool,
+    ) -> Option<(Vec<EdgeId>, Vec<EdgeId>)> {
+        let order = self.topo_order_filtered(&keep)?;
+        let n = self.vertex_count();
+        // dist/pred tables for the min- and max-sequential-length paths.
+        let mut min_d: Vec<Option<u32>> = vec![None; n];
+        let mut max_d: Vec<Option<u32>> = vec![None; n];
+        let mut min_pred: Vec<Option<EdgeId>> = vec![None; n];
+        let mut max_pred: Vec<Option<EdgeId>> = vec![None; n];
+        min_d[from.index()] = Some(0);
+        max_d[from.index()] = Some(0);
+        for &v in &order {
+            let (Some(vmin), Some(vmax)) = (min_d[v.index()], max_d[v.index()]) else {
+                continue;
+            };
+            for &eid in self.out_edges(v) {
+                if !keep(eid) {
+                    continue;
+                }
+                let e = self.edge(eid);
+                let w = e.kind.seq_len();
+                let t = e.to.index();
+                if min_d[t].is_none_or(|d| vmin + w < d) {
+                    min_d[t] = Some(vmin + w);
+                    min_pred[t] = Some(eid);
+                }
+                if max_d[t].is_none_or(|d| vmax + w > d) {
+                    max_d[t] = Some(vmax + w);
+                    max_pred[t] = Some(eid);
+                }
+            }
+        }
+        min_d[to.index()]?;
+        let walk_back = |pred: &[Option<EdgeId>]| -> Vec<EdgeId> {
+            let mut path = Vec::new();
+            let mut cur = to;
+            while cur != from {
+                let eid = pred[cur.index()].expect("reachable vertex has a predecessor");
+                path.push(eid);
+                cur = self.edge(eid).from;
+            }
+            path.reverse();
+            path
+        };
+        Some((walk_back(&min_pred), walk_back(&max_pred)))
+    }
+
+    /// Unfiltered version of [`Self::witness_paths_filtered`].
+    pub fn witness_paths(
+        &self,
+        from: VertexId,
+        to: VertexId,
+    ) -> Option<(Vec<EdgeId>, Vec<EdgeId>)> {
+        self.witness_paths_filtered(from, to, |_| true)
+    }
+
     /// The set of vertices reachable from `src` (inclusive) in the subgraph
     /// of edges accepted by `keep`.
     pub fn reachable_from_filtered(
@@ -489,5 +573,82 @@ mod tests {
     fn figure1_sequential_depth_uses_longest_path() {
         let c = figure1();
         assert_eq!(c.sequential_depth(), Some(1));
+    }
+
+    #[test]
+    fn witness_paths_expose_the_urfs_pair_by_name() {
+        let c = figure3_like();
+        let r5 = c.register_by_name("R5").unwrap();
+        let fo1 = c.vertex_by_name("FO1").unwrap();
+        let h = c.vertex_by_name("H").unwrap();
+        let (short, long) = c
+            .witness_paths_filtered(fo1, h, |e| e != r5)
+            .expect("H reachable from FO1 once the cycle is cut");
+        let seq = |p: &[crate::circuit::EdgeId]| -> u32 {
+            p.iter().map(|&e| c.edge(e).kind.seq_len()).sum()
+        };
+        assert_eq!(seq(&short), 1);
+        assert_eq!(seq(&long), 2);
+        // Paths are rendered with names, not indices.
+        assert_eq!(c.describe_path(&short), "FO1 -> A -R2[8]-> D -> H");
+        assert_eq!(
+            c.describe_path(&long),
+            "FO1 -> C -R3[8]-> E -R4[8]-> G -> H"
+        );
+        let imb = PairImbalance {
+            from: fo1,
+            to: h,
+            min: 1,
+            max: 2,
+        };
+        assert_eq!(
+            imb.describe(&c),
+            "FO1 ~> H: paths of sequential length 1 and 2"
+        );
+    }
+
+    #[test]
+    fn witness_paths_none_when_unreachable_or_cyclic() {
+        let c = figure2();
+        let pi = c.vertex_by_name("PI").unwrap();
+        let c2 = c.vertex_by_name("C2").unwrap();
+        assert!(
+            c.witness_paths(c2, pi).is_none(),
+            "PI not reachable from C2"
+        );
+        let cyc = figure3_like();
+        let p = cyc.vertex_by_name("PI").unwrap();
+        let po = cyc.vertex_by_name("PO").unwrap();
+        assert!(cyc.witness_paths(p, po).is_none(), "cyclic graph");
+    }
+
+    #[test]
+    fn balanced_pair_witnesses_have_equal_length() {
+        let c = figure2();
+        let pi = c.vertex_by_name("PI").unwrap();
+        let po = c.vertex_by_name("PO").unwrap();
+        let (a, b) = c.witness_paths(pi, po).unwrap();
+        let seq = |p: &[crate::circuit::EdgeId]| -> u32 {
+            p.iter().map(|&e| c.edge(e).kind.seq_len()).sum()
+        };
+        assert_eq!(seq(&a), 3);
+        assert_eq!(seq(&b), 3);
+        assert_eq!(
+            c.describe_path(&a),
+            "PI -R1[8]-> C1 -R2[8]-> C2 -R3[8]-> PO"
+        );
+    }
+
+    #[test]
+    fn describe_cycle_names_the_loop() {
+        let c = figure3_like();
+        let cycle = c.find_cycle().unwrap();
+        let rendered = c.describe_cycle(&cycle);
+        // The F<->H loop, whichever vertex DFS entered first.
+        assert!(
+            rendered == "H -R5[8]-> F -R6[8]-> H" || rendered == "F -R6[8]-> H -R5[8]-> F",
+            "unexpected cycle rendering: {rendered}"
+        );
+        assert_eq!(c.describe_path(&[]), "(empty path)");
     }
 }

@@ -100,6 +100,19 @@ pub struct Vertex {
     pub function: LogicFunction,
 }
 
+impl Vertex {
+    /// Short lowercase name of the block's word-level function (`"add"`,
+    /// `"mul"`, `"sub"`, `"opaque"`), for diagnostics.
+    pub fn function_name(&self) -> &'static str {
+        match self.function {
+            LogicFunction::Add => "add",
+            LogicFunction::Mul { .. } => "mul",
+            LogicFunction::Sub => "sub",
+            LogicFunction::Opaque => "opaque",
+        }
+    }
+}
+
 /// The kind of connection an edge represents.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum EdgeKind {
@@ -306,6 +319,61 @@ impl Circuit {
     /// Total flip-flop count over all register edges.
     pub fn total_register_bits(&self) -> u32 {
         self.edges.iter().filter_map(|e| e.kind.width()).sum()
+    }
+
+    /// The declared name of a vertex — the preferred way to render a
+    /// [`VertexId`] in diagnostics and witnesses.
+    pub fn vertex_name(&self, v: VertexId) -> &str {
+        &self.vertex(v).name
+    }
+
+    /// A human-readable label for an edge: `"R1[8]"` for a named register
+    /// edge of width 8, `"_[8]"` for an anonymous one, and `"A->B"` for a
+    /// wire from `A` to `B`.
+    pub fn edge_label(&self, e: EdgeId) -> String {
+        let edge = self.edge(e);
+        match edge.kind {
+            EdgeKind::Register { width } => {
+                format!("{}[{width}]", edge.name.as_deref().unwrap_or("_"))
+            }
+            EdgeKind::Wire => format!(
+                "{}->{}",
+                self.vertex_name(edge.from),
+                self.vertex_name(edge.to)
+            ),
+        }
+    }
+
+    /// Renders a connected edge sequence as a named path, e.g.
+    /// `"F -R2[8]-> D -> H"` (register edges show their label, wires show a
+    /// bare arrow). Empty input renders as `"(empty path)"`.
+    pub fn describe_path(&self, edges: &[EdgeId]) -> String {
+        let Some(&first) = edges.first() else {
+            return "(empty path)".to_string();
+        };
+        let mut out = String::new();
+        out.push_str(self.vertex_name(self.edge(first).from));
+        for &eid in edges {
+            let edge = self.edge(eid);
+            match edge.kind {
+                EdgeKind::Register { width } => {
+                    let name = edge.name.as_deref().unwrap_or("_");
+                    out.push_str(&format!(" -{name}[{width}]-> "));
+                }
+                EdgeKind::Wire => out.push_str(" -> "),
+            }
+            out.push_str(self.vertex_name(edge.to));
+        }
+        out
+    }
+
+    /// Renders a cycle (edge sequence whose last edge returns to the first
+    /// edge's source) as a named path, e.g. `"H -R5[8]-> F -R6[8]-> H"`.
+    ///
+    /// Currently identical to [`Self::describe_path`]; a separate entry
+    /// point so callers can state intent and future formatting can diverge.
+    pub fn describe_cycle(&self, edges: &[EdgeId]) -> String {
+        self.describe_path(edges)
     }
 
     /// Splits a register edge `u -R-> v` into `u -R-> X -R'-> v` where `X`

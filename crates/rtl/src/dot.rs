@@ -52,19 +52,19 @@ pub fn to_dot(circuit: &Circuit, options: &DotOptions) -> String {
         out.push_str(&format!(
             "  v{} [label=\"{}\" shape={shape} style=\"{style}\"];\n",
             v.index(),
-            vx.name
+            circuit.vertex_name(v)
         ));
     }
     for e in circuit.edge_ids() {
         let edge = circuit.edge(e);
         let highlighted = options.highlighted_edges.contains(&e);
         match edge.kind {
-            EdgeKind::Register { width } => {
-                let name = edge.name.as_deref().unwrap_or("");
+            EdgeKind::Register { .. } => {
+                let label = circuit.edge_label(e);
                 let color = if highlighted { "#dc2626" } else { "#1f2937" };
                 let pen = if highlighted { 2.5 } else { 1.2 };
                 out.push_str(&format!(
-                    "  v{} -> v{} [label=\"{name}[{width}]\" color=\"{color}\" penwidth={pen}];\n",
+                    "  v{} -> v{} [label=\"{label}\" color=\"{color}\" penwidth={pen}];\n",
                     edge.from.index(),
                     edge.to.index()
                 ));

@@ -22,5 +22,6 @@ pub use bibs_core::*;
 pub use bibs_datapath as datapath;
 pub use bibs_faultsim as faultsim;
 pub use bibs_lfsr as lfsr;
+pub use bibs_lint as lint;
 pub use bibs_netlist as netlist;
 pub use bibs_rtl as rtl;
