@@ -47,4 +47,19 @@ cargo run --release -p bibs-bench --bin table2 -- 3 | tee /tmp/bibs-table2-smoke
 grep -q "fault-sim engine:" /tmp/bibs-table2-smoke.txt
 grep -q "Maximal delay" /tmp/bibs-table2-smoke.txt
 
+step "compiled-vs-interpreted equivalence smoke (table2 c5a2m, full width)"
+# The compiled EvalProgram engines and the reference interpreter must
+# produce byte-identical detection-deterministic JSON on a full-width
+# paper datapath — the end-to-end version of the equivalence contract
+# the test suites pin on scaled circuits.
+cargo run --release -p bibs-bench --bin table2 -- --only c5a2m --json \
+  --engine compiled > /tmp/bibs-table2-compiled.json
+cargo run --release -p bibs-bench --bin table2 -- --only c5a2m --json \
+  --engine reference > /tmp/bibs-table2-reference.json
+diff /tmp/bibs-table2-compiled.json /tmp/bibs-table2-reference.json
+grep -q '"detection_indices"' /tmp/bibs-table2-compiled.json
+
+step "criterion bench smoke-build"
+cargo bench --workspace --no-run -q
+
 printf '\nci.sh: all gates passed\n'

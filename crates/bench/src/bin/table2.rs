@@ -4,25 +4,72 @@
 //! detectable faults.
 //!
 //! Run with `cargo run --release -p bibs-bench --bin table2`.
-//! Optional argument: a word width (default 8; the paper's width).
+//!
+//! Usage: `table2 [WIDTH] [--json] [--engine compiled|reference]
+//! [--only NAME]`
+//!
+//! * `WIDTH` — word width (default 8; the paper's width);
+//! * `--json` — emit the detection-deterministic results as JSON on
+//!   stdout (used by CI to diff the two engines byte-for-byte);
+//! * `--engine` — fault-simulation engine (default `compiled`; the
+//!   `reference` interpreter produces bit-identical results, slower);
+//! * `--only NAME` — restrict to one circuit (`c5a2m`, `c3a2m`, `c4a4m`).
+//!
 //! Fault simulation runs on `BIBS_JOBS` worker threads (default: all
-//! cores); the results are bit-identical for any thread count.
+//! cores); the results are bit-identical for any thread count and engine.
 
-use bibs_bench::{render_table2, table2_column, Table2Options, Tdm};
+use bibs_bench::{render_table2, table2_column, table2_json, Engine, Table2Options, Tdm};
 use bibs_datapath::filters::scaled;
 
 fn main() {
-    let width: u32 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(8);
-    let options = Table2Options::default();
+    let mut width: u32 = 8;
+    let mut json = false;
+    let mut engine = Engine::Compiled;
+    let mut only: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--engine" => {
+                let value = args.next().unwrap_or_default();
+                engine = value.parse().unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    std::process::exit(2);
+                });
+            }
+            "--only" => {
+                only = Some(args.next().unwrap_or_else(|| {
+                    eprintln!("--only needs a circuit name");
+                    std::process::exit(2);
+                }));
+            }
+            other => match other.parse() {
+                Ok(w) => width = w,
+                Err(_) => {
+                    eprintln!("unknown argument '{other}'");
+                    std::process::exit(2);
+                }
+            },
+        }
+    }
+    let options = Table2Options {
+        engine,
+        ..Table2Options::default()
+    };
     eprintln!(
-        "fault-simulating on {} worker thread(s) (set BIBS_JOBS to override)",
-        options.jobs
+        "fault-simulating with the {} engine on {} worker thread(s) (set BIBS_JOBS to override)",
+        options.engine, options.jobs
     );
+    let names: Vec<&str> = ["c5a2m", "c3a2m", "c4a4m"]
+        .into_iter()
+        .filter(|n| only.as_deref().is_none_or(|o| o == *n))
+        .collect();
+    if names.is_empty() {
+        eprintln!("--only matched no circuit (expected one of c5a2m, c3a2m, c4a4m)");
+        std::process::exit(2);
+    }
     let mut columns = Vec::new();
-    for name in ["c5a2m", "c3a2m", "c4a4m"] {
+    for name in names {
         let circuit = scaled(name, width);
         // Static lint gate: a datapath that violates the paper conditions
         // would fault-simulate to garbage — refuse up front.
@@ -36,6 +83,10 @@ fn main() {
         eprintln!("running {name} under [3] ...");
         let k = table2_column(&circuit, Tdm::Ka85, &options);
         columns.push((b, k));
+    }
+    if json {
+        print!("{}", table2_json(&columns));
+        return;
     }
     println!("Table 2: BIBS vs the TDM of [3] (width {width})");
     println!("{}", render_table2(&columns));
@@ -61,17 +112,33 @@ fn main() {
     let all = columns
         .iter()
         .flat_map(|(b, k)| b.kernel_stats.iter().chain(&k.kernel_stats));
-    let (mut evals, mut blocks, mut wall) = (0u64, 0u64, std::time::Duration::ZERO);
+    let (mut evals, mut gate_evals, mut blocks, mut wall, mut compile) = (
+        0u64,
+        0u64,
+        0u64,
+        std::time::Duration::ZERO,
+        std::time::Duration::ZERO,
+    );
     for s in all {
         evals += s.sim.fault_evals;
+        gate_evals += s.sim.gate_evals;
         blocks += s.sim.blocks;
         wall += s.sim.wall;
+        compile += s.sim.compile_wall;
     }
     let secs = wall.as_secs_f64();
     println!(
-        "fault-sim engine: {evals} faulty-machine evals over {blocks} blocks in {:.2} s ({:.0}/s, {} thread(s))",
+        "fault-sim engine: {evals} faulty-machine evals over {blocks} blocks in {:.2} s \
+         ({:.0}/s, {:.2e} gate evals/s, {:.1} ms compile, {} thread(s), {} engine)",
         secs,
         if secs > 0.0 { evals as f64 / secs } else { 0.0 },
-        options.jobs
+        if secs > 0.0 {
+            gate_evals as f64 / secs
+        } else {
+            0.0
+        },
+        compile.as_secs_f64() * 1e3,
+        options.jobs,
+        options.engine
     );
 }

@@ -25,6 +25,7 @@ use bibs_datapath::elab::elaborate_kernel;
 use bibs_faultsim::atpg::Atpg;
 use bibs_faultsim::fault::{Fault, FaultUniverse};
 use bibs_faultsim::par::{default_jobs, ParFaultSimulator};
+use bibs_faultsim::reference::ReferenceSimulator;
 use bibs_faultsim::sim::BlockSim;
 use bibs_faultsim::stats::SimStats;
 use bibs_rtl::{Circuit, VertexKind};
@@ -46,6 +47,46 @@ impl std::fmt::Display for Tdm {
         match self {
             Tdm::Bibs => write!(f, "BIBS"),
             Tdm::Ka85 => write!(f, "[3]"),
+        }
+    }
+}
+
+/// Which fault-simulation engine drives the random phase.
+///
+/// The detection results (and therefore every Table 2 number) are
+/// bit-identical across engines — the choice only trades wall-clock time,
+/// which is exactly what makes the reference interpreter useful as an
+/// equivalence oracle in CI.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// Compiled [`bibs_netlist::EvalProgram`] IR on `jobs` worker threads
+    /// (the default production path).
+    #[default]
+    Compiled,
+    /// The original gate-walking interpreter
+    /// ([`bibs_faultsim::reference`]), single-threaded.
+    Reference,
+}
+
+impl std::str::FromStr for Engine {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "compiled" => Ok(Engine::Compiled),
+            "reference" => Ok(Engine::Reference),
+            other => Err(format!(
+                "unknown engine '{other}' (expected 'compiled' or 'reference')"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Engine::Compiled => write!(f, "compiled"),
+            Engine::Reference => write!(f, "reference"),
         }
     }
 }
@@ -135,6 +176,9 @@ pub struct Table2Options {
     /// [`bibs_faultsim::par::default_jobs`]). The results are
     /// bit-identical for any value; this only trades wall-clock time.
     pub jobs: usize,
+    /// Fault-simulation engine for the random phase. The results are
+    /// bit-identical across engines (see [`Engine`]).
+    pub engine: Engine,
 }
 
 impl Default for Table2Options {
@@ -145,6 +189,7 @@ impl Default for Table2Options {
             plateau: 100_000,
             backtrack_limit: 100_000,
             jobs: default_jobs(),
+            engine: Engine::Compiled,
         }
     }
 }
@@ -197,10 +242,19 @@ pub fn kernel_fault_stats(
     let (observable, unobservable) = universe.split_by_observability(&comb);
 
     // Phase 1: random simulation with fault dropping and a detection
-    // plateau; surviving faults go to PODEM.
-    let mut sim = ParFaultSimulator::with_threads(&comb, observable, options.jobs);
+    // plateau; surviving faults go to PODEM. Engines are interchangeable:
+    // the report is bit-identical either way.
     let mut rng = StdRng::seed_from_u64(options.seed ^ kernel.input_edges.len() as u64);
-    let report = sim.run_random_with_plateau(&mut rng, options.max_patterns, options.plateau);
+    let report = match options.engine {
+        Engine::Compiled => {
+            let mut sim = ParFaultSimulator::with_threads(&comb, observable, options.jobs);
+            sim.run_random_with_plateau(&mut rng, options.max_patterns, options.plateau)
+        }
+        Engine::Reference => {
+            let mut sim = ReferenceSimulator::new(&comb, observable);
+            sim.run_random_with_plateau(&mut rng, options.max_patterns, options.plateau)
+        }
+    };
 
     // Phase 2: PODEM on the survivors.
     let survivors: Vec<Fault> = report.undetected();
@@ -309,6 +363,58 @@ pub fn render_table2(columns: &[(Table2Column, Table2Column)]) -> String {
     out
 }
 
+/// Renders Table 2 columns as machine-readable JSON containing **only
+/// detection-deterministic fields** — everything here is a pure function
+/// of `(circuit, TDM, options.seed, options.max_patterns,
+/// options.plateau, options.backtrack_limit)` and independent of the
+/// engine, thread count, and wall clock. CI diffs the output of the
+/// compiled and reference engines byte-for-byte.
+pub fn table2_json(columns: &[(Table2Column, Table2Column)]) -> String {
+    fn u64s(xs: &[u64]) -> String {
+        let body: Vec<String> = xs.iter().map(|x| x.to_string()).collect();
+        format!("[{}]", body.join(","))
+    }
+    fn column(c: &Table2Column) -> String {
+        let kernels: Vec<String> = c
+            .kernel_stats
+            .iter()
+            .map(|s| {
+                format!(
+                    "{{\"faults\":{},\"redundant\":{},\"aborted\":{},\"unreached\":{},\
+                     \"detected\":{},\"detection_indices\":{}}}",
+                    s.faults,
+                    s.redundant,
+                    s.aborted,
+                    s.unreached,
+                    s.detected,
+                    u64s(&s.detection_indices)
+                )
+            })
+            .collect();
+        format!(
+            "{{\"tdm\":\"{}\",\"circuit\":\"{}\",\"kernels\":{},\"sessions\":{},\
+             \"bilbo_registers\":{},\"max_delay\":{},\"patterns_995\":{},\"time_995\":{},\
+             \"patterns_100\":{},\"time_100\":{},\"kernel_stats\":[{}]}}",
+            c.tdm,
+            c.circuit,
+            c.kernel_count,
+            c.session_count,
+            c.bilbo_count,
+            c.max_delay,
+            c.patterns_995,
+            c.time_995,
+            c.patterns_100,
+            c.time_100,
+            kernels.join(",")
+        )
+    }
+    let cols: Vec<String> = columns
+        .iter()
+        .flat_map(|(b, k)| [column(b), column(k)])
+        .collect();
+    format!("{{\"columns\":[{}]}}\n", cols.join(","))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -350,7 +456,44 @@ mod tests {
         // Shape: concurrent sessions make [3]'s test time no larger than
         // its sequential pattern count.
         assert!(k.time_100 <= k.patterns_100);
-        let table = render_table2(&[(b, k)]);
+        let table = render_table2(&[(b.clone(), k.clone())]);
         assert!(table.contains("BILBO"));
+        let json = table2_json(&[(b, k)]);
+        assert!(json.starts_with("{\"columns\":["));
+        assert!(json.contains("\"tdm\":\"BIBS\""));
+        assert!(json.contains("\"detection_indices\":["));
+        assert!(
+            !json.contains("wall") && !json.contains("threads"),
+            "JSON must carry only detection-deterministic fields"
+        );
+    }
+
+    /// The reference interpreter and the compiled engine must agree on the
+    /// full detection-deterministic JSON — the same invariant CI checks on
+    /// the full-width circuits.
+    #[test]
+    fn engines_agree_on_scaled_c3a2m_json() {
+        let c = scaled("c3a2m", 2);
+        let base = Table2Options {
+            max_patterns: 50_000,
+            ..Table2Options::default()
+        };
+        let compiled = Table2Options {
+            engine: Engine::Compiled,
+            ..base.clone()
+        };
+        let reference = Table2Options {
+            engine: Engine::Reference,
+            ..base
+        };
+        let jc = table2_json(&[(
+            table2_column(&c, Tdm::Bibs, &compiled),
+            table2_column(&c, Tdm::Ka85, &compiled),
+        )]);
+        let jr = table2_json(&[(
+            table2_column(&c, Tdm::Bibs, &reference),
+            table2_column(&c, Tdm::Ka85, &reference),
+        )]);
+        assert_eq!(jc, jr, "engine choice must not change any reported number");
     }
 }

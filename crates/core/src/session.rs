@@ -152,26 +152,29 @@ pub fn session_detects_batch(
         misr.signature() != &golden.signature
     };
 
+    // One compiled simulator serves every worker: `SequentialFaultSim` is
+    // `Sync` (all methods take `&self`), so the netlist is compiled to an
+    // `EvalProgram` exactly once per batch instead of once per thread.
+    let fsim = SequentialFaultSim::new(comb);
     let jobs = jobs.clamp(1, n.max(1));
     if jobs <= 1 {
-        let fsim = SequentialFaultSim::new(comb);
         return faults.iter().map(|&f| verdict(&fsim, f)).collect();
     }
     let cursor = std::sync::atomic::AtomicUsize::new(0);
     let cursor = &cursor;
     let verdict = &verdict;
+    let fsim = &fsim;
     let collected: Vec<Vec<(usize, bool)>> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..jobs)
             .map(|_| {
                 s.spawn(move || {
-                    let fsim = SequentialFaultSim::new(comb);
                     let mut out = Vec::new();
                     loop {
                         let i = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                         if i >= n {
                             break;
                         }
-                        out.push((i, verdict(&fsim, faults[i])));
+                        out.push((i, verdict(fsim, faults[i])));
                     }
                     out
                 })

@@ -11,7 +11,7 @@
 //!   cross-check the fault simulator.
 
 use crate::fault::{Fault, FaultSite};
-use bibs_netlist::{GateId, GateKind, NetDriver, NetId, Netlist};
+use bibs_netlist::{EvalProgram, GateId, GateKind, NetDriver, NetId, Netlist};
 
 /// Three-valued logic: 0, 1 or unknown.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -126,10 +126,16 @@ impl Classification {
 }
 
 /// A PODEM test generator bound to one combinational netlist.
+///
+/// The forward implication walk ([`Atpg::generate`]'s inner loop) runs
+/// over the compiled [`EvalProgram`] schedule: pre-resolved input and
+/// constant slots for initialization and the flat instruction stream for
+/// the 3-valued gate sweep — the same compile-once structure the fault
+/// simulators execute, lifted to the private 3-valued `V3` domain.
 #[derive(Debug)]
 pub struct Atpg<'a> {
     netlist: &'a Netlist,
-    order: Vec<GateId>,
+    program: EvalProgram,
     /// Gates reading each net.
     readers: Vec<Vec<GateId>>,
     good: Vec<V3>,
@@ -138,7 +144,7 @@ pub struct Atpg<'a> {
 }
 
 impl<'a> Atpg<'a> {
-    /// Creates a generator for `netlist`.
+    /// Creates a generator for `netlist`, compiling it once.
     ///
     /// # Panics
     ///
@@ -146,7 +152,7 @@ impl<'a> Atpg<'a> {
     /// equivalent.
     pub fn new(netlist: &'a Netlist) -> Self {
         assert_eq!(netlist.dff_count(), 0, "PODEM is combinational-only");
-        let order = netlist.levelize().expect("acyclic netlist");
+        let program = EvalProgram::compile(netlist).expect("acyclic netlist");
         let mut readers = vec![Vec::new(); netlist.net_count()];
         for gid in netlist.gate_ids() {
             for &i in &netlist.gate(gid).inputs {
@@ -159,7 +165,7 @@ impl<'a> Atpg<'a> {
         }
         Atpg {
             netlist,
-            order,
+            program,
             readers,
             good: vec![V3::X; netlist.net_count()],
             faulty: vec![V3::X; netlist.net_count()],
@@ -215,43 +221,59 @@ impl<'a> Atpg<'a> {
         }
     }
 
-    /// Forward-simulates both machines from the PI assignment.
+    /// Forward-simulates both machines from the PI assignment, walking
+    /// the compiled program's pre-resolved source lists and instruction
+    /// stream.
     fn imply(&mut self, assignment: &[Option<bool>], fault: Fault) {
         let stuck = V3::from_bool(match fault.site {
             FaultSite::Net(_) | FaultSite::GatePin { .. } => fault.stuck_at,
         });
-        let fault_net = match fault.site {
-            FaultSite::Net(n) => Some(n),
+        let fault_slot = match fault.site {
+            FaultSite::Net(n) => Some(n.index()),
             FaultSite::GatePin { .. } => None,
         };
-        for net in self.netlist.net_ids() {
-            let v = match self.netlist.driver(net) {
-                NetDriver::Input(i) => assignment[i].map_or(V3::X, V3::from_bool),
-                NetDriver::Const(c) => V3::from_bool(c),
-                _ => continue,
+        let fault_instr = match fault.site {
+            FaultSite::GatePin { gate, pin } => Some((self.program.instr_of_gate(gate), pin)),
+            FaultSite::Net(_) => None,
+        };
+        for (i, &slot) in self.program.input_slots().iter().enumerate() {
+            let v = assignment[i].map_or(V3::X, V3::from_bool);
+            self.good[slot as usize] = v;
+            self.faulty[slot as usize] = if fault_slot == Some(slot as usize) {
+                stuck
+            } else {
+                v
             };
-            self.good[net.index()] = v;
-            self.faulty[net.index()] = if fault_net == Some(net) { stuck } else { v };
+        }
+        for &(slot, word) in self.program.const_inits() {
+            let v = V3::from_bool(word != 0);
+            self.good[slot as usize] = v;
+            self.faulty[slot as usize] = if fault_slot == Some(slot as usize) {
+                stuck
+            } else {
+                v
+            };
         }
         let mut gbuf: Vec<V3> = Vec::with_capacity(8);
         let mut fbuf: Vec<V3> = Vec::with_capacity(8);
-        for &gid in &self.order {
-            let gate = self.netlist.gate(gid);
+        for pos in 0..self.program.instr_count() {
+            let instr = self.program.instr(pos);
             gbuf.clear();
             fbuf.clear();
-            gbuf.extend(gate.inputs.iter().map(|i| self.good[i.index()]));
-            fbuf.extend(gate.inputs.iter().map(|i| self.faulty[i.index()]));
-            if let FaultSite::GatePin { gate: fg, pin } = fault.site {
-                if fg == gid {
+            gbuf.extend(instr.operands.iter().map(|&s| self.good[s as usize]));
+            fbuf.extend(instr.operands.iter().map(|&s| self.faulty[s as usize]));
+            if let Some((fi, pin)) = fault_instr {
+                if fi == pos {
                     fbuf[pin] = stuck;
                 }
             }
-            self.good[gate.output.index()] = eval3(gate.kind, &gbuf);
-            let mut fv = eval3(gate.kind, &fbuf);
-            if fault_net == Some(gate.output) {
+            let out = instr.out as usize;
+            self.good[out] = eval3(instr.kind, &gbuf);
+            let mut fv = eval3(instr.kind, &fbuf);
+            if fault_slot == Some(out) {
                 fv = stuck;
             }
-            self.faulty[gate.output.index()] = fv;
+            self.faulty[out] = fv;
         }
     }
 

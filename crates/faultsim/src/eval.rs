@@ -1,93 +1,60 @@
-//! Shared bit-parallel evaluation kernels for the serial and parallel
-//! fault simulators.
+//! Shared compiled-evaluation helpers for the serial and parallel fault
+//! simulators.
 //!
 //! Both engines *must* compute per-fault detection identically — the
 //! parallel engine's determinism guarantee (bit-identical
 //! [`crate::sim::FaultSimReport`]s) rests on there being exactly one
-//! implementation of the good-machine and faulty-machine evaluations.
-//! Everything here is a pure function of the netlist, the levelized order
-//! and the input words; no engine state is involved.
+//! mapping from faults to [`Patch`]es and one output-difference rule.
+//! Since the compiled-IR refactor the evaluation itself lives in
+//! [`bibs_netlist::EvalProgram`]; this module supplies the fault-model
+//! glue. The seed AST-walking interpreter survives in
+//! [`crate::reference`] as the equivalence oracle.
 
 use crate::fault::{Fault, FaultSite};
-use bibs_netlist::{GateId, NetDriver, Netlist};
+use bibs_netlist::{EvalProgram, Patch};
 
-/// Evaluates the fault-free machine into `values` (one word per net, one
-/// pattern per lane).
-pub(crate) fn eval_good(
-    netlist: &Netlist,
-    order: &[GateId],
-    input_words: &[u64],
-    values: &mut [u64],
-    scratch: &mut Vec<u64>,
-) {
-    for net in netlist.net_ids() {
-        match netlist.driver(net) {
-            NetDriver::Input(i) => values[net.index()] = input_words[i],
-            NetDriver::Const(v) => values[net.index()] = if v { !0 } else { 0 },
-            _ => {}
-        }
-    }
-    for &gid in order {
-        let gate = netlist.gate(gid);
-        scratch.clear();
-        scratch.extend(gate.inputs.iter().map(|i| values[i.index()]));
-        values[gate.output.index()] = gate.kind.eval_words(scratch);
-    }
-}
-
-/// Evaluates the machine with `fault` injected into `values`.
-pub(crate) fn eval_faulty(
-    netlist: &Netlist,
-    order: &[GateId],
-    input_words: &[u64],
-    fault: Fault,
-    values: &mut [u64],
-    scratch: &mut Vec<u64>,
-) {
-    let stuck_word = if fault.stuck_at { !0u64 } else { 0u64 };
-    let fault_net = match fault.site {
-        FaultSite::Net(n) => Some(n),
-        FaultSite::GatePin { .. } => None,
-    };
-    for net in netlist.net_ids() {
-        let v = match netlist.driver(net) {
-            NetDriver::Input(i) => input_words[i],
-            NetDriver::Const(v) => {
-                if v {
-                    !0
-                } else {
-                    0
-                }
-            }
-            _ => continue,
-        };
-        values[net.index()] = if fault_net == Some(net) {
-            stuck_word
-        } else {
-            v
-        };
-    }
-    for &gid in order {
-        let gate = netlist.gate(gid);
-        scratch.clear();
-        scratch.extend(gate.inputs.iter().map(|i| values[i.index()]));
-        if let FaultSite::GatePin { gate: fg, pin } = fault.site {
-            if fg == gid {
-                scratch[pin] = stuck_word;
-            }
-        }
-        let mut out = gate.kind.eval_words(scratch);
-        if fault_net == Some(gate.output) {
-            out = stuck_word;
-        }
-        values[gate.output.index()] = out;
+/// Maps a stuck-at fault to its compiled patch-point.
+///
+/// * [`FaultSite::Net`] on a gate-driven net → force that instruction's
+///   output ([`Patch::InstrOutput`]);
+/// * [`FaultSite::Net`] on a source net (input/const/flip-flop Q) → force
+///   the slot ([`Patch::Slot`]);
+/// * [`FaultSite::GatePin`] → override one operand of one instruction
+///   ([`Patch::InstrPin`]).
+#[inline]
+pub(crate) fn compile_patch(program: &EvalProgram, fault: Fault) -> Patch {
+    match fault.site {
+        FaultSite::Net(n) => program.patch_net(n, fault.stuck_at),
+        FaultSite::GatePin { gate, pin } => program.patch_pin(gate, pin, fault.stuck_at),
     }
 }
 
 /// The lanes (bit positions) on which the faulty machine's outputs differ
-/// from the good machine's, restricted to `lane_mask`.
+/// from the good machine's, restricted to `lane_mask`. Slot-indexed
+/// variant for the compiled engines ([`EvalProgram::output_slots`]).
 #[inline]
-pub(crate) fn output_diff(outputs: &[usize], good: &[u64], faulty: &[u64], lane_mask: u64) -> u64 {
+pub(crate) fn output_diff(
+    output_slots: &[u32],
+    good: &[u64],
+    faulty: &[u64],
+    lane_mask: u64,
+) -> u64 {
+    let mut diff = 0u64;
+    for &o in output_slots {
+        diff |= good[o as usize] ^ faulty[o as usize];
+    }
+    diff & lane_mask
+}
+
+/// Net-index variant of [`output_diff`], used by the reference
+/// interpreter.
+#[inline]
+pub(crate) fn output_diff_nets(
+    outputs: &[usize],
+    good: &[u64],
+    faulty: &[u64],
+    lane_mask: u64,
+) -> u64 {
     let mut diff = 0u64;
     for &o in outputs {
         diff |= good[o] ^ faulty[o];

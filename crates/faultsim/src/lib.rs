@@ -9,7 +9,9 @@
 //! * a 64-way parallel-pattern **fault simulator** with fault dropping
 //!   ([`sim`]), plus a multi-threaded engine ([`par`]) that produces
 //!   bit-identical reports (thread count via `BIBS_JOBS` or
-//!   [`par::default_jobs`]);
+//!   [`par::default_jobs`]); both run on the compiled
+//!   [`bibs_netlist::EvalProgram`] IR, with the original gate-walking
+//!   interpreter preserved as a reference oracle ([`mod@reference`]);
 //! * **PODEM** combinational ATPG ([`atpg`]) to prove faults undetectable —
 //!   which defines the "detectable" universe that the 100 % rows measure.
 //!   (The paper: "only an ATPG system for combinational logic is required",
@@ -52,10 +54,12 @@ pub mod atpg;
 mod eval;
 pub mod fault;
 pub mod par;
+pub mod reference;
 pub mod seq;
 pub mod sim;
 pub mod stats;
 
 pub use par::{default_jobs, ParFaultSimulator};
+pub use reference::ReferenceSimulator;
 pub use sim::{BlockSim, FaultSimReport, FaultSimulator};
 pub use stats::SimStats;

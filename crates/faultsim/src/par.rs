@@ -3,10 +3,12 @@
 //! [`ParFaultSimulator`] shards the *undetected* fault list across
 //! `std::thread::scope` workers. Each block is processed as:
 //!
-//! 1. **one** good-machine evaluation (`crate::eval`) into a buffer all
+//! 1. **one** good-machine run of the compiled
+//!    [`EvalProgram`] into a buffer all
 //!    workers share read-only;
 //! 2. workers steal fixed-size chunks of the undetected list off an
-//!    `AtomicUsize` cursor, evaluating each fault into a worker-private
+//!    `AtomicUsize` cursor, running the *same* program with each fault's
+//!    pre-compiled [`Patch`] into a worker-private
 //!    `faulty` buffer and recording `(position, first-diff-lane)` hits;
 //! 3. the main thread merges the hits and compacts the undetected list.
 //!
@@ -17,9 +19,10 @@
 //!
 //! * the pattern stream is formed by the shared [`BlockSim`] drivers, so
 //!   both engines draw the same RNG words and schedule the same blocks;
-//! * per-fault detection is a pure function of `(netlist, block, fault)`
-//!   computed by the shared kernels in `crate::eval` — *which* worker
-//!   evaluates a fault cannot change the answer;
+//! * per-fault detection is a pure function of `(program, block, patch)`
+//!   — one immutable [`EvalProgram`] is shared
+//!   by every worker, so *which* worker evaluates a fault cannot change
+//!   the answer;
 //! * workers touch disjoint positions of the undetected list, so merging
 //!   their hit lists is order-independent: fault *i*'s first-detection
 //!   index is `patterns_applied + trailing_zeros(diff)` regardless of
@@ -37,7 +40,7 @@ use crate::eval;
 use crate::fault::Fault;
 use crate::sim::{BlockSim, FaultSimReport, FaultSimulator};
 use crate::stats::SimStats;
-use bibs_netlist::{GateId, Netlist};
+use bibs_netlist::{EvalProgram, Netlist, Patch};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
@@ -48,6 +51,11 @@ const STEAL_CHUNK: usize = 32;
 /// Below this many undetected faults a block is simulated inline on the
 /// calling thread — spawning would cost more than the work.
 const SERIAL_CUTOFF: usize = 48;
+
+/// One worker shard's outcome for a block: detection hits as
+/// `(undetected-list position, first diff lane)`, faulty-machine
+/// evaluation count, and executed-instruction count.
+type ShardResult = (Vec<(usize, u64)>, u64, u64);
 
 /// The worker-thread count to use by default: the `BIBS_JOBS` environment
 /// variable if set to a positive integer, otherwise
@@ -96,8 +104,11 @@ pub fn default_jobs() -> usize {
 #[derive(Debug)]
 pub struct ParFaultSimulator<'a> {
     netlist: &'a Netlist,
-    order: Vec<GateId>,
+    /// The compiled program, shared read-only by every worker.
+    program: EvalProgram,
     faults: Vec<Fault>,
+    /// `patches[i]` = compiled patch-point of fault *i*.
+    patches: Vec<Patch>,
     detection: Vec<Option<u64>>,
     /// Indices (into `faults`) of the faults still undetected — the work
     /// list the workers shard. Compacted after every block.
@@ -105,7 +116,6 @@ pub struct ParFaultSimulator<'a> {
     good: Vec<u64>,
     /// One faulty-machine buffer per worker, reused across blocks.
     faulty_bufs: Vec<Vec<u64>>,
-    outputs: Vec<usize>,
     patterns_applied: u64,
     threads: usize,
     stats: SimStats,
@@ -126,31 +136,68 @@ impl<'a> ParFaultSimulator<'a> {
     /// (clamped to at least 1). `with_threads(nl, faults, 1)` behaves
     /// exactly like the serial engine, inline on the calling thread.
     ///
+    /// The netlist is compiled to an [`EvalProgram`] here; the compile
+    /// time is recorded in [`SimStats::compile_wall`]. Use
+    /// [`ParFaultSimulator::with_program`] to reuse a compiled program.
+    ///
     /// # Panics
     ///
     /// Same conditions as [`ParFaultSimulator::new`].
     pub fn with_threads(netlist: &'a Netlist, faults: Vec<Fault>, threads: usize) -> Self {
+        let started = Instant::now();
+        let program = EvalProgram::compile(netlist).expect("acyclic combinational netlist");
+        let compile_wall = started.elapsed();
+        let mut sim = Self::with_program(netlist, program, faults, threads);
+        sim.stats.compile_wall = compile_wall;
+        sim
+    }
+
+    /// Creates a parallel simulator around an already-compiled program
+    /// for the same netlist, so callers running many sessions on one
+    /// circuit pay the compile cost once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the netlist is sequential, `program` was not compiled
+    /// from `netlist` (slot count is the cheap proxy checked), or the
+    /// fault list exceeds `u32::MAX` entries.
+    pub fn with_program(
+        netlist: &'a Netlist,
+        program: EvalProgram,
+        faults: Vec<Fault>,
+        threads: usize,
+    ) -> Self {
         assert_eq!(
             netlist.dff_count(),
             0,
             "fault-simulate the combinational equivalent"
         );
+        assert_eq!(
+            program.slot_count(),
+            netlist.net_count(),
+            "program/netlist mismatch"
+        );
         assert!(
             faults.len() <= u32::MAX as usize,
             "fault list exceeds u32 index space"
         );
-        let order = netlist.levelize().expect("acyclic combinational netlist");
         let threads = threads.max(1);
+        let patches = faults
+            .iter()
+            .map(|&f| eval::compile_patch(&program, f))
+            .collect();
         let n = faults.len();
+        let good = program.new_values();
+        let faulty_bufs = (0..threads).map(|_| program.new_values()).collect();
         ParFaultSimulator {
             netlist,
-            order,
+            program,
             faults,
+            patches,
             detection: vec![None; n],
             undetected: (0..n as u32).collect(),
-            good: vec![0u64; netlist.net_count()],
-            faulty_bufs: vec![vec![0u64; netlist.net_count()]; threads],
-            outputs: netlist.outputs().iter().map(|o| o.index()).collect(),
+            good,
+            faulty_bufs,
             patterns_applied: 0,
             threads,
             stats: SimStats::new(threads),
@@ -160,6 +207,11 @@ impl<'a> ParFaultSimulator<'a> {
     /// The configured worker-thread count.
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// The compiled program shared by the workers.
+    pub fn program(&self) -> &EvalProgram {
+        &self.program
     }
 }
 
@@ -175,46 +227,34 @@ impl BlockSim for ParFaultSimulator<'_> {
         let started = Instant::now();
 
         // Good machine once, shared read-only by every worker.
-        let mut scratch: Vec<u64> = Vec::with_capacity(8);
-        eval::eval_good(
-            self.netlist,
-            &self.order,
-            input_words,
-            &mut self.good,
-            &mut scratch,
-        );
+        self.stats.gate_evals += self.program.eval_good(&mut self.good, input_words);
         self.stats.good_evals += 1;
 
-        let netlist = self.netlist;
-        let order = &self.order;
-        let faults = &self.faults;
+        let program = &self.program;
+        let patches = &self.patches;
         let undetected = &self.undetected;
         let good = &self.good;
-        let outputs = &self.outputs;
+        let output_slots = program.output_slots();
 
-        // Per-shard results: (undetected-list position, first diff lane).
-        let shard_results: Vec<(Vec<(usize, u64)>, u64)> =
+        // Per-shard results:
+        // (hits as (undetected-list position, first diff lane), fault
+        // evals, gate evals).
+        let shard_results: Vec<ShardResult> =
             if self.threads <= 1 || undetected.len() <= SERIAL_CUTOFF {
-                // Inline path on shard 0 — same kernels, no spawning.
+                // Inline path on shard 0 — same program, no spawning.
                 let buf = &mut self.faulty_bufs[0];
                 let mut hits = Vec::new();
                 let mut evals = 0u64;
+                let mut gate_evals = 0u64;
                 for (pos, &fi) in undetected.iter().enumerate() {
-                    eval::eval_faulty(
-                        netlist,
-                        order,
-                        input_words,
-                        faults[fi as usize],
-                        buf,
-                        &mut scratch,
-                    );
+                    gate_evals += program.eval_patched(buf, input_words, patches[fi as usize]);
                     evals += 1;
-                    let diff = eval::output_diff(outputs, good, buf, lane_mask);
+                    let diff = eval::output_diff(output_slots, good, buf, lane_mask);
                     if diff != 0 {
                         hits.push((pos, diff.trailing_zeros() as u64));
                     }
                 }
-                vec![(hits, evals)]
+                vec![(hits, evals, gate_evals)]
             } else {
                 let cursor = AtomicUsize::new(0);
                 let cursor = &cursor;
@@ -224,9 +264,9 @@ impl BlockSim for ParFaultSimulator<'_> {
                         .iter_mut()
                         .map(|buf| {
                             s.spawn(move || {
-                                let mut scratch: Vec<u64> = Vec::with_capacity(8);
                                 let mut hits: Vec<(usize, u64)> = Vec::new();
                                 let mut evals = 0u64;
+                                let mut gate_evals = 0u64;
                                 loop {
                                     let start = cursor.fetch_add(STEAL_CHUNK, Ordering::Relaxed);
                                     if start >= undetected.len() {
@@ -234,22 +274,20 @@ impl BlockSim for ParFaultSimulator<'_> {
                                     }
                                     let end = (start + STEAL_CHUNK).min(undetected.len());
                                     for pos in start..end {
-                                        eval::eval_faulty(
-                                            netlist,
-                                            order,
-                                            input_words,
-                                            faults[undetected[pos] as usize],
+                                        gate_evals += program.eval_patched(
                                             buf,
-                                            &mut scratch,
+                                            input_words,
+                                            patches[undetected[pos] as usize],
                                         );
                                         evals += 1;
-                                        let diff = eval::output_diff(outputs, good, buf, lane_mask);
+                                        let diff =
+                                            eval::output_diff(output_slots, good, buf, lane_mask);
                                         if diff != 0 {
                                             hits.push((pos, diff.trailing_zeros() as u64));
                                         }
                                     }
                                 }
-                                (hits, evals)
+                                (hits, evals, gate_evals)
                             })
                         })
                         .collect();
@@ -263,9 +301,11 @@ impl BlockSim for ParFaultSimulator<'_> {
         // Deterministic merge: workers own disjoint positions, and each
         // hit's detection index depends only on (fault, block).
         let mut newly = 0usize;
-        for (shard, (hits, evals)) in shard_results.into_iter().enumerate() {
+        for (shard, (hits, evals, gate_evals)) in shard_results.into_iter().enumerate() {
             self.stats.per_shard_fault_evals[shard] += evals;
             self.stats.fault_evals += evals;
+            self.stats.gate_evals += gate_evals;
+            self.stats.patches_applied += evals;
             for (pos, lane) in hits {
                 let fi = self.undetected[pos] as usize;
                 debug_assert!(self.detection[fi].is_none());

@@ -9,8 +9,9 @@
 //! detection under explicit vector sequences so that claim can be tested
 //! on gate-level circuits rather than taken structurally.
 
-use crate::fault::{Fault, FaultSite};
-use bibs_netlist::{GateId, NetDriver, Netlist};
+use crate::eval::compile_patch;
+use crate::fault::Fault;
+use bibs_netlist::{EvalProgram, Netlist, Patch};
 
 /// A lockstep good/faulty sequential simulator for one netlist.
 ///
@@ -22,21 +23,27 @@ use bibs_netlist::{GateId, NetDriver, Netlist};
 /// all-zero state); each applied vector is evaluated and clocked, and
 /// detection requires an output difference in every lane at some cycle
 /// (flush cycles hold the last vector while data drains).
+///
+/// Evaluation runs on one compiled [`EvalProgram`] for both machines; the
+/// faulty machine applies the fault's pre-compiled patch-point per time
+/// frame. The simulator is `Sync` (all methods take `&self`), so one
+/// instance can serve many worker threads.
 #[derive(Debug)]
 pub struct SequentialFaultSim<'a> {
     netlist: &'a Netlist,
-    order: Vec<GateId>,
+    program: EvalProgram,
 }
 
 impl<'a> SequentialFaultSim<'a> {
-    /// Creates a simulator for `netlist` (which may contain flip-flops).
+    /// Creates a simulator for `netlist` (which may contain flip-flops),
+    /// compiling it once.
     ///
     /// # Panics
     ///
     /// Panics if the combinational part is cyclic.
     pub fn new(netlist: &'a Netlist) -> Self {
-        let order = netlist.levelize().expect("acyclic combinational part");
-        SequentialFaultSim { netlist, order }
+        let program = EvalProgram::compile(netlist).expect("acyclic combinational part");
+        SequentialFaultSim { netlist, program }
     }
 
     /// Whether `fault` is detected by applying `sequence` (one `bool` per
@@ -65,13 +72,14 @@ impl<'a> SequentialFaultSim<'a> {
         let mut good_state: Vec<u64> = (0..self.netlist.dff_count()).map(|_| next()).collect();
         let mut faulty_state = good_state.clone();
 
+        let patch = compile_patch(&self.program, fault);
         let mut detected_lanes = 0u64;
         let total = sequence.len() + flush;
         for cycle in 0..total {
             let vector = &sequence[cycle.min(sequence.len() - 1)];
             assert_eq!(vector.len(), width, "vector width mismatch");
             self.eval(vector, &good_state, &mut good, None);
-            self.eval(vector, &faulty_state, &mut faulty, Some(fault));
+            self.eval(vector, &faulty_state, &mut faulty, Some(patch));
             for &o in self.netlist.outputs() {
                 detected_lanes |= good[o.index()] ^ faulty[o.index()];
             }
@@ -86,56 +94,24 @@ impl<'a> SequentialFaultSim<'a> {
         detected_lanes == !0u64
     }
 
-    fn eval(&self, vector: &[bool], state: &[u64], values: &mut [u64], fault: Option<Fault>) {
-        let stuck_word = fault.map(|f| if f.stuck_at { !0u64 } else { 0 });
-        let fault_net = match fault.map(|f| f.site) {
-            Some(FaultSite::Net(ne)) => Some(ne),
-            _ => None,
-        };
-        for net in self.netlist.net_ids() {
-            let v = match self.netlist.driver(net) {
-                NetDriver::Input(i) => {
-                    if vector[i] {
-                        !0u64
-                    } else {
-                        0
-                    }
-                }
-                NetDriver::Const(c) => {
-                    if c {
-                        !0
-                    } else {
-                        0
-                    }
-                }
-                NetDriver::Dff(d) => state[d.index()],
-                _ => continue,
-            };
-            values[net.index()] = if fault_net == Some(net) {
-                stuck_word.expect("fault net implies fault")
-            } else {
-                v
-            };
+    /// One time-frame: sources (inputs broadcast from `vector`, constant
+    /// prologue, flip-flop Q slots from `state`), then the compiled
+    /// instruction stream — patched when simulating the faulty machine.
+    fn eval(&self, vector: &[bool], state: &[u64], values: &mut [u64], patch: Option<Patch>) {
+        for (i, &slot) in self.program.input_slots().iter().enumerate() {
+            values[slot as usize] = if vector[i] { !0u64 } else { 0 };
         }
-        let mut scratch: Vec<u64> = Vec::with_capacity(8);
-        for &gid in &self.order {
-            let gate = self.netlist.gate(gid);
-            scratch.clear();
-            scratch.extend(gate.inputs.iter().map(|i| values[i.index()]));
-            if let Some(Fault {
-                site: FaultSite::GatePin { gate: fg, pin },
-                ..
-            }) = fault
-            {
-                if fg == gid {
-                    scratch[pin] = stuck_word.expect("pin fault implies word");
-                }
+        self.program.apply_consts(values);
+        for (i, &(q, _)) in self.program.dff_slots().iter().enumerate() {
+            values[q as usize] = state[i];
+        }
+        match patch {
+            None => {
+                self.program.run(values);
             }
-            let mut out = gate.kind.eval_words(&scratch);
-            if fault_net == Some(gate.output) {
-                out = stuck_word.expect("net fault implies word");
+            Some(p) => {
+                self.program.run_patched(values, p);
             }
-            values[gate.output.index()] = out;
         }
     }
 
@@ -145,7 +121,8 @@ impl<'a> SequentialFaultSim<'a> {
     pub fn faulty_output_vector(&self, vector: &[bool], fault: Fault) -> Vec<bool> {
         let mut values = vec![0u64; self.netlist.net_count()];
         let state = vec![0u64; self.netlist.dff_count()];
-        self.eval(vector, &state, &mut values, Some(fault));
+        let patch = compile_patch(&self.program, fault);
+        self.eval(vector, &state, &mut values, Some(patch));
         self.netlist
             .outputs()
             .iter()

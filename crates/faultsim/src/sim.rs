@@ -17,7 +17,7 @@
 use crate::eval;
 use crate::fault::Fault;
 use crate::stats::SimStats;
-use bibs_netlist::{GateId, Netlist};
+use bibs_netlist::{EvalProgram, Netlist, Patch};
 use rand::Rng;
 use std::time::Instant;
 
@@ -292,18 +292,28 @@ pub trait BlockSim {
 }
 
 /// The serial fault simulator bound to one (combinational) netlist and
-/// one fault list — the reference implementation the parallel engine is
-/// verified against.
+/// one fault list, running on the compiled [`EvalProgram`].
+///
+/// Construction compiles the netlist once (or adopts a caller-supplied
+/// program via [`FaultSimulator::with_program`]) and pre-compiles every
+/// fault to its [`Patch`]; each block is then one program run for the good
+/// machine plus one patched run per undetected fault — no driver scans, no
+/// scratch refills, no dynamic dispatch.
 ///
 /// Patterns are applied in blocks of up to 64 (one per `u64` lane).
 /// Detected faults are dropped from subsequent blocks; the per-fault
 /// first-detection pattern index is recorded so coverage-vs-pattern-count
 /// curves (the paper's Table 2 rows 5–8) can be reconstructed exactly.
+/// Reports are bit-identical to the seed interpreter's
+/// ([`crate::reference::ReferenceSimulator`]), pinned by
+/// `tests/compiled_equivalence.rs`.
 #[derive(Debug)]
 pub struct FaultSimulator<'a> {
     netlist: &'a Netlist,
-    order: Vec<GateId>,
+    program: EvalProgram,
     faults: Vec<Fault>,
+    /// `patches[i]` = compiled patch-point of fault *i*.
+    patches: Vec<Patch>,
     /// `detection[i]` = pattern index at which fault *i* was first
     /// detected.
     detection: Vec<Option<u64>>,
@@ -314,30 +324,65 @@ pub struct FaultSimulator<'a> {
 }
 
 impl<'a> FaultSimulator<'a> {
-    /// Creates a simulator over `netlist` for the given fault list.
+    /// Creates a simulator over `netlist` for the given fault list,
+    /// compiling the netlist to an [`EvalProgram`] (the compile time is
+    /// recorded in [`SimStats::compile_wall`]).
     ///
     /// # Panics
     ///
     /// Panics if the netlist is sequential (run on the combinational
     /// equivalent — see the crate docs) or combinationally cyclic.
     pub fn new(netlist: &'a Netlist, faults: Vec<Fault>) -> Self {
+        let started = Instant::now();
+        let program = EvalProgram::compile(netlist).expect("acyclic combinational netlist");
+        let compile_wall = started.elapsed();
+        let mut sim = Self::with_program(netlist, program, faults);
+        sim.stats.compile_wall = compile_wall;
+        sim
+    }
+
+    /// Creates a simulator around an already-compiled program for the
+    /// same netlist, so callers running many sessions on one circuit pay
+    /// the compile cost once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the netlist is sequential or if `program` was not
+    /// compiled from `netlist` (slot count is the cheap proxy checked).
+    pub fn with_program(netlist: &'a Netlist, program: EvalProgram, faults: Vec<Fault>) -> Self {
         assert_eq!(
             netlist.dff_count(),
             0,
             "fault-simulate the combinational equivalent"
         );
-        let order = netlist.levelize().expect("acyclic combinational netlist");
+        assert_eq!(
+            program.slot_count(),
+            netlist.net_count(),
+            "program/netlist mismatch"
+        );
+        let patches = faults
+            .iter()
+            .map(|&f| eval::compile_patch(&program, f))
+            .collect();
         let n = faults.len();
+        let good = program.new_values();
+        let faulty = program.new_values();
         FaultSimulator {
             netlist,
-            order,
+            program,
             faults,
+            patches,
             detection: vec![None; n],
-            good: vec![0u64; netlist.net_count()],
-            faulty: vec![0u64; netlist.net_count()],
+            good,
+            faulty,
             patterns_applied: 0,
             stats: SimStats::new(1),
         }
+    }
+
+    /// The compiled program driving this simulator.
+    pub fn program(&self) -> &EvalProgram {
+        &self.program
     }
 }
 
@@ -351,35 +396,28 @@ impl BlockSim for FaultSimulator<'_> {
         assert_eq!(input_words.len(), self.netlist.input_width());
         let lane_mask: u64 = if lanes == 64 { !0 } else { (1u64 << lanes) - 1 };
         let started = Instant::now();
-        let mut scratch: Vec<u64> = Vec::with_capacity(8);
 
         // Good machine, shared by every fault of the block.
-        eval::eval_good(
-            self.netlist,
-            &self.order,
-            input_words,
-            &mut self.good,
-            &mut scratch,
-        );
+        self.stats.gate_evals += self.program.eval_good(&mut self.good, input_words);
         self.stats.good_evals += 1;
 
-        let outputs: Vec<usize> = self.netlist.outputs().iter().map(|o| o.index()).collect();
         let mut newly = 0usize;
         for fi in 0..self.faults.len() {
             if self.detection[fi].is_some() {
                 continue;
             }
-            eval::eval_faulty(
-                self.netlist,
-                &self.order,
-                input_words,
-                self.faults[fi],
-                &mut self.faulty,
-                &mut scratch,
-            );
+            self.stats.gate_evals +=
+                self.program
+                    .eval_patched(&mut self.faulty, input_words, self.patches[fi]);
             self.stats.fault_evals += 1;
+            self.stats.patches_applied += 1;
             self.stats.per_shard_fault_evals[0] += 1;
-            let diff = eval::output_diff(&outputs, &self.good, &self.faulty, lane_mask);
+            let diff = eval::output_diff(
+                self.program.output_slots(),
+                &self.good,
+                &self.faulty,
+                lane_mask,
+            );
             if diff != 0 {
                 let lane = diff.trailing_zeros() as u64;
                 self.detection[fi] = Some(self.patterns_applied + lane);

@@ -10,6 +10,13 @@ use std::time::Duration;
 /// engine reports one entry per worker in
 /// [`SimStats::per_shard_fault_evals`], which makes load imbalance (e.g.
 /// from fault dropping) directly visible.
+///
+/// Since the compiled-IR refactor the stats also expose the
+/// compile-vs-run split: [`SimStats::compile_wall`] is the one-time cost
+/// of building the [`EvalProgram`](bibs_netlist::EvalProgram),
+/// [`SimStats::gate_evals`] counts executed instructions (the
+/// hardware-meaningful throughput unit) and [`SimStats::patches_applied`]
+/// counts faulty-machine patch applications.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SimStats {
     /// Worker threads the engine was configured with (1 for the serial
@@ -28,6 +35,17 @@ pub struct SimStats {
     pub faults_dropped: u64,
     /// Wall-clock time spent inside `apply_block`.
     pub wall: Duration,
+    /// One-time wall-clock cost of compiling the netlist to an
+    /// [`EvalProgram`](bibs_netlist::EvalProgram) (zero for engines that
+    /// reuse a caller-supplied program, and for the reference
+    /// interpreter).
+    pub compile_wall: Duration,
+    /// Total gate evaluations (compiled instructions executed, or
+    /// interpreted gate visits) across good and faulty machines.
+    pub gate_evals: u64,
+    /// Fault patch-points applied (one per faulty-machine evaluation in
+    /// the compiled engines; zero in the reference interpreter).
+    pub patches_applied: u64,
 }
 
 impl SimStats {
@@ -48,6 +66,19 @@ impl SimStats {
             return 0.0;
         }
         self.fault_evals as f64 / secs
+    }
+
+    /// Gate evaluations per wall-clock second — the hot-path throughput
+    /// figure the compiled IR optimizes; 0.0 before any time has elapsed.
+    ///
+    /// Each of the 64 lanes carries an independent pattern, so the
+    /// per-pattern gate throughput is 64× this number.
+    pub fn gate_evals_per_second(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.gate_evals as f64 / secs
     }
 
     /// Ratio of the busiest shard's evaluation count to the mean — 1.0 is
@@ -75,14 +106,20 @@ impl fmt::Display for SimStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} thread(s), {} block(s), {} fault evals ({:.0}/s, imbalance {:.2}), {} dropped, {:.1} ms",
+            "{} thread(s), {} block(s), {} fault evals ({:.0}/s, imbalance {:.2}), \
+             {:.2e} gate evals ({:.2e}/s), {} patches, {} dropped, {:.1} ms \
+             (+{:.2} ms compile)",
             self.threads,
             self.blocks,
             self.fault_evals,
             self.fault_evals_per_second(),
             self.shard_imbalance(),
+            self.gate_evals as f64,
+            self.gate_evals_per_second(),
+            self.patches_applied,
             self.faults_dropped,
-            self.wall.as_secs_f64() * 1e3
+            self.wall.as_secs_f64() * 1e3,
+            self.compile_wall.as_secs_f64() * 1e3
         )
     }
 }
@@ -111,6 +148,15 @@ mod tests {
     fn zero_wall_time_gives_zero_throughput() {
         let s = SimStats::new(1);
         assert_eq!(s.fault_evals_per_second(), 0.0);
+        assert_eq!(s.gate_evals_per_second(), 0.0);
+    }
+
+    #[test]
+    fn gate_throughput_counts_instructions() {
+        let mut s = SimStats::new(1);
+        s.gate_evals = 1_000;
+        s.wall = Duration::from_millis(500);
+        assert!((s.gate_evals_per_second() - 2_000.0).abs() < 1e-6);
     }
 
     #[test]
@@ -118,5 +164,7 @@ mod tests {
         let s = SimStats::new(2);
         let line = s.to_string();
         assert!(line.contains("2 thread(s)"));
+        assert!(line.contains("gate evals"));
+        assert!(line.contains("compile"));
     }
 }

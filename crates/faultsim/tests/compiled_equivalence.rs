@@ -1,0 +1,268 @@
+//! Compiled-IR/interpreter equivalence: the [`EvalProgram`]-based engines
+//! (serial [`FaultSimulator`] and parallel [`ParFaultSimulator`] at
+//! 1/2/4/8 threads) must produce reports **bit-identical** to the
+//! original gate-walking interpreter preserved as
+//! [`bibs_faultsim::reference::ReferenceSimulator`] — same `detection()`
+//! vector (every first-detection pattern index), same
+//! `patterns_applied()` — for every circuit and seed. This is the
+//! contract that makes the compiled IR a pure throughput optimization.
+//!
+//! Covered here: good-machine output words on random vectors, full
+//! `FaultSimReport` equality on adders/multipliers, the kernels the BIBS
+//! TDM extracts from `circuits/fig4.ckt` and from the paper's Figure 9
+//! datapath, scaled versions of the three Table 2 circuits
+//! (c5a2m/c3a2m/c4a4m), and a proptest over random gate DAGs.
+
+use bibs_faultsim::fault::{Fault, FaultUniverse};
+use bibs_faultsim::par::ParFaultSimulator;
+use bibs_faultsim::reference::ReferenceSimulator;
+use bibs_faultsim::sim::{BlockSim, FaultSimulator};
+use bibs_netlist::builder::NetlistBuilder;
+use bibs_netlist::{EvalProgram, GateKind, Netlist};
+use bibs_rtl::{Circuit, VertexKind};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+const SEEDS: [u64; 3] = [1, 0xB1B5, 0x51B5_1994];
+
+/// Asserts that the reference interpreter and the compiled engines (serial
+/// plus every `THREADS` parallel configuration) produce bit-identical
+/// reports on every `SEEDS` random stream.
+fn assert_compiled_matches_reference(netlist: &Netlist, faults: &[Fault], max_patterns: u64) {
+    for &seed in &SEEDS {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let reference =
+            ReferenceSimulator::new(netlist, faults.to_vec()).run_random(&mut rng, max_patterns);
+
+        let mut rng = StdRng::seed_from_u64(seed);
+        let compiled =
+            FaultSimulator::new(netlist, faults.to_vec()).run_random(&mut rng, max_patterns);
+        assert_eq!(
+            reference.detection(),
+            compiled.detection(),
+            "serial compiled engine diverges from the interpreter at seed {seed:#x}"
+        );
+        assert_eq!(reference.patterns_applied(), compiled.patterns_applied());
+
+        for &threads in &THREADS {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let par = ParFaultSimulator::with_threads(netlist, faults.to_vec(), threads)
+                .run_random(&mut rng, max_patterns);
+            assert_eq!(
+                reference.detection(),
+                par.detection(),
+                "parallel compiled engine diverges at {threads} thread(s), seed {seed:#x}"
+            );
+            assert_eq!(reference.patterns_applied(), par.patterns_applied());
+        }
+    }
+}
+
+/// Good-machine check: the compiled program's output words must equal the
+/// interpreter's on random 64-pattern blocks.
+fn assert_good_machine_matches(netlist: &Netlist, seed: u64) {
+    let program = EvalProgram::compile(netlist).expect("acyclic");
+    let order = netlist.levelize().expect("acyclic");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut compiled = program.new_values();
+    let mut interpreted = vec![0u64; netlist.net_count()];
+    let mut scratch = Vec::new();
+    for _ in 0..16 {
+        let words: Vec<u64> = (0..netlist.input_width()).map(|_| rng.gen()).collect();
+        program.eval_good(&mut compiled, &words);
+        bibs_faultsim::reference::eval_good(
+            netlist,
+            &order,
+            &words,
+            &mut interpreted,
+            &mut scratch,
+        );
+        for id in netlist.net_ids() {
+            assert_eq!(
+                compiled[id.index()],
+                interpreted[id.index()],
+                "net {id:?} words diverge"
+            );
+        }
+    }
+}
+
+fn adder(width: usize) -> Netlist {
+    let mut b = NetlistBuilder::new("add");
+    let a = b.input_word("a", width);
+    let c = b.input_word("b", width);
+    let (s, co) = b.ripple_carry_adder(&a, &c, None);
+    b.output_word("s", &s);
+    b.output("co", co);
+    b.finish().unwrap()
+}
+
+fn multiplier(width: usize) -> Netlist {
+    let mut b = NetlistBuilder::new("mul");
+    let a = b.input_word("a", width);
+    let c = b.input_word("b", width);
+    let p = b.array_multiplier(&a, &c, 2 * width);
+    b.output_word("p", &p[..width]);
+    b.finish().unwrap()
+}
+
+#[test]
+fn adder_compiled_engines_match_reference() {
+    for width in [4usize, 8] {
+        let nl = adder(width);
+        assert_good_machine_matches(&nl, 11);
+        let faults = FaultUniverse::collapsed(&nl).faults().to_vec();
+        assert_compiled_matches_reference(&nl, &faults, 10_000);
+    }
+}
+
+#[test]
+fn multiplier_compiled_engines_match_reference() {
+    for width in [3usize, 4] {
+        let nl = multiplier(width);
+        assert_good_machine_matches(&nl, 13);
+        let faults = FaultUniverse::collapsed(&nl).faults().to_vec();
+        assert_compiled_matches_reference(&nl, &faults, 10_000);
+    }
+}
+
+/// Elaborates every logic-bearing kernel the BIBS TDM extracts from a
+/// circuit to its combinational equivalent.
+fn bibs_kernels(circuit: &Circuit) -> Vec<Netlist> {
+    let r = bibs_core::bibs::select(circuit, &bibs_core::bibs::BibsOptions::default())
+        .expect("circuit is IO-registered");
+    let cut: HashSet<_> = r
+        .design
+        .bilbo
+        .iter()
+        .chain(&r.design.cbilbo)
+        .copied()
+        .collect();
+    bibs_core::design::kernels(&r.circuit, &r.design)
+        .into_iter()
+        .filter(|k| {
+            k.vertices
+                .iter()
+                .any(|&v| r.circuit.vertex(v).kind == VertexKind::Logic)
+        })
+        .map(|k| {
+            let kset: HashSet<_> = k.vertices.iter().copied().collect();
+            bibs_datapath::elab::elaborate_kernel(&r.circuit, &kset, &cut)
+                .expect("kernel elaborates")
+                .netlist
+                .combinational_equivalent()
+        })
+        .collect()
+}
+
+#[test]
+fn fig4_kernels_match_reference() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../circuits/fig4.ckt");
+    let text = std::fs::read_to_string(path).expect("circuits/fig4.ckt is part of the repo");
+    let circuit = bibs_rtl::fmt::from_text(&text).expect("fig4.ckt parses");
+    let kernels = bibs_kernels(&circuit);
+    assert!(!kernels.is_empty(), "fig4 must yield logic-bearing kernels");
+    for nl in &kernels {
+        assert_good_machine_matches(nl, 17);
+        let faults = FaultUniverse::collapsed(nl).faults().to_vec();
+        assert_compiled_matches_reference(nl, &faults, 4_000);
+    }
+}
+
+#[test]
+fn fig9_kernels_match_reference() {
+    let kernels = bibs_kernels(&bibs_datapath::fig9::figure9());
+    assert!(!kernels.is_empty(), "fig9 must yield logic-bearing kernels");
+    for nl in &kernels {
+        assert_good_machine_matches(nl, 19);
+        let faults = FaultUniverse::collapsed(nl).faults().to_vec();
+        assert_compiled_matches_reference(nl, &faults, 2_000);
+    }
+}
+
+/// Scaled-down versions of the three Table 2 datapaths (3-bit words keep
+/// the interpreter's runtime reasonable in debug builds); the full-width
+/// circuits are checked end-to-end by the CI equivalence smoke.
+#[test]
+fn table2_circuit_kernels_match_reference() {
+    for name in ["c5a2m", "c3a2m", "c4a4m"] {
+        let kernels = bibs_kernels(&bibs_datapath::filters::scaled(name, 3));
+        assert!(!kernels.is_empty(), "{name} must yield kernels");
+        for nl in &kernels {
+            assert_good_machine_matches(nl, 23);
+            let faults = FaultUniverse::collapsed(nl).faults().to_vec();
+            assert_compiled_matches_reference(nl, &faults, 2_000);
+        }
+    }
+}
+
+// --- proptest over random netlists --------------------------------------
+
+/// Random combinational gate DAG (mirrors `tests/par_equivalence.rs`).
+fn random_netlist(inputs: usize, ops: &[(u8, usize, usize)]) -> Netlist {
+    let mut b = NetlistBuilder::new("rand");
+    let mut pool: Vec<_> = (0..inputs).map(|i| b.input(format!("i{i}"))).collect();
+    for &(op, x, y) in ops {
+        let a = pool[x % pool.len()];
+        let c = pool[y % pool.len()];
+        let out = match op % 7 {
+            0 => b.gate(GateKind::And, &[a, c]),
+            1 => b.gate(GateKind::Or, &[a, c]),
+            2 => b.gate(GateKind::Xor, &[a, c]),
+            3 => b.gate(GateKind::Nand, &[a, c]),
+            4 => b.gate(GateKind::Nor, &[a, c]),
+            5 => b.gate(GateKind::Xnor, &[a, c]),
+            _ => b.gate(GateKind::Not, &[a]),
+        };
+        pool.push(out);
+    }
+    let n = pool.len();
+    b.output("o0", pool[n - 1]);
+    if n >= 2 {
+        b.output("o1", pool[n - 2]);
+    }
+    b.finish().expect("random netlist is well-formed")
+}
+
+fn netlist_strategy() -> impl Strategy<Value = Netlist> {
+    (
+        2usize..8,
+        proptest::collection::vec((any::<u8>(), any::<usize>(), any::<usize>()), 1..30),
+    )
+        .prop_map(|(inputs, ops)| random_netlist(inputs, &ops))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any random netlist, any seed, any thread count: the compiled
+    /// engines must match the interpreter on net words and full reports.
+    #[test]
+    fn random_netlists_compile_to_equivalent_engines(
+        nl in netlist_strategy(),
+        seed: u64,
+        threads in 1usize..6,
+    ) {
+        assert_good_machine_matches(&nl, seed);
+        let faults = FaultUniverse::collapsed(&nl).faults().to_vec();
+
+        let mut rng = StdRng::seed_from_u64(seed);
+        let reference = ReferenceSimulator::new(&nl, faults.clone())
+            .run_random(&mut rng, 2_000);
+
+        let mut rng = StdRng::seed_from_u64(seed);
+        let compiled = FaultSimulator::new(&nl, faults.clone())
+            .run_random(&mut rng, 2_000);
+        prop_assert_eq!(reference.detection(), compiled.detection());
+        prop_assert_eq!(reference.patterns_applied(), compiled.patterns_applied());
+
+        let mut rng = StdRng::seed_from_u64(seed);
+        let par = ParFaultSimulator::with_threads(&nl, faults.clone(), threads)
+            .run_random(&mut rng, 2_000);
+        prop_assert_eq!(reference.detection(), par.detection());
+        prop_assert_eq!(reference.patterns_applied(), par.patterns_applied());
+    }
+}

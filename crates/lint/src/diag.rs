@@ -97,6 +97,11 @@ pub const CODES: &[CodeInfo] = &[
         default_severity: Severity::Deny,
     },
     CodeInfo {
+        code: "B007",
+        summary: "net whose compiled evaluation slot is never read",
+        default_severity: Severity::Allow,
+    },
+    CodeInfo {
         code: "B010",
         summary: "directed register cycle in the bare circuit",
         default_severity: Severity::Allow,

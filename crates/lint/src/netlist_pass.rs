@@ -1,4 +1,4 @@
-//! Netlist-level lint passes: B001–B006.
+//! Netlist-level lint passes: B001–B007.
 //!
 //! These run on possibly-**unvalidated** netlists (see
 //! [`Netlist::from_parts_unchecked`]) — the whole point is to diagnose the
@@ -7,7 +7,7 @@
 //! records) that otherwise surface as silently wrong simulations.
 
 use crate::diag::{LintConfig, Report};
-use bibs_netlist::{GateId, NetDriver, NetId, Netlist};
+use bibs_netlist::{EvalProgram, GateId, NetDriver, NetId, Netlist};
 
 /// Renders a net as `n7 ("a[3]")` or `n7` when unnamed.
 fn net_desc(nl: &Netlist, id: NetId) -> String {
@@ -32,6 +32,7 @@ pub fn lint_netlist(netlist: &Netlist, config: &LintConfig) -> Report {
     combinational_cycles(netlist, config, &mut report);
     dead_cones(netlist, config, &mut report);
     word_records(netlist, config, &mut report);
+    dead_slots(netlist, config, &mut report);
     report
 }
 
@@ -348,5 +349,54 @@ fn word_records(nl: &Netlist, config: &LintConfig, report: &mut Report) {
                 format!("po {i} -> {net}"),
             );
         }
+    }
+}
+
+/// B007 — nets whose **compiled evaluation slot** is never read.
+///
+/// The simulation layer compiles every netlist to an
+/// [`EvalProgram`] whose value slots are the nets; a slot that no
+/// instruction operand, flip-flop data input or primary output ever reads
+/// is computed-then-discarded work on every evaluation of every machine
+/// (good and faulty). Gate-driven unread nets coincide with the roots of
+/// `B004` dead cones (the cross-check is recorded in the message); unread
+/// *input* nets additionally reveal primary inputs the logic ignores,
+/// which `B004`'s gate-only sweep cannot see.
+///
+/// The pass runs only on netlists that validate and compile — malformed
+/// structure is already covered by B001–B006, and a compile failure means
+/// a combinational cycle that B003 reports with a witness.
+fn dead_slots(nl: &Netlist, config: &LintConfig, report: &mut Report) {
+    if nl.validate().is_err() {
+        return;
+    }
+    let Ok(program) = EvalProgram::compile(nl) else {
+        return; // cyclic: B003 owns the diagnosis
+    };
+    let read = program.slot_read_mask();
+    for id in nl.net_ids() {
+        if read[id.index()] {
+            continue;
+        }
+        let (role, cross) = match nl.driver(id) {
+            NetDriver::Gate(g) => (
+                format!("driven by gate {}", gate_desc(nl, g)),
+                " (root of a B004 dead cone)",
+            ),
+            NetDriver::Input(i) => (format!("primary input {i}"), ""),
+            NetDriver::Dff(ff) => (format!("driven by flip-flop {ff}"), ""),
+            NetDriver::Const(v) => (format!("constant {}", u8::from(v)), ""),
+            NetDriver::Floating => continue, // B001 owns undriven nets
+        };
+        report.emit(
+            config,
+            "B007",
+            format!(
+                "net {} ({role}) has a compiled slot no instruction, flip-flop \
+                 or output reads{cross}; it is evaluated and discarded",
+                net_desc(nl, id)
+            ),
+            net_desc(nl, id),
+        );
     }
 }

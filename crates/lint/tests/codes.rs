@@ -209,6 +209,79 @@ fn b006_bad_arity() {
     );
 }
 
+#[test]
+fn b007_dead_slot_cross_checks_b004() {
+    // A valid netlist whose second gate feeds nothing: its output slot is
+    // never read by the compiled program, and it is exactly the root of
+    // the B004 dead cone.
+    let mut b = bibs_netlist::builder::NetlistBuilder::new("t");
+    let a = b.input("a");
+    let c = b.input("c");
+    let live = b.gate(GateKind::And, &[a, c]);
+    b.output("o", live);
+    let _dead = b.gate(GateKind::Or, &[a, c]);
+    let nl = b.finish().unwrap();
+    let report = lint_netlist(&nl, &cfg());
+    assert!(report.has_code("B007"), "{report}");
+    let d = report.with_code("B007").next().unwrap();
+    assert_eq!(d.severity, Severity::Allow);
+    assert!(
+        d.message.contains("B004 dead cone"),
+        "gate-driven dead slots must cross-reference B004: {}",
+        d.message
+    );
+    assert!(
+        report.is_clean(),
+        "dead slots alone must not fail: {report}"
+    );
+}
+
+#[test]
+fn b007_flags_unused_primary_input() {
+    // B004's gate-only sweep cannot see an ignored input; B007 can.
+    let mut b = bibs_netlist::builder::NetlistBuilder::new("t");
+    let a = b.input("a");
+    let _unused = b.input("unused");
+    let c = b.input("c");
+    let y = b.gate(GateKind::Xor, &[a, c]);
+    b.output("y", y);
+    let nl = b.finish().unwrap();
+    let report = lint_netlist(&nl, &cfg());
+    assert!(!report.has_code("B004"), "{report}");
+    let d = report
+        .with_code("B007")
+        .next()
+        .expect("unused input flagged");
+    assert!(d.witness.contains("unused"), "witness: {}", d.witness);
+    assert!(d.message.contains("primary input"), "{}", d.message);
+}
+
+#[test]
+fn b007_silent_on_fully_live_netlist_and_invalid_input() {
+    let mut b = bibs_netlist::builder::NetlistBuilder::new("t");
+    let a = b.input("a");
+    let c = b.input("c");
+    let y = b.gate(GateKind::And, &[a, c]);
+    b.output("y", y);
+    let live = b.finish().unwrap();
+    assert!(!lint_netlist(&live, &cfg()).has_code("B007"));
+    // Unvalidatable netlist (floating net): B001 owns it, B007 stays out.
+    let nl = Netlist::from_parts_unchecked(
+        "t".into(),
+        vec![
+            net(Some("a"), NetDriver::Input(0)),
+            net(Some("loose"), NetDriver::Floating),
+        ],
+        vec![],
+        vec![],
+        vec![n(0)],
+        vec![n(0)],
+    );
+    let report = lint_netlist(&nl, &cfg());
+    assert!(report.has_code("B001"), "{report}");
+    assert!(!report.has_code("B007"), "{report}");
+}
+
 // ---------------------------------------------------------------- B01x --
 
 #[test]

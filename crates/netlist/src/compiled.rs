@@ -1,0 +1,791 @@
+//! Compiled flat evaluation IR: [`EvalProgram`] and fault [`Patch`]es.
+//!
+//! Every hot loop in the workspace — Table 2 coverage runs, exhaustive
+//! `2^M - 1 + d` verification, parallel fault sharding — evaluates the same
+//! combinational netlists over and over. Walking the [`Netlist`] object
+//! graph per evaluation (re-scanning every net's [`NetDriver`], refilling a
+//! per-gate scratch buffer, chasing `Vec<NetId>` indirections) pays a steep
+//! interpretation tax on each of those millions of evaluations.
+//!
+//! [`EvalProgram`] pays that tax **once**. Compiling a netlist produces:
+//!
+//! * a flat instruction stream in structure-of-arrays layout — one opcode
+//!   ([`GateKind`]), a dense operand span into a single shared operand
+//!   arena, and an output slot per instruction — scheduled in levelized
+//!   topological order;
+//! * a per-level schedule ([`EvalProgram::level_ranges`]) recording which
+//!   instruction ranges are mutually independent;
+//! * pre-resolved initialization lists: primary-input slots in declaration
+//!   order ([`EvalProgram::input_slots`]) and constant prologue words
+//!   ([`EvalProgram::const_inits`]) — evaluation never scans drivers;
+//! * **fault patch-points**: for any net or gate pin, a [`Patch`] that
+//!   forces the corresponding slot, instruction output, or instruction
+//!   operand to a stuck value. Faulty-machine evaluation is "run the same
+//!   program with one patch applied", not a second bespoke interpreter.
+//!
+//! *Slots* are net indices: slot `i` of a value buffer holds the 64-lane
+//! word of net `NetId::from_index(i)`. This keeps the compiled engine
+//! drop-in compatible with everything that indexes values by net, and lets
+//! analysis passes (e.g. the `B007` dead-slot lint) translate slot facts
+//! back to nets trivially.
+//!
+//! # Determinism
+//!
+//! The instruction schedule is a pure function of the netlist (level, then
+//! gate id), and evaluation is pure dataflow over that schedule, so every
+//! net word computed by [`EvalProgram::run`] is bit-identical to the
+//! classic interpreted walk for *any* valid topological order. The fault
+//! simulators' serial/parallel equivalence contract therefore carries over
+//! unchanged.
+//!
+//! # Example
+//!
+//! ```
+//! use bibs_netlist::builder::NetlistBuilder;
+//! use bibs_netlist::compiled::EvalProgram;
+//! use bibs_netlist::GateKind;
+//!
+//! # fn main() -> Result<(), bibs_netlist::NetlistError> {
+//! let mut b = NetlistBuilder::new("mux-ish");
+//! let a = b.input("a");
+//! let c = b.input("b");
+//! let y = b.gate(GateKind::And, &[a, c]);
+//! b.output("y", y);
+//! let nl = b.finish()?;
+//!
+//! let prog = EvalProgram::compile(&nl)?;
+//! let mut values = prog.new_values();
+//! prog.eval_good(&mut values, &[0b0011, 0b0101]);
+//! assert_eq!(values[nl.outputs()[0].index()] & 0b1111, 0b0001);
+//!
+//! // Faulty machine: force the AND output stuck-at-1 and re-run.
+//! let patch = prog.patch_net(nl.outputs()[0], true);
+//! prog.eval_patched(&mut values, &[0b0011, 0b0101], patch);
+//! assert_eq!(values[nl.outputs()[0].index()] & 0b1111, 0b1111);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::netlist::{GateId, GateKind, NetDriver, NetId, Netlist, NetlistError};
+
+/// Sentinel in [`EvalProgram`]'s slot-to-instruction map for slots that are
+/// sources (inputs, constants, flip-flop Q) rather than gate outputs.
+const NO_INSTR: u32 = u32::MAX;
+
+/// A fault patch-point: the single edit that turns a good-machine program
+/// run into a faulty-machine run.
+///
+/// Produced by [`EvalProgram::patch_net`] / [`EvalProgram::patch_pin`];
+/// consumed by [`EvalProgram::run_patched`] / [`EvalProgram::eval_patched`].
+/// `word` is the 64-lane stuck value (`!0` for stuck-at-1, `0` for
+/// stuck-at-0).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Patch {
+    /// Force a *source* slot (primary input, constant, or flip-flop Q)
+    /// before the instruction stream runs.
+    Slot {
+        /// The value-buffer slot (net index) to force.
+        slot: u32,
+        /// The 64-lane stuck word.
+        word: u64,
+    },
+    /// Force an instruction's output slot: the prefix runs, the patched
+    /// instruction is skipped with its output forced, the suffix runs.
+    InstrOutput {
+        /// The instruction whose output is forced.
+        instr: u32,
+        /// The 64-lane stuck word.
+        word: u64,
+    },
+    /// Force one operand of one instruction (a gate input-pin fault); all
+    /// other readers of the same net see the good value.
+    InstrPin {
+        /// The instruction whose operand is overridden.
+        instr: u32,
+        /// The operand position (gate pin) to override.
+        pin: u32,
+        /// The 64-lane stuck word.
+        word: u64,
+    },
+}
+
+/// A read-only view of one compiled instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Instr<'a> {
+    /// The gate function computed by this instruction.
+    pub kind: GateKind,
+    /// Operand slots (net indices), in gate pin order.
+    pub operands: &'a [u32],
+    /// The output slot (net index) written by this instruction.
+    pub out: u32,
+    /// The gate this instruction was compiled from.
+    pub gate: GateId,
+}
+
+/// A netlist compiled to a flat, allocation-free evaluation program.
+///
+/// Built once per [`Netlist`] by [`EvalProgram::compile`]; evaluated many
+/// times over caller-owned value buffers (`&mut [u64]`, one 64-lane word
+/// per slot) created by [`EvalProgram::new_values`]. The program itself is
+/// immutable and [`Sync`]: one compiled program is shared by every worker
+/// thread of the parallel fault simulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EvalProgram {
+    /// Opcode per instruction.
+    ops: Vec<GateKind>,
+    /// Operand span starts; span of instruction `i` is
+    /// `operand_start[i]..operand_start[i + 1]` (length `instr_count + 1`).
+    operand_start: Vec<u32>,
+    /// Shared operand arena: slot indices, grouped per instruction.
+    operands: Vec<u32>,
+    /// Output slot per instruction.
+    out_slot: Vec<u32>,
+    /// Instruction ranges per level: all instructions inside one range
+    /// depend only on earlier levels.
+    levels: Vec<(u32, u32)>,
+    /// Gate → instruction position.
+    instr_of_gate: Vec<u32>,
+    /// Instruction position → source gate.
+    gate_of_instr: Vec<GateId>,
+    /// Slot → instruction writing it, or [`NO_INSTR`] for source slots.
+    instr_of_slot: Vec<u32>,
+    /// Primary-input slots in declaration order.
+    input_slots: Vec<u32>,
+    /// Constant prologue: `(slot, word)` pairs applied once per buffer.
+    const_inits: Vec<(u32, u64)>,
+    /// Flip-flop `(q, d)` slot pairs, in [`Netlist::dffs`] order.
+    dff_slots: Vec<(u32, u32)>,
+    /// Primary-output slots in declaration order.
+    output_slots: Vec<u32>,
+    /// Number of value-buffer slots (= net count).
+    slot_count: usize,
+}
+
+impl EvalProgram {
+    /// Compiles `netlist` into a flat evaluation program.
+    ///
+    /// Gates are scheduled by `(level, gate id)` where a gate's level is one
+    /// more than the maximum level of its gate-driven inputs — a levelized
+    /// topological order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::CombinationalCycle`] if the combinational
+    /// part cannot be ordered. Other structural defects (floating nets, bad
+    /// arity, out-of-range ids) are *not* diagnosed here — run
+    /// [`Netlist::validate`] or the lint passes first; compiling a netlist
+    /// with out-of-range ids panics.
+    pub fn compile(netlist: &Netlist) -> Result<EvalProgram, NetlistError> {
+        let order = netlist.levelize()?;
+        let gate_count = netlist.gate_count();
+        let slot_count = netlist.net_count();
+
+        // Per-gate level, computed in topological order.
+        let mut level = vec![0u32; gate_count];
+        for &gid in &order {
+            let gate = netlist.gate(gid);
+            let mut l = 0u32;
+            for &inp in &gate.inputs {
+                if let NetDriver::Gate(src) = netlist.driver(inp) {
+                    l = l.max(level[src.index()] + 1);
+                }
+            }
+            level[gid.index()] = l;
+        }
+
+        // Deterministic levelized schedule: (level, gate id).
+        let mut sched: Vec<u32> = (0..gate_count as u32).collect();
+        sched.sort_unstable_by_key(|&g| (level[g as usize], g));
+
+        let mut ops = Vec::with_capacity(gate_count);
+        let mut operand_start = Vec::with_capacity(gate_count + 1);
+        let mut operands = Vec::new();
+        let mut out_slot = Vec::with_capacity(gate_count);
+        let mut instr_of_gate = vec![NO_INSTR; gate_count];
+        let mut gate_of_instr = Vec::with_capacity(gate_count);
+        let mut instr_of_slot = vec![NO_INSTR; slot_count];
+        let mut levels: Vec<(u32, u32)> = Vec::new();
+
+        operand_start.push(0u32);
+        for (pos, &g) in sched.iter().enumerate() {
+            let gid = GateId::from_index(g as usize);
+            let gate = netlist.gate(gid);
+            ops.push(gate.kind);
+            operands.extend(gate.inputs.iter().map(|i| i.index() as u32));
+            operand_start.push(operands.len() as u32);
+            out_slot.push(gate.output.index() as u32);
+            instr_of_gate[g as usize] = pos as u32;
+            gate_of_instr.push(gid);
+            instr_of_slot[gate.output.index()] = pos as u32;
+            if level[g as usize] as usize + 1 == levels.len() {
+                levels.last_mut().expect("non-empty").1 += 1;
+            } else {
+                levels.push((pos as u32, pos as u32 + 1));
+            }
+        }
+
+        let input_slots = netlist.inputs().iter().map(|n| n.index() as u32).collect();
+        let mut const_inits = Vec::new();
+        for net in netlist.net_ids() {
+            if let NetDriver::Const(v) = netlist.driver(net) {
+                const_inits.push((net.index() as u32, if v { !0u64 } else { 0 }));
+            }
+        }
+        let dff_slots = netlist
+            .dffs()
+            .iter()
+            .map(|ff| (ff.q.index() as u32, ff.d.index() as u32))
+            .collect();
+        let output_slots = netlist.outputs().iter().map(|n| n.index() as u32).collect();
+
+        Ok(EvalProgram {
+            ops,
+            operand_start,
+            operands,
+            out_slot,
+            levels,
+            instr_of_gate,
+            gate_of_instr,
+            instr_of_slot,
+            input_slots,
+            const_inits,
+            dff_slots,
+            output_slots,
+            slot_count,
+        })
+    }
+
+    /// Number of value-buffer slots (equals the source netlist's net
+    /// count; slot `i` carries net `i`).
+    pub fn slot_count(&self) -> usize {
+        self.slot_count
+    }
+
+    /// Number of instructions (equals the source netlist's gate count).
+    pub fn instr_count(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// The levelized schedule: instruction ranges `(start, end)` per
+    /// level. Instructions within one range are mutually independent.
+    pub fn level_ranges(&self) -> &[(u32, u32)] {
+        &self.levels
+    }
+
+    /// Primary-input slots in [`Netlist::inputs`] order.
+    pub fn input_slots(&self) -> &[u32] {
+        &self.input_slots
+    }
+
+    /// The constant prologue: `(slot, word)` pairs. Applied once per value
+    /// buffer by [`EvalProgram::new_values`] / [`EvalProgram::apply_consts`]
+    /// — *not* on every evaluation.
+    pub fn const_inits(&self) -> &[(u32, u64)] {
+        &self.const_inits
+    }
+
+    /// Flip-flop `(q, d)` slot pairs in [`Netlist::dffs`] order.
+    pub fn dff_slots(&self) -> &[(u32, u32)] {
+        &self.dff_slots
+    }
+
+    /// Primary-output slots in [`Netlist::outputs`] order.
+    pub fn output_slots(&self) -> &[u32] {
+        &self.output_slots
+    }
+
+    /// A view of instruction `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= instr_count()`.
+    pub fn instr(&self, i: usize) -> Instr<'_> {
+        let span = self.operand_start[i] as usize..self.operand_start[i + 1] as usize;
+        Instr {
+            kind: self.ops[i],
+            operands: &self.operands[span],
+            out: self.out_slot[i],
+            gate: self.gate_of_instr[i],
+        }
+    }
+
+    /// Iterates over all instructions in schedule order.
+    pub fn instrs(&self) -> impl Iterator<Item = Instr<'_>> + '_ {
+        (0..self.instr_count()).map(|i| self.instr(i))
+    }
+
+    /// The instruction position compiled from `gate`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gate` is out of range.
+    pub fn instr_of_gate(&self, gate: GateId) -> usize {
+        self.instr_of_gate[gate.index()] as usize
+    }
+
+    /// A fresh value buffer: all slots zero, then the constant prologue.
+    pub fn new_values(&self) -> Vec<u64> {
+        let mut values = vec![0u64; self.slot_count];
+        self.apply_consts(&mut values);
+        values
+    }
+
+    /// Applies the constant prologue to `values`. Needed after zeroing a
+    /// buffer (e.g. a simulator reset); ordinary evaluation never calls
+    /// this.
+    pub fn apply_consts(&self, values: &mut [u64]) {
+        for &(slot, word) in &self.const_inits {
+            values[slot as usize] = word;
+        }
+    }
+
+    /// Writes the primary-input words (one 64-lane word per input, in
+    /// declaration order) into their slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input_words.len()` differs from the input width.
+    #[inline]
+    pub fn set_inputs(&self, values: &mut [u64], input_words: &[u64]) {
+        assert_eq!(
+            input_words.len(),
+            self.input_slots.len(),
+            "one word per primary input required"
+        );
+        for (&slot, &w) in self.input_slots.iter().zip(input_words) {
+            values[slot as usize] = w;
+        }
+    }
+
+    /// Executes the full instruction stream over `values`.
+    ///
+    /// Sources (inputs, constants, flip-flop Q slots) are read as-is; set
+    /// them first. Returns the number of instructions executed (the
+    /// gate-evaluation count for throughput accounting).
+    #[inline]
+    pub fn run(&self, values: &mut [u64]) -> u64 {
+        self.exec_range(values, 0, self.ops.len());
+        self.ops.len() as u64
+    }
+
+    /// Good-machine evaluation: inputs, then the instruction stream.
+    ///
+    /// Constants are *not* re-applied — they are part of the buffer
+    /// prologue ([`EvalProgram::new_values`]). Returns the number of
+    /// instructions executed.
+    #[inline]
+    pub fn eval_good(&self, values: &mut [u64], input_words: &[u64]) -> u64 {
+        self.set_inputs(values, input_words);
+        self.run(values)
+    }
+
+    /// Faulty-machine evaluation: constant prologue, inputs, then the
+    /// instruction stream with `patch` applied.
+    ///
+    /// Re-applying the (typically empty) constant prologue makes the buffer
+    /// self-healing: a previous [`Patch::Slot`] on a constant slot is
+    /// undone here, so one persistent faulty buffer serves every fault in a
+    /// run. Returns the number of instructions executed.
+    #[inline]
+    pub fn eval_patched(&self, values: &mut [u64], input_words: &[u64], patch: Patch) -> u64 {
+        self.apply_consts(values);
+        self.set_inputs(values, input_words);
+        self.run_patched(values, patch)
+    }
+
+    /// Executes the instruction stream with `patch` applied. Sources must
+    /// already be set. Returns the number of instructions executed.
+    #[inline]
+    pub fn run_patched(&self, values: &mut [u64], patch: Patch) -> u64 {
+        let n = self.ops.len();
+        match patch {
+            Patch::Slot { slot, word } => {
+                values[slot as usize] = word;
+                self.exec_range(values, 0, n);
+                n as u64
+            }
+            Patch::InstrOutput { instr, word } => {
+                let i = instr as usize;
+                self.exec_range(values, 0, i);
+                values[self.out_slot[i] as usize] = word;
+                self.exec_range(values, i + 1, n);
+                (n - 1) as u64
+            }
+            Patch::InstrPin { instr, pin, word } => {
+                let i = instr as usize;
+                self.exec_range(values, 0, i);
+                values[self.out_slot[i] as usize] =
+                    self.eval_instr_pinned(values, i, pin as usize, word);
+                self.exec_range(values, i + 1, n);
+                n as u64
+            }
+        }
+    }
+
+    /// Builds the patch-point for a stuck-at fault on `net`.
+    ///
+    /// Gate-driven nets patch the driving instruction's output
+    /// ([`Patch::InstrOutput`]); source nets (inputs, constants, flip-flop
+    /// Q) patch the slot directly ([`Patch::Slot`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `net` is out of range.
+    pub fn patch_net(&self, net: NetId, stuck_at: bool) -> Patch {
+        let word = if stuck_at { !0u64 } else { 0 };
+        let slot = net.index() as u32;
+        match self.instr_of_slot[net.index()] {
+            NO_INSTR => Patch::Slot { slot, word },
+            instr => Patch::InstrOutput { instr, word },
+        }
+    }
+
+    /// Builds the patch-point for a stuck-at fault on input pin `pin` of
+    /// `gate`: only that operand sees the stuck value; every other reader
+    /// of the same net sees the good value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gate` is out of range.
+    pub fn patch_pin(&self, gate: GateId, pin: usize, stuck_at: bool) -> Patch {
+        Patch::InstrPin {
+            instr: self.instr_of_gate[gate.index()],
+            pin: pin as u32,
+            word: if stuck_at { !0u64 } else { 0 },
+        }
+    }
+
+    /// Advances every flip-flop in `values`: Q ← D in all lanes, with all
+    /// D values captured before any Q is written (so back-to-back
+    /// flip-flops shift correctly without an intermediate buffer *per
+    /// stage* — a single pass suffices because `dff_slots` pairs are
+    /// captured first).
+    pub fn clock(&self, values: &mut [u64], capture: &mut Vec<u64>) {
+        capture.clear();
+        capture.extend(self.dff_slots.iter().map(|&(_, d)| values[d as usize]));
+        for (&(q, _), &v) in self.dff_slots.iter().zip(capture.iter()) {
+            values[q as usize] = v;
+        }
+    }
+
+    /// Which slots the program ever *reads*: instruction operands,
+    /// flip-flop D slots, and primary outputs (observed by the
+    /// environment). Unread slots are dead — their values can never reach
+    /// an output, which is what the `B007` lint reports.
+    pub fn slot_read_mask(&self) -> Vec<bool> {
+        let mut read = vec![false; self.slot_count];
+        for &s in &self.operands {
+            read[s as usize] = true;
+        }
+        for &(_, d) in &self.dff_slots {
+            read[d as usize] = true;
+        }
+        for &s in &self.output_slots {
+            read[s as usize] = true;
+        }
+        read
+    }
+
+    /// Executes instructions `from..to`.
+    #[inline]
+    fn exec_range(&self, values: &mut [u64], from: usize, to: usize) {
+        for i in from..to {
+            let start = self.operand_start[i] as usize;
+            let end = self.operand_start[i + 1] as usize;
+            let out = self.out_slot[i] as usize;
+            // Binary gates dominate real netlists; give them a spanless
+            // fast path before the general fold.
+            let word = if end - start == 2 {
+                let a = values[self.operands[start] as usize];
+                let b = values[self.operands[start + 1] as usize];
+                match self.ops[i] {
+                    GateKind::And => a & b,
+                    GateKind::Or => a | b,
+                    GateKind::Nand => !(a & b),
+                    GateKind::Nor => !(a | b),
+                    GateKind::Xor => a ^ b,
+                    GateKind::Xnor => !(a ^ b),
+                    GateKind::Not => !a,
+                    GateKind::Buf => a,
+                }
+            } else {
+                let span = &self.operands[start..end];
+                match self.ops[i] {
+                    GateKind::And => span.iter().fold(!0u64, |acc, &s| acc & values[s as usize]),
+                    GateKind::Or => span.iter().fold(0u64, |acc, &s| acc | values[s as usize]),
+                    GateKind::Nand => !span.iter().fold(!0u64, |acc, &s| acc & values[s as usize]),
+                    GateKind::Nor => !span.iter().fold(0u64, |acc, &s| acc | values[s as usize]),
+                    GateKind::Xor => span.iter().fold(0u64, |acc, &s| acc ^ values[s as usize]),
+                    GateKind::Xnor => !span.iter().fold(0u64, |acc, &s| acc ^ values[s as usize]),
+                    GateKind::Not => !values[self.operands[start] as usize],
+                    GateKind::Buf => values[self.operands[start] as usize],
+                }
+            };
+            values[out] = word;
+        }
+    }
+
+    /// Evaluates instruction `i` with operand `pin` overridden to `word`.
+    fn eval_instr_pinned(&self, values: &[u64], i: usize, pin: usize, word: u64) -> u64 {
+        let start = self.operand_start[i] as usize;
+        let end = self.operand_start[i + 1] as usize;
+        let operand = |idx: usize| {
+            if idx == pin {
+                word
+            } else {
+                values[self.operands[start + idx] as usize]
+            }
+        };
+        let arity = end - start;
+        match self.ops[i] {
+            GateKind::And => (0..arity).fold(!0u64, |acc, idx| acc & operand(idx)),
+            GateKind::Or => (0..arity).fold(0u64, |acc, idx| acc | operand(idx)),
+            GateKind::Nand => !(0..arity).fold(!0u64, |acc, idx| acc & operand(idx)),
+            GateKind::Nor => !(0..arity).fold(0u64, |acc, idx| acc | operand(idx)),
+            GateKind::Xor => (0..arity).fold(0u64, |acc, idx| acc ^ operand(idx)),
+            GateKind::Xnor => !(0..arity).fold(0u64, |acc, idx| acc ^ operand(idx)),
+            GateKind::Not => !operand(0),
+            GateKind::Buf => operand(0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetlistBuilder;
+    use crate::sim::PatternSim;
+
+    fn adder4() -> Netlist {
+        let mut b = NetlistBuilder::new("add4");
+        let a = b.input_word("a", 4);
+        let c = b.input_word("b", 4);
+        let (s, co) = b.ripple_carry_adder(&a, &c, None);
+        b.output_word("s", &s);
+        b.output("co", co);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn compiled_matches_interpreted_sim() {
+        let nl = adder4();
+        let prog = EvalProgram::compile(&nl).unwrap();
+        assert_eq!(prog.instr_count(), nl.gate_count());
+        assert_eq!(prog.slot_count(), nl.net_count());
+
+        let words: Vec<u64> = (0..nl.input_width() as u64)
+            .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(17))
+            .collect();
+
+        let mut sim = PatternSim::new(&nl);
+        sim.set_inputs(&words);
+        sim.eval_comb();
+
+        let mut values = prog.new_values();
+        prog.eval_good(&mut values, &words);
+        for net in nl.net_ids() {
+            assert_eq!(values[net.index()], sim.value(net), "net {net}");
+        }
+    }
+
+    #[test]
+    fn schedule_is_levelized() {
+        let nl = adder4();
+        let prog = EvalProgram::compile(&nl).unwrap();
+        // Every operand produced by an instruction must come from an
+        // earlier instruction.
+        let mut produced_at = vec![usize::MAX; prog.slot_count()];
+        for (pos, instr) in prog.instrs().enumerate() {
+            for &op in instr.operands {
+                let p = produced_at[op as usize];
+                assert!(p == usize::MAX || p < pos, "operand produced late");
+            }
+            produced_at[instr.out as usize] = pos;
+        }
+        // Level ranges tile the instruction stream.
+        let ranges = prog.level_ranges();
+        assert_eq!(ranges.first().map(|r| r.0), Some(0));
+        assert_eq!(ranges.last().map(|r| r.1), Some(prog.instr_count() as u32));
+        for w in ranges.windows(2) {
+            assert_eq!(w[0].1, w[1].0, "ranges must be contiguous");
+            assert!(w[0].0 < w[0].1, "ranges must be non-empty");
+        }
+    }
+
+    #[test]
+    fn const_prologue_applied_once() {
+        let mut b = NetlistBuilder::new("c");
+        let a = b.input("a");
+        let one = b.const1();
+        let y = b.and2(a, one);
+        b.output("y", y);
+        let nl = b.finish().unwrap();
+        let prog = EvalProgram::compile(&nl).unwrap();
+        assert_eq!(prog.const_inits().len(), 1);
+        let mut values = prog.new_values();
+        prog.eval_good(&mut values, &[0b10]);
+        assert_eq!(values[nl.outputs()[0].index()] & 0b11, 0b10);
+    }
+
+    #[test]
+    fn patch_net_forces_gate_output() {
+        let nl = adder4();
+        let prog = EvalProgram::compile(&nl).unwrap();
+        let out = nl.outputs()[0];
+        let patch = prog.patch_net(out, false);
+        assert!(matches!(patch, Patch::InstrOutput { .. }));
+        let words = vec![!0u64; nl.input_width()];
+        let mut values = prog.new_values();
+        prog.eval_patched(&mut values, &words, patch);
+        assert_eq!(values[out.index()], 0);
+    }
+
+    #[test]
+    fn patch_net_on_input_is_slot_patch() {
+        let nl = adder4();
+        let prog = EvalProgram::compile(&nl).unwrap();
+        let pi = nl.inputs()[0];
+        let patch = prog.patch_net(pi, true);
+        assert_eq!(
+            patch,
+            Patch::Slot {
+                slot: pi.index() as u32,
+                word: !0u64
+            }
+        );
+    }
+
+    #[test]
+    fn pin_patch_only_affects_one_reader() {
+        // y0 = a AND b, y1 = a OR b share net a; a pin fault on the AND's
+        // pin 0 must leave the OR untouched.
+        let mut b = NetlistBuilder::new("shared");
+        let a = b.input("a");
+        let c = b.input("b");
+        let y0 = b.and2(a, c);
+        let y1 = b.or2(a, c);
+        b.output("y0", y0);
+        b.output("y1", y1);
+        let nl = b.finish().unwrap();
+        let prog = EvalProgram::compile(&nl).unwrap();
+
+        let and_gate = nl
+            .gate_ids()
+            .find(|&g| nl.gate(g).kind == GateKind::And)
+            .unwrap();
+        let patch = prog.patch_pin(and_gate, 0, true); // pin a stuck-at-1
+        let mut values = prog.new_values();
+        // a=0, b=1 everywhere: good AND = 0, faulty AND = 1; OR stays 1.
+        prog.eval_patched(&mut values, &[0, !0u64], patch);
+        assert_eq!(values[nl.outputs()[0].index()], !0u64);
+        assert_eq!(values[nl.outputs()[1].index()], !0u64);
+        // Good machine for contrast.
+        prog.eval_good(&mut values, &[0, !0u64]);
+        assert_eq!(values[nl.outputs()[0].index()], 0);
+    }
+
+    #[test]
+    fn const_slot_patch_self_heals() {
+        let mut b = NetlistBuilder::new("c");
+        let a = b.input("a");
+        let one = b.const1();
+        let y = b.and2(a, one);
+        b.output("y", y);
+        let nl = b.finish().unwrap();
+        let prog = EvalProgram::compile(&nl).unwrap();
+        let const_net = nl
+            .net_ids()
+            .find(|&n| matches!(nl.driver(n), NetDriver::Const(_)))
+            .unwrap();
+        let patch = prog.patch_net(const_net, false); // const-1 stuck-at-0
+        let mut values = prog.new_values();
+        prog.eval_patched(&mut values, &[!0u64], patch);
+        assert_eq!(values[nl.outputs()[0].index()], 0, "fault masks the AND");
+        // The next faulty evaluation with a *different* patch must see the
+        // healed constant.
+        let other = prog.patch_net(nl.outputs()[0], true);
+        prog.eval_patched(&mut values, &[0], other);
+        assert_eq!(values[const_net.index()], !0u64, "prologue re-applied");
+    }
+
+    #[test]
+    fn clock_shifts_back_to_back_registers() {
+        let mut b = NetlistBuilder::new("pipe2");
+        let a = b.input("a");
+        let r1 = b.register(&[a]);
+        let r2 = b.register(&r1);
+        b.output("o", r2[0]);
+        let nl = b.finish().unwrap();
+        let prog = EvalProgram::compile(&nl).unwrap();
+        let mut values = prog.new_values();
+        let mut capture = Vec::new();
+        prog.eval_good(&mut values, &[!0u64]);
+        prog.clock(&mut values, &mut capture);
+        prog.eval_good(&mut values, &[!0u64]);
+        assert_eq!(values[nl.outputs()[0].index()], 0, "one stage filled");
+        prog.clock(&mut values, &mut capture);
+        prog.eval_good(&mut values, &[!0u64]);
+        assert_eq!(values[nl.outputs()[0].index()], !0u64, "two stages");
+    }
+
+    #[test]
+    fn slot_read_mask_marks_dead_slots() {
+        // y = a AND b is observed; z = a OR b is dead.
+        let mut b = NetlistBuilder::new("dead");
+        let a = b.input("a");
+        let c = b.input("b");
+        let y = b.and2(a, c);
+        let z = b.or2(a, c);
+        b.output("y", y);
+        let nl = b.finish().unwrap();
+        let prog = EvalProgram::compile(&nl).unwrap();
+        let read = prog.slot_read_mask();
+        assert!(read[a.index()] && read[c.index()], "PIs feed gates");
+        assert!(read[y.index()], "observed output");
+        assert!(!read[z.index()], "dead gate output is never read");
+    }
+
+    #[test]
+    fn compile_reports_cycles() {
+        use crate::netlist::{Gate, Net};
+        // g0: y = AND(a, z); g1: z = OR(y, a) — a 2-gate cycle.
+        let nets = vec![
+            Net {
+                name: Some("a".into()),
+                driver: NetDriver::Input(0),
+            },
+            Net {
+                name: Some("y".into()),
+                driver: NetDriver::Gate(GateId::from_index(0)),
+            },
+            Net {
+                name: Some("z".into()),
+                driver: NetDriver::Gate(GateId::from_index(1)),
+            },
+        ];
+        let gates = vec![
+            Gate {
+                kind: GateKind::And,
+                inputs: vec![NetId::from_index(0), NetId::from_index(2)],
+                output: NetId::from_index(1),
+            },
+            Gate {
+                kind: GateKind::Or,
+                inputs: vec![NetId::from_index(1), NetId::from_index(0)],
+                output: NetId::from_index(2),
+            },
+        ];
+        let nl = Netlist::from_parts_unchecked(
+            "cyc".into(),
+            nets,
+            gates,
+            Vec::new(),
+            vec![NetId::from_index(0)],
+            vec![NetId::from_index(1)],
+        );
+        assert!(matches!(
+            EvalProgram::compile(&nl),
+            Err(NetlistError::CombinationalCycle { .. })
+        ));
+    }
+}

@@ -33,11 +33,13 @@
 #![warn(missing_docs)]
 
 pub mod builder;
+pub mod compiled;
 pub mod export;
 pub mod sim;
 
 mod netlist;
 
+pub use compiled::{EvalProgram, Instr, Patch};
 pub use netlist::{
     Dff, DffId, Gate, GateId, GateKind, Net, NetDriver, NetId, Netlist, NetlistError,
 };

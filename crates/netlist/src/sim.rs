@@ -4,8 +4,63 @@
 //! bit lane of a `u64` — which is the classic speed trick of
 //! parallel-pattern fault simulators and exactly what the paper's
 //! fault-coverage experiments need.
+//!
+//! Since the compiled-IR refactor, `PatternSim` is a thin stateful wrapper
+//! over [`EvalProgram`]: construction compiles
+//! the netlist once, and every [`PatternSim::eval_comb`] call executes the
+//! flat instruction stream with no driver scans, no per-gate scratch
+//! allocation and no dynamic dispatch.
 
-use crate::netlist::{GateId, NetDriver, NetId, Netlist};
+use crate::compiled::EvalProgram;
+use crate::netlist::{NetDriver, NetId, Netlist};
+use std::fmt;
+
+/// Errors produced by input packing and application.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimError {
+    /// A word/pattern vector's width disagrees with the expected width.
+    WidthMismatch {
+        /// The required width (the netlist's primary-input count, or the
+        /// width of the first pattern in a pack).
+        expected: usize,
+        /// The width actually supplied.
+        got: usize,
+    },
+    /// More than 64 patterns were supplied to a single 64-lane pack.
+    TooManyPatterns {
+        /// How many patterns were supplied.
+        count: usize,
+    },
+    /// A broadcast pattern wider than the 64 bits a `u64` value can carry.
+    PatternTooWide {
+        /// The requested width.
+        width: usize,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::WidthMismatch { expected, got } => {
+                write!(f, "width mismatch: expected {expected} bit(s), got {got}")
+            }
+            SimError::TooManyPatterns { count } => {
+                write!(
+                    f,
+                    "{count} patterns supplied; a 64-lane pack holds at most 64"
+                )
+            }
+            SimError::PatternTooWide { width } => {
+                write!(
+                    f,
+                    "pattern width {width} exceeds the 64 bits of a u64 value"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
 
 /// A 64-lane logic simulator bound to a netlist.
 ///
@@ -37,13 +92,15 @@ use crate::netlist::{GateId, NetDriver, NetId, Netlist};
 #[derive(Debug, Clone)]
 pub struct PatternSim<'a> {
     netlist: &'a Netlist,
-    order: Vec<GateId>,
+    program: EvalProgram,
     values: Vec<u64>,
+    capture: Vec<u64>,
 }
 
 impl<'a> PatternSim<'a> {
-    /// Creates a simulator for `netlist` with all values (including
-    /// flip-flop state) initialized to 0.
+    /// Creates a simulator for `netlist`, compiling it to an
+    /// [`EvalProgram`] once. All values (including flip-flop state) start
+    /// at 0 with constants applied.
     ///
     /// # Panics
     ///
@@ -51,14 +108,62 @@ impl<'a> PatternSim<'a> {
     /// from [`NetlistBuilder::finish`](crate::builder::NetlistBuilder::finish)
     /// never do.
     pub fn new(netlist: &'a Netlist) -> Self {
-        let order = netlist
-            .levelize()
-            .expect("netlist must be combinationally acyclic");
+        let program =
+            EvalProgram::compile(netlist).expect("netlist must be combinationally acyclic");
+        let values = program.new_values();
         PatternSim {
             netlist,
-            order,
-            values: vec![0u64; netlist.net_count()],
+            program,
+            values,
+            capture: Vec::new(),
         }
+    }
+
+    /// Builds a simulator around an already-compiled program for the same
+    /// netlist, avoiding a recompile when the caller holds one (e.g. a
+    /// fault-simulation session that also needs golden signatures).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `program` was not compiled from `netlist` (slot count
+    /// mismatch is the cheap proxy checked here).
+    pub fn with_program(netlist: &'a Netlist, program: EvalProgram) -> Self {
+        assert_eq!(
+            program.slot_count(),
+            netlist.net_count(),
+            "program/netlist mismatch"
+        );
+        let values = program.new_values();
+        PatternSim {
+            netlist,
+            program,
+            values,
+            capture: Vec::new(),
+        }
+    }
+
+    /// The compiled program backing this simulator.
+    pub fn program(&self) -> &EvalProgram {
+        &self.program
+    }
+
+    /// Sets the primary input values, one word of 64 lanes per input bit,
+    /// in [`Netlist::inputs`] order.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::WidthMismatch`] if `words.len()` differs from the input
+    /// width; the simulator state is unchanged on error.
+    pub fn try_set_inputs(&mut self, words: &[u64]) -> Result<(), SimError> {
+        let expected = self.netlist.inputs().len();
+        if words.len() != expected {
+            return Err(SimError::WidthMismatch {
+                expected,
+                got: words.len(),
+            });
+        }
+        self.program.set_inputs(&mut self.values, words);
+        Ok(())
     }
 
     /// Sets the primary input values, one word of 64 lanes per input bit,
@@ -66,16 +171,11 @@ impl<'a> PatternSim<'a> {
     ///
     /// # Panics
     ///
-    /// Panics if `words.len()` differs from the input width.
+    /// Panics if `words.len()` differs from the input width; use
+    /// [`PatternSim::try_set_inputs`] for a fallible variant.
     pub fn set_inputs(&mut self, words: &[u64]) {
-        assert_eq!(
-            words.len(),
-            self.netlist.inputs().len(),
-            "one word per primary input required"
-        );
-        for (&net, &w) in self.netlist.inputs().iter().zip(words) {
-            self.values[net.index()] = w;
-        }
+        self.try_set_inputs(words)
+            .expect("one word per primary input required");
     }
 
     /// Sets a single primary input net's 64-lane word.
@@ -91,40 +191,21 @@ impl<'a> PatternSim<'a> {
         self.values[q.index()] = word;
     }
 
-    /// Evaluates the combinational logic in topological order.
+    /// Evaluates the combinational logic by executing the compiled
+    /// instruction stream.
     ///
-    /// Constants and flip-flop Q values are taken from current state;
+    /// Constants were applied once at construction (and on
+    /// [`PatternSim::reset`]); flip-flop Q values come from current state;
     /// primary inputs from the last [`PatternSim::set_inputs`] call.
     pub fn eval_comb(&mut self) {
-        for net in self.netlist.net_ids() {
-            if let NetDriver::Const(v) = self.netlist.driver(net) {
-                self.values[net.index()] = if v { !0u64 } else { 0 };
-            }
-        }
-        let mut scratch: Vec<u64> = Vec::with_capacity(8);
-        for &gid in &self.order {
-            let gate = self.netlist.gate(gid);
-            scratch.clear();
-            scratch.extend(gate.inputs.iter().map(|i| self.values[i.index()]));
-            self.values[gate.output.index()] = gate.kind.eval_words(&scratch);
-        }
+        self.program.run(&mut self.values);
     }
 
     /// Advances every flip-flop: Q ← D in all lanes.
     ///
     /// Call [`PatternSim::eval_comb`] first so D values are up to date.
     pub fn clock(&mut self) {
-        // Capture all D values before writing any Q, so back-to-back
-        // flip-flops shift correctly.
-        let captured: Vec<u64> = self
-            .netlist
-            .dffs()
-            .iter()
-            .map(|ff| self.values[ff.d.index()])
-            .collect();
-        for (ff, v) in self.netlist.dffs().iter().zip(captured) {
-            self.values[ff.q.index()] = v;
-        }
+        self.program.clock(&mut self.values, &mut self.capture);
     }
 
     /// Convenience: evaluate then clock, one full cycle.
@@ -147,9 +228,11 @@ impl<'a> PatternSim<'a> {
             .collect()
     }
 
-    /// Resets all net values and flip-flop state to 0.
+    /// Resets all net values and flip-flop state to 0, re-applying the
+    /// constant prologue.
     pub fn reset(&mut self) {
         self.values.iter_mut().for_each(|v| *v = 0);
+        self.program.apply_consts(&mut self.values);
     }
 
     /// Extracts lane `lane` of an output bus as an integer (bit *i* of the
@@ -176,30 +259,69 @@ impl<'a> PatternSim<'a> {
 /// `patterns[k][i]` is the value of input bit `i` in pattern `k`; the result
 /// has one word per input bit with pattern `k` in lane `k`.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if more than 64 patterns are supplied or widths are inconsistent.
-pub fn pack_patterns(patterns: &[Vec<bool>]) -> Vec<u64> {
-    assert!(patterns.len() <= 64, "at most 64 patterns per pack");
+/// [`SimError::TooManyPatterns`] past 64 patterns,
+/// [`SimError::WidthMismatch`] when pattern widths disagree (against the
+/// first pattern's width).
+pub fn try_pack_patterns(patterns: &[Vec<bool>]) -> Result<Vec<u64>, SimError> {
+    if patterns.len() > 64 {
+        return Err(SimError::TooManyPatterns {
+            count: patterns.len(),
+        });
+    }
     let width = patterns.first().map_or(0, Vec::len);
     let mut words = vec![0u64; width];
     for (lane, pat) in patterns.iter().enumerate() {
-        assert_eq!(pat.len(), width, "all patterns must have equal width");
+        if pat.len() != width {
+            return Err(SimError::WidthMismatch {
+                expected: width,
+                got: pat.len(),
+            });
+        }
         for (i, &bit) in pat.iter().enumerate() {
             if bit {
                 words[i] |= 1u64 << lane;
             }
         }
     }
-    words
+    Ok(words)
+}
+
+/// Packs up to 64 single-pattern input assignments into lane words
+/// (panicking variant of [`try_pack_patterns`]).
+///
+/// # Panics
+///
+/// Panics if more than 64 patterns are supplied or widths are inconsistent.
+pub fn pack_patterns(patterns: &[Vec<bool>]) -> Vec<u64> {
+    try_pack_patterns(patterns).expect("at most 64 patterns of equal width per pack")
 }
 
 /// Expands an integer into `width` lane words where every lane carries the
 /// same pattern (bit *i* of `value` on input *i*).
-pub fn broadcast_pattern(value: u64, width: usize) -> Vec<u64> {
-    (0..width)
+///
+/// # Errors
+///
+/// [`SimError::PatternTooWide`] if `width > 64` — a `u64` value cannot
+/// carry more than 64 pattern bits (previously this shifted out of range).
+pub fn try_broadcast_pattern(value: u64, width: usize) -> Result<Vec<u64>, SimError> {
+    if width > 64 {
+        return Err(SimError::PatternTooWide { width });
+    }
+    Ok((0..width)
         .map(|i| if (value >> i) & 1 == 1 { !0u64 } else { 0 })
-        .collect()
+        .collect())
+}
+
+/// Expands an integer into `width` lane words where every lane carries the
+/// same pattern (panicking variant of [`try_broadcast_pattern`]).
+///
+/// # Panics
+///
+/// Panics if `width > 64`.
+pub fn broadcast_pattern(value: u64, width: usize) -> Vec<u64> {
+    try_broadcast_pattern(value, width).expect("broadcast width capped at 64 bits")
 }
 
 #[cfg(test)]
@@ -279,10 +401,12 @@ mod tests {
     }
 
     #[test]
-    fn reset_clears_state() {
+    fn reset_clears_state_and_keeps_constants() {
         let mut b = NetlistBuilder::new("r");
         let a = b.input("a");
-        let r = b.register(&[a]);
+        let one = b.const1();
+        let g = b.and2(a, one);
+        let r = b.register(&[g]);
         b.output("o", r[0]);
         let nl = b.finish().unwrap();
         let mut sim = PatternSim::new(&nl);
@@ -293,5 +417,85 @@ mod tests {
         sim.reset();
         sim.eval_comb();
         assert_eq!(sim.outputs()[0], 0);
+        // The constant survived the reset: driving a=1 again works without
+        // any per-eval driver scan re-seeding it.
+        sim.set_inputs(&[!0u64]);
+        sim.step();
+        sim.eval_comb();
+        assert_eq!(sim.outputs()[0], !0u64);
+    }
+
+    #[test]
+    fn try_set_inputs_reports_width_mismatch() {
+        let mut b = NetlistBuilder::new("w");
+        let x = b.input_word("x", 3);
+        b.output_word("y", &x);
+        let nl = b.finish().unwrap();
+        let mut sim = PatternSim::new(&nl);
+        assert_eq!(
+            sim.try_set_inputs(&[0, 0]),
+            Err(SimError::WidthMismatch {
+                expected: 3,
+                got: 2
+            })
+        );
+        assert!(sim.try_set_inputs(&[1, 2, 3]).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "one word per primary input")]
+    fn set_inputs_panics_on_width_mismatch() {
+        let mut b = NetlistBuilder::new("w");
+        let _ = b.input_word("x", 2);
+        let one = b.const1();
+        b.output("y", one);
+        let nl = b.finish().unwrap();
+        let mut sim = PatternSim::new(&nl);
+        sim.set_inputs(&[0]);
+    }
+
+    #[test]
+    fn try_pack_patterns_rejects_over_64() {
+        let pats = vec![vec![true]; 65];
+        assert_eq!(
+            try_pack_patterns(&pats),
+            Err(SimError::TooManyPatterns { count: 65 })
+        );
+    }
+
+    #[test]
+    fn try_pack_patterns_rejects_ragged_widths() {
+        let pats = vec![vec![true, false], vec![true]];
+        assert_eq!(
+            try_pack_patterns(&pats),
+            Err(SimError::WidthMismatch {
+                expected: 2,
+                got: 1
+            })
+        );
+    }
+
+    #[test]
+    fn try_broadcast_pattern_rejects_wide_patterns() {
+        assert_eq!(
+            try_broadcast_pattern(0, 65),
+            Err(SimError::PatternTooWide { width: 65 })
+        );
+        assert_eq!(try_broadcast_pattern(0b1, 1), Ok(vec![!0u64]));
+    }
+
+    #[test]
+    fn sim_error_displays() {
+        let e = SimError::WidthMismatch {
+            expected: 4,
+            got: 2,
+        };
+        assert!(e.to_string().contains("expected 4"));
+        assert!(SimError::TooManyPatterns { count: 70 }
+            .to_string()
+            .contains("70"));
+        assert!(SimError::PatternTooWide { width: 80 }
+            .to_string()
+            .contains("80"));
     }
 }
