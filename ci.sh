@@ -40,6 +40,28 @@ if cargo run --release -p bibs-lint --bin bibs-lint -- \
 fi
 grep -q "B000" /tmp/bibs-lint-bad.txt
 
+step "bibs-lint semantic gate (paper datapaths: zero statically untestable faults)"
+# The paper's premise is that the datapath kernels are fully functionally
+# testable: the semantic passes may report warn/allow findings from the
+# multipliers' tied-zero padding (B040/B041), but deny-level B042 — a
+# statically untestable fault outside intentional structure — must never
+# fire on them.
+cargo run --release -p bibs-lint --bin bibs-lint -- --semantic \
+  c5a2m c3a2m c4a4m > /tmp/bibs-lint-semantic.txt
+if grep -q "B042" /tmp/bibs-lint-semantic.txt; then
+  echo "ci.sh: B042 fired on a paper datapath" >&2
+  exit 1
+fi
+
+step "bibs-lint semantic gate (redundant fixture trips B040+B043)"
+if cargo run --release -p bibs-lint --bin bibs-lint -- --semantic --deny warnings \
+  circuits/redundant_mux.ckt > /tmp/bibs-lint-redundant.txt 2>&1; then
+  echo "ci.sh: redundant fixture unexpectedly linted clean" >&2
+  exit 1
+fi
+grep -q "B040" /tmp/bibs-lint-redundant.txt
+grep -q "B043" /tmp/bibs-lint-redundant.txt
+
 step "table2 smoke run (width 3, small pattern budget)"
 # Width 3 keeps each kernel tiny; the bin prints the engine stats line,
 # which doubles as a check that the parallel fault simulator ran.
@@ -58,6 +80,27 @@ cargo run --release -p bibs-bench --bin table2 -- --only c5a2m --json \
   --engine reference > /tmp/bibs-table2-reference.json
 diff /tmp/bibs-table2-compiled.json /tmp/bibs-table2-reference.json
 grep -q '"detection_indices"' /tmp/bibs-table2-compiled.json
+
+step "dominance collapse equivalence (table2 c5a2m, byte-identical JSON)"
+# Simulating only dominance-class representatives and expanding through
+# the class map must reproduce the equiv-collapsed run's JSON byte for
+# byte (the compiled-engine run above used the default equiv collapse).
+cargo run --release -p bibs-bench --bin table2 -- --only c5a2m --json \
+  --collapse dominance > /tmp/bibs-table2-dominance.json
+diff /tmp/bibs-table2-compiled.json /tmp/bibs-table2-dominance.json
+
+step "dominance collapse simulates strictly fewer faults (width 4)"
+sim_count() {
+  sed -n 's/^static analysis ([a-z]* mode): \([0-9]*\)\/[0-9]* faults simulated.*/\1/p' "$1"
+}
+cargo run --release -p bibs-bench --bin table2 -- 4 --only c5a2m \
+  --collapse equiv > /tmp/bibs-table2-eqw4.txt
+cargo run --release -p bibs-bench --bin table2 -- 4 --only c5a2m \
+  --collapse dominance > /tmp/bibs-table2-domw4.txt
+eq_sim=$(sim_count /tmp/bibs-table2-eqw4.txt)
+dom_sim=$(sim_count /tmp/bibs-table2-domw4.txt)
+echo "equiv simulates $eq_sim faults, dominance simulates $dom_sim"
+test -n "$eq_sim" && test -n "$dom_sim" && test "$dom_sim" -lt "$eq_sim"
 
 step "criterion bench smoke-build"
 cargo bench --workspace --no-run -q

@@ -64,7 +64,8 @@ fn bench_good_eval(c: &mut Criterion) {
 fn bench_engines(c: &mut Criterion) {
     let nl = multiplier(8);
     let universe = FaultUniverse::collapsed(&nl);
-    let (observable, _) = universe.split_by_observability(&nl);
+    let program = bibs_netlist::EvalProgram::compile(&nl).unwrap();
+    let (observable, _) = universe.split_by_observability(&program);
     let mut group = c.benchmark_group("fault_sim_mul8_256pat");
     group.sample_size(10);
     group.bench_function("reference", |b| {

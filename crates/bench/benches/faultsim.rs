@@ -28,7 +28,8 @@ fn bench_fault_sim_block(c: &mut Criterion) {
     for width in [4usize, 8] {
         let nl = multiplier(width);
         let universe = FaultUniverse::collapsed(&nl);
-        let (observable, _) = universe.split_by_observability(&nl);
+        let program = bibs_netlist::EvalProgram::compile(&nl).unwrap();
+        let (observable, _) = universe.split_by_observability(&program);
         group.bench_with_input(BenchmarkId::from_parameter(width), &width, |b, _| {
             let mut rng = StdRng::seed_from_u64(7);
             b.iter_batched(
@@ -50,7 +51,8 @@ fn bench_fault_sim_block(c: &mut Criterion) {
 fn bench_engines(c: &mut Criterion) {
     let nl = multiplier(8);
     let universe = FaultUniverse::collapsed(&nl);
-    let (observable, _) = universe.split_by_observability(&nl);
+    let program = bibs_netlist::EvalProgram::compile(&nl).unwrap();
+    let (observable, _) = universe.split_by_observability(&program);
     let mut group = c.benchmark_group("fault_sim_engine_mul8_256pat");
     group.sample_size(10);
     group.bench_function("serial", |b| {

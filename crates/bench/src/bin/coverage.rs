@@ -2,19 +2,38 @@
 //! 5–8, emitted as CSV series (patterns vs. cumulative coverage of
 //! detectable faults) for BIBS and \[3\] on one circuit.
 //!
-//! Run with `cargo run --release -p bibs-bench --bin coverage -- [circuit] [width]`
-//! (defaults: c5a2m, width 4). Pipe to a file and plot. Per-kernel
-//! engine stats go to stderr; `BIBS_JOBS` sets the worker-thread count.
+//! Run with `cargo run --release -p bibs-bench --bin coverage --
+//! [circuit] [width] [--collapse equiv|dominance|none]`
+//! (defaults: c5a2m, width 4, equiv). Pipe to a file and plot. Per-kernel
+//! engine stats — including the collapse ratio, statically-untestable
+//! count and analysis wall — go to stderr; `BIBS_JOBS` sets the
+//! worker-thread count. The CSV is byte-identical across collapse modes.
 
-use bibs_bench::{apply_tdm, kernel_fault_stats, Table2Options, Tdm};
+use bibs_bench::{apply_tdm, kernel_fault_stats, CollapseMode, Table2Options, Tdm};
 use bibs_datapath::filters::scaled;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let name = args.first().map(String::as_str).unwrap_or("c5a2m");
-    let width: u32 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(4);
+    let mut positional: Vec<String> = Vec::new();
+    let mut collapse = CollapseMode::Equiv;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--collapse" {
+            let value = args.next().unwrap_or_default();
+            collapse = value.parse().unwrap_or_else(|e| {
+                eprintln!("{e}");
+                std::process::exit(2);
+            });
+        } else {
+            positional.push(arg);
+        }
+    }
+    let name = positional.first().map(String::as_str).unwrap_or("c5a2m");
+    let width: u32 = positional.get(1).and_then(|s| s.parse().ok()).unwrap_or(4);
     let circuit = scaled(name, width);
-    let options = Table2Options::default();
+    let options = Table2Options {
+        collapse,
+        ..Table2Options::default()
+    };
 
     println!("tdm,patterns,detected,detectable,coverage");
     for tdm in [Tdm::Bibs, Tdm::Ka85] {

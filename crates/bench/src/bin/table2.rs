@@ -6,25 +6,33 @@
 //! Run with `cargo run --release -p bibs-bench --bin table2`.
 //!
 //! Usage: `table2 [WIDTH] [--json] [--engine compiled|reference]
-//! [--only NAME]`
+//! [--collapse equiv|dominance|none] [--only NAME]`
 //!
 //! * `WIDTH` — word width (default 8; the paper's width);
 //! * `--json` — emit the detection-deterministic results as JSON on
 //!   stdout (used by CI to diff the two engines byte-for-byte);
 //! * `--engine` — fault-simulation engine (default `compiled`; the
 //!   `reference` interpreter produces bit-identical results, slower);
+//! * `--collapse` — fault-universe collapsing mode (default `equiv`;
+//!   `dominance` additionally merges functional-equivalence classes over
+//!   the compiled IR and simulates representatives only — the JSON stays
+//!   byte-identical; `none` simulates the full uncollapsed universe);
 //! * `--only NAME` — restrict to one circuit (`c5a2m`, `c3a2m`, `c4a4m`).
 //!
 //! Fault simulation runs on `BIBS_JOBS` worker threads (default: all
-//! cores); the results are bit-identical for any thread count and engine.
+//! cores); the results are bit-identical for any thread count, engine,
+//! and collapse mode.
 
-use bibs_bench::{render_table2, table2_column, table2_json, Engine, Table2Options, Tdm};
+use bibs_bench::{
+    render_table2, table2_column, table2_json, CollapseMode, Engine, Table2Options, Tdm,
+};
 use bibs_datapath::filters::scaled;
 
 fn main() {
     let mut width: u32 = 8;
     let mut json = false;
     let mut engine = Engine::Compiled;
+    let mut collapse = CollapseMode::Equiv;
     let mut only: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -33,6 +41,13 @@ fn main() {
             "--engine" => {
                 let value = args.next().unwrap_or_default();
                 engine = value.parse().unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    std::process::exit(2);
+                });
+            }
+            "--collapse" => {
+                let value = args.next().unwrap_or_default();
+                collapse = value.parse().unwrap_or_else(|e| {
                     eprintln!("{e}");
                     std::process::exit(2);
                 });
@@ -54,11 +69,13 @@ fn main() {
     }
     let options = Table2Options {
         engine,
+        collapse,
         ..Table2Options::default()
     };
     eprintln!(
-        "fault-simulating with the {} engine on {} worker thread(s) (set BIBS_JOBS to override)",
-        options.engine, options.jobs
+        "fault-simulating with the {} engine on {} worker thread(s) (set BIBS_JOBS to override), \
+         collapse mode {}",
+        options.engine, options.jobs, options.collapse
     );
     let names: Vec<&str> = ["c5a2m", "c3a2m", "c4a4m"]
         .into_iter()
@@ -119,12 +136,18 @@ fn main() {
         std::time::Duration::ZERO,
         std::time::Duration::ZERO,
     );
+    let (mut universe, mut simulated, mut untestable) = (0u64, 0u64, 0u64);
+    let mut analysis = std::time::Duration::ZERO;
     for s in all {
         evals += s.sim.fault_evals;
         gate_evals += s.sim.gate_evals;
         blocks += s.sim.blocks;
         wall += s.sim.wall;
         compile += s.sim.compile_wall;
+        universe += s.sim.universe_faults;
+        simulated += s.sim.simulated_faults;
+        untestable += s.sim.untestable_static;
+        analysis += s.sim.analysis_wall;
     }
     let secs = wall.as_secs_f64();
     println!(
@@ -140,5 +163,16 @@ fn main() {
         compile.as_secs_f64() * 1e3,
         options.jobs,
         options.engine
+    );
+    println!(
+        "static analysis ({} mode): {simulated}/{universe} faults simulated \
+         (collapse {:.3}), {untestable} statically untestable, {:.1} ms analysis",
+        options.collapse,
+        if universe > 0 {
+            simulated as f64 / universe as f64
+        } else {
+            1.0
+        },
+        analysis.as_secs_f64() * 1e3
     );
 }

@@ -23,15 +23,17 @@ use bibs_core::ka85;
 use bibs_core::schedule::{schedule, schedule_test_time, sequential_test_time, TestSession};
 use bibs_datapath::elab::elaborate_kernel;
 use bibs_faultsim::atpg::Atpg;
-use bibs_faultsim::fault::{Fault, FaultUniverse};
+use bibs_faultsim::fault::{DominanceCollapse, Fault, FaultUniverse, StaticFaultAnalysis};
 use bibs_faultsim::par::{default_jobs, ParFaultSimulator};
 use bibs_faultsim::reference::ReferenceSimulator;
 use bibs_faultsim::sim::BlockSim;
 use bibs_faultsim::stats::SimStats;
+use bibs_netlist::EvalProgram;
 use bibs_rtl::{Circuit, VertexKind};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::HashSet;
+use std::time::Instant;
 
 /// Which TDM to apply.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -87,6 +89,55 @@ impl std::fmt::Display for Engine {
         match self {
             Engine::Compiled => write!(f, "compiled"),
             Engine::Reference => write!(f, "reference"),
+        }
+    }
+}
+
+/// How aggressively the fault universe is collapsed before simulation.
+///
+/// Every mode produces **byte-identical** Table 2 JSON: dominance classes
+/// are functional equivalences, so per-representative detection results
+/// expand exactly back to the full list (see
+/// [`DominanceCollapse::expand_detection`]). The mode only changes how
+/// many faulty machines the engine actually simulates
+/// ([`SimStats::simulated_faults`] vs [`SimStats::universe_faults`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CollapseMode {
+    /// Structural local-equivalence collapsing
+    /// ([`FaultUniverse::collapsed`]) — the PR 1 baseline.
+    #[default]
+    Equiv,
+    /// Local equivalence plus transitive dominance-class collapsing over
+    /// the compiled IR ([`FaultUniverse::dominance_collapsed`]): only
+    /// class representatives are simulated and results are expanded
+    /// through the recorded representative map.
+    Dominance,
+    /// No collapsing at all ([`FaultUniverse::full`]) — the reference
+    /// point for measuring what collapsing buys.
+    None,
+}
+
+impl std::str::FromStr for CollapseMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "equiv" => Ok(CollapseMode::Equiv),
+            "dominance" => Ok(CollapseMode::Dominance),
+            "none" => Ok(CollapseMode::None),
+            other => Err(format!(
+                "unknown collapse mode '{other}' (expected 'equiv', 'dominance' or 'none')"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for CollapseMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CollapseMode::Equiv => write!(f, "equiv"),
+            CollapseMode::Dominance => write!(f, "dominance"),
+            CollapseMode::None => write!(f, "none"),
         }
     }
 }
@@ -179,6 +230,10 @@ pub struct Table2Options {
     /// Fault-simulation engine for the random phase. The results are
     /// bit-identical across engines (see [`Engine`]).
     pub engine: Engine,
+    /// Fault-universe collapsing mode. The results are bit-identical
+    /// across modes (see [`CollapseMode`]); only
+    /// [`SimStats::simulated_faults`] and wall-clock change.
+    pub collapse: CollapseMode,
 }
 
 impl Default for Table2Options {
@@ -190,6 +245,7 @@ impl Default for Table2Options {
             backtrack_limit: 100_000,
             jobs: default_jobs(),
             engine: Engine::Compiled,
+            collapse: CollapseMode::Equiv,
         }
     }
 }
@@ -220,11 +276,22 @@ pub fn apply_tdm(circuit: &Circuit, tdm: Tdm) -> (Circuit, BilboDesign, Vec<Kern
 
 /// Fault-classifies and fault-simulates one kernel.
 ///
-/// Standard two-phase flow: the random pattern stream is fault-simulated
-/// over the whole collapsed universe first (with fault dropping); PODEM
-/// then rules on the survivors only — proving them redundant, finding a
-/// test (rare random-resistant faults, reported as `unreached`), or
-/// aborting (excluded and reported).
+/// Three-phase flow:
+///
+/// * **Phase 0 — static analysis** (timed into
+///   [`SimStats::analysis_wall`]): the backward observability sweep drops
+///   faults with no path to an output; the semantic prover
+///   ([`StaticFaultAnalysis`]) then proves further faults untestable under
+///   the ternary lattice (counted in [`SimStats::untestable_static`]); in
+///   [`CollapseMode::Dominance`] the remainder is collapsed into
+///   functional-equivalence classes and only representatives are
+///   simulated.
+/// * **Phase 1 — random simulation** with fault dropping and a detection
+///   plateau. Per-representative results are expanded back through the
+///   class map, so every downstream number is collapse-independent.
+/// * **Phase 2 — PODEM** rules on the (expanded) survivors only — proving
+///   them redundant, finding a test (rare random-resistant faults,
+///   reported as `unreached`), or aborting (excluded and reported).
 pub fn kernel_fault_stats(
     circuit: &Circuit,
     design: &BilboDesign,
@@ -235,43 +302,86 @@ pub fn kernel_fault_stats(
     let kernel_set: HashSet<_> = kernel.vertices.iter().copied().collect();
     let elab = elaborate_kernel(circuit, &kernel_set, &cut).expect("kernel elaborates");
     let comb = elab.netlist.combinational_equivalent();
-    let universe = FaultUniverse::collapsed(&comb);
+    let universe = match options.collapse {
+        CollapseMode::None => FaultUniverse::full(&comb),
+        CollapseMode::Equiv | CollapseMode::Dominance => FaultUniverse::collapsed(&comb),
+    };
 
-    // Phase 0: structural observability — faults with no net path to a PO
-    // (the truncated multipliers' upper halves) are redundant outright.
-    let (observable, unobservable) = universe.split_by_observability(&comb);
+    // Phase 0: static analysis over the compiled IR, timed as a unit.
+    // Observability: faults with no net path to a PO (the truncated
+    // multipliers' upper halves) are redundant outright. The semantic
+    // prover then removes further statically-untestable faults, and
+    // dominance mode collapses what is left into functional classes.
+    let analysis_start = Instant::now();
+    let program = EvalProgram::compile(&comb).expect("kernel equivalents are acyclic");
+    let (observable, unobservable) = universe.split_by_observability(&program);
+    let sfa = StaticFaultAnalysis::new(&program);
+    let (to_sim, untestable) = sfa.partition(&program, &observable);
+    let classes = match options.collapse {
+        CollapseMode::Dominance => Some(DominanceCollapse::build(&to_sim, &program)),
+        CollapseMode::Equiv | CollapseMode::None => None,
+    };
+    let analysis_wall = analysis_start.elapsed();
+
+    let sim_faults = match &classes {
+        Some(dc) => dc.representative_faults(),
+        None => to_sim.clone(),
+    };
+    let simulated_faults = sim_faults.len() as u64;
 
     // Phase 1: random simulation with fault dropping and a detection
-    // plateau; surviving faults go to PODEM. Engines are interchangeable:
-    // the report is bit-identical either way.
+    // plateau. Engines are interchangeable: the report is bit-identical
+    // either way, and the plateau fires at the same block in every
+    // collapse mode (a block brings a new detection iff it first-detects
+    // some class representative).
     let mut rng = StdRng::seed_from_u64(options.seed ^ kernel.input_edges.len() as u64);
     let report = match options.engine {
         Engine::Compiled => {
-            let mut sim = ParFaultSimulator::with_threads(&comb, observable, options.jobs);
+            let mut sim =
+                ParFaultSimulator::with_program(&comb, program.clone(), sim_faults, options.jobs);
             sim.run_random_with_plateau(&mut rng, options.max_patterns, options.plateau)
         }
         Engine::Reference => {
-            let mut sim = ReferenceSimulator::new(&comb, observable);
+            let mut sim = ReferenceSimulator::new(&comb, sim_faults);
             sim.run_random_with_plateau(&mut rng, options.max_patterns, options.plateau)
         }
     };
 
-    // Phase 2: PODEM on the survivors.
-    let survivors: Vec<Fault> = report.undetected();
+    // Expand per-representative detections back over `to_sim` so the
+    // survivors (and every reported number) are collapse-independent.
+    let detection: Vec<Option<u64>> = match &classes {
+        Some(dc) => dc.expand_detection(report.detection()),
+        None => report.detection().to_vec(),
+    };
+
+    // Phase 2: PODEM on the survivors, in universe order.
+    let survivors: Vec<Fault> = to_sim
+        .iter()
+        .zip(&detection)
+        .filter(|(_, d)| d.is_none())
+        .map(|(&f, _)| f)
+        .collect();
     let mut atpg = Atpg::new(&comb);
     let class = atpg.classify(&survivors, options.backtrack_limit);
 
-    let mut detection_indices: Vec<u64> = report.detection().iter().flatten().copied().collect();
+    let mut detection_indices: Vec<u64> = detection.iter().flatten().copied().collect();
     detection_indices.sort_unstable();
+    let detected = detection_indices.len();
+
+    let mut sim = report.stats().clone();
+    sim.universe_faults = universe.len() as u64;
+    sim.simulated_faults = simulated_faults;
+    sim.untestable_static = untestable.len() as u64;
+    sim.analysis_wall = analysis_wall;
 
     KernelFaultStats {
         faults: universe.len(),
-        redundant: unobservable.len() + class.redundant.len(),
+        redundant: unobservable.len() + untestable.len() + class.redundant.len(),
         aborted: class.aborted.len(),
         unreached: class.detectable.len(),
-        detected: report.detected_count(),
+        detected,
         detection_indices,
-        sim: report.stats().clone(),
+        sim,
     }
 }
 
@@ -495,5 +605,70 @@ mod tests {
             table2_column(&c, Tdm::Ka85, &reference),
         )]);
         assert_eq!(jc, jr, "engine choice must not change any reported number");
+    }
+
+    /// Dominance collapsing must be invisible in the detection-deterministic
+    /// JSON (classes are functional equivalences, expansion is exact) while
+    /// strictly shrinking the simulated fault list. `none` mode grows the
+    /// universe, so only its accounting invariants are checked.
+    #[test]
+    fn collapse_modes_agree_on_scaled_c5a2m_json() {
+        let c = scaled("c5a2m", 3);
+        let base = Table2Options {
+            max_patterns: 200_000,
+            ..Table2Options::default()
+        };
+        let run = |collapse: CollapseMode| {
+            (
+                table2_column(
+                    &c,
+                    Tdm::Bibs,
+                    &Table2Options {
+                        collapse,
+                        ..base.clone()
+                    },
+                ),
+                table2_column(
+                    &c,
+                    Tdm::Ka85,
+                    &Table2Options {
+                        collapse,
+                        ..base.clone()
+                    },
+                ),
+            )
+        };
+        let equiv = run(CollapseMode::Equiv);
+        let dom = run(CollapseMode::Dominance);
+        assert_eq!(
+            table2_json(std::slice::from_ref(&equiv)),
+            table2_json(std::slice::from_ref(&dom)),
+            "collapse mode must not change any reported number"
+        );
+        // Dominance never simulates more faults than equiv, and strictly
+        // fewer in aggregate (some tiny kernels have nothing to merge).
+        let (mut e_total, mut d_total) = (0u64, 0u64);
+        for (e, d) in equiv
+            .0
+            .kernel_stats
+            .iter()
+            .chain(&equiv.1.kernel_stats)
+            .zip(dom.0.kernel_stats.iter().chain(&dom.1.kernel_stats))
+        {
+            assert_eq!(e.sim.universe_faults, d.sim.universe_faults);
+            assert!(d.sim.simulated_faults <= e.sim.simulated_faults);
+            e_total += e.sim.simulated_faults;
+            d_total += d.sim.simulated_faults;
+        }
+        assert!(
+            d_total < e_total,
+            "dominance must shrink in aggregate: {d_total} vs {e_total}"
+        );
+        // ...and the full universe satisfies the same accounting identity.
+        let (fb, _) = run(CollapseMode::None);
+        for s in &fb.kernel_stats {
+            assert_eq!(s.detected + s.unreached, s.detectable());
+            assert!(s.sim.universe_faults >= equiv.0.kernel_stats[0].sim.universe_faults);
+        }
     }
 }

@@ -237,7 +237,8 @@ mod tests {
         // escape the paper's signature analysis knowingly accepts.
         let (s, design, comb) = adder_kernel();
         let universe = FaultUniverse::collapsed(&comb);
-        let (observable, _) = universe.split_by_observability(&comb);
+        let program = bibs_netlist::EvalProgram::compile(&comb).unwrap();
+        let (observable, _) = universe.split_by_observability(&program);
         let patterns = session_patterns(&design, &s);
         let fsim = bibs_faultsim::seq::SequentialFaultSim::new(&comb);
 

@@ -11,6 +11,7 @@
 //!   cross-check the fault simulator.
 
 use crate::fault::{Fault, FaultSite};
+use bibs_netlist::analysis::Scoap;
 use bibs_netlist::{EvalProgram, GateId, GateKind, NetDriver, NetId, Netlist};
 
 /// Three-valued logic: 0, 1 or unknown.
@@ -138,6 +139,10 @@ pub struct Atpg<'a> {
     program: EvalProgram,
     /// Gates reading each net.
     readers: Vec<Vec<GateId>>,
+    /// Structural SCOAP costs used to order objective/backtrace choices:
+    /// when *all* inputs must reach a value the hardest one is attacked
+    /// first (fail fast), when *any* input suffices the cheapest is taken.
+    scoap: Scoap,
     good: Vec<V3>,
     faulty: Vec<V3>,
     is_po: Vec<bool>,
@@ -163,14 +168,50 @@ impl<'a> Atpg<'a> {
         for &o in netlist.outputs() {
             is_po[o.index()] = true;
         }
+        let scoap = Scoap::compute(&program);
         Atpg {
             netlist,
             program,
             readers,
+            scoap,
             good: vec![V3::X; netlist.net_count()],
             faulty: vec![V3::X; netlist.net_count()],
             is_po,
         }
+    }
+
+    /// Picks the X-valued input to drive toward `value`. `hardest` selects
+    /// the maximum-controllability input (all inputs must reach `value`,
+    /// so failing fast on the hardest prunes the search); otherwise the
+    /// minimum (any input suffices). Ties resolve to the lowest pin index,
+    /// keeping the search deterministic.
+    fn pick_x_input(&self, inputs: &[NetId], value: bool, hardest: bool) -> Option<NetId> {
+        let cc = if value {
+            &self.scoap.cc1
+        } else {
+            &self.scoap.cc0
+        };
+        let mut best: Option<(u32, NetId)> = None;
+        for &i in inputs {
+            if self.good[i.index()] != V3::X {
+                continue;
+            }
+            let cost = cc[i.index()];
+            let better = match best {
+                None => true,
+                Some((b, _)) => {
+                    if hardest {
+                        cost > b
+                    } else {
+                        cost < b
+                    }
+                }
+            };
+            if better {
+                best = Some((cost, i));
+            }
+        }
+        best.map(|(_, i)| i)
     }
 
     /// Runs PODEM for one fault with the given backtrack limit.
@@ -361,17 +402,15 @@ impl<'a> Atpg<'a> {
             .copied()
             .find(|&g| has_path(self.netlist.gate(g).output))?;
         // Objective: set one X input of the chosen frontier gate to the
-        // non-controlling value so the error propagates.
+        // non-controlling value so the error propagates. All side pins
+        // will eventually need the value, so attack the hardest (highest
+        // SCOAP controllability) first.
         let g = self.netlist.gate(gate);
-        let x_input = g
-            .inputs
-            .iter()
-            .copied()
-            .find(|&i| self.good[i.index()] == V3::X)?;
-        let value = match g.kind.controlling_value() {
-            Some(c) => !c,
-            None => false, // XOR-family: any value propagates
+        let (value, hardest) = match g.kind.controlling_value() {
+            Some(c) => (!c, true),
+            None => (false, false), // XOR-family: any settled value works
         };
+        let x_input = self.pick_x_input(&g.inputs, value, hardest)?;
         Some((x_input, value))
     }
 
@@ -391,16 +430,16 @@ impl<'a> Atpg<'a> {
                     } else {
                         value
                     };
-                    let x_input = gate
-                        .inputs
-                        .iter()
-                        .copied()
-                        .find(|&i| self.good[i.index()] == V3::X)?;
-                    value = match gate.kind {
-                        GateKind::And | GateKind::Nand | GateKind::Or | GateKind::Nor => inner,
-                        GateKind::Not | GateKind::Buf => inner,
-                        GateKind::Xor | GateKind::Xnor => inner, // arbitrary branch
+                    // SCOAP-guided branch choice: when `inner` is the
+                    // controlling value, any single input suffices — take
+                    // the cheapest; when it is the non-controlling value,
+                    // every input must reach it — take the hardest first.
+                    let hardest = match gate.kind.controlling_value() {
+                        Some(c) => inner != c,
+                        None => false, // XOR-family / unary: cheapest pin
                     };
+                    let x_input = self.pick_x_input(&gate.inputs, inner, hardest)?;
+                    value = inner;
                     net = x_input;
                 }
                 NetDriver::Const(_) | NetDriver::Dff(_) | NetDriver::Floating => return None,

@@ -59,6 +59,7 @@ pub mod seq;
 pub mod sim;
 pub mod stats;
 
+pub use fault::{DominanceCollapse, Fault, FaultSite, FaultUniverse, StaticFaultAnalysis};
 pub use par::{default_jobs, ParFaultSimulator};
 pub use reference::ReferenceSimulator;
 pub use sim::{BlockSim, FaultSimReport, FaultSimulator};

@@ -46,6 +46,21 @@ pub struct SimStats {
     /// Fault patch-points applied (one per faulty-machine evaluation in
     /// the compiled engines; zero in the reference interpreter).
     pub patches_applied: u64,
+    /// Size of the fault universe the run accounts for (before any
+    /// dominance collapsing or static-untestability skipping). Zero when
+    /// the caller did not run the pre-analysis pipeline.
+    pub universe_faults: u64,
+    /// Faults actually handed to the simulation engine (dominance-class
+    /// representatives minus statically untestable faults). Equals
+    /// `universe_faults` when no pre-analysis ran.
+    pub simulated_faults: u64,
+    /// Faults proven statically untestable by the semantic analysis and
+    /// skipped without simulating a single pattern.
+    pub untestable_static: u64,
+    /// Wall-clock time spent in the semantic pre-analysis (ternary
+    /// propagation, SCOAP sweeps, dominance collapsing, untestability
+    /// proofs). Zero when no pre-analysis ran.
+    pub analysis_wall: Duration,
 }
 
 impl SimStats {
@@ -79,6 +94,18 @@ impl SimStats {
             return 0.0;
         }
         self.gate_evals as f64 / secs
+    }
+
+    /// Fraction of the fault universe that was actually simulated
+    /// (`simulated_faults / universe_faults`) — the end-to-end shrink from
+    /// dominance collapsing plus static-untestability skipping. Returns
+    /// 1.0 when the pre-analysis did not run (`universe_faults == 0`).
+    pub fn collapse_ratio(&self) -> f64 {
+        if self.universe_faults == 0 {
+            1.0
+        } else {
+            self.simulated_faults as f64 / self.universe_faults as f64
+        }
     }
 
     /// Ratio of the busiest shard's evaluation count to the mean — 1.0 is
@@ -120,7 +147,20 @@ impl fmt::Display for SimStats {
             self.faults_dropped,
             self.wall.as_secs_f64() * 1e3,
             self.compile_wall.as_secs_f64() * 1e3
-        )
+        )?;
+        if self.universe_faults > 0 {
+            write!(
+                f,
+                "; {}/{} faults simulated (collapse {:.3}, {} untestable, \
+                 analysis {:.2} ms)",
+                self.simulated_faults,
+                self.universe_faults,
+                self.collapse_ratio(),
+                self.untestable_static,
+                self.analysis_wall.as_secs_f64() * 1e3
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -166,5 +206,24 @@ mod tests {
         assert!(line.contains("2 thread(s)"));
         assert!(line.contains("gate evals"));
         assert!(line.contains("compile"));
+        assert!(
+            !line.contains("collapse"),
+            "analysis block hidden without a universe"
+        );
+    }
+
+    #[test]
+    fn collapse_ratio_and_display_with_universe() {
+        let mut s = SimStats::new(1);
+        assert_eq!(s.collapse_ratio(), 1.0, "no pre-analysis");
+        s.universe_faults = 200;
+        s.simulated_faults = 120;
+        s.untestable_static = 5;
+        s.analysis_wall = Duration::from_millis(2);
+        assert!((s.collapse_ratio() - 0.6).abs() < 1e-9);
+        let line = s.to_string();
+        assert!(line.contains("120/200 faults simulated"));
+        assert!(line.contains("collapse 0.600"));
+        assert!(line.contains("5 untestable"));
     }
 }

@@ -104,7 +104,8 @@ proptest! {
     #[test]
     fn unobservable_faults_are_undetectable(nl in netlist_strategy()) {
         let universe = FaultUniverse::collapsed(&nl);
-        let (_, unobservable) = universe.split_by_observability(&nl);
+        let program = bibs_netlist::EvalProgram::compile(&nl).unwrap();
+        let (_, unobservable) = universe.split_by_observability(&program);
         if !unobservable.is_empty() {
             let mut sim = FaultSimulator::new(&nl, unobservable);
             let report = sim.run_exhaustive();

@@ -4,6 +4,7 @@
 //! bibs-lint                          # lint the four paper datapaths
 //! bibs-lint c5a2m circuits/mac.ckt   # builtins and .ckt files mix freely
 //! bibs-lint --deny warnings ...      # CI gate: warnings fail the run
+//! bibs-lint --semantic ...           # add the B04x semantic passes
 //! bibs-lint --format json ...        # machine-readable findings
 //! bibs-lint --allow B012 ...         # per-code severity overrides
 //! bibs-lint --list-codes             # print the code registry
@@ -27,6 +28,9 @@ fn usage() {
          \n\
          options:\n\
            --format text|json   output style (default text)\n\
+           --semantic           also run the semantic passes (B04x):\n\
+                                ternary constants, independent pins and\n\
+                                statically-untestable-fault proofs\n\
            --deny warnings      promote warn-level findings to deny\n\
            --deny CODE          force CODE to deny severity\n\
            --warn CODE          force CODE to warn severity\n\
@@ -66,6 +70,7 @@ fn main() -> ExitCode {
                 }
                 return ExitCode::SUCCESS;
             }
+            "--semantic" => config.semantic = true,
             "--format" => {
                 i += 1;
                 match args.get(i).map(String::as_str) {

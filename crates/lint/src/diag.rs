@@ -166,6 +166,26 @@ pub const CODES: &[CodeInfo] = &[
         summary: "kernel elaboration failed; cross-layer checks skipped",
         default_severity: Severity::Warn,
     },
+    CodeInfo {
+        code: "B040",
+        summary: "gate-driven net proven constant under all-X inputs",
+        default_severity: Severity::Warn,
+    },
+    CodeInfo {
+        code: "B041",
+        summary: "gate output independent of one of its input pins",
+        default_severity: Severity::Allow,
+    },
+    CodeInfo {
+        code: "B042",
+        summary: "statically untestable fault outside intentional structure",
+        default_severity: Severity::Deny,
+    },
+    CodeInfo {
+        code: "B043",
+        summary: "redundant logic cone (constant only by case analysis)",
+        default_severity: Severity::Warn,
+    },
 ];
 
 /// Looks up the registry entry for `code`.
@@ -205,6 +225,11 @@ pub struct LintConfig {
     pub overrides: BTreeMap<String, Severity>,
     /// Promote every `Warn` finding to `Deny` (`--deny warnings`).
     pub deny_warnings: bool,
+    /// Also run the semantic passes (B04x) — ternary constant analysis,
+    /// independent-pin detection and static untestability proofs over the
+    /// compiled IR (`--semantic`). Off by default: the passes run
+    /// whole-netlist dataflow sweeps per kernel.
+    pub semantic: bool,
 }
 
 impl LintConfig {

@@ -36,11 +36,13 @@ pub mod design_pass;
 pub mod diag;
 pub mod netlist_pass;
 pub mod rtl_pass;
+pub mod semantic_pass;
 
 pub use design_pass::lint_design;
 pub use diag::{code_info, CodeInfo, Diagnostic, LintConfig, Report, Severity, CODES};
 pub use netlist_pass::lint_netlist;
 pub use rtl_pass::lint_circuit;
+pub use semantic_pass::{lint_netlist_semantic, lint_semantic};
 
 use bibs_core::bibs::{select, BibsOptions};
 use bibs_rtl::Circuit;
@@ -55,7 +57,12 @@ use bibs_rtl::Circuit;
 pub fn lint_full(circuit: &Circuit, config: &LintConfig) -> Report {
     let mut report = lint_circuit(circuit, config);
     match select(circuit, &BibsOptions::default()) {
-        Ok(result) => report.merge(lint_design(&result.circuit, &result.design, config)),
+        Ok(result) => {
+            report.merge(lint_design(&result.circuit, &result.design, config));
+            if config.semantic {
+                report.merge(lint_semantic(&result.circuit, &result.design, config));
+            }
+        }
         Err(e) => report.emit(
             config,
             "B000",

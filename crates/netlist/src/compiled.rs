@@ -323,6 +323,39 @@ impl EvalProgram {
         self.instr_of_gate[gate.index()] as usize
     }
 
+    /// The instruction writing `slot`, or `None` for source slots
+    /// (primary inputs, constants, flip-flop Q).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot >= slot_count()`.
+    pub fn instr_of_slot(&self, slot: usize) -> Option<usize> {
+        match self.instr_of_slot[slot] {
+            NO_INSTR => None,
+            i => Some(i as usize),
+        }
+    }
+
+    /// Per-slot operand occurrences: for each slot, the `(instruction,
+    /// pin)` pairs that read it as a gate operand, in schedule order.
+    ///
+    /// This is the reader-side dual of [`EvalProgram::instr_of_slot`]:
+    /// analysis passes use it to count fanout branches and to enumerate
+    /// the observation paths of a net without re-walking the [`Netlist`].
+    /// Primary-output and flip-flop-D reads are *not* included — see
+    /// [`EvalProgram::output_slots`] / [`EvalProgram::dff_slots`].
+    pub fn slot_readers(&self) -> Vec<Vec<(u32, u32)>> {
+        let mut readers: Vec<Vec<(u32, u32)>> = vec![Vec::new(); self.slot_count];
+        for i in 0..self.instr_count() {
+            let start = self.operand_start[i] as usize;
+            let end = self.operand_start[i + 1] as usize;
+            for (pin, &s) in self.operands[start..end].iter().enumerate() {
+                readers[s as usize].push((i as u32, pin as u32));
+            }
+        }
+        readers
+    }
+
     /// A fresh value buffer: all slots zero, then the constant prologue.
     pub fn new_values(&self) -> Vec<u64> {
         let mut values = vec![0u64; self.slot_count];

@@ -32,6 +32,7 @@
 //! ```
 #![warn(missing_docs)]
 
+pub mod analysis;
 pub mod builder;
 pub mod compiled;
 pub mod export;

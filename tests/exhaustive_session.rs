@@ -18,6 +18,7 @@ use bibs_datapath::filters::scaled;
 use bibs_faultsim::fault::FaultUniverse;
 use bibs_faultsim::seq::SequentialFaultSim;
 use bibs_netlist::sim::PatternSim;
+use bibs_netlist::EvalProgram;
 use std::collections::HashSet;
 
 #[test]
@@ -51,7 +52,8 @@ fn bibs_session_detects_every_observable_fault_of_c5a2m() {
     let elab = elaborate_kernel(&result.circuit, &kernel_set, &cut).expect("elaborates");
     let comb = elab.netlist.combinational_equivalent();
     let universe = FaultUniverse::collapsed(&comb);
-    let (observable, unobservable) = universe.split_by_observability(&comb);
+    let program = EvalProgram::compile(&comb).expect("kernel equivalent is acyclic");
+    let (observable, unobservable) = universe.split_by_observability(&program);
 
     // Fault-free responses over the session.
     let mut sim = PatternSim::new(&comb);
