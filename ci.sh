@@ -102,6 +102,30 @@ dom_sim=$(sim_count /tmp/bibs-table2-domw4.txt)
 echo "equiv simulates $eq_sim faults, dominance simulates $dom_sim"
 test -n "$eq_sim" && test -n "$dom_sim" && test "$dom_sim" -lt "$eq_sim"
 
+step "telemetry determinism (table2 c5a2m: 1 vs 8 worker threads, wall-stripped)"
+# The exported counters are detection-deterministic: two runs under
+# different thread counts must emit identical span trees and counter
+# values (only wall_ns may differ, so diff after stripping it).
+BIBS_JOBS=1 cargo run --release -p bibs-bench --bin table2 -- --only c5a2m \
+  --telemetry /tmp/bibs-telemetry-j1.json > /dev/null
+BIBS_JOBS=8 cargo run --release -p bibs-bench --bin table2 -- --only c5a2m \
+  --telemetry /tmp/bibs-telemetry-j8.json > /dev/null
+strip_wall() { sed 's/"wall_ns":[0-9]*,//g' "$1"; }
+diff <(strip_wall /tmp/bibs-telemetry-j1.json) <(strip_wall /tmp/bibs-telemetry-j8.json)
+
+step "telemetry perf-regression gate (perfdiff vs committed BENCH_table2.json)"
+cargo run --release -p bibs-bench --bin perfdiff -- \
+  BENCH_table2.json /tmp/bibs-telemetry-j8.json
+
+step "bench bins exit nonzero on bad input (no panics)"
+if cargo run --release -p bibs-bench --bin bits -- circuits/does_not_exist.ckt \
+  > /tmp/bibs-bits-missing.txt 2>&1; then
+  echo "ci.sh: bits unexpectedly succeeded on a missing circuit" >&2
+  exit 1
+fi
+grep -q "cannot read" /tmp/bibs-bits-missing.txt
+grep -vq "panicked" /tmp/bibs-bits-missing.txt
+
 step "criterion bench smoke-build"
 cargo bench --workspace --no-run -q
 

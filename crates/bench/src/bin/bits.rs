@@ -11,29 +11,45 @@
 //! ```text
 //! cargo run --release -p bibs-bench --bin bits -- circuits/mac.ckt
 //! cargo run --release -p bibs-bench --bin bits -- circuits/fig4.ckt --tdm ka85
+//! cargo run --release -p bibs-bench --bin bits -- circuits/mac.ckt --telemetry out.json
 //! ```
+//!
+//! `--telemetry OUT.json` writes the span tree (schedule/verify stages
+//! with their counters) as `bibs-telemetry/1` JSON;
+//! `BIBS_TRACE=spans|counters` prints it to stderr.
 
+use bibs_bench::Telemetry;
 use bibs_core::bibs::{self, BibsOptions};
 use bibs_core::controller;
 use bibs_core::delay::maximal_delay;
 use bibs_core::design::{kernels, BilboDesign};
 use bibs_core::ka85;
 use bibs_core::mintpg::minimize_degree;
-use bibs_core::schedule::schedule;
+use bibs_core::schedule::schedule_traced;
 use bibs_core::structure::GeneralizedStructure;
 use bibs_core::tpg::mc_tpg;
-use bibs_core::verify::verify_exhaustive;
+use bibs_core::verify::verify_exhaustive_traced;
 use bibs_faultsim::par::default_jobs;
 use bibs_lfsr::bilbo::AreaModel;
 use bibs_lint::{lint_circuit, lint_design, LintConfig, Severity};
+use bibs_obs::Recorder;
 use bibs_rtl::fmt::from_text;
 use bibs_rtl::{Circuit, VertexKind};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let telemetry_path = args.iter().position(|a| a == "--telemetry").map(|i| {
+        if i + 1 >= args.len() {
+            eprintln!("bits: --telemetry needs an output path");
+            std::process::exit(2);
+        }
+        let p = std::path::PathBuf::from(args.remove(i + 1));
+        args.remove(i);
+        p
+    });
     let Some(path) = args.first() else {
-        eprintln!("usage: bits <circuit.ckt> [--tdm bibs|ka85]");
+        eprintln!("usage: bits <circuit.ckt> [--tdm bibs|ka85] [--telemetry out.json]");
         return ExitCode::FAILURE;
     };
     let tdm = args
@@ -57,7 +73,14 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    match run(&circuit, tdm) {
+    let telemetry = Telemetry::new(telemetry_path);
+    let mut rec = telemetry.recorder("bits");
+    let outcome = run(&circuit, tdm, &mut rec);
+    if let Err(e) = telemetry.emit(&mut rec) {
+        eprintln!("bits: {e}");
+        return ExitCode::FAILURE;
+    }
+    match outcome {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("bits: {e}");
@@ -66,7 +89,7 @@ fn main() -> ExitCode {
     }
 }
 
-fn run(circuit: &Circuit, tdm: &str) -> Result<(), Box<dyn std::error::Error>> {
+fn run(circuit: &Circuit, tdm: &str, rec: &mut Recorder) -> Result<(), Box<dyn std::error::Error>> {
     println!("== BITS flow for circuit {} ==", circuit.name());
     println!(
         "{} vertices, {} register edges, {} flip-flops; balanced = {}, acyclic = {}",
@@ -137,7 +160,7 @@ fn run(circuit: &Circuit, tdm: &str) -> Result<(), Box<dyn std::error::Error>> {
                 .any(|&v| circuit.vertex(v).kind == VertexKind::Logic)
         })
         .collect();
-    let sessions = schedule(&design, &ks);
+    let sessions = schedule_traced(&design, &ks, rec);
     println!(
         "\n{} kernel(s), {} test session(s)",
         ks.len(),
@@ -162,7 +185,7 @@ fn run(circuit: &Circuit, tdm: &str) -> Result<(), Box<dyn std::error::Error>> {
         // Brute-force check of functional exhaustiveness where feasible
         // (cones are verified concurrently on BIBS_JOBS worker threads).
         if min.design.lfsr_degree() <= 16 {
-            let covs = verify_exhaustive(&min.design);
+            let covs = verify_exhaustive_traced(&min.design, default_jobs(), rec);
             let ok = covs.iter().all(|c| c.is_exhaustive_modulo_zero());
             println!(
                 "  exhaustiveness: {} over {} cone(s) ({} thread(s))",

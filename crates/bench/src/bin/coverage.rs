@@ -3,18 +3,24 @@
 //! detectable faults) for BIBS and \[3\] on one circuit.
 //!
 //! Run with `cargo run --release -p bibs-bench --bin coverage --
-//! [circuit] [width] [--collapse equiv|dominance|none]`
+//! [circuit] [width] [--collapse equiv|dominance|none]
+//! [--telemetry OUT.json]`
 //! (defaults: c5a2m, width 4, equiv). Pipe to a file and plot. Per-kernel
 //! engine stats — including the collapse ratio, statically-untestable
 //! count and analysis wall — go to stderr; `BIBS_JOBS` sets the
-//! worker-thread count. The CSV is byte-identical across collapse modes.
+//! worker-thread count; `BIBS_TRACE=spans|counters` prints the telemetry
+//! tree or aggregate counters to stderr. The CSV is byte-identical across
+//! collapse modes.
 
-use bibs_bench::{apply_tdm, kernel_fault_stats, CollapseMode, Table2Options, Tdm};
+use bibs_bench::{
+    apply_tdm, kernel_fault_stats_traced, CollapseMode, Table2Options, Tdm, Telemetry,
+};
 use bibs_datapath::filters::scaled;
 
 fn main() {
     let mut positional: Vec<String> = Vec::new();
     let mut collapse = CollapseMode::Equiv;
+    let mut telemetry_path: Option<std::path::PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         if arg == "--collapse" {
@@ -23,6 +29,11 @@ fn main() {
                 eprintln!("{e}");
                 std::process::exit(2);
             });
+        } else if arg == "--telemetry" {
+            telemetry_path = Some(std::path::PathBuf::from(args.next().unwrap_or_else(|| {
+                eprintln!("--telemetry needs an output path");
+                std::process::exit(2);
+            })));
         } else {
             positional.push(arg);
         }
@@ -35,6 +46,9 @@ fn main() {
         ..Table2Options::default()
     };
 
+    let telemetry = Telemetry::new(telemetry_path);
+    let mut rec = telemetry.recorder("coverage");
+
     println!("tdm,patterns,detected,detectable,coverage");
     for tdm in [Tdm::Bibs, Tdm::Ka85] {
         let (circuit, design, kernels) = apply_tdm(&circuit, tdm);
@@ -43,8 +57,10 @@ fn main() {
         let mut events: Vec<u64> = Vec::new();
         let mut offset = 0u64;
         let mut detectable = 0usize;
-        for kernel in &kernels {
-            let stats = kernel_fault_stats(&circuit, &design, kernel, &options);
+        for (i, kernel) in kernels.iter().enumerate() {
+            let stats = rec.scope(format!("kernel {i}[{tdm}]"), |rec| {
+                kernel_fault_stats_traced(&circuit, &design, kernel, &options, rec)
+            });
             eprintln!("{tdm} kernel sim: {}", stats.sim);
             detectable += stats.detectable();
             let last = stats.detection_indices.last().copied().unwrap_or(0);
@@ -69,5 +85,9 @@ fn main() {
             }
         }
         eprintln!("{tdm}: {printed} milestones, {n} detections, {detectable} detectable");
+    }
+    if let Err(e) = telemetry.emit(&mut rec) {
+        eprintln!("coverage: {e}");
+        std::process::exit(1);
     }
 }

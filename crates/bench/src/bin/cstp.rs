@@ -5,10 +5,22 @@
 //!
 //! Run with `cargo run --release -p bibs-bench --bin cstp`.
 
+use bibs_bench::BinError;
 use bibs_core::cstp::simulate_cstp;
 use bibs_netlist::builder::NetlistBuilder;
+use std::process::ExitCode;
 
-fn main() {
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("cstp: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), BinError> {
     println!("CSTP vs BIBS TPG on small adder kernels:");
     println!(
         "{:>6}{:>8}{:>12}{:>12}{:>10}{:>14}",
@@ -21,7 +33,7 @@ fn main() {
         let (s, co) = b.ripple_carry_adder(&a, &c, None);
         b.output_word("s", &s);
         b.output("co", co);
-        let nl = b.finish().unwrap();
+        let nl = b.finish()?;
         let m = 2 * width;
         for seed in [1u64, 0x5A] {
             let run = simulate_cstp(&nl, seed, 16);
@@ -43,4 +55,5 @@ fn main() {
     }
     println!("\nBIBS TPG always covers in 2^M - 1 + d cycles (Corollary 1);");
     println!("CSTP coverage is seed-dependent and costs multiple passes when it covers.");
+    Ok(())
 }

@@ -5,11 +5,13 @@
 //!
 //! Run with `cargo run --release -p bibs-bench --bin fpet`.
 
+use bibs_bench::BinError;
 use bibs_core::fpet::{best_permutation, dependency_matrix, dependency_matrix_signals};
 use bibs_core::structure::{Cone, ConeDep, GeneralizedStructure, TpgRegister};
 use bibs_core::tpg::mc_tpg;
+use std::process::ExitCode;
 
-fn figure21() -> GeneralizedStructure {
+fn figure21() -> Result<GeneralizedStructure, BinError> {
     let regs = (1..=3)
         .map(|i| TpgRegister {
             name: format!("R{i}"),
@@ -57,11 +59,21 @@ fn figure21() -> GeneralizedStructure {
             ],
         },
     ];
-    GeneralizedStructure::new("fig21", regs, cones).unwrap()
+    GeneralizedStructure::new("fig21", regs, cones).map_err(|e| BinError::Structure(e.to_string()))
 }
 
-fn main() {
-    let s = figure21();
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("fpet: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), BinError> {
+    let s = figure21()?;
     let natural = mc_tpg(&s);
     println!("Example 7 (Figure 21):");
     println!(
@@ -94,4 +106,5 @@ fn main() {
         groups.len(),
         search.design.lfsr_degree()
     );
+    Ok(())
 }

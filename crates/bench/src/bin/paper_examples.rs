@@ -4,11 +4,22 @@
 //!
 //! Run with `cargo run --release -p bibs-bench --bin examples`.
 
-use bibs_bench::{apply_tdm, Tdm};
+use bibs_bench::{apply_tdm, BinError, Tdm};
 use bibs_core::kstep::k_step;
 use bibs_datapath::examples::{figure1, figure2, figure3, figure4};
+use std::process::ExitCode;
 
-fn main() {
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("paper_examples: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), BinError> {
     println!("Section 2 examples:");
     for c in [figure1(), figure2()] {
         println!(
@@ -29,8 +40,12 @@ fn main() {
     println!("\nExample 1 (Figure 4):");
     let f4 = figure4();
     // Partial-scan solution: {R3, R9} balances the circuit.
-    let r3 = f4.register_by_name("R3").unwrap();
-    let r9 = f4.register_by_name("R9").unwrap();
+    let r3 = f4
+        .register_by_name("R3")
+        .ok_or_else(|| BinError::MissingRegister("R3".into()))?;
+    let r9 = f4
+        .register_by_name("R9")
+        .ok_or_else(|| BinError::MissingRegister("R9".into()))?;
     let balanced = f4
         .balance_report_filtered(|e| e != r3 && e != r9)
         .is_balanced();
@@ -46,4 +61,5 @@ fn main() {
     println!("  paper: BIBS 6 registers / 2 kernels; [3] all 9 registers");
     println!("  note: on this reconstruction [3] converts fewer than 9 because");
     println!("  the delay-chain blocks are single-port (criterion 1 skips them).");
+    Ok(())
 }

@@ -6,7 +6,7 @@
 //! Run with `cargo run --release -p bibs-bench --bin table2`.
 //!
 //! Usage: `table2 [WIDTH] [--json] [--engine compiled|reference]
-//! [--collapse equiv|dominance|none] [--only NAME]`
+//! [--collapse equiv|dominance|none] [--only NAME] [--telemetry OUT.json]`
 //!
 //! * `WIDTH` — word width (default 8; the paper's width);
 //! * `--json` — emit the detection-deterministic results as JSON on
@@ -17,14 +17,19 @@
 //!   `dominance` additionally merges functional-equivalence classes over
 //!   the compiled IR and simulates representatives only — the JSON stays
 //!   byte-identical; `none` simulates the full uncollapsed universe);
-//! * `--only NAME` — restrict to one circuit (`c5a2m`, `c3a2m`, `c4a4m`).
+//! * `--only NAME` — restrict to one circuit (`c5a2m`, `c3a2m`, `c4a4m`);
+//! * `--telemetry OUT.json` — write the hierarchical span tree (stage
+//!   wall clocks plus deterministic counters, schema `bibs-telemetry/1`)
+//!   to a file. Set `BIBS_TRACE=spans|counters` to additionally print the
+//!   tree or the aggregate counters to stderr.
 //!
 //! Fault simulation runs on `BIBS_JOBS` worker threads (default: all
-//! cores); the results are bit-identical for any thread count, engine,
-//! and collapse mode.
+//! cores); the results — and every exported telemetry counter — are
+//! bit-identical for any thread count, engine, and collapse mode.
 
 use bibs_bench::{
-    render_table2, table2_column, table2_json, CollapseMode, Engine, Table2Options, Tdm,
+    render_table2, table2_column_traced, table2_json, CollapseMode, Engine, Table2Options, Tdm,
+    Telemetry,
 };
 use bibs_datapath::filters::scaled;
 
@@ -34,10 +39,17 @@ fn main() {
     let mut engine = Engine::Compiled;
     let mut collapse = CollapseMode::Equiv;
     let mut only: Option<String> = None;
+    let mut telemetry_path: Option<std::path::PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--json" => json = true,
+            "--telemetry" => {
+                telemetry_path = Some(std::path::PathBuf::from(args.next().unwrap_or_else(|| {
+                    eprintln!("--telemetry needs an output path");
+                    std::process::exit(2);
+                })));
+            }
             "--engine" => {
                 let value = args.next().unwrap_or_default();
                 engine = value.parse().unwrap_or_else(|e| {
@@ -85,6 +97,8 @@ fn main() {
         eprintln!("--only matched no circuit (expected one of c5a2m, c3a2m, c4a4m)");
         std::process::exit(2);
     }
+    let telemetry = Telemetry::new(telemetry_path);
+    let mut rec = telemetry.recorder("table2");
     let mut columns = Vec::new();
     for name in names {
         let circuit = scaled(name, width);
@@ -96,10 +110,14 @@ fn main() {
             std::process::exit(1);
         }
         eprintln!("running {name} (width {width}) under BIBS ...");
-        let b = table2_column(&circuit, Tdm::Bibs, &options);
+        let b = table2_column_traced(&circuit, Tdm::Bibs, &options, &mut rec);
         eprintln!("running {name} under [3] ...");
-        let k = table2_column(&circuit, Tdm::Ka85, &options);
+        let k = table2_column_traced(&circuit, Tdm::Ka85, &options, &mut rec);
         columns.push((b, k));
+    }
+    if let Err(e) = telemetry.emit(&mut rec) {
+        eprintln!("table2: {e}");
+        std::process::exit(1);
     }
     if json {
         print!("{}", table2_json(&columns));

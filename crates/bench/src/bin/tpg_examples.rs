@@ -6,14 +6,16 @@
 //!
 //! Run with `cargo run --release -p bibs-bench --bin tpg_examples`.
 
+use bibs_bench::BinError;
 use bibs_core::mintpg::minimize_degree;
 use bibs_core::reconfig::ReconfigurableTpg;
 use bibs_core::structure::{Cone, ConeDep, GeneralizedStructure, TpgRegister};
 use bibs_core::tpg::{mc_tpg, sc_tpg};
 use bibs_core::verify::verify_exhaustive;
 use bibs_lfsr::bilbo::AreaModel;
+use std::process::ExitCode;
 
-fn two_cone(name: &str, d: [[u32; 2]; 2]) -> GeneralizedStructure {
+fn two_cone(name: &str, d: [[u32; 2]; 2]) -> Result<GeneralizedStructure, BinError> {
     let regs = vec![
         TpgRegister {
             name: "R1".into(),
@@ -39,10 +41,20 @@ fn two_cone(name: &str, d: [[u32; 2]; 2]) -> GeneralizedStructure {
             ],
         })
         .collect();
-    GeneralizedStructure::new(name, regs, cones).unwrap()
+    GeneralizedStructure::new(name, regs, cones).map_err(|e| BinError::Structure(e.to_string()))
 }
 
-fn main() {
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("tpg_examples: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), BinError> {
     let model = AreaModel::default();
 
     println!("Example 2 (Figure 13):");
@@ -56,7 +68,11 @@ fn main() {
         100.0 * model.extra_ff_overhead(12, d2.extra_flip_flops()),
         d2.test_time()
     );
-    println!("  polynomial: {}", d2.polynomial().unwrap());
+    println!(
+        "  polynomial: {}",
+        d2.polynomial()
+            .ok_or(BinError::NoPolynomial(d2.lfsr_degree()))?
+    );
 
     println!("Example 3 (Figure 15): d = (1, 2, 0)");
     let ex3 =
@@ -81,11 +97,11 @@ fn main() {
     );
 
     println!("Example 5 (Figure 17): cones d=(2,0) and (1,0)");
-    let d5 = mc_tpg(&two_cone("fig17", [[2, 0], [1, 0]]));
+    let d5 = mc_tpg(&two_cone("fig17", [[2, 0], [1, 0]])?);
     println!("  degree {} (paper: 9)", d5.lfsr_degree());
 
     println!("Example 6 (Figure 19): cones d=(2,0) and (0,1)");
-    let s6 = two_cone("fig19", [[2, 0], [0, 1]]);
+    let s6 = two_cone("fig19", [[2, 0], [0, 1]])?;
     let d6 = mc_tpg(&s6);
     println!("  degree {} (paper: 11)", d6.lfsr_degree());
     let reconf = ReconfigurableTpg::new(&s6);
@@ -136,4 +152,5 @@ fn main() {
             );
         }
     }
+    Ok(())
 }

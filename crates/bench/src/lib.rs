@@ -20,7 +20,7 @@ use bibs_core::bibs::{self, BibsOptions};
 use bibs_core::delay::maximal_delay;
 use bibs_core::design::{kernels, BilboDesign, Kernel};
 use bibs_core::ka85;
-use bibs_core::schedule::{schedule, schedule_test_time, sequential_test_time, TestSession};
+use bibs_core::schedule::{schedule_test_time, schedule_traced, sequential_test_time, TestSession};
 use bibs_datapath::elab::elaborate_kernel;
 use bibs_faultsim::atpg::Atpg;
 use bibs_faultsim::fault::{DominanceCollapse, Fault, FaultUniverse, StaticFaultAnalysis};
@@ -29,6 +29,7 @@ use bibs_faultsim::reference::ReferenceSimulator;
 use bibs_faultsim::sim::BlockSim;
 use bibs_faultsim::stats::SimStats;
 use bibs_netlist::EvalProgram;
+use bibs_obs::{CounterId, Recorder, TraceMode};
 use bibs_rtl::{Circuit, VertexKind};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -298,6 +299,33 @@ pub fn kernel_fault_stats(
     kernel: &Kernel,
     options: &Table2Options,
 ) -> KernelFaultStats {
+    kernel_fault_stats_traced(circuit, design, kernel, options, &mut Recorder::disabled())
+}
+
+/// [`kernel_fault_stats`] with the whole three-phase flow recorded into a
+/// pipeline-level telemetry [`Recorder`] under its current span:
+///
+/// * `"compile"` — the netlist→IR compile (instruction/slot counters);
+/// * `"analyze"` — observability split plus the semantic prover (with
+///   `"ternary"` / `"scoap"` sub-spans and the `case_splits` counter),
+///   carrying the `universe_faults` / `untestable_static` /
+///   `simulated_faults` counters;
+/// * `"collapse"` — dominance-class construction (dominance mode only);
+/// * the engine's own `fault-sim[...]` tree, grafted verbatim (per-block
+///   counters on its root, one detail child per worker shard);
+/// * `"expand"` — representative→universe detection expansion
+///   (dominance mode only);
+/// * `"atpg"` — the PODEM sweep with the `podem_backtracks` counter.
+///
+/// Every exported counter is detection-deterministic: identical for any
+/// thread count and collapse-independent where the numbers are.
+pub fn kernel_fault_stats_traced(
+    circuit: &Circuit,
+    design: &BilboDesign,
+    kernel: &Kernel,
+    options: &Table2Options,
+    rec: &mut Recorder,
+) -> KernelFaultStats {
     let cut: HashSet<_> = design.bilbo.iter().chain(&design.cbilbo).copied().collect();
     let kernel_set: HashSet<_> = kernel.vertices.iter().copied().collect();
     let elab = elaborate_kernel(circuit, &kernel_set, &cut).expect("kernel elaborates");
@@ -313,12 +341,16 @@ pub fn kernel_fault_stats(
     // prover then removes further statically-untestable faults, and
     // dominance mode collapses what is left into functional classes.
     let analysis_start = Instant::now();
-    let program = EvalProgram::compile(&comb).expect("kernel equivalents are acyclic");
+    let program = EvalProgram::compile_traced(&comb, rec).expect("kernel equivalents are acyclic");
+    let analyze = rec.enter("analyze");
     let (observable, unobservable) = universe.split_by_observability(&program);
-    let sfa = StaticFaultAnalysis::new(&program);
+    let sfa = StaticFaultAnalysis::new_traced(&program, rec);
     let (to_sim, untestable) = sfa.partition(&program, &observable);
+    rec.add(CounterId::UniverseFaults, universe.len() as u64);
+    rec.add(CounterId::UntestableStatic, untestable.len() as u64);
+    rec.exit(analyze);
     let classes = match options.collapse {
-        CollapseMode::Dominance => Some(DominanceCollapse::build(&to_sim, &program)),
+        CollapseMode::Dominance => Some(DominanceCollapse::build_traced(&to_sim, &program, rec)),
         CollapseMode::Equiv | CollapseMode::None => None,
     };
     let analysis_wall = analysis_start.elapsed();
@@ -328,29 +360,39 @@ pub fn kernel_fault_stats(
         None => to_sim.clone(),
     };
     let simulated_faults = sim_faults.len() as u64;
+    rec.add(CounterId::SimulatedFaults, simulated_faults);
 
     // Phase 1: random simulation with fault dropping and a detection
     // plateau. Engines are interchangeable: the report is bit-identical
     // either way, and the plateau fires at the same block in every
     // collapse mode (a block brings a new detection iff it first-detects
-    // some class representative).
+    // some class representative). The engine records itself; its whole
+    // span tree is grafted under the kernel's span afterwards.
     let mut rng = StdRng::seed_from_u64(options.seed ^ kernel.input_edges.len() as u64);
     let report = match options.engine {
         Engine::Compiled => {
             let mut sim =
                 ParFaultSimulator::with_program(&comb, program.clone(), sim_faults, options.jobs);
-            sim.run_random_with_plateau(&mut rng, options.max_patterns, options.plateau)
+            let report =
+                sim.run_random_with_plateau(&mut rng, options.max_patterns, options.plateau);
+            let cur = rec.current();
+            rec.graft(cur, sim.recorder());
+            report
         }
         Engine::Reference => {
             let mut sim = ReferenceSimulator::new(&comb, sim_faults);
-            sim.run_random_with_plateau(&mut rng, options.max_patterns, options.plateau)
+            let report =
+                sim.run_random_with_plateau(&mut rng, options.max_patterns, options.plateau);
+            let cur = rec.current();
+            rec.graft(cur, sim.recorder());
+            report
         }
     };
 
     // Expand per-representative detections back over `to_sim` so the
     // survivors (and every reported number) are collapse-independent.
     let detection: Vec<Option<u64>> = match &classes {
-        Some(dc) => dc.expand_detection(report.detection()),
+        Some(dc) => dc.expand_detection_traced(report.detection(), rec),
         None => report.detection().to_vec(),
     };
 
@@ -362,7 +404,7 @@ pub fn kernel_fault_stats(
         .map(|(&f, _)| f)
         .collect();
     let mut atpg = Atpg::new(&comb);
-    let class = atpg.classify(&survivors, options.backtrack_limit);
+    let class = atpg.classify_traced(&survivors, options.backtrack_limit, rec);
 
     let mut detection_indices: Vec<u64> = detection.iter().flatten().copied().collect();
     detection_indices.sort_unstable();
@@ -387,12 +429,44 @@ pub fn kernel_fault_stats(
 
 /// Runs the full Table 2 pipeline for one circuit under one TDM.
 pub fn table2_column(circuit: &Circuit, tdm: Tdm, options: &Table2Options) -> Table2Column {
+    table2_column_traced(circuit, tdm, options, &mut Recorder::disabled())
+}
+
+/// [`table2_column`] recorded into a pipeline-level telemetry
+/// [`Recorder`]: one `"column[TDM circuit]"` span per call holding the
+/// `"schedule"` span and one `"kernel N"` span per kernel (each the full
+/// [`kernel_fault_stats_traced`] tree).
+pub fn table2_column_traced(
+    circuit: &Circuit,
+    tdm: Tdm,
+    options: &Table2Options,
+    rec: &mut Recorder,
+) -> Table2Column {
+    let column = rec.enter(format!("column[{tdm} {}]", circuit.name()));
     let (circuit, design, ks) = apply_tdm(circuit, tdm);
-    let sessions: Vec<TestSession> = schedule(&design, &ks);
+    let sessions: Vec<TestSession> = schedule_traced(&design, &ks, rec);
     let stats: Vec<KernelFaultStats> = ks
         .iter()
-        .map(|k| kernel_fault_stats(&circuit, &design, k, options))
+        .enumerate()
+        .map(|(i, k)| {
+            rec.scope(format!("kernel {i}"), |rec| {
+                kernel_fault_stats_traced(&circuit, &design, k, options, rec)
+            })
+        })
         .collect();
+    let out = table2_assemble(tdm, &circuit, &design, &ks, &sessions, stats);
+    rec.exit(column);
+    out
+}
+
+fn table2_assemble(
+    tdm: Tdm,
+    circuit: &Circuit,
+    design: &BilboDesign,
+    ks: &[Kernel],
+    sessions: &[TestSession],
+    stats: Vec<KernelFaultStats>,
+) -> Table2Column {
     let per_kernel =
         |fraction: f64| -> Vec<u64> { stats.iter().map(|s| s.patterns_for(fraction)).collect() };
     let p995 = per_kernel(0.995);
@@ -403,11 +477,11 @@ pub fn table2_column(circuit: &Circuit, tdm: Tdm, options: &Table2Options) -> Ta
         kernel_count: ks.len(),
         session_count: sessions.len(),
         bilbo_count: design.register_count(),
-        max_delay: maximal_delay(&circuit, &design).unwrap_or(0),
+        max_delay: maximal_delay(circuit, design).unwrap_or(0),
         patterns_995: sequential_test_time(&p995),
-        time_995: schedule_test_time(&sessions, &p995),
+        time_995: schedule_test_time(sessions, &p995),
         patterns_100: sequential_test_time(&p100),
-        time_100: schedule_test_time(&sessions, &p100),
+        time_100: schedule_test_time(sessions, &p100),
         kernel_stats: stats,
     }
 }
@@ -523,6 +597,104 @@ pub fn table2_json(columns: &[(Table2Column, Table2Column)]) -> String {
         .flat_map(|(b, k)| [column(b), column(k)])
         .collect();
     format!("{{\"columns\":[{}]}}\n", cols.join(","))
+}
+
+/// A typed failure from one of the bench binaries — replaces the bare
+/// `unwrap()`s that used to abort with an opaque panic. Every variant
+/// renders a human-readable message and the binaries exit nonzero on it.
+#[derive(Debug)]
+pub enum BinError {
+    /// A hard-coded paper structure failed to validate (a programming
+    /// error in the example tables, reported instead of panicking).
+    Structure(String),
+    /// A netlist built by a binary failed to finish.
+    Netlist(bibs_netlist::NetlistError),
+    /// A named register was missing from an example circuit.
+    MissingRegister(String),
+    /// No primitive polynomial is tabulated for the requested degree.
+    NoPolynomial(u32),
+    /// Telemetry could not be written to the requested path.
+    Telemetry(std::io::Error),
+}
+
+impl std::fmt::Display for BinError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BinError::Structure(e) => write!(f, "invalid example structure: {e}"),
+            BinError::Netlist(e) => write!(f, "netlist construction failed: {e}"),
+            BinError::MissingRegister(name) => {
+                write!(f, "example circuit has no register named '{name}'")
+            }
+            BinError::NoPolynomial(degree) => {
+                write!(f, "no primitive polynomial tabulated for degree {degree}")
+            }
+            BinError::Telemetry(e) => write!(f, "cannot write telemetry: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BinError {}
+
+impl From<bibs_netlist::NetlistError> for BinError {
+    fn from(e: bibs_netlist::NetlistError) -> Self {
+        BinError::Netlist(e)
+    }
+}
+
+/// Parsed telemetry options shared by the bench binaries: the
+/// `--telemetry <out.json>` flag plus the `BIBS_TRACE` environment knob.
+#[derive(Debug, Default)]
+pub struct Telemetry {
+    /// Where to write the span-tree JSON, if requested.
+    pub path: Option<std::path::PathBuf>,
+    /// What to print to stderr after the run.
+    pub trace: TraceMode,
+}
+
+impl Telemetry {
+    /// Builds from an already-parsed `--telemetry` value and the process
+    /// environment (`BIBS_TRACE`).
+    pub fn new(path: Option<std::path::PathBuf>) -> Telemetry {
+        Telemetry {
+            path,
+            trace: TraceMode::from_env(),
+        }
+    }
+
+    /// Whether anything downstream will consume a recording — used to
+    /// pick between a live and a [`Recorder::disabled`] recorder so the
+    /// default path stays overhead-free.
+    pub fn wanted(&self) -> bool {
+        self.path.is_some() || self.trace != TraceMode::Off
+    }
+
+    /// A recorder matching [`Telemetry::wanted`].
+    pub fn recorder(&self, root: &str) -> Recorder {
+        if self.wanted() {
+            Recorder::new(root)
+        } else {
+            Recorder::disabled()
+        }
+    }
+
+    /// Finishes the recorder, writes the JSON file (wall clocks included;
+    /// strip `wall_ns` to compare runs) and prints the `BIBS_TRACE`
+    /// output to stderr.
+    pub fn emit(&self, rec: &mut Recorder) -> Result<(), BinError> {
+        if !rec.is_enabled() {
+            return Ok(());
+        }
+        rec.finish();
+        if let Some(path) = &self.path {
+            std::fs::write(path, rec.to_json(true)).map_err(BinError::Telemetry)?;
+        }
+        match self.trace {
+            TraceMode::Off => {}
+            TraceMode::Spans => eprint!("{}", rec.render_spans()),
+            TraceMode::Counters => eprint!("{}", rec.render_counters()),
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,64 @@
+//! The telemetry contract of the observability spine: the exported span
+//! tree and every deterministic counter must be byte-identical across
+//! fault-sim worker-thread counts. Only wall clocks may vary, and
+//! `Recorder::to_json(false)` strips them — so the whole determinism
+//! claim collapses to string equality on the export.
+
+use bibs_bench::{table2_column_traced, Table2Options, Tdm};
+use bibs_datapath::filters::scaled;
+use bibs_obs::Recorder;
+
+fn export(jobs: usize, tdm: Tdm) -> String {
+    let circuit = scaled("c5a2m", 3);
+    let options = Table2Options {
+        jobs,
+        ..Table2Options::default()
+    };
+    let mut rec = Recorder::new("determinism");
+    let _ = table2_column_traced(&circuit, tdm, &options, &mut rec);
+    rec.finish();
+    rec.to_json(false)
+}
+
+#[test]
+fn telemetry_export_is_byte_identical_across_thread_counts() {
+    for tdm in [Tdm::Bibs, Tdm::Ka85] {
+        let baseline = export(1, tdm);
+        assert!(baseline.starts_with("{\"schema\":\"bibs-telemetry/1\""));
+        // The serial run must have recorded real work, not an empty tree.
+        assert!(baseline.contains("\"fault_evals\":"), "{baseline}");
+        for jobs in [2, 4, 8] {
+            assert_eq!(
+                export(jobs, tdm),
+                baseline,
+                "telemetry for {tdm} diverged between jobs=1 and jobs={jobs}"
+            );
+        }
+    }
+}
+
+#[test]
+fn wall_clocks_are_the_only_nondeterministic_content() {
+    // With wall clocks included the export still parses and contains the
+    // same counters; stripping wall_ns must reproduce the wall-free form.
+    let circuit = scaled("c5a2m", 3);
+    let mut rec = Recorder::new("determinism");
+    let _ = table2_column_traced(&circuit, Tdm::Bibs, &Table2Options::default(), &mut rec);
+    rec.finish();
+    let with_wall = rec.to_json(true);
+    let without_wall = rec.to_json(false);
+    let stripped: String = {
+        // Remove `"wall_ns":<digits>,` the same way the ci.sh gate does.
+        let mut out = String::new();
+        let mut rest = with_wall.as_str();
+        while let Some(i) = rest.find("\"wall_ns\":") {
+            out.push_str(&rest[..i]);
+            let tail = &rest[i..];
+            let end = tail.find(',').expect("wall_ns is never the last member") + 1;
+            rest = &tail[end..];
+        }
+        out.push_str(rest);
+        out
+    };
+    assert_eq!(stripped, without_wall);
+}

@@ -38,6 +38,25 @@ pub fn kernels_conflict(design: &BilboDesign, a: &Kernel, b: &Kernel) -> bool {
     tpg_sa
 }
 
+/// [`schedule`] recorded as a `"schedule"` telemetry span: the span's
+/// wall time plus `kernels_scheduled` (input kernels) and
+/// `sessions_scheduled` (colors used) counters.
+pub fn schedule_traced(
+    design: &BilboDesign,
+    kernels: &[Kernel],
+    rec: &mut bibs_obs::Recorder,
+) -> Vec<TestSession> {
+    let span = rec.enter("schedule");
+    let sessions = schedule(design, kernels);
+    rec.add(bibs_obs::CounterId::KernelsScheduled, kernels.len() as u64);
+    rec.add(
+        bibs_obs::CounterId::SessionsScheduled,
+        sessions.len() as u64,
+    );
+    rec.exit(span);
+    sessions
+}
+
 /// Schedules kernels into a minimum number of sessions.
 ///
 /// Exact (iterative-deepening backtracking) for up to 20 kernels, greedy

@@ -348,6 +348,22 @@ pub fn verify_exhaustive(design: &TpgDesign) -> Vec<ConeCoverage> {
     verify_exhaustive_jobs(design, default_jobs())
 }
 
+/// [`verify_exhaustive_jobs`] recorded as a `"verify"` telemetry span:
+/// the span's wall time plus one `cones_verified` count per cone. The
+/// counters are identical for any `jobs` (cone verification is pure), so
+/// the exported telemetry stays thread-count-independent.
+pub fn verify_exhaustive_traced(
+    design: &TpgDesign,
+    jobs: usize,
+    rec: &mut bibs_obs::Recorder,
+) -> Vec<ConeCoverage> {
+    let span = rec.enter("verify");
+    let coverages = verify_exhaustive_jobs(design, jobs);
+    rec.add(bibs_obs::CounterId::ConesVerified, coverages.len() as u64);
+    rec.exit(span);
+    coverages
+}
+
 /// [`verify_exhaustive`] with an explicit worker-thread count. The result
 /// is identical (and in cone order) for any `jobs` — each cone's coverage
 /// is a pure function of the design.

@@ -146,6 +146,9 @@ pub struct Atpg<'a> {
     good: Vec<V3>,
     faulty: Vec<V3>,
     is_po: Vec<bool>,
+    /// Total PODEM backtracks across every [`Atpg::generate`] call on this
+    /// generator; exported as the `podem_backtracks` telemetry counter.
+    backtracks_total: u64,
 }
 
 impl<'a> Atpg<'a> {
@@ -177,7 +180,13 @@ impl<'a> Atpg<'a> {
             good: vec![V3::X; netlist.net_count()],
             faulty: vec![V3::X; netlist.net_count()],
             is_po,
+            backtracks_total: 0,
         }
+    }
+
+    /// Total backtracks taken across every [`Atpg::generate`] call so far.
+    pub fn backtracks_total(&self) -> u64 {
+        self.backtracks_total
     }
 
     /// Picks the X-valued input to drive toward `value`. `hardest` selects
@@ -249,6 +258,7 @@ impl<'a> Atpg<'a> {
                         assignment[pi] = None;
                         if !tried {
                             backtracks += 1;
+                            self.backtracks_total += 1;
                             if backtracks > backtrack_limit {
                                 return AtpgResult::Aborted;
                             }
@@ -461,6 +471,27 @@ impl<'a> Atpg<'a> {
                 AtpgResult::Aborted => out.aborted.push(f),
             }
         }
+        out
+    }
+
+    /// [`Atpg::classify`] wrapped in an `"atpg"` telemetry span: records
+    /// the span's wall time, the faults attempted as `fault_evals` and the
+    /// PODEM backtracks taken by this call as `podem_backtracks`.
+    pub fn classify_traced(
+        &mut self,
+        faults: &[Fault],
+        backtrack_limit: usize,
+        rec: &mut bibs_obs::Recorder,
+    ) -> Classification {
+        let span = rec.enter("atpg");
+        let before = self.backtracks_total;
+        let out = self.classify(faults, backtrack_limit);
+        rec.add(bibs_obs::CounterId::FaultEvals, faults.len() as u64);
+        rec.add(
+            bibs_obs::CounterId::PodemBacktracks,
+            self.backtracks_total - before,
+        );
+        rec.exit(span);
         out
     }
 }

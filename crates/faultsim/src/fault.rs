@@ -385,6 +385,26 @@ impl DominanceCollapse {
         }
     }
 
+    /// [`DominanceCollapse::build`] recorded as a `"collapse"` telemetry
+    /// span: the span's wall time plus the `dominance_classes` counter
+    /// (one per equivalence class produced). The input size is *not*
+    /// re-counted here — the pipeline's `universe_faults` counter already
+    /// covers it.
+    pub fn build_traced(
+        faults: &[Fault],
+        program: &EvalProgram,
+        rec: &mut bibs_obs::Recorder,
+    ) -> DominanceCollapse {
+        let span = rec.enter("collapse");
+        let collapse = DominanceCollapse::build(faults, program);
+        rec.add(
+            bibs_obs::CounterId::DominanceClasses,
+            collapse.rep_count() as u64,
+        );
+        rec.exit(span);
+        collapse
+    }
+
     /// The universe the collapse was built over.
     pub fn faults(&self) -> &[Fault] {
         &self.faults
@@ -442,6 +462,21 @@ impl DominanceCollapse {
             .collect()
     }
 
+    /// [`DominanceCollapse::expand_detection`] recorded as an `"expand"`
+    /// telemetry span with the `faults_expanded` counter (one per universe
+    /// fault receiving a result).
+    pub fn expand_detection_traced(
+        &self,
+        rep_detection: &[Option<u64>],
+        rec: &mut bibs_obs::Recorder,
+    ) -> Vec<Option<u64>> {
+        let span = rec.enter("expand");
+        let full = self.expand_detection(rep_detection);
+        rec.add(bibs_obs::CounterId::FaultsExpanded, full.len() as u64);
+        rec.exit(span);
+        full
+    }
+
     /// Fraction of the universe that still needs simulation
     /// (`rep_count / universe_len`; `1.0` for an empty universe).
     pub fn shrink_ratio(&self) -> f64 {
@@ -477,6 +512,20 @@ impl StaticFaultAnalysis {
     pub fn new(program: &EvalProgram) -> Self {
         let abs = ternary_analyze(program, &PiAssumption::AllX);
         let scoap = Scoap::compute_with(program, Some(&abs));
+        StaticFaultAnalysis { abs, scoap }
+    }
+
+    /// [`StaticFaultAnalysis::new`] with the ternary and SCOAP phases
+    /// recorded as `"ternary"` / `"scoap"` telemetry spans (plus the
+    /// `case_splits` counter) under the recorder's current span.
+    pub fn new_traced(program: &EvalProgram, rec: &mut bibs_obs::Recorder) -> Self {
+        let abs = bibs_netlist::analysis::ternary_analyze_traced(
+            program,
+            &PiAssumption::AllX,
+            Default::default(),
+            rec,
+        );
+        let scoap = Scoap::compute_traced(program, Some(&abs), rec);
         StaticFaultAnalysis { abs, scoap }
     }
 

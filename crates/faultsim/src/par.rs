@@ -41,6 +41,7 @@ use crate::fault::Fault;
 use crate::sim::{BlockSim, FaultSimReport, FaultSimulator};
 use crate::stats::SimStats;
 use bibs_netlist::{EvalProgram, Netlist, Patch};
+use bibs_obs::{CounterId, Recorder, ShardCounters};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
@@ -53,15 +54,22 @@ const STEAL_CHUNK: usize = 32;
 const SERIAL_CUTOFF: usize = 48;
 
 /// One worker shard's outcome for a block: detection hits as
-/// `(undetected-list position, first diff lane)`, faulty-machine
-/// evaluation count, and executed-instruction count.
-type ShardResult = (Vec<(usize, u64)>, u64, u64);
+/// `(undetected-list position, first diff lane)` plus the shard's private
+/// telemetry counters (fault/gate evals, queue pops, wall time).
+type ShardResult = (Vec<(usize, u64)>, ShardCounters);
 
-/// The worker-thread count to use by default: the `BIBS_JOBS` environment
-/// variable if set to a positive integer, otherwise
+/// Resolves a `BIBS_JOBS`-style value to a worker-thread count: a positive
+/// integer wins, anything else (unset, empty, garbage, zero) falls back to
 /// [`std::thread::available_parallelism`] (1 if that is unavailable).
-pub fn default_jobs() -> usize {
-    if let Ok(v) = std::env::var("BIBS_JOBS") {
+///
+/// This is the **pure** core of [`default_jobs`]: it takes the variable's
+/// value as a parameter instead of reading the process environment, so
+/// tests can cover the parse table without `set_var`/`remove_var` races
+/// against concurrently running tests (mutating the environment from a
+/// multi-threaded test harness is UB-adjacent on POSIX and was the source
+/// of a real flake).
+pub fn default_jobs_from(value: Option<&str>) -> usize {
+    if let Some(v) = value {
         if let Ok(n) = v.trim().parse::<usize>() {
             if n >= 1 {
                 return n;
@@ -71,6 +79,14 @@ pub fn default_jobs() -> usize {
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
+}
+
+/// The worker-thread count to use by default: the `BIBS_JOBS` environment
+/// variable if set to a positive integer, otherwise
+/// [`std::thread::available_parallelism`] (1 if that is unavailable).
+/// Parsing lives in [`default_jobs_from`].
+pub fn default_jobs() -> usize {
+    default_jobs_from(std::env::var("BIBS_JOBS").ok().as_deref())
 }
 
 /// Multi-threaded drop-in replacement for [`FaultSimulator`].
@@ -118,7 +134,7 @@ pub struct ParFaultSimulator<'a> {
     faulty_bufs: Vec<Vec<u64>>,
     patterns_applied: u64,
     threads: usize,
-    stats: SimStats,
+    rec: Recorder,
 }
 
 impl<'a> ParFaultSimulator<'a> {
@@ -144,12 +160,10 @@ impl<'a> ParFaultSimulator<'a> {
     ///
     /// Same conditions as [`ParFaultSimulator::new`].
     pub fn with_threads(netlist: &'a Netlist, faults: Vec<Fault>, threads: usize) -> Self {
-        let started = Instant::now();
-        let program = EvalProgram::compile(netlist).expect("acyclic combinational netlist");
-        let compile_wall = started.elapsed();
-        let mut sim = Self::with_program(netlist, program, faults, threads);
-        sim.stats.compile_wall = compile_wall;
-        sim
+        let mut rec = Recorder::new("fault-sim[par]");
+        let program =
+            EvalProgram::compile_traced(netlist, &mut rec).expect("acyclic combinational netlist");
+        Self::with_program_recorder(netlist, program, faults, threads, rec)
     }
 
     /// Creates a parallel simulator around an already-compiled program
@@ -166,6 +180,26 @@ impl<'a> ParFaultSimulator<'a> {
         program: EvalProgram,
         faults: Vec<Fault>,
         threads: usize,
+    ) -> Self {
+        Self::with_program_recorder(
+            netlist,
+            program,
+            faults,
+            threads,
+            Recorder::new("fault-sim[par]"),
+        )
+    }
+
+    /// [`ParFaultSimulator::with_program`] with a caller-supplied
+    /// telemetry recorder. Pass [`Recorder::disabled`] to measure the
+    /// recorder's own hot-loop overhead; stats derived from a disabled
+    /// recorder are all-zero.
+    pub fn with_program_recorder(
+        netlist: &'a Netlist,
+        program: EvalProgram,
+        faults: Vec<Fault>,
+        threads: usize,
+        rec: Recorder,
     ) -> Self {
         assert_eq!(
             netlist.dff_count(),
@@ -200,7 +234,7 @@ impl<'a> ParFaultSimulator<'a> {
             faulty_bufs,
             patterns_applied: 0,
             threads,
-            stats: SimStats::new(threads),
+            rec,
         }
     }
 
@@ -212,6 +246,14 @@ impl<'a> ParFaultSimulator<'a> {
     /// The compiled program shared by the workers.
     pub fn program(&self) -> &EvalProgram {
         &self.program
+    }
+
+    /// The engine's telemetry span tree (root `"fault-sim[par]"`):
+    /// per-block counters on the root, the compile cost as a `"compile"`
+    /// child, one detail child per worker shard. Graft it into a
+    /// pipeline-level recorder with [`Recorder::graft`].
+    pub fn recorder(&self) -> &Recorder {
+        &self.rec
     }
 }
 
@@ -227,8 +269,7 @@ impl BlockSim for ParFaultSimulator<'_> {
         let started = Instant::now();
 
         // Good machine once, shared read-only by every worker.
-        self.stats.gate_evals += self.program.eval_good(&mut self.good, input_words);
-        self.stats.good_evals += 1;
+        let good_gate_evals = self.program.eval_good(&mut self.good, input_words);
 
         let program = &self.program;
         let patches = &self.patches;
@@ -236,25 +277,29 @@ impl BlockSim for ParFaultSimulator<'_> {
         let good = &self.good;
         let output_slots = program.output_slots();
 
-        // Per-shard results:
-        // (hits as (undetected-list position, first diff lane), fault
-        // evals, gate evals).
+        // Per-shard results: detection hits plus the shard's private
+        // telemetry counters. Workers never touch the recorder — each
+        // fills its own ShardCounters (plain u64 adds), and the owning
+        // thread merges them lock-free after the scope joins.
         let shard_results: Vec<ShardResult> =
             if self.threads <= 1 || undetected.len() <= SERIAL_CUTOFF {
                 // Inline path on shard 0 — same program, no spawning.
                 let buf = &mut self.faulty_bufs[0];
                 let mut hits = Vec::new();
-                let mut evals = 0u64;
-                let mut gate_evals = 0u64;
+                let mut shard = ShardCounters::new();
+                let shard_started = Instant::now();
                 for (pos, &fi) in undetected.iter().enumerate() {
-                    gate_evals += program.eval_patched(buf, input_words, patches[fi as usize]);
-                    evals += 1;
+                    let gate_evals = program.eval_patched(buf, input_words, patches[fi as usize]);
+                    shard.add(CounterId::GateEvals, gate_evals);
+                    shard.add(CounterId::FaultEvals, 1);
+                    shard.add(CounterId::PatchesApplied, 1);
                     let diff = eval::output_diff(output_slots, good, buf, lane_mask);
                     if diff != 0 {
                         hits.push((pos, diff.trailing_zeros() as u64));
                     }
                 }
-                vec![(hits, evals, gate_evals)]
+                shard.wall = shard_started.elapsed();
+                vec![(hits, shard)]
             } else {
                 let cursor = AtomicUsize::new(0);
                 let cursor = &cursor;
@@ -265,21 +310,24 @@ impl BlockSim for ParFaultSimulator<'_> {
                         .map(|buf| {
                             s.spawn(move || {
                                 let mut hits: Vec<(usize, u64)> = Vec::new();
-                                let mut evals = 0u64;
-                                let mut gate_evals = 0u64;
+                                let mut shard = ShardCounters::new();
+                                let shard_started = Instant::now();
                                 loop {
                                     let start = cursor.fetch_add(STEAL_CHUNK, Ordering::Relaxed);
                                     if start >= undetected.len() {
                                         break;
                                     }
+                                    shard.add(CounterId::QueuePops, 1);
                                     let end = (start + STEAL_CHUNK).min(undetected.len());
                                     for pos in start..end {
-                                        gate_evals += program.eval_patched(
+                                        let gate_evals = program.eval_patched(
                                             buf,
                                             input_words,
                                             patches[undetected[pos] as usize],
                                         );
-                                        evals += 1;
+                                        shard.add(CounterId::GateEvals, gate_evals);
+                                        shard.add(CounterId::FaultEvals, 1);
+                                        shard.add(CounterId::PatchesApplied, 1);
                                         let diff =
                                             eval::output_diff(output_slots, good, buf, lane_mask);
                                         if diff != 0 {
@@ -287,7 +335,8 @@ impl BlockSim for ParFaultSimulator<'_> {
                                         }
                                     }
                                 }
-                                (hits, evals, gate_evals)
+                                shard.wall = shard_started.elapsed();
+                                (hits, shard)
                             })
                         })
                         .collect();
@@ -299,13 +348,13 @@ impl BlockSim for ParFaultSimulator<'_> {
             };
 
         // Deterministic merge: workers own disjoint positions, and each
-        // hit's detection index depends only on (fault, block).
+        // hit's detection index depends only on (fault, block). Shard
+        // counters merge into the root span plus one detail child per
+        // shard index — the root totals are thread-count-independent.
+        let root = self.rec.root();
         let mut newly = 0usize;
-        for (shard, (hits, evals, gate_evals)) in shard_results.into_iter().enumerate() {
-            self.stats.per_shard_fault_evals[shard] += evals;
-            self.stats.fault_evals += evals;
-            self.stats.gate_evals += gate_evals;
-            self.stats.patches_applied += evals;
+        for (shard_idx, (hits, shard)) in shard_results.into_iter().enumerate() {
+            self.rec.attach_shard(root, shard_idx as u32, &shard);
             for (pos, lane) in hits {
                 let fi = self.undetected[pos] as usize;
                 debug_assert!(self.detection[fi].is_none());
@@ -318,9 +367,14 @@ impl BlockSim for ParFaultSimulator<'_> {
             .retain(|&fi| detection[fi as usize].is_none());
 
         self.patterns_applied += lanes as u64;
-        self.stats.blocks += 1;
-        self.stats.faults_dropped += newly as u64;
-        self.stats.wall += started.elapsed();
+        self.rec.add_to(root, CounterId::GateEvals, good_gate_evals);
+        self.rec.add_to(root, CounterId::GoodEvals, 1);
+        self.rec.add_to(root, CounterId::Blocks, 1);
+        self.rec
+            .add_to(root, CounterId::PatternsConsumed, lanes as u64);
+        self.rec
+            .add_to(root, CounterId::FaultsDropped, newly as u64);
+        self.rec.add_wall(root, started.elapsed());
         newly
     }
 
@@ -337,7 +391,7 @@ impl BlockSim for ParFaultSimulator<'_> {
             self.faults.clone(),
             self.detection.clone(),
             self.patterns_applied,
-            self.stats.clone(),
+            SimStats::from_recorder(&self.rec, self.threads),
         )
     }
 }
@@ -438,13 +492,34 @@ mod tests {
     }
 
     #[test]
-    fn jobs_env_overrides_parallelism() {
-        // Serialized via the single-threaded test harness assumption is
-        // unsafe; instead only check the parse path through a helper value.
+    fn jobs_parse_table() {
+        // Pure-function coverage of the BIBS_JOBS parse rules; no
+        // process-environment mutation (set_var/remove_var from a
+        // multi-threaded test harness races other tests reading env).
+        assert_eq!(default_jobs_from(Some("3")), 3);
+        assert_eq!(default_jobs_from(Some(" 4 ")), 4);
+        assert_eq!(default_jobs_from(Some("1")), 1);
+        // Unset / garbage / zero / empty all fall back to a positive count.
+        assert!(default_jobs_from(None) >= 1);
+        assert!(default_jobs_from(Some("not-a-number")) >= 1);
+        assert!(default_jobs_from(Some("0")) >= 1);
+        assert!(default_jobs_from(Some("")) >= 1);
+        assert!(default_jobs_from(Some("-2")) >= 1);
+        // The fallback is the same for every non-positive spelling.
+        let fallback = default_jobs_from(None);
+        assert_eq!(default_jobs_from(Some("0")), fallback);
+        assert_eq!(default_jobs_from(Some("garbage")), fallback);
+    }
+
+    /// End-to-end check that [`default_jobs`] really reads `BIBS_JOBS`.
+    /// Ignored by default: it mutates the process environment, which is
+    /// only safe when no other test thread is running. Run explicitly with
+    /// `cargo test -p bibs-faultsim -- --ignored --test-threads=1`.
+    #[test]
+    #[ignore = "mutates process env; run single-threaded via --ignored --test-threads=1"]
+    fn jobs_env_integration() {
         std::env::set_var("BIBS_JOBS", "3");
         assert_eq!(default_jobs(), 3);
-        std::env::set_var("BIBS_JOBS", "not-a-number");
-        assert!(default_jobs() >= 1);
         std::env::remove_var("BIBS_JOBS");
         assert!(default_jobs() >= 1);
     }

@@ -26,6 +26,7 @@ use crate::fault::{Fault, FaultSite};
 use crate::sim::{BlockSim, FaultSimReport};
 use crate::stats::SimStats;
 use bibs_netlist::{GateId, NetDriver, Netlist};
+use bibs_obs::{CounterId, Recorder, ShardCounters};
 use std::time::Instant;
 
 /// Evaluates the fault-free machine into `values` (one word per net, one
@@ -122,7 +123,7 @@ pub struct ReferenceSimulator<'a> {
     good: Vec<u64>,
     faulty: Vec<u64>,
     patterns_applied: u64,
-    stats: SimStats,
+    rec: Recorder,
 }
 
 impl<'a> ReferenceSimulator<'a> {
@@ -149,8 +150,15 @@ impl<'a> ReferenceSimulator<'a> {
             good: vec![0u64; netlist.net_count()],
             faulty: vec![0u64; netlist.net_count()],
             patterns_applied: 0,
-            stats: SimStats::new(1),
+            rec: Recorder::new("fault-sim[reference]"),
         }
+    }
+
+    /// The engine's telemetry span tree (root `"fault-sim[reference]"`).
+    /// The interpreter has no compile phase, so the tree is just the root
+    /// plus the single shard-0 detail child.
+    pub fn recorder(&self) -> &Recorder {
+        &self.rec
     }
 }
 
@@ -173,11 +181,12 @@ impl BlockSim for ReferenceSimulator<'_> {
             &mut self.good,
             &mut scratch,
         );
-        self.stats.good_evals += 1;
-        self.stats.gate_evals += self.netlist.gate_count() as u64;
+        let good_gate_evals = self.netlist.gate_count() as u64;
 
         let outputs: Vec<usize> = self.netlist.outputs().iter().map(|o| o.index()).collect();
         let mut newly = 0usize;
+        let mut shard = ShardCounters::new();
+        let shard_started = Instant::now();
         for fi in 0..self.faults.len() {
             if self.detection[fi].is_some() {
                 continue;
@@ -190,9 +199,8 @@ impl BlockSim for ReferenceSimulator<'_> {
                 &mut self.faulty,
                 &mut scratch,
             );
-            self.stats.fault_evals += 1;
-            self.stats.gate_evals += self.netlist.gate_count() as u64;
-            self.stats.per_shard_fault_evals[0] += 1;
+            shard.add(CounterId::GateEvals, self.netlist.gate_count() as u64);
+            shard.add(CounterId::FaultEvals, 1);
             let diff = output_diff_nets(&outputs, &self.good, &self.faulty, lane_mask);
             if diff != 0 {
                 let lane = diff.trailing_zeros() as u64;
@@ -200,10 +208,18 @@ impl BlockSim for ReferenceSimulator<'_> {
                 newly += 1;
             }
         }
+        shard.wall = shard_started.elapsed();
         self.patterns_applied += lanes as u64;
-        self.stats.blocks += 1;
-        self.stats.faults_dropped += newly as u64;
-        self.stats.wall += started.elapsed();
+        let root = self.rec.root();
+        self.rec.attach_shard(root, 0, &shard);
+        self.rec.add_to(root, CounterId::GateEvals, good_gate_evals);
+        self.rec.add_to(root, CounterId::GoodEvals, 1);
+        self.rec.add_to(root, CounterId::Blocks, 1);
+        self.rec
+            .add_to(root, CounterId::PatternsConsumed, lanes as u64);
+        self.rec
+            .add_to(root, CounterId::FaultsDropped, newly as u64);
+        self.rec.add_wall(root, started.elapsed());
         newly
     }
 
@@ -220,7 +236,7 @@ impl BlockSim for ReferenceSimulator<'_> {
             self.faults.clone(),
             self.detection.clone(),
             self.patterns_applied,
-            self.stats.clone(),
+            SimStats::from_recorder(&self.rec, 1),
         )
     }
 }

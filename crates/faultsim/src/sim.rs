@@ -18,6 +18,7 @@ use crate::eval;
 use crate::fault::Fault;
 use crate::stats::SimStats;
 use bibs_netlist::{EvalProgram, Netlist, Patch};
+use bibs_obs::{CounterId, Recorder, ShardCounters};
 use rand::Rng;
 use std::time::Instant;
 
@@ -320,25 +321,24 @@ pub struct FaultSimulator<'a> {
     good: Vec<u64>,
     faulty: Vec<u64>,
     patterns_applied: u64,
-    stats: SimStats,
+    rec: Recorder,
 }
 
 impl<'a> FaultSimulator<'a> {
     /// Creates a simulator over `netlist` for the given fault list,
     /// compiling the netlist to an [`EvalProgram`] (the compile time is
-    /// recorded in [`SimStats::compile_wall`]).
+    /// recorded as a `"compile"` child span, surfaced through
+    /// [`SimStats::compile_wall`]).
     ///
     /// # Panics
     ///
     /// Panics if the netlist is sequential (run on the combinational
     /// equivalent — see the crate docs) or combinationally cyclic.
     pub fn new(netlist: &'a Netlist, faults: Vec<Fault>) -> Self {
-        let started = Instant::now();
-        let program = EvalProgram::compile(netlist).expect("acyclic combinational netlist");
-        let compile_wall = started.elapsed();
-        let mut sim = Self::with_program(netlist, program, faults);
-        sim.stats.compile_wall = compile_wall;
-        sim
+        let mut rec = Recorder::new("fault-sim[serial]");
+        let program =
+            EvalProgram::compile_traced(netlist, &mut rec).expect("acyclic combinational netlist");
+        Self::with_program_recorder(netlist, program, faults, rec)
     }
 
     /// Creates a simulator around an already-compiled program for the
@@ -350,6 +350,19 @@ impl<'a> FaultSimulator<'a> {
     /// Panics if the netlist is sequential or if `program` was not
     /// compiled from `netlist` (slot count is the cheap proxy checked).
     pub fn with_program(netlist: &'a Netlist, program: EvalProgram, faults: Vec<Fault>) -> Self {
+        Self::with_program_recorder(netlist, program, faults, Recorder::new("fault-sim[serial]"))
+    }
+
+    /// [`FaultSimulator::with_program`] with a caller-supplied telemetry
+    /// recorder. Pass [`Recorder::disabled`] to measure the recorder's own
+    /// hot-loop overhead (the criterion `obs` bench does exactly that);
+    /// stats derived from a disabled recorder are all-zero.
+    pub fn with_program_recorder(
+        netlist: &'a Netlist,
+        program: EvalProgram,
+        faults: Vec<Fault>,
+        rec: Recorder,
+    ) -> Self {
         assert_eq!(
             netlist.dff_count(),
             0,
@@ -376,13 +389,21 @@ impl<'a> FaultSimulator<'a> {
             good,
             faulty,
             patterns_applied: 0,
-            stats: SimStats::new(1),
+            rec,
         }
     }
 
     /// The compiled program driving this simulator.
     pub fn program(&self) -> &EvalProgram {
         &self.program
+    }
+
+    /// The engine's telemetry span tree (root `"fault-sim[serial]"`):
+    /// per-block counters on the root, the compile cost as a `"compile"`
+    /// child, the single shard as a detail child. Graft it into a
+    /// pipeline-level recorder with [`Recorder::graft`].
+    pub fn recorder(&self) -> &Recorder {
+        &self.rec
     }
 }
 
@@ -398,20 +419,22 @@ impl BlockSim for FaultSimulator<'_> {
         let started = Instant::now();
 
         // Good machine, shared by every fault of the block.
-        self.stats.gate_evals += self.program.eval_good(&mut self.good, input_words);
-        self.stats.good_evals += 1;
+        let good_gate_evals = self.program.eval_good(&mut self.good, input_words);
 
+        // The fault loop counts into a private ShardCounters (plain u64
+        // adds, no span-stack lookups) that is attached once per block.
+        let mut shard = ShardCounters::new();
         let mut newly = 0usize;
         for fi in 0..self.faults.len() {
             if self.detection[fi].is_some() {
                 continue;
             }
-            self.stats.gate_evals +=
+            let gate_evals =
                 self.program
                     .eval_patched(&mut self.faulty, input_words, self.patches[fi]);
-            self.stats.fault_evals += 1;
-            self.stats.patches_applied += 1;
-            self.stats.per_shard_fault_evals[0] += 1;
+            shard.add(CounterId::GateEvals, gate_evals);
+            shard.add(CounterId::FaultEvals, 1);
+            shard.add(CounterId::PatchesApplied, 1);
             let diff = eval::output_diff(
                 self.program.output_slots(),
                 &self.good,
@@ -425,9 +448,17 @@ impl BlockSim for FaultSimulator<'_> {
             }
         }
         self.patterns_applied += lanes as u64;
-        self.stats.blocks += 1;
-        self.stats.faults_dropped += newly as u64;
-        self.stats.wall += started.elapsed();
+
+        let root = self.rec.root();
+        self.rec.add_to(root, CounterId::GateEvals, good_gate_evals);
+        self.rec.add_to(root, CounterId::GoodEvals, 1);
+        self.rec.add_to(root, CounterId::Blocks, 1);
+        self.rec
+            .add_to(root, CounterId::PatternsConsumed, lanes as u64);
+        self.rec
+            .add_to(root, CounterId::FaultsDropped, newly as u64);
+        self.rec.attach_shard(root, 0, &shard);
+        self.rec.add_wall(root, started.elapsed());
         newly
     }
 
@@ -444,7 +475,7 @@ impl BlockSim for FaultSimulator<'_> {
             faults: self.faults.clone(),
             detection: self.detection.clone(),
             patterns_applied: self.patterns_applied,
-            stats: self.stats.clone(),
+            stats: SimStats::from_recorder(&self.rec, 1),
         }
     }
 }

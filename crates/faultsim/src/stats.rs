@@ -1,6 +1,14 @@
 //! Fault-simulation observability: per-run counters exposed through
 //! [`crate::sim::FaultSimReport::stats`] and printed by the bench bins.
+//!
+//! Since the telemetry-spine refactor these counters are **derived from**
+//! an engine's [`bibs_obs::Recorder`] span tree
+//! ([`SimStats::from_recorder`]) rather than hand-maintained: the engines
+//! record into span counters ([`bibs_obs::CounterId`]) and per-shard
+//! detail spans, and `SimStats` is the flattened read-model the bins
+//! print. The two views can never drift because only one is written.
 
+use bibs_obs::{CounterId, Recorder};
 use std::fmt;
 use std::time::Duration;
 
@@ -73,6 +81,54 @@ impl SimStats {
         }
     }
 
+    /// Derives the flat counter view from an engine's span tree.
+    ///
+    /// Mapping (all read from the recorder's **root** span):
+    ///
+    /// * totals — root counters ([`CounterId::Blocks`],
+    ///   [`CounterId::GoodEvals`], [`CounterId::FaultEvals`],
+    ///   [`CounterId::GateEvals`], [`CounterId::PatchesApplied`],
+    ///   [`CounterId::FaultsDropped`], [`CounterId::UniverseFaults`],
+    ///   [`CounterId::SimulatedFaults`], [`CounterId::UntestableStatic`]);
+    /// * [`SimStats::per_shard_fault_evals`] — the per-shard *detail*
+    ///   children under the root ([`Recorder::shard_counter`]), one entry
+    ///   per configured worker (0 for shards that never reported);
+    /// * [`SimStats::wall`] — the root span's accumulated wall clock (the
+    ///   engines add each `apply_block`'s elapsed time explicitly);
+    /// * [`SimStats::compile_wall`] / [`SimStats::analysis_wall`] — the
+    ///   wall clocks of the `"compile"` / `"analyze"` child spans, zero
+    ///   when absent.
+    ///
+    /// A [`Recorder::disabled`] recorder yields all-zero stats.
+    pub fn from_recorder(rec: &Recorder, threads: usize) -> SimStats {
+        let root = rec.root();
+        let c = rec.span_counters(root);
+        SimStats {
+            threads,
+            blocks: c.get(CounterId::Blocks),
+            good_evals: c.get(CounterId::GoodEvals),
+            fault_evals: c.get(CounterId::FaultEvals),
+            per_shard_fault_evals: (0..threads)
+                .map(|i| rec.shard_counter(root, i as u32, CounterId::FaultEvals))
+                .collect(),
+            faults_dropped: c.get(CounterId::FaultsDropped),
+            wall: rec.span_wall(root),
+            compile_wall: rec
+                .find(root, "compile")
+                .map(|s| rec.span_wall(s))
+                .unwrap_or(Duration::ZERO),
+            gate_evals: c.get(CounterId::GateEvals),
+            patches_applied: c.get(CounterId::PatchesApplied),
+            universe_faults: c.get(CounterId::UniverseFaults),
+            simulated_faults: c.get(CounterId::SimulatedFaults),
+            untestable_static: c.get(CounterId::UntestableStatic),
+            analysis_wall: rec
+                .find(root, "analyze")
+                .map(|s| rec.span_wall(s))
+                .unwrap_or(Duration::ZERO),
+        }
+    }
+
     /// Faulty-machine evaluations per wall-clock second (the engine's
     /// primary throughput figure); 0.0 before any time has elapsed.
     pub fn fault_evals_per_second(&self) -> f64 {
@@ -98,18 +154,32 @@ impl SimStats {
 
     /// Fraction of the fault universe that was actually simulated
     /// (`simulated_faults / universe_faults`) — the end-to-end shrink from
-    /// dominance collapsing plus static-untestability skipping. Returns
-    /// 1.0 when the pre-analysis did not run (`universe_faults == 0`).
+    /// dominance collapsing plus static-untestability skipping.
+    ///
+    /// Always a finite value in `0.0..=1.0`: a zero-fault universe (no
+    /// pre-analysis, or a kernel with literally nothing to test) reports
+    /// 1.0 rather than `NaN`/`∞`, and an inconsistent
+    /// `simulated > universe` pair is clamped to 1.0. Pinned by the
+    /// degenerate-case tests below.
     pub fn collapse_ratio(&self) -> f64 {
         if self.universe_faults == 0 {
-            1.0
+            return 1.0;
+        }
+        let r = self.simulated_faults as f64 / self.universe_faults as f64;
+        if r.is_finite() {
+            r.min(1.0)
         } else {
-            self.simulated_faults as f64 / self.universe_faults as f64
+            1.0
         }
     }
 
     /// Ratio of the busiest shard's evaluation count to the mean — 1.0 is
-    /// perfect balance. Returns 1.0 when nothing was evaluated.
+    /// perfect balance.
+    ///
+    /// Always finite and `>= 1.0`: an empty shard list (zero-thread
+    /// stats), a run where nothing was evaluated, or any division that
+    /// would produce `NaN`/`∞` all report the neutral 1.0. Pinned by the
+    /// degenerate-case tests below.
     pub fn shard_imbalance(&self) -> f64 {
         let n = self.per_shard_fault_evals.len();
         if n == 0 || self.fault_evals == 0 {
@@ -122,9 +192,13 @@ impl SimStats {
             .expect("non-empty shard list") as f64;
         let mean = self.fault_evals as f64 / n as f64;
         if mean <= 0.0 {
-            1.0
+            return 1.0;
+        }
+        let r = max / mean;
+        if r.is_finite() {
+            r.max(1.0)
         } else {
-            max / mean
+            1.0
         }
     }
 }
@@ -210,6 +284,95 @@ mod tests {
             !line.contains("collapse"),
             "analysis block hidden without a universe"
         );
+    }
+
+    #[test]
+    fn degenerate_shard_lists_clamp_to_one() {
+        // Zero threads: empty shard list must not divide by zero.
+        let mut s = SimStats::new(0);
+        assert_eq!(s.shard_imbalance(), 1.0);
+        assert!(s.shard_imbalance().is_finite());
+        // Evaluations recorded but no shard entries (a hand-built stats
+        // value a careless caller could produce): still defined.
+        s.fault_evals = 10;
+        assert_eq!(s.shard_imbalance(), 1.0);
+        // Shards present but nothing evaluated.
+        let s = SimStats::new(4);
+        assert_eq!(s.shard_imbalance(), 1.0);
+        // Inconsistent totals (fault_evals == 0 but shards nonzero).
+        let mut s = SimStats::new(2);
+        s.per_shard_fault_evals = vec![5, 0];
+        assert_eq!(s.shard_imbalance(), 1.0, "fault_evals=0 short-circuits");
+        // The result is never below 1.0 even with an inconsistent max.
+        let mut s = SimStats::new(2);
+        s.per_shard_fault_evals = vec![1, 1];
+        s.fault_evals = 100;
+        assert!(s.shard_imbalance() >= 1.0);
+    }
+
+    #[test]
+    fn degenerate_universes_clamp_collapse_ratio() {
+        // Zero-fault universe: defined, not NaN.
+        let mut s = SimStats::new(1);
+        s.universe_faults = 0;
+        s.simulated_faults = 0;
+        assert_eq!(s.collapse_ratio(), 1.0);
+        assert!(s.collapse_ratio().is_finite());
+        // Simulated > universe (inconsistent caller): clamped to 1.0.
+        s.universe_faults = 10;
+        s.simulated_faults = 20;
+        assert_eq!(s.collapse_ratio(), 1.0);
+        // Normal case untouched.
+        s.simulated_faults = 5;
+        assert!((s.collapse_ratio() - 0.5).abs() < 1e-12);
+        // Display of a fully degenerate stats value never panics.
+        let line = SimStats::new(0).to_string();
+        assert!(line.contains("0 thread(s)"));
+    }
+
+    #[test]
+    fn from_recorder_derives_the_flat_view() {
+        use bibs_obs::{CounterId as C, Recorder, ShardCounters};
+        let mut rec = Recorder::new("fault-sim[par]");
+        let c = rec.enter("compile");
+        rec.add(C::Instructions, 10);
+        rec.exit(c);
+        let root = rec.root();
+        rec.add_to(root, C::Blocks, 3);
+        rec.add_to(root, C::GoodEvals, 3);
+        rec.add_to(root, C::GateEvals, 30);
+        rec.add_to(root, C::FaultsDropped, 2);
+        let mut s0 = ShardCounters::new();
+        s0.add(C::FaultEvals, 8);
+        s0.add(C::GateEvals, 80);
+        s0.add(C::PatchesApplied, 8);
+        let mut s1 = ShardCounters::new();
+        s1.add(C::FaultEvals, 4);
+        s1.add(C::GateEvals, 40);
+        s1.add(C::PatchesApplied, 4);
+        rec.attach_shard(root, 0, &s0);
+        rec.attach_shard(root, 1, &s1);
+        rec.add_wall(root, Duration::from_millis(5));
+
+        let stats = SimStats::from_recorder(&rec, 2);
+        assert_eq!(stats.threads, 2);
+        assert_eq!(stats.blocks, 3);
+        assert_eq!(stats.good_evals, 3);
+        assert_eq!(stats.fault_evals, 12);
+        assert_eq!(stats.per_shard_fault_evals, vec![8, 4]);
+        assert_eq!(stats.gate_evals, 150);
+        assert_eq!(stats.patches_applied, 12);
+        assert_eq!(stats.faults_dropped, 2);
+        assert_eq!(stats.wall, Duration::from_millis(5));
+        assert!(stats.compile_wall <= stats.wall.max(Duration::from_secs(1)));
+        assert_eq!(stats.analysis_wall, Duration::ZERO);
+        // Shards that never reported read as zero.
+        let wide = SimStats::from_recorder(&rec, 4);
+        assert_eq!(wide.per_shard_fault_evals, vec![8, 4, 0, 0]);
+        // A disabled recorder derives all-zero stats.
+        let empty = SimStats::from_recorder(&Recorder::disabled(), 1);
+        assert_eq!(empty.fault_evals, 0);
+        assert_eq!(empty.per_shard_fault_evals, vec![0]);
     }
 
     #[test]

@@ -94,9 +94,14 @@ impl Misr {
     ///
     /// # Panics
     ///
-    /// Panics if the width exceeds 64.
+    /// Panics if the width exceeds 64 — wide registers must use
+    /// [`Misr::absorb`], the width-agnostic primary API.
     pub fn absorb_u64(&mut self, word: u64) {
-        assert!(self.width() <= 64);
+        assert!(
+            self.width() <= 64,
+            "absorb_u64 requires width <= 64 (width is {}); use absorb(&BitVec) for wide MISRs",
+            self.width()
+        );
         let bits = BitVec::from_u64(word, self.width());
         self.absorb(&bits);
     }
@@ -106,14 +111,41 @@ impl Misr {
         &self.state
     }
 
-    /// The current signature packed into a `u64`.
+    /// The current signature as an owned [`BitVec`] — the **primary**,
+    /// width-agnostic accessor. Works for any register width, including
+    /// the > 64-stage signature analyzers a wide kernel's response bus
+    /// needs; [`Misr::signature_u64`] is a convenience wrapper that only
+    /// exists for narrow registers.
+    pub fn signature_bits(&self) -> BitVec {
+        self.state.clone()
+    }
+
+    /// The current signature packed into a `u64`, or `None` if the width
+    /// exceeds 64 bits (use [`Misr::signature_bits`] instead).
+    pub fn try_signature_u64(&self) -> Option<u64> {
+        if self.width() <= 64 {
+            Some(self.state.to_u64())
+        } else {
+            None
+        }
+    }
+
+    /// The current signature packed into a `u64`. Checked wrapper over
+    /// [`Misr::signature_bits`] / [`Misr::try_signature_u64`].
     ///
     /// # Panics
     ///
-    /// Panics if the width exceeds 64.
+    /// Panics (with the offending width in the message) if the width
+    /// exceeds 64; wide signatures must go through
+    /// [`Misr::signature_bits`].
     pub fn signature_u64(&self) -> u64 {
-        assert!(self.width() <= 64);
-        self.state.to_u64()
+        match self.try_signature_u64() {
+            Some(sig) => sig,
+            None => panic!(
+                "signature_u64 requires width <= 64 (width is {}); use signature_bits()",
+                self.width()
+            ),
+        }
     }
 
     /// Resets the signature to zero.
@@ -133,7 +165,7 @@ impl Misr {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::poly::primitive_polynomial;
+    use crate::poly::{primitive_polynomial, Polynomial};
 
     #[test]
     fn identical_streams_give_identical_signatures() {
@@ -186,6 +218,44 @@ mod tests {
         let p = primitive_polynomial(16).unwrap();
         let m = Misr::new(&p);
         assert!((m.aliasing_probability() - 1.0 / 65536.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wide_misr_works_through_bitvec_api() {
+        // 65 stages: beyond the u64 fast path. x^65 + x^18 + 1 is a
+        // primitive trinomial; Misr only needs the degree/taps anyway.
+        let p = Polynomial::from_exponents(&[65, 18, 0]);
+        assert_eq!(p.degree(), 65);
+        let mut good = Misr::new(&p);
+        let mut bad = Misr::new(&p);
+        assert_eq!(good.width(), 65);
+        for t in 0u64..200 {
+            let mut w = BitVec::zeros(65);
+            for i in 0..65 {
+                w.set(i, (t.wrapping_mul(0x9E37_79B9) >> (i % 64)) & 1 == 1);
+            }
+            good.absorb(&w);
+            if t == 77 {
+                // Flip the top stage — the one a u64 path would drop.
+                let v = w.get(64);
+                w.set(64, !v);
+            }
+            bad.absorb(&w);
+        }
+        // The wide accessor works and sees the corruption...
+        assert_ne!(good.signature_bits(), bad.signature_bits());
+        assert_eq!(good.signature_bits().len(), 65);
+        // ...while the packed accessor reports the width overflow instead
+        // of silently truncating.
+        assert_eq!(good.try_signature_u64(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "use signature_bits()")]
+    fn wide_signature_u64_panics_with_width_in_message() {
+        let p = Polynomial::from_exponents(&[65, 18, 0]);
+        let m = Misr::new(&p);
+        let _ = m.signature_u64();
     }
 
     #[test]

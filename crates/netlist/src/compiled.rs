@@ -255,6 +255,30 @@ impl EvalProgram {
         })
     }
 
+    /// [`EvalProgram::compile`] wrapped in a telemetry span: records a
+    /// `compile` child span on `rec` whose wall clock is the compile time
+    /// and whose counters carry the program's
+    /// [`Instructions`](bibs_obs::CounterId::Instructions) and
+    /// [`Slots`](bibs_obs::CounterId::Slots). A disabled recorder makes
+    /// this identical to the plain entry point.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`EvalProgram::compile`].
+    pub fn compile_traced(
+        netlist: &Netlist,
+        rec: &mut bibs_obs::Recorder,
+    ) -> Result<EvalProgram, NetlistError> {
+        let span = rec.enter("compile");
+        let result = Self::compile(netlist);
+        if let Ok(p) = &result {
+            rec.add(bibs_obs::CounterId::Instructions, p.instr_count() as u64);
+            rec.add(bibs_obs::CounterId::Slots, p.slot_count() as u64);
+        }
+        rec.exit(span);
+        result
+    }
+
     /// Number of value-buffer slots (equals the source netlist's net
     /// count; slot `i` carries net `i`).
     pub fn slot_count(&self) -> usize {

@@ -24,4 +24,5 @@ pub use bibs_faultsim as faultsim;
 pub use bibs_lfsr as lfsr;
 pub use bibs_lint as lint;
 pub use bibs_netlist as netlist;
+pub use bibs_obs as obs;
 pub use bibs_rtl as rtl;
