@@ -40,6 +40,18 @@ if cargo run --release -p bibs-lint --bin bibs-lint -- \
 fi
 grep -q "B000" /tmp/bibs-lint-bad.txt
 
+step "bibs-lint accepts .bench targets and rejects the broken one"
+cargo run --release -p bibs-lint --bin bibs-lint -- --deny warnings \
+  circuits/c5a2m.bench > /tmp/bibs-lint-bench.txt
+grep -q "0 deny" /tmp/bibs-lint-bench.txt
+if cargo run --release -p bibs-lint --bin bibs-lint -- \
+  circuits/bad_double_drive.bench > /tmp/bibs-lint-bad-bench.txt 2>&1; then
+  echo "ci.sh: broken .bench fixture unexpectedly passed the lint" >&2
+  exit 1
+fi
+grep -q "B000" /tmp/bibs-lint-bad-bench.txt
+grep -q "defined more than once" /tmp/bibs-lint-bad-bench.txt
+
 step "bibs-lint semantic gate (paper datapaths: zero statically untestable faults)"
 # The paper's premise is that the datapath kernels are fully functionally
 # testable: the semantic passes may report warn/allow findings from the
@@ -125,6 +137,42 @@ if cargo run --release -p bibs-bench --bin bits -- circuits/does_not_exist.ckt \
 fi
 grep -q "cannot read" /tmp/bibs-bits-missing.txt
 grep -vq "panicked" /tmp/bibs-bits-missing.txt
+
+step "circuit formats: committed c5a2m fixtures are byte-stable"
+# The committed .ckt/.bench fixtures must regenerate byte-identically
+# from the built-in datapath, and .bench must be a print->parse->print
+# fixpoint (including the RTL sidecar).
+cargo run --release -p bibs-bench --bin convert -- c5a2m@8 -:ckt \
+  | diff - circuits/c5a2m.ckt
+cargo run --release -p bibs-bench --bin convert -- c5a2m@8 -:bench \
+  | diff - circuits/c5a2m.bench
+cargo run --release -p bibs-bench --bin convert -- circuits/c5a2m.bench -:bench \
+  | diff - circuits/c5a2m.bench
+
+step "circuit formats: table2 JSON is route-independent (.bench vs built-in)"
+# Loading c5a2m through the .bench front door (RTL sidecar) must produce
+# byte-identical table2 JSON to the built-in construction.
+cargo run --release -p bibs-bench --bin table2 -- --circuit circuits/c5a2m.bench \
+  --json > /tmp/bibs-table2-benchroute.json
+diff /tmp/bibs-table2-benchroute.json /tmp/bibs-table2-compiled.json
+
+step "fuzz corpus: committed seeds are in sync with the generators"
+rm -rf /tmp/bibs-fuzz-seeds && mkdir -p /tmp/bibs-fuzz-seeds
+cargo run --release -p bibs-corpus --bin bibs-fuzz -- --write-seeds \
+  --corpus /tmp/bibs-fuzz-seeds > /dev/null
+for f in /tmp/bibs-fuzz-seeds/*.bench; do
+  diff "$f" "corpus/$(basename "$f")"
+done
+
+step "fuzz smoke (200 seeded cases through the four differential oracles)"
+# Time-boxed; a divergence writes a minimized fixture to
+# corpus/regressions/ and fails the run.
+timeout 300 cargo run --release -p bibs-corpus --bin bibs-fuzz -- --smoke \
+  --cases 200 | tee /tmp/bibs-fuzz-smoke.txt
+grep -q "0 divergence(s)" /tmp/bibs-fuzz-smoke.txt
+
+step "fuzz regressions gate (committed fixtures stay fixed)"
+timeout 300 cargo run --release -p bibs-corpus --bin bibs-fuzz -- --regressions
 
 step "criterion bench smoke-build"
 cargo bench --workspace --no-run -q

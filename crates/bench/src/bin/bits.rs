@@ -6,10 +6,13 @@
 //! explores the BISTable design space ..., generates an optimal test
 //! schedule, designs low area and high fault coverage TPGs and SAs,
 //! synthesizes a test controller, and finally exports the fully testable
-//! circuit". This binary runs that flow on a circuit text file:
+//! circuit". This binary runs that flow on a circuit file — `.ckt`, or a
+//! `.bench` carrying an `# rtl:` sidecar (the flow starts from RTL, so a
+//! plain gate-level `.bench` is rejected):
 //!
 //! ```text
 //! cargo run --release -p bibs-bench --bin bits -- circuits/mac.ckt
+//! cargo run --release -p bibs-bench --bin bits -- circuits/c5a2m.bench
 //! cargo run --release -p bibs-bench --bin bits -- circuits/fig4.ckt --tdm ka85
 //! cargo run --release -p bibs-bench --bin bits -- circuits/mac.ckt --telemetry out.json
 //! ```
@@ -33,7 +36,6 @@ use bibs_faultsim::par::default_jobs;
 use bibs_lfsr::bilbo::AreaModel;
 use bibs_lint::{lint_circuit, lint_design, LintConfig, Severity};
 use bibs_obs::Recorder;
-use bibs_rtl::fmt::from_text;
 use bibs_rtl::{Circuit, VertexKind};
 use std::process::ExitCode;
 
@@ -49,7 +51,7 @@ fn main() -> ExitCode {
         p
     });
     let Some(path) = args.first() else {
-        eprintln!("usage: bits <circuit.ckt> [--tdm bibs|ka85] [--telemetry out.json]");
+        eprintln!("usage: bits <circuit.{{ckt,bench}}> [--tdm bibs|ka85] [--telemetry out.json]");
         return ExitCode::FAILURE;
     };
     let tdm = args
@@ -59,19 +61,20 @@ fn main() -> ExitCode {
         .map(String::as_str)
         .unwrap_or("bibs");
 
-    let text = match std::fs::read_to_string(path) {
-        Ok(t) => t,
+    let loaded = match bibs_datapath::front::load_path(std::path::Path::new(path)) {
+        Ok(l) => l,
         Err(e) => {
-            eprintln!("bits: cannot read {path}: {e}");
+            eprintln!("bits: {e}");
             return ExitCode::FAILURE;
         }
     };
-    let circuit = match from_text(&text) {
-        Ok(c) => c,
-        Err(e) => {
-            eprintln!("bits: cannot parse {path}: {e}");
-            return ExitCode::FAILURE;
-        }
+    let Some(circuit) = loaded.circuit().cloned() else {
+        eprintln!(
+            "bits: {path} is a gate-level netlist with no register-transfer view; \
+             the BITS flow starts from RTL (use a .ckt file, or a .bench carrying \
+             an '# rtl:' sidecar)"
+        );
+        return ExitCode::FAILURE;
     };
     let telemetry = Telemetry::new(telemetry_path);
     let mut rec = telemetry.recorder("bits");

@@ -5,7 +5,10 @@
 //! Run with `cargo run --release -p bibs-bench --bin coverage --
 //! [circuit] [width] [--collapse equiv|dominance|none]
 //! [--telemetry OUT.json]`
-//! (defaults: c5a2m, width 4, equiv). Pipe to a file and plot. Per-kernel
+//! (defaults: c5a2m, width 4, equiv). `circuit` is a built-in name
+//! (`c5a2m`, `c3a2m`, `c4a4m`) or a circuit file — `.ckt`, or `.bench`
+//! with an `# rtl:` sidecar; `width` applies to built-ins only. Pipe to
+//! a file and plot. Per-kernel
 //! engine stats — including the collapse ratio, statically-untestable
 //! count and analysis wall — go to stderr; `BIBS_JOBS` sets the
 //! worker-thread count; `BIBS_TRACE=spans|counters` prints the telemetry
@@ -40,7 +43,26 @@ fn main() {
     }
     let name = positional.first().map(String::as_str).unwrap_or("c5a2m");
     let width: u32 = positional.get(1).and_then(|s| s.parse().ok()).unwrap_or(4);
-    let circuit = scaled(name, width);
+    // A path to an existing file loads through the format front door (and
+    // must carry an RTL view for the TDM comparison); anything else names
+    // a built-in datapath.
+    let circuit = if std::path::Path::new(name).exists() {
+        let loaded =
+            bibs_datapath::front::load_path(std::path::Path::new(name)).unwrap_or_else(|e| {
+                eprintln!("coverage: {e}");
+                std::process::exit(2);
+            });
+        loaded.circuit().cloned().unwrap_or_else(|| {
+            eprintln!(
+                "coverage: {name} is a gate-level netlist with no register-transfer \
+                 view; the TDM comparison needs RTL (use a .ckt file, or a .bench \
+                 carrying an '# rtl:' sidecar)"
+            );
+            std::process::exit(2);
+        })
+    } else {
+        scaled(name, width)
+    };
     let options = Table2Options {
         collapse,
         ..Table2Options::default()

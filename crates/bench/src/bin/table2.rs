@@ -6,9 +6,15 @@
 //! Run with `cargo run --release -p bibs-bench --bin table2`.
 //!
 //! Usage: `table2 [WIDTH] [--json] [--engine compiled|reference]
-//! [--collapse equiv|dominance|none] [--only NAME] [--telemetry OUT.json]`
+//! [--collapse equiv|dominance|none] [--only NAME] [--circuit PATH]
+//! [--telemetry OUT.json]`
 //!
 //! * `WIDTH` — word width (default 8; the paper's width);
+//! * `--circuit PATH` — run on a circuit file instead of the built-in
+//!   datapaths: `.ckt`, or `.bench` carrying an `# rtl:` sidecar (a
+//!   plain gate-level `.bench` has no register-transfer view and is
+//!   rejected — table2's TDM comparison needs RTL). `WIDTH` and
+//!   `--only` are ignored with `--circuit`;
 //! * `--json` — emit the detection-deterministic results as JSON on
 //!   stdout (used by CI to diff the two engines byte-for-byte);
 //! * `--engine` — fault-simulation engine (default `compiled`; the
@@ -39,6 +45,7 @@ fn main() {
     let mut engine = Engine::Compiled;
     let mut collapse = CollapseMode::Equiv;
     let mut only: Option<String> = None;
+    let mut circuit_path: Option<std::path::PathBuf> = None;
     let mut telemetry_path: Option<std::path::PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -70,6 +77,12 @@ fn main() {
                     std::process::exit(2);
                 }));
             }
+            "--circuit" => {
+                circuit_path = Some(std::path::PathBuf::from(args.next().unwrap_or_else(|| {
+                    eprintln!("--circuit needs a file path");
+                    std::process::exit(2);
+                })));
+            }
             other => match other.parse() {
                 Ok(w) => width = w,
                 Err(_) => {
@@ -89,30 +102,50 @@ fn main() {
          collapse mode {}",
         options.engine, options.jobs, options.collapse
     );
-    let names: Vec<&str> = ["c5a2m", "c3a2m", "c4a4m"]
-        .into_iter()
-        .filter(|n| only.as_deref().is_none_or(|o| o == *n))
-        .collect();
-    if names.is_empty() {
-        eprintln!("--only matched no circuit (expected one of c5a2m, c3a2m, c4a4m)");
-        std::process::exit(2);
-    }
+    let circuits: Vec<bibs_rtl::Circuit> = if let Some(path) = &circuit_path {
+        let loaded = bibs_datapath::front::load_path(path).unwrap_or_else(|e| {
+            eprintln!("cannot load {}: {e}", path.display());
+            std::process::exit(2);
+        });
+        match loaded.circuit() {
+            Some(c) => vec![c.clone()],
+            None => {
+                eprintln!(
+                    "{}: gate-level netlist has no register-transfer view; table2 \
+                     compares TDMs over RTL (use a .ckt file, or a .bench carrying \
+                     an '# rtl:' sidecar)",
+                    path.display()
+                );
+                std::process::exit(2);
+            }
+        }
+    } else {
+        let names: Vec<&str> = ["c5a2m", "c3a2m", "c4a4m"]
+            .into_iter()
+            .filter(|n| only.as_deref().is_none_or(|o| o == *n))
+            .collect();
+        if names.is_empty() {
+            eprintln!("--only matched no circuit (expected one of c5a2m, c3a2m, c4a4m)");
+            std::process::exit(2);
+        }
+        names.into_iter().map(|n| scaled(n, width)).collect()
+    };
     let telemetry = Telemetry::new(telemetry_path);
     let mut rec = telemetry.recorder("table2");
     let mut columns = Vec::new();
-    for name in names {
-        let circuit = scaled(name, width);
+    for circuit in &circuits {
+        let name = circuit.name().to_string();
         // Static lint gate: a datapath that violates the paper conditions
         // would fault-simulate to garbage — refuse up front.
-        let report = bibs_lint::lint_full(&circuit, &bibs_lint::LintConfig::new());
+        let report = bibs_lint::lint_full(circuit, &bibs_lint::LintConfig::new());
         if !report.is_clean() {
             eprintln!("{name} fails lint:\n{report}");
             std::process::exit(1);
         }
         eprintln!("running {name} (width {width}) under BIBS ...");
-        let b = table2_column_traced(&circuit, Tdm::Bibs, &options, &mut rec);
+        let b = table2_column_traced(circuit, Tdm::Bibs, &options, &mut rec);
         eprintln!("running {name} under [3] ...");
-        let k = table2_column_traced(&circuit, Tdm::Ka85, &options, &mut rec);
+        let k = table2_column_traced(circuit, Tdm::Ka85, &options, &mut rec);
         columns.push((b, k));
     }
     if let Err(e) = telemetry.emit(&mut rec) {

@@ -1,0 +1,353 @@
+//! Seeded, parameterized synthetic circuit families.
+//!
+//! Each [`Family`] value deterministically builds one circuit; the same
+//! value always produces the same netlist, so fuzz failures are
+//! reproducible from the family description alone (printed in regression
+//! fixture headers). The families span the structures the engines care
+//! about: carry chains (adders), deep reconvergent arrays (multipliers),
+//! the paper's filter datapaths, long DFF pipelines, multi-kernel
+//! register-bounded designs, and unstructured random DAGs.
+//!
+//! [`scaling_suite`] enumerates the instances used for scaling curves —
+//! up to 64-bit arithmetic and a design with hundreds of kernels — and
+//! [`SizeReport`] records their sizes.
+
+use bibs_netlist::builder::NetlistBuilder;
+use bibs_netlist::Netlist;
+use bibs_rtl::{Circuit, CircuitBuilder, LogicFunction};
+use std::fmt;
+
+/// A deterministic circuit-family instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Family {
+    /// Ripple-carry adder: two `width`-bit operands, sum plus carry-out.
+    Adder {
+        /// Operand width in bits.
+        width: usize,
+    },
+    /// Array multiplier truncated to the low `width` product bits (the
+    /// paper's datapath convention).
+    Multiplier {
+        /// Operand width in bits.
+        width: usize,
+    },
+    /// One of the paper's Table 1 filter datapaths, elaborated whole.
+    Filter {
+        /// Which datapath: 0 = `c5a2m`, 1 = `c3a2m`, 2 = `c4a4m`.
+        which: usize,
+        /// Datapath word width.
+        width: u32,
+    },
+    /// A `depth`-stage registered pipeline over a `width`-bit XOR/AND
+    /// mixing stage — exercises `sequential_depth` and DFF handling.
+    Pipeline {
+        /// Word width in bits.
+        width: usize,
+        /// Number of register stages.
+        depth: usize,
+    },
+    /// A register-bounded RTL chain of `stages` add→mul stages. Under the
+    /// kernel-width bound from [`Family::bibs_options`] the BIBS TDM is
+    /// forced to cut every stage boundary, so `stages` scales the kernel
+    /// count directly.
+    MultiKernel {
+        /// Number of add→mul stages (= kernels).
+        stages: usize,
+        /// Datapath word width.
+        width: u32,
+    },
+    /// An unstructured random gate DAG from the shared
+    /// [`bibs_netlist::testgen`] generator.
+    RandomDag {
+        /// RNG seed.
+        seed: u64,
+        /// Number of primary inputs.
+        inputs: usize,
+        /// Number of gate-creation operations.
+        ops: usize,
+    },
+}
+
+/// Names of the Table 1 filter datapaths, indexed by `Filter::which`.
+pub const FILTER_NAMES: [&str; 3] = ["c5a2m", "c3a2m", "c4a4m"];
+
+impl fmt::Display for Family {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Family::Adder { width } => write!(f, "adder{width}"),
+            Family::Multiplier { width } => write!(f, "mul{width}"),
+            Family::Filter { which, width } => {
+                write!(f, "{}_w{width}", FILTER_NAMES[which % 3])
+            }
+            Family::Pipeline { width, depth } => write!(f, "pipe{width}x{depth}"),
+            Family::MultiKernel { stages, width } => write!(f, "kchain{stages}_w{width}"),
+            Family::RandomDag { seed, inputs, ops } => {
+                write!(f, "dag_{seed:x}_{inputs}i{ops}o")
+            }
+        }
+    }
+}
+
+impl Family {
+    /// Builds the instance as a gate-level netlist (RTL families are
+    /// elaborated whole; registers appear as DFFs).
+    pub fn build(self) -> Netlist {
+        match self {
+            Family::Adder { width } => adder(width),
+            Family::Multiplier { width } => multiplier(width),
+            Family::Filter { .. } | Family::MultiKernel { .. } => {
+                bibs_datapath::elab::elaborate_whole(&self.rtl().expect("RTL family"))
+                    .expect("generated RTL elaborates")
+                    .netlist
+            }
+            Family::Pipeline { width, depth } => pipeline(width, depth),
+            Family::RandomDag { seed, inputs, ops } => {
+                bibs_netlist::testgen::random_netlist_seeded(seed, inputs, ops)
+            }
+        }
+    }
+
+    /// The register-transfer-level circuit behind the instance, for the
+    /// families that have one (`Filter`, `MultiKernel`).
+    pub fn rtl(self) -> Option<Circuit> {
+        match self {
+            Family::Filter { which, width } => Some(bibs_datapath::filters::scaled(
+                FILTER_NAMES[which % 3],
+                width,
+            )),
+            Family::MultiKernel { stages, width } => Some(multi_kernel(stages, width)),
+            _ => None,
+        }
+    }
+
+    /// BIBS selection options for measuring the instance. `MultiKernel`
+    /// bounds the kernel input width at one stage's worth (3·`width`: the
+    /// `Rx`/`Rc`/`Rd` TPGs) — a balanced feed-forward chain exhibits no
+    /// Definition-1 violation on its own, so without the bound the whole
+    /// chain would be a single kernel. The exact search is skipped
+    /// (`max_nodes = 0`): its branching factor on a width violation is
+    /// the full internal register count, hopeless at hundreds of stages,
+    /// while the greedy repair converts exactly the stage boundaries —
+    /// which here is also the minimum-cost design.
+    pub fn bibs_options(self) -> bibs_core::bibs::BibsOptions {
+        let mut opts = bibs_core::bibs::BibsOptions::default();
+        if let Family::MultiKernel { width, .. } = self {
+            opts.max_kernel_width = Some(3 * width);
+            opts.max_nodes = 0;
+        }
+        opts
+    }
+}
+
+fn adder(width: usize) -> Netlist {
+    let mut b = NetlistBuilder::new(format!("adder{width}"));
+    let a = b.input_word("a", width);
+    let c = b.input_word("b", width);
+    let (s, co) = b.ripple_carry_adder(&a, &c, None);
+    b.output_word("s", &s);
+    b.output("co", co);
+    b.finish().expect("adder is well-formed")
+}
+
+fn multiplier(width: usize) -> Netlist {
+    let mut b = NetlistBuilder::new(format!("mul{width}"));
+    let a = b.input_word("a", width);
+    let c = b.input_word("b", width);
+    let p = b.array_multiplier(&a, &c, 2 * width);
+    b.output_word("p", &p[..width]);
+    b.finish().expect("multiplier is well-formed")
+}
+
+/// `depth` register stages, each mixing the word with the previous stage
+/// (`w[i] = XOR(w[i], AND(w[i-1], w[i]))` bit-rotated) — a deep sequential
+/// structure with reconvergence inside every stage.
+fn pipeline(width: usize, depth: usize) -> Netlist {
+    let mut b = NetlistBuilder::new(format!("pipe{width}x{depth}"));
+    let mut word = b.input_word("x", width.max(1));
+    for _ in 0..depth {
+        let mixed: Vec<_> = (0..word.len())
+            .map(|i| {
+                let prev = word[(i + word.len() - 1) % word.len()];
+                let t = b.and2(prev, word[i]);
+                b.xor2(word[i], t)
+            })
+            .collect();
+        word = b.register(&mixed);
+    }
+    b.output_word("y", &word);
+    b.finish().expect("pipeline is well-formed")
+}
+
+/// A chain of `stages` IO-registered add→mul stages:
+/// `x_{k+1} = reg((reg(x_k) + reg(c_k)) · reg(d_k))`. Every stage sits
+/// between registers, so the BIBS TDM extracts one kernel per stage.
+fn multi_kernel(stages: usize, width: u32) -> Circuit {
+    let stages = stages.max(1);
+    let mut b = CircuitBuilder::new(format!("kchain{stages}_w{width}"));
+    let x = b.input("x");
+    let mut prev = x;
+    for k in 0..stages {
+        let a = b.logic_fn(format!("A{k}"), LogicFunction::Add);
+        let m = b.logic_fn(format!("M{k}"), LogicFunction::Mul { out_width: width });
+        let c = b.input(format!("c{k}"));
+        let d = b.input(format!("d{k}"));
+        b.register(format!("Rx{k}"), width, prev, a);
+        b.register(format!("Rc{k}"), width, c, a);
+        b.wire(a, m);
+        b.register(format!("Rd{k}"), width, d, m);
+        prev = m;
+    }
+    let o = b.output("o");
+    b.register("Ro", width, prev, o);
+    b.finish().expect("kernel chain is well-formed")
+}
+
+/// Size record for one corpus instance, for scaling curves.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SizeReport {
+    /// Family description (stable across runs).
+    pub family: String,
+    /// Primary-input bits.
+    pub inputs: usize,
+    /// Primary-output bits.
+    pub outputs: usize,
+    /// Gate count.
+    pub gates: usize,
+    /// Flip-flop count.
+    pub dffs: usize,
+    /// Combinational logic depth (levels) of the DFF-cut equivalent.
+    pub levels: usize,
+    /// Kernel count under the BIBS TDM, for the RTL families.
+    pub kernels: Option<usize>,
+}
+
+impl fmt::Display for SizeReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} PI, {} PO, {} gates, {} FF, {} levels",
+            self.family, self.inputs, self.outputs, self.gates, self.dffs, self.levels
+        )?;
+        if let Some(k) = self.kernels {
+            write!(f, ", {k} kernels")?;
+        }
+        Ok(())
+    }
+}
+
+/// Measures one family instance (building it in the process).
+pub fn size_report(family: Family) -> SizeReport {
+    let nl = family.build();
+    let comb = nl.combinational_equivalent();
+    let levels = comb
+        .levelize()
+        .map(|order| {
+            let mut level = vec![0usize; comb.net_count()];
+            let mut max = 0;
+            for gid in order {
+                let g = comb.gate(gid);
+                let l = 1 + g.inputs.iter().map(|i| level[i.index()]).max().unwrap_or(0);
+                level[g.output.index()] = l;
+                max = max.max(l);
+            }
+            max
+        })
+        .unwrap_or(0);
+    let kernels = family.rtl().map(|circuit| {
+        let r = bibs_core::bibs::select(&circuit, &family.bibs_options())
+            .expect("generated RTL is IO-registered");
+        bibs_core::design::kernels(&r.circuit, &r.design).len()
+    });
+    SizeReport {
+        family: family.to_string(),
+        inputs: nl.input_width(),
+        outputs: nl.output_width(),
+        gates: nl.gate_count(),
+        dffs: nl.dff_count(),
+        levels,
+        kernels,
+    }
+}
+
+/// The instances used for scaling curves: arithmetic up to 64 bits, deep
+/// pipelines, and kernel counts into the hundreds.
+pub fn scaling_suite() -> Vec<Family> {
+    vec![
+        Family::Adder { width: 8 },
+        Family::Adder { width: 32 },
+        Family::Adder { width: 64 },
+        Family::Multiplier { width: 8 },
+        Family::Multiplier { width: 16 },
+        Family::Multiplier { width: 32 },
+        Family::Multiplier { width: 64 },
+        Family::Filter { which: 0, width: 8 },
+        Family::Filter { which: 1, width: 8 },
+        Family::Filter { which: 2, width: 8 },
+        Family::Filter {
+            which: 0,
+            width: 32,
+        },
+        Family::Pipeline {
+            width: 16,
+            depth: 64,
+        },
+        Family::MultiKernel {
+            stages: 256,
+            width: 8,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn families_build_deterministically() {
+        for f in [
+            Family::Adder { width: 4 },
+            Family::Multiplier { width: 3 },
+            Family::Filter { which: 0, width: 3 },
+            Family::Pipeline { width: 3, depth: 4 },
+            Family::MultiKernel {
+                stages: 5,
+                width: 2,
+            },
+            Family::RandomDag {
+                seed: 7,
+                inputs: 4,
+                ops: 9,
+            },
+        ] {
+            let a = bibs_netlist::bench::to_text(&f.build());
+            let b = bibs_netlist::bench::to_text(&f.build());
+            assert_eq!(a, b, "{f} must be deterministic");
+        }
+    }
+
+    #[test]
+    fn multi_kernel_scales_kernel_count() {
+        let r = size_report(Family::MultiKernel {
+            stages: 120,
+            width: 2,
+        });
+        assert_eq!(r.kernels, Some(120), "one kernel per stage: {r}");
+    }
+
+    #[test]
+    fn pipeline_has_expected_depth() {
+        let nl = Family::Pipeline { width: 4, depth: 6 }.build();
+        assert_eq!(nl.sequential_depth(), 6);
+        assert_eq!(nl.dff_count(), 24);
+    }
+
+    #[test]
+    fn scaling_suite_covers_the_claimed_extremes() {
+        let suite = scaling_suite();
+        assert!(suite.contains(&Family::Adder { width: 64 }));
+        assert!(suite.contains(&Family::Multiplier { width: 64 }));
+        assert!(suite
+            .iter()
+            .any(|f| matches!(f, Family::MultiKernel { stages, .. } if *stages >= 200)));
+    }
+}

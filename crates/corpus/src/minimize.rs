@@ -1,0 +1,229 @@
+//! Greedy structural shrinker for fuzz failures.
+//!
+//! Given a netlist on which some predicate holds (an oracle divergence),
+//! [`minimize`] repeatedly applies two reductions while the predicate
+//! keeps holding:
+//!
+//! * **gate bypass** — delete a gate and reroute every reader of its
+//!   output to the gate's first input (the classic delta-debugging move
+//!   for DAGs: it strictly removes one gate and one net, and commonly
+//!   strands whole cones which later bypasses then remove);
+//! * **output drop** — remove one primary output (when more than one),
+//!   shedding the observation cones that play no part in the failure.
+//!
+//! Every candidate is revalidated through [`Netlist::from_parts`], so the
+//! shrinker can never produce an invalid circuit, and the predicate is
+//! re-run on the candidate before it is accepted — the result is a local
+//! minimum: no single bypass or drop preserves the failure.
+
+use bibs_netlist::{Dff, Gate, GateId, Net, NetDriver, NetId, Netlist};
+
+/// Upper bound on accepted reduction steps, as a runaway guard; each
+/// step removes at least one gate or output, so any real circuit
+/// terminates far earlier.
+const MAX_STEPS: usize = 100_000;
+
+/// Rebuilds `nl` without gate `victim`: readers of its output net are
+/// rerouted to its first input net and the output net disappears.
+/// `None` when the result fails validation (it should not — the rewrite
+/// preserves acyclicity — but the shrinker never trusts that).
+fn bypass_gate(nl: &Netlist, victim: GateId) -> Option<Netlist> {
+    let out = nl.gate(victim).output;
+    let repl = nl.gate(victim).inputs[0];
+    // Net-id compaction: every net except `out` keeps its order.
+    let mut map: Vec<Option<NetId>> = Vec::with_capacity(nl.net_count());
+    let mut next = 0usize;
+    for id in nl.net_ids() {
+        if id == out {
+            map.push(None);
+        } else {
+            map.push(Some(NetId::from_index(next)));
+            next += 1;
+        }
+    }
+    let remap = |id: NetId| map[id.index()].unwrap_or_else(|| map[repl.index()].unwrap());
+
+    let mut nets: Vec<Net> = nl
+        .net_ids()
+        .filter(|&id| id != out)
+        .map(|id| Net {
+            name: nl.net_name(id).map(str::to_string),
+            driver: NetDriver::Floating,
+        })
+        .collect();
+    let mut gates: Vec<Gate> = Vec::with_capacity(nl.gate_count() - 1);
+    for gid in nl.gate_ids() {
+        if gid == victim {
+            continue;
+        }
+        let g = nl.gate(gid);
+        gates.push(Gate {
+            kind: g.kind,
+            inputs: g.inputs.iter().map(|&i| remap(i)).collect(),
+            output: remap(g.output),
+        });
+    }
+    let dffs: Vec<Dff> = nl
+        .dffs()
+        .iter()
+        .map(|ff| Dff {
+            d: remap(ff.d),
+            q: remap(ff.q),
+        })
+        .collect();
+    let inputs: Vec<NetId> = nl.inputs().iter().map(|&i| remap(i)).collect();
+    let outputs: Vec<NetId> = nl.outputs().iter().map(|&o| remap(o)).collect();
+
+    // Reconstruct drivers from the surviving definitions.
+    for (pos, &pi) in inputs.iter().enumerate() {
+        nets[pi.index()].driver = NetDriver::Input(pos);
+    }
+    for id in nl.net_ids() {
+        if let (NetDriver::Const(v), Some(new)) = (nl.driver(id), map[id.index()]) {
+            nets[new.index()].driver = NetDriver::Const(v);
+        }
+    }
+    for (k, g) in gates.iter().enumerate() {
+        nets[g.output.index()].driver = NetDriver::Gate(GateId::from_index(k));
+    }
+    for (k, ff) in dffs.iter().enumerate() {
+        nets[ff.q.index()].driver = NetDriver::Dff(bibs_netlist::DffId::from_index(k));
+    }
+
+    Netlist::from_parts(nl.name().to_string(), nets, gates, dffs, inputs, outputs).ok()
+}
+
+/// Rebuilds `nl` without primary output number `pos` (no net removal —
+/// later gate bypasses collect the stranded cone).
+fn drop_output(nl: &Netlist, pos: usize) -> Option<Netlist> {
+    if nl.outputs().len() <= 1 {
+        return None;
+    }
+    let nets: Vec<Net> = nl
+        .net_ids()
+        .map(|id| Net {
+            name: nl.net_name(id).map(str::to_string),
+            driver: nl.driver(id),
+        })
+        .collect();
+    let outputs: Vec<NetId> = nl
+        .outputs()
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| i != pos)
+        .map(|(_, &o)| o)
+        .collect();
+    Netlist::from_parts(
+        nl.name().to_string(),
+        nets,
+        nl.gates().to_vec(),
+        nl.dffs().to_vec(),
+        nl.inputs().to_vec(),
+        outputs,
+    )
+    .ok()
+}
+
+/// Shrinks `nl` to a local minimum on which `fails` still returns `true`.
+///
+/// The caller guarantees `fails(&nl)` holds on entry (the function
+/// returns `nl` unchanged otherwise). The predicate must be
+/// deterministic — the fuzzer passes a closure re-running the diverging
+/// oracle with the original seed.
+pub fn minimize(nl: Netlist, fails: impl Fn(&Netlist) -> bool) -> Netlist {
+    let mut current = nl;
+    if !fails(&current) {
+        return current;
+    }
+    let mut steps = 0usize;
+    loop {
+        let mut progressed = false;
+        // Outputs first: dropping one often strands a large cone that the
+        // gate loop then deletes wholesale.
+        let mut pos = 0;
+        while pos < current.outputs().len() && current.outputs().len() > 1 {
+            if let Some(cand) = drop_output(&current, pos) {
+                if fails(&cand) {
+                    current = cand;
+                    progressed = true;
+                    steps += 1;
+                    continue; // same position now names the next output
+                }
+            }
+            pos += 1;
+        }
+        let mut g = 0;
+        while g < current.gate_count() {
+            let gid = GateId::from_index(g);
+            if let Some(cand) = bypass_gate(&current, gid) {
+                if fails(&cand) {
+                    current = cand;
+                    progressed = true;
+                    steps += 1;
+                    continue; // index g now names the next gate
+                }
+            }
+            g += 1;
+        }
+        if !progressed || steps >= MAX_STEPS {
+            return current;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bibs_netlist::builder::NetlistBuilder;
+    use bibs_netlist::GateKind;
+
+    /// A two-output circuit where only the XOR cone matters to the
+    /// predicate; the adder cone must shrink away.
+    fn sample() -> Netlist {
+        let mut b = NetlistBuilder::new("m");
+        let a = b.input_word("a", 3);
+        let c = b.input_word("b", 3);
+        let (s, co) = b.ripple_carry_adder(&a, &c, None);
+        b.output_word("s", &s);
+        b.output("co", co);
+        let x = b.xor2(a[0], c[0]);
+        b.output("x", x);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn minimizer_reaches_a_small_witness() {
+        let nl = sample();
+        let has_xor = |n: &Netlist| n.gates().iter().any(|g| g.kind == GateKind::Xor);
+        assert!(has_xor(&nl));
+        let small = minimize(nl.clone(), has_xor);
+        assert!(has_xor(&small), "property must be preserved");
+        assert!(
+            small.gate_count() < nl.gate_count() / 2,
+            "{} -> {} gates",
+            nl.gate_count(),
+            small.gate_count()
+        );
+        // Local minimum: exactly the one XOR survives.
+        assert_eq!(small.gates().len(), 1);
+        assert_eq!(small.outputs().len(), 1);
+    }
+
+    #[test]
+    fn minimizer_returns_input_when_predicate_fails() {
+        let nl = sample();
+        let out = minimize(nl.clone(), |_| false);
+        assert_eq!(out.gate_count(), nl.gate_count());
+    }
+
+    #[test]
+    fn bypass_preserves_validity_everywhere() {
+        let nl = sample();
+        for gid in nl.gate_ids() {
+            if let Some(cand) = bypass_gate(&nl, gid) {
+                assert_eq!(cand.gate_count(), nl.gate_count() - 1);
+                assert_eq!(cand.net_count(), nl.net_count() - 1);
+            }
+        }
+    }
+}

@@ -1,0 +1,272 @@
+//! The four differential oracles the fuzzer cross-checks per circuit.
+//!
+//! Each oracle pits two implementations (or one implementation and a
+//! ground truth) against each other on the same circuit and reports a
+//! [`Divergence`] when they disagree:
+//!
+//! 1. **Eval** — the compiled [`EvalProgram`]'s good-machine words vs the
+//!    gate-walking reference interpreter, on random 64-pattern blocks.
+//! 2. **Parallel** — the serial [`FaultSimulator`] report vs the
+//!    [`ParFaultSimulator`] at 2 and 4 threads on the same seeded stream
+//!    (bit-identical `detection()` and `patterns_applied()`).
+//! 3. **Dominance** — exhaustive detection of the full fault universe vs
+//!    simulating only dominance-class representatives and expanding.
+//! 4. **Prover** — every fault the [`StaticFaultAnalysis`] rules
+//!    statically untestable must stay undetected under exhaustive
+//!    simulation.
+//!
+//! Oracles 3 and 4 need exhaustive simulation and only run when the
+//! circuit has at most [`EXHAUSTIVE_PI_LIMIT`] primary-input bits; 1 and
+//! 2 run on everything. Sequential circuits are checked on their
+//! [`combinational_equivalent`](Netlist::combinational_equivalent).
+
+use bibs_faultsim::fault::{FaultUniverse, StaticFaultAnalysis};
+use bibs_faultsim::par::ParFaultSimulator;
+use bibs_faultsim::reference::ReferenceSimulator;
+use bibs_faultsim::sim::{BlockSim, FaultSimulator};
+use bibs_netlist::{EvalProgram, Netlist};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+
+/// Largest primary-input width the exhaustive oracles (3 and 4) accept.
+pub const EXHAUSTIVE_PI_LIMIT: usize = 16;
+
+/// Random patterns per stream for the non-exhaustive oracles.
+const RANDOM_PATTERNS: u64 = 1_024;
+
+/// Which oracle flagged a disagreement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Oracle {
+    /// Compiled vs reference good-machine evaluation.
+    Eval,
+    /// Serial vs parallel fault-simulation reports.
+    Parallel,
+    /// Dominance-collapsed vs full fault universe.
+    Dominance,
+    /// Static untestability prover vs exhaustive simulation.
+    Prover,
+}
+
+impl fmt::Display for Oracle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Oracle::Eval => "eval",
+            Oracle::Parallel => "parallel",
+            Oracle::Dominance => "dominance",
+            Oracle::Prover => "prover",
+        })
+    }
+}
+
+/// One observed disagreement between an engine and its oracle.
+#[derive(Debug, Clone)]
+pub struct Divergence {
+    /// Which oracle fired.
+    pub oracle: Oracle,
+    /// Human-readable description of the disagreement.
+    pub detail: String,
+}
+
+impl fmt::Display for Divergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}", self.oracle, self.detail)
+    }
+}
+
+/// Runs every applicable oracle on `netlist` (made combinational first)
+/// under the deterministic `seed`. An empty result means all engines
+/// agree — the invariant `bibs-fuzz --smoke` enforces.
+pub fn check_all(netlist: &Netlist, seed: u64) -> Vec<Divergence> {
+    let nl = netlist.combinational_equivalent();
+    let mut out = Vec::new();
+    let program = match EvalProgram::compile(&nl) {
+        Ok(p) => p,
+        Err(e) => {
+            // A corpus circuit that fails to compile is itself a finding.
+            out.push(Divergence {
+                oracle: Oracle::Eval,
+                detail: format!("netlist does not compile: {e}"),
+            });
+            return out;
+        }
+    };
+    out.extend(check_eval(&nl, &program, seed));
+    out.extend(check_parallel(&nl, seed));
+    if nl.input_width() <= EXHAUSTIVE_PI_LIMIT {
+        out.extend(check_dominance(&nl, &program));
+        out.extend(check_prover(&nl, &program));
+    }
+    out
+}
+
+/// Oracle 1: compiled vs reference interpreter on random blocks.
+pub fn check_eval(nl: &Netlist, program: &EvalProgram, seed: u64) -> Vec<Divergence> {
+    let order = match nl.levelize() {
+        Ok(o) => o,
+        Err(e) => {
+            return vec![Divergence {
+                oracle: Oracle::Eval,
+                detail: format!("levelize failed on a compiled netlist: {e}"),
+            }]
+        }
+    };
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xE7A1);
+    let mut compiled = program.new_values();
+    let mut interpreted = vec![0u64; nl.net_count()];
+    let mut scratch = Vec::new();
+    for block in 0..8 {
+        let words: Vec<u64> = (0..nl.input_width()).map(|_| rng.gen()).collect();
+        program.eval_good(&mut compiled, &words);
+        bibs_faultsim::reference::eval_good(nl, &order, &words, &mut interpreted, &mut scratch);
+        for id in nl.net_ids() {
+            if compiled[id.index()] != interpreted[id.index()] {
+                return vec![Divergence {
+                    oracle: Oracle::Eval,
+                    detail: format!(
+                        "net {} block {block}: compiled {:#018x} != reference {:#018x}",
+                        id.index(),
+                        compiled[id.index()],
+                        interpreted[id.index()]
+                    ),
+                }];
+            }
+        }
+    }
+    Vec::new()
+}
+
+/// Oracle 2: serial vs parallel reports on the same seeded stream, plus
+/// the reference interpreter on the same stream as ground truth.
+pub fn check_parallel(nl: &Netlist, seed: u64) -> Vec<Divergence> {
+    let faults = FaultUniverse::collapsed(nl).faults().to_vec();
+    if faults.is_empty() {
+        return Vec::new();
+    }
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9A7A);
+    let serial = FaultSimulator::new(nl, faults.clone()).run_random(&mut rng, RANDOM_PATTERNS);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9A7A);
+    let reference =
+        ReferenceSimulator::new(nl, faults.clone()).run_random(&mut rng, RANDOM_PATTERNS);
+    let mut out = Vec::new();
+    if serial.detection() != reference.detection()
+        || serial.patterns_applied() != reference.patterns_applied()
+    {
+        out.push(Divergence {
+            oracle: Oracle::Eval,
+            detail: "compiled serial report differs from the reference interpreter".into(),
+        });
+    }
+    for threads in [2usize, 4] {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x9A7A);
+        let par = ParFaultSimulator::with_threads(nl, faults.clone(), threads)
+            .run_random(&mut rng, RANDOM_PATTERNS);
+        if par.detection() != serial.detection() {
+            out.push(Divergence {
+                oracle: Oracle::Parallel,
+                detail: format!("detection vector differs at {threads} thread(s)"),
+            });
+        } else if par.patterns_applied() != serial.patterns_applied() {
+            out.push(Divergence {
+                oracle: Oracle::Parallel,
+                detail: format!("patterns_applied differs at {threads} thread(s)"),
+            });
+        }
+    }
+    out
+}
+
+/// Oracle 3: dominance-collapsed representatives expand to exactly the
+/// full universe's exhaustive detection vector.
+pub fn check_dominance(nl: &Netlist, program: &EvalProgram) -> Vec<Divergence> {
+    let universe = FaultUniverse::full(nl);
+    if universe.is_empty() {
+        return Vec::new();
+    }
+    let direct = FaultSimulator::new(nl, universe.faults().to_vec()).run_exhaustive();
+    let dc = universe.dominance_collapsed(program);
+    let reps = FaultSimulator::new(nl, dc.representative_faults()).run_exhaustive();
+    let expanded = dc.expand_detection(reps.detection());
+    if expanded != direct.detection() {
+        let bad = expanded
+            .iter()
+            .zip(direct.detection())
+            .position(|(a, b)| a != b)
+            .unwrap_or(0);
+        return vec![Divergence {
+            oracle: Oracle::Dominance,
+            detail: format!(
+                "fault {} ({}): expanded {:?} != direct {:?} ({} reps for {} faults)",
+                bad,
+                universe.faults()[bad],
+                expanded[bad],
+                direct.detection()[bad],
+                dc.rep_count(),
+                dc.universe_len()
+            ),
+        }];
+    }
+    Vec::new()
+}
+
+/// Oracle 4: statically-proven-untestable faults are never detected
+/// exhaustively.
+pub fn check_prover(nl: &Netlist, program: &EvalProgram) -> Vec<Divergence> {
+    let universe = FaultUniverse::full(nl);
+    if universe.is_empty() {
+        return Vec::new();
+    }
+    let sfa = StaticFaultAnalysis::new(program);
+    let (_, untestable) = sfa.partition(program, universe.faults());
+    if untestable.is_empty() {
+        return Vec::new();
+    }
+    let faults: Vec<_> = untestable.iter().map(|(f, _)| *f).collect();
+    let report = FaultSimulator::new(nl, faults.clone()).run_exhaustive();
+    for (i, det) in report.detection().iter().enumerate() {
+        if let Some(pattern) = det {
+            return vec![Divergence {
+                oracle: Oracle::Prover,
+                detail: format!(
+                    "fault {} proven untestable ({}) but detected at pattern {pattern}",
+                    faults[i], untestable[i].1.witness
+                ),
+            }];
+        }
+    }
+    Vec::new()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::Family;
+
+    #[test]
+    fn healthy_circuits_produce_no_divergences() {
+        for f in [
+            Family::Adder { width: 4 },
+            Family::Multiplier { width: 3 },
+            Family::Pipeline { width: 3, depth: 3 },
+            Family::RandomDag {
+                seed: 0xBEEF,
+                inputs: 5,
+                ops: 18,
+            },
+        ] {
+            let nl = f.build();
+            let d = check_all(&nl, 42);
+            assert!(d.is_empty(), "{f}: {:?}", d);
+        }
+    }
+
+    #[test]
+    fn exhaustive_oracles_respect_the_pi_limit() {
+        // A 32-bit adder has 65 PI bits; check_all must not attempt 2^65
+        // patterns (it would hang long before failing).
+        let nl = Family::Adder { width: 32 }.build();
+        assert!(nl.input_width() > EXHAUSTIVE_PI_LIMIT);
+        let d = check_all(&nl, 7);
+        assert!(d.is_empty(), "{:?}", d);
+    }
+}

@@ -1,0 +1,307 @@
+//! The circuit front door: one loader for every on-disk circuit format.
+//!
+//! The bench pipeline historically only read the repo's own RTL `.ckt`
+//! files. This module dispatches on the file extension and hands back a
+//! [`LoadedCircuit`] the tools can consume uniformly:
+//!
+//! * `.ckt` — the RTL format of [`bibs_rtl::fmt`], elaborated whole to a
+//!   gate-level netlist. Both the [`Circuit`] (for TDM selection /
+//!   Table 2 runs) and the [`Netlist`] are available.
+//! * `.bench` — ISCAS-85/89 interchange text ([`bibs_netlist::bench`]),
+//!   gate-level only — unless the file carries an **RTL sidecar** (see
+//!   below), in which case the original `Circuit` is recovered too.
+//! * `.v` — the structural-Verilog subset of
+//!   [`bibs_netlist::verilog`], gate-level only.
+//!
+//! # The RTL sidecar
+//!
+//! A gate-level `.bench` file cannot feed the register-transfer-level
+//! stages of the pipeline (kernel extraction needs register edges, which
+//! elaboration flattens away). When a `.bench` file is *written by this
+//! repo* via [`bench_with_rtl`], every line of the canonical `.ckt` text
+//! is embedded as a `# rtl:` comment after the gate section. Stock ISCAS
+//! tools ignore those comments; this loader parses them back, elaborates
+//! the recovered circuit and cross-checks that it produces **exactly**
+//! the gates in the file (byte-equal `.bench` text), so the sidecar can
+//! never drift from the netlist it annotates. A `.bench` without a
+//! sidecar simply loads as [`LoadedCircuit::Gate`].
+
+use crate::elab::{elaborate_whole, ElabError};
+use bibs_netlist::{bench, verilog, Netlist};
+use bibs_rtl::Circuit;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Prefix of the sidecar comment lines [`bench_with_rtl`] emits.
+pub const RTL_SIDECAR_PREFIX: &str = "# rtl:";
+
+/// A circuit loaded through the front door.
+#[derive(Debug, Clone)]
+pub enum LoadedCircuit {
+    /// RTL source (a `.ckt` file or a `.bench` RTL sidecar): the circuit
+    /// plus its whole-design elaboration.
+    Rtl {
+        /// The register-transfer-level circuit.
+        circuit: Circuit,
+        /// `circuit` elaborated whole ([`elaborate_whole`]).
+        netlist: Netlist,
+    },
+    /// Gate-level source with no RTL behind it.
+    Gate {
+        /// The parsed netlist.
+        netlist: Netlist,
+    },
+}
+
+impl LoadedCircuit {
+    /// The gate-level netlist (always present).
+    pub fn netlist(&self) -> &Netlist {
+        match self {
+            LoadedCircuit::Rtl { netlist, .. } | LoadedCircuit::Gate { netlist } => netlist,
+        }
+    }
+
+    /// The RTL circuit, when the source carried one.
+    pub fn circuit(&self) -> Option<&Circuit> {
+        match self {
+            LoadedCircuit::Rtl { circuit, .. } => Some(circuit),
+            LoadedCircuit::Gate { .. } => None,
+        }
+    }
+}
+
+/// Errors from the front-door loader.
+#[derive(Debug)]
+pub enum FrontError {
+    /// The file could not be read.
+    Io {
+        /// The offending path.
+        path: PathBuf,
+        /// The underlying I/O error.
+        error: std::io::Error,
+    },
+    /// The path has no extension this loader dispatches on.
+    UnknownExtension {
+        /// The offending path.
+        path: PathBuf,
+    },
+    /// `.ckt` (or sidecar) text failed to parse.
+    Ckt(bibs_rtl::fmt::ParseError),
+    /// `.bench` text failed to parse.
+    Bench(bench::ParseError),
+    /// `.v` text failed to parse.
+    Verilog(verilog::ParseError),
+    /// RTL parsed but could not be elaborated to gates.
+    Elab(ElabError),
+    /// A `.bench` RTL sidecar elaborates to a different netlist than the
+    /// gate section of the same file — the file was edited inconsistently.
+    SidecarMismatch,
+}
+
+impl fmt::Display for FrontError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrontError::Io { path, error } => {
+                write!(f, "cannot read {}: {error}", path.display())
+            }
+            FrontError::UnknownExtension { path } => write!(
+                f,
+                "{}: unknown circuit format (expected .ckt, .bench or .v)",
+                path.display()
+            ),
+            FrontError::Ckt(e) => write!(f, "invalid .ckt: {e}"),
+            FrontError::Bench(e) => write!(f, "invalid .bench: {e}"),
+            FrontError::Verilog(e) => write!(f, "invalid .v: {e}"),
+            FrontError::Elab(e) => write!(f, "elaboration failed: {e}"),
+            FrontError::SidecarMismatch => write!(
+                f,
+                "the # rtl: sidecar does not elaborate to the gates in the file"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FrontError {}
+
+impl From<ElabError> for FrontError {
+    fn from(e: ElabError) -> Self {
+        FrontError::Elab(e)
+    }
+}
+
+/// Loads a circuit file, dispatching on its extension (`.ckt`, `.bench`,
+/// `.v`; case-insensitive).
+///
+/// # Errors
+///
+/// [`FrontError::Io`] when the file cannot be read,
+/// [`FrontError::UnknownExtension`] for anything else on disk, plus
+/// whatever the per-format loaders return.
+pub fn load_path(path: &Path) -> Result<LoadedCircuit, FrontError> {
+    let ext = path
+        .extension()
+        .and_then(|e| e.to_str())
+        .map(|e| e.to_ascii_lowercase())
+        .unwrap_or_default();
+    let read = |path: &Path| {
+        std::fs::read_to_string(path).map_err(|error| FrontError::Io {
+            path: path.to_path_buf(),
+            error,
+        })
+    };
+    match ext.as_str() {
+        "ckt" => load_ckt_text(&read(path)?),
+        "bench" => load_bench_text(&read(path)?),
+        "v" => load_verilog_text(&read(path)?),
+        _ => Err(FrontError::UnknownExtension {
+            path: path.to_path_buf(),
+        }),
+    }
+}
+
+/// Loads `.ckt` text: parse, then elaborate the whole design.
+pub fn load_ckt_text(text: &str) -> Result<LoadedCircuit, FrontError> {
+    let circuit = bibs_rtl::fmt::from_text(text).map_err(FrontError::Ckt)?;
+    let netlist = elaborate_whole(&circuit)?.netlist;
+    Ok(LoadedCircuit::Rtl { circuit, netlist })
+}
+
+/// Loads `.bench` text; recovers and cross-checks the RTL sidecar when
+/// one is present.
+pub fn load_bench_text(text: &str) -> Result<LoadedCircuit, FrontError> {
+    let netlist = bench::from_text(text).map_err(FrontError::Bench)?;
+    let Some(rtl_text) = extract_rtl_sidecar(text) else {
+        return Ok(LoadedCircuit::Gate { netlist });
+    };
+    let circuit = bibs_rtl::fmt::from_text(&rtl_text).map_err(FrontError::Ckt)?;
+    let elaborated = elaborate_whole(&circuit)?.netlist;
+    // The sidecar is only trusted when it reproduces the gate section
+    // exactly; `.bench` printing is canonical, so byte equality is the
+    // right notion of "same netlist".
+    if bench::to_text(&elaborated) != bench::to_text(&netlist) {
+        return Err(FrontError::SidecarMismatch);
+    }
+    Ok(LoadedCircuit::Rtl { circuit, netlist })
+}
+
+/// Loads structural-Verilog text (gate-level only).
+pub fn load_verilog_text(text: &str) -> Result<LoadedCircuit, FrontError> {
+    let netlist = verilog::from_verilog(text).map_err(FrontError::Verilog)?;
+    Ok(LoadedCircuit::Gate { netlist })
+}
+
+/// Collects the `# rtl:` sidecar lines of a `.bench` file back into
+/// `.ckt` text, or `None` when the file has no sidecar.
+fn extract_rtl_sidecar(text: &str) -> Option<String> {
+    let mut rtl = String::new();
+    let mut found = false;
+    for line in text.lines() {
+        if let Some(rest) = line.trim_start().strip_prefix(RTL_SIDECAR_PREFIX) {
+            found = true;
+            rtl.push_str(rest.strip_prefix(' ').unwrap_or(rest));
+            rtl.push('\n');
+        }
+    }
+    found.then_some(rtl)
+}
+
+/// Serializes `circuit` as a `.bench` file with an RTL sidecar: the
+/// whole-design elaboration printed by [`bench::to_text`], followed by
+/// every line of the canonical `.ckt` text as a `# rtl:` comment.
+///
+/// [`load_bench_text`] on the result recovers the circuit exactly, and
+/// re-serializing the recovered circuit reproduces the file byte for
+/// byte — the stability property the CI smoke pins for `c5a2m`.
+///
+/// # Errors
+///
+/// [`FrontError::Elab`] when the circuit cannot be elaborated.
+pub fn bench_with_rtl(circuit: &Circuit) -> Result<String, FrontError> {
+    let netlist = elaborate_whole(circuit)?.netlist;
+    let mut out = bench::to_text(&netlist);
+    for line in bibs_rtl::fmt::to_text(circuit).lines() {
+        if line.is_empty() {
+            out.push_str(RTL_SIDECAR_PREFIX);
+            out.push('\n');
+        } else {
+            out.push_str(&format!("{RTL_SIDECAR_PREFIX} {line}\n"));
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ckt_text_loads_with_rtl() {
+        let text = bibs_rtl::fmt::to_text(&crate::fig9::figure9());
+        let loaded = load_ckt_text(&text).unwrap();
+        assert!(loaded.circuit().is_some());
+        assert!(loaded.netlist().gate_count() > 0);
+    }
+
+    #[test]
+    fn ckt_to_verilog_round_trip_preserves_the_netlist() {
+        // The full chain .ckt text -> elaborated netlist -> structural
+        // Verilog -> re-import: the interface and gate population survive.
+        let text = bibs_rtl::fmt::to_text(&crate::filters::scaled("c3a2m", 3));
+        let loaded = load_ckt_text(&text).unwrap();
+        let nl = loaded.netlist();
+        let v = bibs_netlist::verilog::to_verilog(nl);
+        let back = load_verilog_text(&v).unwrap();
+        assert!(back.circuit().is_none(), "Verilog is gate-level only");
+        assert_eq!(back.netlist().input_width(), nl.input_width());
+        assert_eq!(back.netlist().output_width(), nl.output_width());
+        assert_eq!(back.netlist().gate_count(), nl.gate_count());
+        assert_eq!(back.netlist().dff_count(), nl.dff_count());
+    }
+
+    #[test]
+    fn bench_sidecar_round_trips_byte_stably() {
+        let circuit = crate::filters::scaled("c5a2m", 4);
+        let text = bench_with_rtl(&circuit).unwrap();
+        let loaded = load_bench_text(&text).unwrap();
+        let recovered = loaded.circuit().expect("sidecar recovers RTL");
+        assert_eq!(
+            bibs_rtl::fmt::to_text(recovered),
+            bibs_rtl::fmt::to_text(&circuit)
+        );
+        assert_eq!(bench_with_rtl(recovered).unwrap(), text, "byte fixpoint");
+    }
+
+    #[test]
+    fn plain_bench_is_gate_level() {
+        let text = "# name: c\nINPUT(a)\nINPUT(b)\nOUTPUT(o)\no = AND(a, b)\n";
+        let loaded = load_bench_text(text).unwrap();
+        assert!(loaded.circuit().is_none());
+        assert_eq!(loaded.netlist().gate_count(), 1);
+    }
+
+    #[test]
+    fn tampered_sidecar_is_rejected() {
+        let circuit = crate::filters::scaled("c3a2m", 3);
+        let text = bench_with_rtl(&circuit).unwrap();
+        // Replace the gate section with a different (valid) netlist while
+        // keeping the sidecar: the cross-check must fire.
+        let sidecar: String = text
+            .lines()
+            .filter(|l| l.trim_start().starts_with(RTL_SIDECAR_PREFIX))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        let tampered = format!("INPUT(a)\nOUTPUT(o)\no = NOT(a)\n{sidecar}");
+        assert!(matches!(
+            load_bench_text(&tampered),
+            Err(FrontError::SidecarMismatch)
+        ));
+    }
+
+    #[test]
+    fn unknown_extension_is_reported() {
+        let err = load_path(Path::new("/nonexistent/foo.xyz")).unwrap_err();
+        assert!(matches!(err, FrontError::UnknownExtension { .. }));
+        let err = load_path(Path::new("/nonexistent/foo.ckt")).unwrap_err();
+        assert!(matches!(err, FrontError::Io { .. }));
+    }
+}

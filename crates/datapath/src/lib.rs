@@ -28,3 +28,4 @@ pub mod elab;
 pub mod examples;
 pub mod fig9;
 pub mod filters;
+pub mod front;

@@ -20,7 +20,7 @@ use bibs_faultsim::fault::{FaultUniverse, StaticFaultAnalysis};
 use bibs_faultsim::sim::{BlockSim, FaultSimulator};
 use bibs_netlist::analysis::{ternary_analyze, PiAssumption};
 use bibs_netlist::builder::NetlistBuilder;
-use bibs_netlist::{EvalProgram, GateKind, Netlist};
+use bibs_netlist::{EvalProgram, Netlist};
 use bibs_rtl::VertexKind;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -68,29 +68,9 @@ fn fig4_kernels() -> Vec<Netlist> {
     circuit_kernels(&circuit)
 }
 
-/// A deterministic random gate DAG: `inputs` primary inputs, `ops` gates.
+/// A deterministic random gate DAG from the shared generator.
 fn random_netlist(seed: u64, inputs: usize, ops: usize) -> Netlist {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut b = NetlistBuilder::new(format!("rand{seed:x}"));
-    let mut pool: Vec<_> = (0..inputs).map(|i| b.input(format!("i{i}"))).collect();
-    for _ in 0..ops {
-        let a = pool[rng.gen_range(0..pool.len())];
-        let c = pool[rng.gen_range(0..pool.len())];
-        let out = match rng.gen_range(0..7u32) {
-            0 => b.gate(GateKind::And, &[a, c]),
-            1 => b.gate(GateKind::Or, &[a, c]),
-            2 => b.gate(GateKind::Xor, &[a, c]),
-            3 => b.gate(GateKind::Nand, &[a, c]),
-            4 => b.gate(GateKind::Nor, &[a, c]),
-            5 => b.gate(GateKind::Xnor, &[a, c]),
-            _ => b.gate(GateKind::Not, &[a]),
-        };
-        pool.push(out);
-    }
-    let n = pool.len();
-    b.output("o0", pool[n - 1]);
-    b.output("o1", pool[n - 2]);
-    b.finish().expect("random netlist is well-formed")
+    bibs_netlist::testgen::random_netlist_seeded(seed, inputs, ops)
 }
 
 /// The oracle corpus: everything exhaustible (≤ 16 PI bits).

@@ -12,7 +12,7 @@ use bibs_faultsim::fault::{Fault, FaultUniverse};
 use bibs_faultsim::par::ParFaultSimulator;
 use bibs_faultsim::sim::{BlockSim, FaultSimulator};
 use bibs_netlist::builder::NetlistBuilder;
-use bibs_netlist::{GateKind, Netlist};
+use bibs_netlist::Netlist;
 use bibs_rtl::VertexKind;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -175,38 +175,8 @@ fn fig4_kernels_are_equivalent_across_threads_and_seeds() {
 
 // --- proptest over random netlists --------------------------------------
 
-/// Random combinational gate DAG (mirrors `tests/proptests.rs`).
-fn random_netlist(inputs: usize, ops: &[(u8, usize, usize)]) -> Netlist {
-    let mut b = NetlistBuilder::new("rand");
-    let mut pool: Vec<_> = (0..inputs).map(|i| b.input(format!("i{i}"))).collect();
-    for &(op, x, y) in ops {
-        let a = pool[x % pool.len()];
-        let c = pool[y % pool.len()];
-        let out = match op % 7 {
-            0 => b.gate(GateKind::And, &[a, c]),
-            1 => b.gate(GateKind::Or, &[a, c]),
-            2 => b.gate(GateKind::Xor, &[a, c]),
-            3 => b.gate(GateKind::Nand, &[a, c]),
-            4 => b.gate(GateKind::Nor, &[a, c]),
-            5 => b.gate(GateKind::Xnor, &[a, c]),
-            _ => b.gate(GateKind::Not, &[a]),
-        };
-        pool.push(out);
-    }
-    let n = pool.len();
-    b.output("o0", pool[n - 1]);
-    if n >= 2 {
-        b.output("o1", pool[n - 2]);
-    }
-    b.finish().expect("random netlist is well-formed")
-}
-
 fn netlist_strategy() -> impl Strategy<Value = Netlist> {
-    (
-        2usize..8,
-        proptest::collection::vec((any::<u8>(), any::<usize>(), any::<usize>()), 1..30),
-    )
-        .prop_map(|(inputs, ops)| random_netlist(inputs, &ops))
+    bibs_netlist::testgen::netlist_strategy_sized(8, 30)
 }
 
 proptest! {

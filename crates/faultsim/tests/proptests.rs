@@ -4,45 +4,13 @@
 use bibs_faultsim::atpg::{Atpg, AtpgResult};
 use bibs_faultsim::fault::FaultUniverse;
 use bibs_faultsim::sim::{BlockSim, FaultSimulator};
-use bibs_netlist::builder::NetlistBuilder;
-use bibs_netlist::{GateKind, Netlist};
+use bibs_netlist::Netlist;
 use proptest::prelude::*;
 
-/// Builds a random combinational netlist with `inputs` primary inputs and
-/// a random gate DAG; at most 10 inputs so exhaustive simulation stays
-/// cheap.
-fn random_netlist(inputs: usize, ops: &[(u8, usize, usize)]) -> Netlist {
-    let mut b = NetlistBuilder::new("rand");
-    let mut pool: Vec<_> = (0..inputs).map(|i| b.input(format!("i{i}"))).collect();
-    for &(op, x, y) in ops {
-        let a = pool[x % pool.len()];
-        let c = pool[y % pool.len()];
-        let out = match op % 7 {
-            0 => b.gate(GateKind::And, &[a, c]),
-            1 => b.gate(GateKind::Or, &[a, c]),
-            2 => b.gate(GateKind::Xor, &[a, c]),
-            3 => b.gate(GateKind::Nand, &[a, c]),
-            4 => b.gate(GateKind::Nor, &[a, c]),
-            5 => b.gate(GateKind::Xnor, &[a, c]),
-            _ => b.gate(GateKind::Not, &[a]),
-        };
-        pool.push(out);
-    }
-    // Observe a few of the most recent nets.
-    let n = pool.len();
-    b.output("o0", pool[n - 1]);
-    if n >= 2 {
-        b.output("o1", pool[n - 2]);
-    }
-    b.finish().expect("random netlist is well-formed")
-}
-
+/// Random combinational netlists from the shared generator; small DAGs so
+/// exhaustive simulation stays cheap.
 fn netlist_strategy() -> impl Strategy<Value = Netlist> {
-    (
-        2usize..8,
-        proptest::collection::vec((any::<u8>(), any::<usize>(), any::<usize>()), 1..25),
-    )
-        .prop_map(|(inputs, ops)| random_netlist(inputs, &ops))
+    bibs_netlist::testgen::netlist_strategy_sized(8, 25)
 }
 
 proptest! {

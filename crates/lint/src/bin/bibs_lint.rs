@@ -2,7 +2,9 @@
 //!
 //! ```text
 //! bibs-lint                          # lint the four paper datapaths
-//! bibs-lint c5a2m circuits/mac.ckt   # builtins and .ckt files mix freely
+//! bibs-lint c5a2m circuits/mac.ckt   # builtins and circuit files mix freely
+//! bibs-lint circuits/c5a2m.bench     # .bench netlists too (gate-level
+//!                                    # passes; full RTL via # rtl: sidecar)
 //! bibs-lint --deny warnings ...      # CI gate: warnings fail the run
 //! bibs-lint --semantic ...           # add the B04x semantic passes
 //! bibs-lint --format json ...        # machine-readable findings
@@ -13,7 +15,7 @@
 //! Exit status is 1 when any target produces a deny-level finding (after
 //! overrides and `--deny warnings` promotion), 2 on usage errors.
 
-use bibs_lint::{lint_ckt_text, lint_full, LintConfig, Severity, CODES};
+use bibs_lint::{lint_bench_text, lint_ckt_text, lint_full, LintConfig, Severity, CODES};
 use std::process::ExitCode;
 
 /// Builtin circuit names resolvable without a file.
@@ -23,8 +25,8 @@ fn usage() {
     eprintln!(
         "usage: bibs-lint [options] [target...]\n\
          \n\
-         targets: builtin circuit names ({}) or .ckt file paths;\n\
-         default: all builtins\n\
+         targets: builtin circuit names ({}), .ckt file paths, or\n\
+         .bench netlist paths; default: all builtins\n\
          \n\
          options:\n\
            --format text|json   output style (default text)\n\
@@ -122,7 +124,17 @@ fn main() -> ExitCode {
             lint_full(&circuit, &config)
         } else {
             match std::fs::read_to_string(target) {
-                Ok(text) => lint_ckt_text(target, &text, &config),
+                Ok(text) => {
+                    let is_bench = std::path::Path::new(target)
+                        .extension()
+                        .and_then(|e| e.to_str())
+                        .is_some_and(|e| e.eq_ignore_ascii_case("bench"));
+                    if is_bench {
+                        lint_bench_text(target, &text, &config)
+                    } else {
+                        lint_ckt_text(target, &text, &config)
+                    }
+                }
                 Err(e) => {
                     eprintln!("bibs-lint: cannot read {target}: {e}");
                     return ExitCode::from(2);

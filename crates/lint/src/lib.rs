@@ -94,6 +94,40 @@ pub fn lint_ckt_text(origin: &str, text: &str, config: &LintConfig) -> Report {
     }
 }
 
+/// Parses `.bench` netlist text and lints the result.
+///
+/// A file carrying an `# rtl:` sidecar (see [`bibs_datapath::front`])
+/// recovers its register-transfer view and gets the full RTL + design
+/// pipeline of [`lint_full`]; a plain gate-level file gets the netlist
+/// passes ([`lint_netlist`], plus [`lint_netlist_semantic`] when
+/// `config.semantic` is set). Parse and sidecar errors become a `B000`
+/// diagnostic naming `origin` — malformed input yields a failing report,
+/// never a panic.
+pub fn lint_bench_text(origin: &str, text: &str, config: &LintConfig) -> Report {
+    match bibs_datapath::front::load_bench_text(text) {
+        Ok(loaded) => match loaded.circuit() {
+            Some(circuit) => lint_full(circuit, config),
+            None => {
+                let mut report = lint_netlist(loaded.netlist(), config);
+                if config.semantic {
+                    report.merge(lint_netlist_semantic(loaded.netlist(), origin, config));
+                }
+                report
+            }
+        },
+        Err(e) => {
+            let mut report = Report::new();
+            report.emit(
+                config,
+                "B000",
+                format!("cannot parse netlist {origin}: {e}"),
+                e.to_string(),
+            );
+            report
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -123,5 +157,39 @@ mod tests {
                 circuit.name()
             );
         }
+    }
+
+    #[test]
+    fn bad_bench_is_a_b000_report_not_a_panic() {
+        let cfg = LintConfig::new();
+        for bad in [
+            "o = FROB(a)\n",                        // unknown gate
+            "INPUT(a)\no = NOT(a, a)\nOUTPUT(o)\n", // bad arity
+            "INPUT(a)\na = NOT(a)\n",               // double drive
+        ] {
+            let report = lint_bench_text("bad.bench", bad, &cfg);
+            assert!(report.has_code("B000"), "{bad:?}:\n{report}");
+            assert!(!report.is_clean());
+        }
+    }
+
+    #[test]
+    fn plain_bench_gets_the_netlist_passes() {
+        let cfg = LintConfig::new();
+        let nl = bibs_datapath::elab::elaborate_whole(&bibs_datapath::filters::scaled("c5a2m", 2))
+            .unwrap()
+            .netlist;
+        let text = bibs_netlist::bench::to_text(&nl);
+        let report = lint_bench_text("c5a2m.bench", &text, &cfg);
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn sidecar_bench_gets_the_full_rtl_pipeline() {
+        let cfg = LintConfig::new();
+        let circuit = bibs_datapath::filters::scaled("c5a2m", 2);
+        let text = bibs_datapath::front::bench_with_rtl(&circuit).unwrap();
+        let report = lint_bench_text("c5a2m.bench", &text, &cfg);
+        assert!(report.is_clean(), "{report}");
     }
 }

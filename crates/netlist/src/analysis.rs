@@ -445,10 +445,13 @@ fn split_round(
     refined
 }
 
-/// The infinite SCOAP cost: a controllability of `SCOAP_INF` or more means
-/// the value is *unachievable*, an observability of `SCOAP_INF` or more
-/// means the site is *unobservable* — both are sound proofs, not
-/// heuristics, when the sweep is seeded from sound ternary constants.
+/// The infinite SCOAP cost. A controllability of `SCOAP_INF` or more is a
+/// sound proof that the value is *unachievable* (when the sweep is seeded
+/// from sound ternary constants). An observability of `SCOAP_INF` means no
+/// *individually sensitizable* path exists — reconvergent fanout of a
+/// fault effect can still propagate along several masked-looking paths at
+/// once, so the [`Prover`] confirms the claim with a site-aware cone check
+/// before promoting it to an untestability proof.
 pub const SCOAP_INF: u32 = 1 << 30;
 
 #[inline]
@@ -811,12 +814,13 @@ const WITNESS_DEPTH: usize = 6;
 /// analysis and seeded SCOAP costs.
 ///
 /// Soundness: a verdict is only returned when the seeded SCOAP sweep
-/// proves the excitation value unachievable or the observation cost
-/// infinite — both over-approximations, so every flagged fault is
-/// genuinely undetectable by *any* pattern inside the [`PiAssumption`]
-/// the analysis ran under. Completeness is *not* promised: an
-/// undetectable fault may well receive no verdict (PODEM or exhaustive
-/// simulation still decides those).
+/// proves the excitation value unachievable, or when the observation cost
+/// is infinite *and* a site-aware cone check confirms that no fault
+/// effect can slip out through reconvergent fanout
+/// of the site itself — so every flagged fault is genuinely undetectable
+/// by *any* pattern inside the [`PiAssumption`] the analysis ran under.
+/// Completeness is *not* promised: an undetectable fault may well receive
+/// no verdict (PODEM or exhaustive simulation still decides those).
 #[derive(Debug)]
 pub struct Prover<'a> {
     program: &'a EvalProgram,
@@ -851,7 +855,7 @@ impl<'a> Prover<'a> {
                 witness: Witness { steps },
             });
         }
-        if self.scoap.unobservable(slot) {
+        if self.scoap.unobservable(slot) && !self.effect_escapes(slot) {
             let mut steps = vec![format!(
                 "n{slot}/sa{} is never observed: no sensitizable path from n{slot} to an output",
                 stuck as u8
@@ -882,7 +886,9 @@ impl<'a> Prover<'a> {
                 witness: Witness { steps },
             });
         }
-        if self.scoap.pin_co(self.program, instr, pin) >= SCOAP_INF {
+        if self.scoap.pin_co(self.program, instr, pin) >= SCOAP_INF
+            && (self.gate_side_blocked(instr, pin) || !self.effect_escapes(ins.out as usize))
+        {
             let mut steps = vec![format!(
                 "{}.in{pin}/sa{} is never observed: the path through {} cannot be sensitized",
                 ins.gate, stuck as u8, ins.gate
@@ -894,6 +900,99 @@ impl<'a> Prover<'a> {
             });
         }
         None
+    }
+
+    /// `true` when good-machine analysis proves the net on `side` can
+    /// never hold the non-masking value `kind` needs on its other pins.
+    fn side_blocks(&self, kind: GateKind, side: usize) -> bool {
+        match kind {
+            GateKind::And | GateKind::Nand => self.scoap.unachievable(side, true),
+            GateKind::Or | GateKind::Nor => self.scoap.unachievable(side, false),
+            GateKind::Xor | GateKind::Xnor => {
+                self.scoap.unachievable(side, false) && self.scoap.unachievable(side, true)
+            }
+            GateKind::Not | GateKind::Buf => false,
+        }
+    }
+
+    /// `true` when some side pin of `instr` provably masks propagation
+    /// through `pin` at the gate itself. For a *pin* fault this is sound
+    /// evidence on its own: a pin fault changes only what its gate sees on
+    /// that one pin, so every other operand net still computes its
+    /// good-machine value and the impossibility carries over.
+    fn gate_side_blocked(&self, instr: usize, pin: usize) -> bool {
+        let ins = self.program.instr(instr);
+        ins.operands
+            .iter()
+            .enumerate()
+            .any(|(q, &s)| q != pin && self.side_blocks(ins.kind, s as usize))
+    }
+
+    /// Sound site-aware check that a fault effect originating at `origin`
+    /// may reach an observation point.
+    ///
+    /// The global `co` sweep treats a path as blocked when a side input
+    /// provably cannot hold its non-masking value — evidence computed in
+    /// the *good* machine. That evidence is invalid when the side input
+    /// itself depends on the fault site: reconvergent fanout of the fault
+    /// effect can flip the side input together with the on-path value, so
+    /// the effect propagates along several paths at once even though each
+    /// single path looks masked (`y = OR(p, q)` with `p` and `q` both
+    /// constant 1 *because of* an upstream net `f` masks nothing for
+    /// faults on `f`).
+    ///
+    /// This check redoes the backward propagation restricted to the
+    /// fanout cone of `origin`, accepting a side-input block only when
+    /// the side lies *outside* the cone — then its value is unaffected by
+    /// any fault at `origin` and the good-machine impossibility holds in
+    /// the faulty machine too. Reconvergence *inside* the cone is treated
+    /// optimistically: two fault-carrying pins may in truth cancel (e.g.
+    /// `XOR(d, d)`), but proving that needs faulty-machine analysis, so
+    /// such gates count as propagating. `false` therefore means every
+    /// path provably dies; the verdict branches use it to confirm a
+    /// `co = ∞` claim before promoting it to a proof.
+    fn effect_escapes(&self, origin: usize) -> bool {
+        let n = self.program.slot_count();
+        let mut cone = vec![false; n];
+        cone[origin] = true;
+        for i in 0..self.program.instr_count() {
+            let ins = self.program.instr(i);
+            if ins.operands.iter().any(|&s| cone[s as usize]) {
+                cone[ins.out as usize] = true;
+            }
+        }
+        let mut live = vec![false; n];
+        for &slot in self.program.output_slots() {
+            live[slot as usize] = cone[slot as usize];
+        }
+        for &(_, d) in self.program.dff_slots() {
+            live[d as usize] = cone[d as usize];
+        }
+        if live[origin] {
+            return true;
+        }
+        // Reverse topological walk: every reader of a slot is scheduled
+        // after the slot's definition, so `live[out]` is final when the
+        // defining instruction is reached.
+        for i in (0..self.program.instr_count()).rev() {
+            let ins = self.program.instr(i);
+            if !live[ins.out as usize] {
+                continue;
+            }
+            for (p, &s) in ins.operands.iter().enumerate() {
+                let slot = s as usize;
+                if !cone[slot] || live[slot] {
+                    continue;
+                }
+                let blocked = ins.operands.iter().enumerate().any(|(q, &t)| {
+                    q != p && !cone[t as usize] && self.side_blocks(ins.kind, t as usize)
+                });
+                if !blocked {
+                    live[slot] = true;
+                }
+            }
+        }
+        live[origin]
     }
 
     /// Explains why `slot` is proven constant, if it is.
@@ -1068,15 +1167,7 @@ impl<'a> Prover<'a> {
                 continue;
             }
             let side = s as usize;
-            let blocked = match ins.kind {
-                GateKind::And | GateKind::Nand => self.scoap.unachievable(side, true),
-                GateKind::Or | GateKind::Nor => self.scoap.unachievable(side, false),
-                GateKind::Xor | GateKind::Xnor => {
-                    self.scoap.unachievable(side, false) && self.scoap.unachievable(side, true)
-                }
-                GateKind::Not | GateKind::Buf => false,
-            };
-            if blocked {
+            if self.side_blocks(ins.kind, side) {
                 let need = match ins.kind {
                     GateKind::And | GateKind::Nand => "1",
                     GateKind::Or | GateKind::Nor => "0",
@@ -1360,6 +1451,47 @@ mod tests {
         assert_eq!(v.reason, UntestableReason::Unobservable);
         let or_instr = prog.instr_of_slot(live.index()).unwrap();
         assert!(prover.prove_pin(or_instr, 0, false).is_none(), "live pin");
+    }
+
+    #[test]
+    fn reconvergent_fault_cone_defeats_masking_verdicts() {
+        // Both side inputs of the output OR are constant 1 in the good
+        // machine, but only *because of* f = NAND(b, a): under f/sa0 they
+        // collapse to 0 together at a = b = 0 and the fault reaches y.
+        // The global co sweep calls f unobservable — every single path is
+        // masked — yet the fault effect escapes along two paths at once,
+        // so the site-aware cone check must veto the verdict.
+        let mut bld = NetlistBuilder::new("rc");
+        let a = bld.input("a");
+        let b = bld.input("b");
+        let f = bld.gate(GateKind::Nand, &[b, a]);
+        let p = bld.or2(f, a);
+        let q = bld.or2(b, f);
+        let y = bld.or2(p, q);
+        bld.output("y", y);
+        let nl = bld.finish().unwrap();
+        let prog = compile(&nl);
+        let abs = ternary_analyze(&prog, &PiAssumption::AllX);
+        let s = Scoap::compute_with(&prog, Some(&abs));
+        // The unsound ingredients are present: the case splits prove both
+        // OR sides constant 1, so the cost model sees f as masked...
+        assert_eq!(abs.value(p.index()), Tv::One);
+        assert_eq!(abs.value(q.index()), Tv::One);
+        assert!(s.unobservable(f.index()));
+        // ...but no untestability verdict may be issued for the stem.
+        let prover = Prover::new(&prog, &abs, &s);
+        assert!(prover.prove_stem(f.index(), false).is_none(), "f/sa0");
+        assert!(prover.prove_stem(f.index(), true).is_none(), "f/sa1");
+        // Precision is retained where the masking *is* fault-independent:
+        // a pin fault where f enters one OR leaves the other path computing
+        // its good-machine constant 1, which really does mask y — those
+        // verdicts must survive the cone check.
+        let p_instr = prog.instr_of_slot(p.index()).unwrap();
+        let v = prover.prove_pin(p_instr, 0, false).expect("p pin masked");
+        assert_eq!(v.reason, UntestableReason::Unobservable);
+        let q_instr = prog.instr_of_slot(q.index()).unwrap();
+        let v = prover.prove_pin(q_instr, 1, false).expect("q pin masked");
+        assert_eq!(v.reason, UntestableReason::Unobservable);
     }
 
     #[test]

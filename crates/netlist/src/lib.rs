@@ -33,10 +33,14 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod bench;
 pub mod builder;
 pub mod compiled;
 pub mod export;
 pub mod sim;
+#[cfg(feature = "testing")]
+pub mod testgen;
+pub mod verilog;
 
 mod netlist;
 

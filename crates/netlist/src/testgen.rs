@@ -1,0 +1,122 @@
+//! Shared random-DAG generators for tests and fuzzing (feature `testing`).
+//!
+//! Every proptest and differential-fuzz harness in the workspace draws
+//! its random combinational gate DAGs from here, so a shrunk
+//! counterexample in one suite reproduces byte-for-byte in every other.
+//! Two entry points cover the two historical shapes:
+//!
+//! * [`random_netlist_ops`] — driven by an explicit op list (what
+//!   proptest strategies shrink over);
+//! * [`random_netlist_seeded`] — driven by a `u64` seed through
+//!   [`rand::rngs::StdRng`] (what the corpus store and the fuzzer
+//!   record on disk).
+//!
+//! Both grow a pool of nets starting from the primary inputs; each op
+//! picks two pool entries and one of the seven logic functions, and the
+//! last two pool entries become the primary outputs, so every generated
+//! netlist is valid by construction (acyclic, fully driven).
+
+use crate::builder::NetlistBuilder;
+use crate::{GateKind, Netlist};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Builds one gate from an `(op, x, y)` triple against the net pool.
+fn push_op(b: &mut NetlistBuilder, pool: &mut Vec<crate::NetId>, op: u8, x: usize, y: usize) {
+    let a = pool[x % pool.len()];
+    let c = pool[y % pool.len()];
+    let out = match op % 7 {
+        0 => b.gate(GateKind::And, &[a, c]),
+        1 => b.gate(GateKind::Or, &[a, c]),
+        2 => b.gate(GateKind::Xor, &[a, c]),
+        3 => b.gate(GateKind::Nand, &[a, c]),
+        4 => b.gate(GateKind::Nor, &[a, c]),
+        5 => b.gate(GateKind::Xnor, &[a, c]),
+        _ => b.gate(GateKind::Not, &[a]),
+    };
+    pool.push(out);
+}
+
+/// Random combinational gate DAG from an explicit op list.
+///
+/// `inputs` primary inputs named `i0..`, one gate per `(op, x, y)` triple
+/// (`op % 7` selects the function, `x`/`y` index the growing net pool
+/// modulo its length). Outputs `o0` (and `o1` when at least two nets
+/// exist) are the last pool entries.
+///
+/// # Panics
+///
+/// Panics if `inputs` is zero (the pool would be empty).
+pub fn random_netlist_ops(inputs: usize, ops: &[(u8, usize, usize)]) -> Netlist {
+    let mut b = NetlistBuilder::new("rand");
+    let mut pool: Vec<_> = (0..inputs).map(|i| b.input(format!("i{i}"))).collect();
+    for &(op, x, y) in ops {
+        push_op(&mut b, &mut pool, op, x, y);
+    }
+    let n = pool.len();
+    b.output("o0", pool[n - 1]);
+    if n >= 2 {
+        b.output("o1", pool[n - 2]);
+    }
+    b.finish().expect("random netlist is well-formed")
+}
+
+/// Deterministic random gate DAG from a seed: `inputs` primary inputs,
+/// `ops` gates drawn from [`StdRng`] (named `rand<seed in hex>`).
+///
+/// # Panics
+///
+/// Panics if `inputs` is zero.
+pub fn random_netlist_seeded(seed: u64, inputs: usize, ops: usize) -> Netlist {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = NetlistBuilder::new(format!("rand{seed:x}"));
+    let mut pool: Vec<_> = (0..inputs).map(|i| b.input(format!("i{i}"))).collect();
+    for _ in 0..ops {
+        let op = rng.gen_range(0..7u32) as u8;
+        let x = rng.gen_range(0..pool.len());
+        let y = rng.gen_range(0..pool.len());
+        push_op(&mut b, &mut pool, op, x, y);
+    }
+    let n = pool.len();
+    b.output("o0", pool[n - 1]);
+    if n >= 2 {
+        b.output("o1", pool[n - 2]);
+    }
+    b.finish().expect("random netlist is well-formed")
+}
+
+/// Proptest strategy over random gate DAGs: 2–7 inputs, 1–29 gates.
+pub fn netlist_strategy() -> impl Strategy<Value = Netlist> {
+    netlist_strategy_sized(8, 30)
+}
+
+/// Proptest strategy with explicit bounds: `2..max_inputs` primary
+/// inputs, `1..max_ops` gates.
+pub fn netlist_strategy_sized(max_inputs: usize, max_ops: usize) -> impl Strategy<Value = Netlist> {
+    (
+        2usize..max_inputs,
+        proptest::collection::vec((any::<u8>(), any::<usize>(), any::<usize>()), 1..max_ops),
+    )
+        .prop_map(|(inputs, ops)| random_netlist_ops(inputs, &ops))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_are_deterministic_and_valid() {
+        let a = random_netlist_seeded(0x51B5_1994, 4, 12);
+        let b = random_netlist_seeded(0x51B5_1994, 4, 12);
+        assert_eq!(a, b);
+        a.validate().unwrap();
+        assert_eq!(a.gate_count(), 12);
+        assert_eq!(a.input_width(), 4);
+
+        let c = random_netlist_ops(3, &[(0, 0, 1), (6, 2, 0), (2, 3, 1)]);
+        c.validate().unwrap();
+        assert_eq!(c.gate_count(), 3);
+        assert_eq!(c.output_width(), 2);
+    }
+}

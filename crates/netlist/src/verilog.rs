@@ -1,0 +1,653 @@
+//! Structural-Verilog export (and a matching subset importer).
+//!
+//! [`to_verilog`] writes a netlist as a flat structural module built from
+//! the Verilog-1995 gate primitives (`and`, `nand`, `or`, `nor`, `xor`,
+//! `xnor`, `not`, `buf`), `assign`s for constants and a single
+//! `always @(posedge clk)` block per flip-flop — the shape every
+//! synthesis and simulation tool accepts:
+//!
+//! ```text
+//! module add2(clk, a, b, s);
+//!   input clk;
+//!   input a;
+//!   input b;
+//!   output s;
+//!   wire n4;
+//!   reg q;
+//!   xor g0 (n4, a, b);
+//!   always @(posedge clk) q <= n4;
+//!   buf g1 (s, q);
+//! endmodule
+//! ```
+//!
+//! [`from_verilog`] reads back exactly the subset [`to_verilog`] emits
+//! (plus benign whitespace variation). It exists so the export can be
+//! round-trip-tested — print → parse preserves gate and flip-flop counts
+//! and the evaluated function — not as a general Verilog front end.
+//! `assign a = b;` aliases are resolved at the identifier level, so no
+//! buffer gates appear on re-import.
+
+use crate::netlist::{Dff, DffId, Gate, GateId, GateKind, Net, NetDriver, NetId, Netlist};
+use crate::NetlistError;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Errors from [`from_verilog`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// A line matched no supported production.
+    Syntax {
+        /// 1-based source line.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// A signal was assigned more than one driver.
+    DoubleDrive {
+        /// The multiply-driven identifier.
+        signal: String,
+    },
+    /// A signal was referenced but never driven or declared as an input.
+    Undefined {
+        /// The undefined identifier.
+        signal: String,
+    },
+    /// The parsed structure failed netlist validation.
+    Invalid(NetlistError),
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Syntax { line, message } => {
+                write!(f, "line {line}: syntax error: {message}")
+            }
+            ParseError::DoubleDrive { signal } => {
+                write!(f, "signal {signal:?} is driven more than once")
+            }
+            ParseError::Undefined { signal } => {
+                write!(f, "signal {signal:?} is referenced but never driven")
+            }
+            ParseError::Invalid(e) => write!(f, "invalid netlist: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<NetlistError> for ParseError {
+    fn from(e: NetlistError) -> Self {
+        ParseError::Invalid(e)
+    }
+}
+
+const KEYWORDS: &[&str] = &[
+    "module",
+    "endmodule",
+    "input",
+    "output",
+    "wire",
+    "reg",
+    "assign",
+    "always",
+    "posedge",
+    "negedge",
+    "begin",
+    "end",
+    "and",
+    "or",
+    "nand",
+    "nor",
+    "xor",
+    "xnor",
+    "not",
+    "buf",
+    "clk",
+];
+
+fn primitive_name(kind: GateKind) -> &'static str {
+    match kind {
+        GateKind::And => "and",
+        GateKind::Or => "or",
+        GateKind::Nand => "nand",
+        GateKind::Nor => "nor",
+        GateKind::Xor => "xor",
+        GateKind::Xnor => "xnor",
+        GateKind::Not => "not",
+        GateKind::Buf => "buf",
+    }
+}
+
+fn primitive_kind(name: &str) -> Option<GateKind> {
+    Some(match name {
+        "and" => GateKind::And,
+        "or" => GateKind::Or,
+        "nand" => GateKind::Nand,
+        "nor" => GateKind::Nor,
+        "xor" => GateKind::Xor,
+        "xnor" => GateKind::Xnor,
+        "not" => GateKind::Not,
+        "buf" => GateKind::Buf,
+        _ => return None,
+    })
+}
+
+/// Rewrites an arbitrary net name into a legal Verilog simple identifier
+/// (`[a-zA-Z_][a-zA-Z0-9_$]*`, not a keyword). Idempotent.
+fn sanitize_ident(name: &str) -> String {
+    let mut s: String = name
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == '$' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    if s.chars().next().is_none_or(|c| c.is_ascii_digit()) {
+        s.insert(0, '_');
+    }
+    if KEYWORDS.contains(&s.as_str()) {
+        s.push('_');
+    }
+    s
+}
+
+/// Unique deterministic Verilog identifier per net (same scheme as the
+/// `.bench` writer: sanitized net name, `n<id>` fallback, `_`-suffix on
+/// collisions).
+fn net_idents(netlist: &Netlist) -> Vec<String> {
+    let mut used: HashMap<String, ()> = HashMap::new();
+    let mut names = Vec::with_capacity(netlist.net_count());
+    for net in netlist.net_ids() {
+        let mut candidate = match netlist.net_name(net) {
+            Some(n) => sanitize_ident(n),
+            None => format!("n{}", net.index()),
+        };
+        while used.contains_key(&candidate) {
+            candidate.push('_');
+        }
+        used.insert(candidate.clone(), ());
+        names.push(candidate);
+    }
+    names
+}
+
+/// Serializes a netlist as a flat structural Verilog module.
+///
+/// The port list is `clk` (only when flip-flops exist), then the primary
+/// inputs, then one port per primary output. An output net that is also
+/// an input net or repeated across outputs gets a fresh `po<i>` port fed
+/// by a continuous assignment; otherwise the net's own identifier is the
+/// port.
+pub fn to_verilog(netlist: &Netlist) -> String {
+    let idents = net_idents(netlist);
+    let module = {
+        let s = sanitize_ident(netlist.name());
+        if s.is_empty() {
+            "top".to_string()
+        } else {
+            s
+        }
+    };
+    let has_clk = netlist.dff_count() > 0;
+
+    let input_nets: Vec<bool> = {
+        let mut v = vec![false; netlist.net_count()];
+        for &pi in netlist.inputs() {
+            v[pi.index()] = true;
+        }
+        v
+    };
+    let mut port_taken: HashMap<String, ()> = HashMap::new();
+    if has_clk {
+        port_taken.insert("clk".to_string(), ());
+    }
+    for &pi in netlist.inputs() {
+        port_taken.insert(idents[pi.index()].clone(), ());
+    }
+    // (port ident, Some(source net) when an assign alias is needed)
+    let mut out_ports: Vec<(String, Option<NetId>)> = Vec::new();
+    for (i, &po) in netlist.outputs().iter().enumerate() {
+        let ident = &idents[po.index()];
+        if !input_nets[po.index()] && !port_taken.contains_key(ident) {
+            port_taken.insert(ident.clone(), ());
+            out_ports.push((ident.clone(), None));
+        } else {
+            let mut fresh = format!("po{i}");
+            while port_taken.contains_key(&fresh) {
+                fresh.push('_');
+            }
+            port_taken.insert(fresh.clone(), ());
+            out_ports.push((fresh, Some(po)));
+        }
+    }
+
+    let mut ports: Vec<String> = Vec::new();
+    if has_clk {
+        ports.push("clk".to_string());
+    }
+    ports.extend(netlist.inputs().iter().map(|pi| idents[pi.index()].clone()));
+    ports.extend(out_ports.iter().map(|(p, _)| p.clone()));
+
+    let mut out = String::new();
+    out.push_str(&format!("// name: {}\n", netlist.name()));
+    out.push_str(&format!("module {module}({});\n", ports.join(", ")));
+    if has_clk {
+        out.push_str("  input clk;\n");
+    }
+    for &pi in netlist.inputs() {
+        out.push_str(&format!("  input {};\n", idents[pi.index()]));
+    }
+    for (p, _) in &out_ports {
+        out.push_str(&format!("  output {p};\n"));
+    }
+    // Declarations: flip-flop outputs are regs, everything else that is
+    // not already a port is a wire. Sorted by identifier — never by net
+    // id — so a parse → print cycle reproduces the text exactly.
+    let port_nets: HashMap<&str, ()> = ports.iter().map(|p| (p.as_str(), ())).collect();
+    let mut wires: Vec<&str> = Vec::new();
+    let mut regs: Vec<&str> = Vec::new();
+    for net in netlist.net_ids() {
+        let ident = &idents[net.index()];
+        match netlist.driver(net) {
+            NetDriver::Dff(_) => regs.push(ident),
+            NetDriver::Input(_) => {}
+            _ => {
+                if !port_nets.contains_key(ident.as_str()) {
+                    wires.push(ident);
+                }
+            }
+        }
+    }
+    wires.sort_unstable();
+    regs.sort_unstable();
+    for ident in wires {
+        out.push_str(&format!("  wire {ident};\n"));
+    }
+    for ident in regs {
+        out.push_str(&format!("  reg {ident};\n"));
+    }
+    let mut const_lines: Vec<(String, bool)> = netlist
+        .net_ids()
+        .filter_map(|n| match netlist.driver(n) {
+            NetDriver::Const(v) => Some((idents[n.index()].clone(), v)),
+            _ => None,
+        })
+        .collect();
+    const_lines.sort();
+    for (ident, v) in const_lines {
+        out.push_str(&format!("  assign {ident} = 1'b{};\n", v as u8));
+    }
+    for gid in netlist.gate_ids() {
+        let g = netlist.gate(gid);
+        let mut args = vec![idents[g.output.index()].clone()];
+        args.extend(g.inputs.iter().map(|i| idents[i.index()].clone()));
+        out.push_str(&format!(
+            "  {} g{} ({});\n",
+            primitive_name(g.kind),
+            gid.index(),
+            args.join(", ")
+        ));
+    }
+    for ff in netlist.dffs() {
+        out.push_str(&format!(
+            "  always @(posedge clk) {} <= {};\n",
+            idents[ff.q.index()],
+            idents[ff.d.index()]
+        ));
+    }
+    for (p, src) in &out_ports {
+        if let Some(net) = src {
+            out.push_str(&format!("  assign {p} = {};\n", idents[net.index()]));
+        }
+    }
+    out.push_str("endmodule\n");
+    out
+}
+
+fn ident_ok(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && s.chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '$')
+}
+
+/// Parses the structural subset emitted by [`to_verilog`] back into a
+/// [`Netlist`].
+///
+/// # Errors
+///
+/// Returns [`ParseError`] on anything outside the emitted subset and on
+/// netlist validation failures. Never panics on malformed input.
+pub fn from_verilog(text: &str) -> Result<Netlist, ParseError> {
+    // Pass 1: collect statements structurally, no net ids yet.
+    let mut name: Option<String> = None;
+    let mut module: Option<String> = None;
+    let mut seen_module = false;
+    let mut input_decls: Vec<String> = Vec::new();
+    let mut output_decls: Vec<String> = Vec::new();
+    let mut consts: Vec<(usize, String, bool)> = Vec::new();
+    let mut aliases: HashMap<String, String> = HashMap::new();
+    let mut gate_stmts: Vec<(GateKind, Vec<String>)> = Vec::new();
+    let mut dff_stmts: Vec<(String, String)> = Vec::new();
+
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let stmt = raw.split("//").next().unwrap_or("").trim();
+        if stmt.is_empty() {
+            if let Some(comment) = raw.trim_start().strip_prefix("//") {
+                if let Some(n) = comment.trim().strip_prefix("name:") {
+                    if name.is_none() && !n.trim().is_empty() {
+                        name = Some(n.trim().to_string());
+                    }
+                }
+            }
+            continue;
+        }
+        let syntax = |message: String| ParseError::Syntax {
+            line: lineno,
+            message,
+        };
+        if stmt == "endmodule" {
+            continue;
+        }
+        if let Some(rest) = stmt.strip_prefix("module ") {
+            let rest = rest.trim_end_matches(';').trim();
+            let (m, _ports) = rest
+                .split_once('(')
+                .and_then(|(m, p)| p.strip_suffix(')').map(|p| (m.trim(), p)))
+                .ok_or_else(|| syntax(format!("malformed module header {stmt:?}")))?;
+            module = Some(m.to_string());
+            seen_module = true;
+            continue;
+        }
+        if let Some(rest) = stmt.strip_prefix("input ") {
+            let sig = rest.trim_end_matches(';').trim();
+            if !ident_ok(sig) {
+                return Err(syntax(format!("bad input declaration {stmt:?}")));
+            }
+            if sig != "clk" {
+                input_decls.push(sig.to_string());
+            }
+            continue;
+        }
+        if let Some(rest) = stmt.strip_prefix("output ") {
+            let sig = rest.trim_end_matches(';').trim();
+            if !ident_ok(sig) {
+                return Err(syntax(format!("bad output declaration {stmt:?}")));
+            }
+            output_decls.push(sig.to_string());
+            continue;
+        }
+        if let Some(rest) = stmt
+            .strip_prefix("wire ")
+            .or_else(|| stmt.strip_prefix("reg "))
+        {
+            let sig = rest.trim_end_matches(';').trim();
+            if !ident_ok(sig) {
+                return Err(syntax(format!("bad declaration {stmt:?}")));
+            }
+            // Declarations carry no connectivity; the driver lines do.
+            continue;
+        }
+        if let Some(rest) = stmt.strip_prefix("assign ") {
+            let rest = rest.trim_end_matches(';').trim();
+            let (lhs, rhs) = rest
+                .split_once('=')
+                .map(|(l, r)| (l.trim(), r.trim()))
+                .ok_or_else(|| syntax(format!("malformed assign {stmt:?}")))?;
+            if !ident_ok(lhs) {
+                return Err(syntax(format!("bad assign target {lhs:?}")));
+            }
+            match rhs {
+                "1'b0" => consts.push((lineno, lhs.to_string(), false)),
+                "1'b1" => consts.push((lineno, lhs.to_string(), true)),
+                r if ident_ok(r) => {
+                    if aliases.insert(lhs.to_string(), r.to_string()).is_some() {
+                        return Err(ParseError::DoubleDrive {
+                            signal: lhs.to_string(),
+                        });
+                    }
+                }
+                other => return Err(syntax(format!("unsupported assign source {other:?}"))),
+            }
+            continue;
+        }
+        if let Some(rest) = stmt.strip_prefix("always ") {
+            // always @(posedge clk) q <= d;
+            let rest = rest.trim_end_matches(';').trim();
+            let body = rest
+                .strip_prefix("@(posedge clk)")
+                .ok_or_else(|| syntax(format!("unsupported always block {stmt:?}")))?
+                .trim();
+            let (q, d) = body
+                .split_once("<=")
+                .map(|(q, d)| (q.trim(), d.trim()))
+                .ok_or_else(|| syntax(format!("unsupported always body {body:?}")))?;
+            if !ident_ok(q) || !ident_ok(d) {
+                return Err(syntax(format!("bad flip-flop signals in {stmt:?}")));
+            }
+            dff_stmts.push((q.to_string(), d.to_string()));
+            continue;
+        }
+        // Gate primitive instance: kind gN (out, in...);
+        let rest = stmt.trim_end_matches(';').trim();
+        let (head, args) = rest
+            .split_once('(')
+            .and_then(|(h, a)| a.strip_suffix(')').map(|a| (h.trim(), a)))
+            .ok_or_else(|| syntax(format!("unrecognized statement {stmt:?}")))?;
+        let kind = head
+            .split_whitespace()
+            .next()
+            .and_then(primitive_kind)
+            .ok_or_else(|| syntax(format!("unknown gate primitive in {stmt:?}")))?;
+        let args: Vec<String> = args.split(',').map(|a| a.trim().to_string()).collect();
+        if args.len() < 2 || args.iter().any(|a| !ident_ok(a)) {
+            return Err(syntax(format!("bad gate connection list in {stmt:?}")));
+        }
+        gate_stmts.push((kind, args));
+    }
+
+    if !seen_module {
+        return Err(ParseError::Syntax {
+            line: 1,
+            message: "missing module header".to_string(),
+        });
+    }
+
+    // Pass 2: resolve aliases to root identifiers and build the netlist.
+    let resolve = |sig: &str| -> String {
+        let mut cur = sig;
+        for _ in 0..=aliases.len() {
+            match aliases.get(cur) {
+                Some(next) => cur = next,
+                None => break,
+            }
+        }
+        cur.to_string()
+    };
+
+    let mut nets: Vec<Net> = Vec::new();
+    let mut signals: HashMap<String, NetId> = HashMap::new();
+    let intern = |signals: &mut HashMap<String, NetId>, nets: &mut Vec<Net>, sig: &str| -> NetId {
+        let root = resolve(sig);
+        if let Some(&id) = signals.get(&root) {
+            return id;
+        }
+        let id = NetId::from_index(nets.len());
+        nets.push(Net {
+            name: Some(root.clone()),
+            driver: NetDriver::Floating,
+        });
+        signals.insert(root, id);
+        id
+    };
+    let check_free = |nets: &[Net], id: NetId, sig: &str| -> Result<(), ParseError> {
+        if matches!(nets[id.index()].driver, NetDriver::Floating) {
+            Ok(())
+        } else {
+            Err(ParseError::DoubleDrive {
+                signal: sig.to_string(),
+            })
+        }
+    };
+
+    let mut inputs: Vec<NetId> = Vec::new();
+    for sig in &input_decls {
+        let id = intern(&mut signals, &mut nets, sig);
+        check_free(&nets, id, sig)?;
+        nets[id.index()].driver = NetDriver::Input(inputs.len());
+        inputs.push(id);
+    }
+    for (_line, sig, v) in &consts {
+        let id = intern(&mut signals, &mut nets, sig);
+        check_free(&nets, id, sig)?;
+        nets[id.index()].driver = NetDriver::Const(*v);
+    }
+    let mut gates: Vec<Gate> = Vec::new();
+    for (kind, args) in &gate_stmts {
+        let out = intern(&mut signals, &mut nets, &args[0]);
+        check_free(&nets, out, &args[0])?;
+        let ins: Vec<NetId> = args[1..]
+            .iter()
+            .map(|a| intern(&mut signals, &mut nets, a))
+            .collect();
+        let gid = GateId::from_index(gates.len());
+        gates.push(Gate {
+            kind: *kind,
+            inputs: ins,
+            output: out,
+        });
+        nets[out.index()].driver = NetDriver::Gate(gid);
+    }
+    let mut dffs: Vec<Dff> = Vec::new();
+    for (q, d) in &dff_stmts {
+        let qn = intern(&mut signals, &mut nets, q);
+        check_free(&nets, qn, q)?;
+        let dn = intern(&mut signals, &mut nets, d);
+        let id = DffId::from_index(dffs.len());
+        dffs.push(Dff { d: dn, q: qn });
+        nets[qn.index()].driver = NetDriver::Dff(id);
+    }
+    let mut outputs: Vec<NetId> = Vec::new();
+    for sig in &output_decls {
+        let root = resolve(sig);
+        let id = *signals.get(&root).ok_or_else(|| ParseError::Undefined {
+            signal: sig.clone(),
+        })?;
+        outputs.push(id);
+    }
+    for net in &nets {
+        if matches!(net.driver, NetDriver::Floating) {
+            return Err(ParseError::Undefined {
+                signal: net.name.clone().unwrap_or_default(),
+            });
+        }
+    }
+    Ok(Netlist::from_parts(
+        name.or(module).unwrap_or_else(|| "top".to_string()),
+        nets,
+        gates,
+        dffs,
+        inputs,
+        outputs,
+    )?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetlistBuilder;
+    use crate::sim::{broadcast_pattern, PatternSim};
+
+    fn adder() -> Netlist {
+        let mut b = NetlistBuilder::new("add3");
+        let a = b.input_word("a", 3);
+        let c = b.input_word("b", 3);
+        let (s, co) = b.ripple_carry_adder(&a, &c, None);
+        let reg = b.register(&s);
+        b.output_word("s", &reg);
+        b.output("co", co);
+        b.finish().unwrap()
+    }
+
+    fn eval_outputs(nl: &Netlist, a: u64, b: u64) -> Vec<u64> {
+        let comb = nl.combinational_equivalent();
+        let mut words = broadcast_pattern(a, 3);
+        words.extend(broadcast_pattern(b, 3));
+        let mut sim = PatternSim::new(&comb);
+        sim.set_inputs(&words);
+        sim.eval_comb();
+        comb.outputs()
+            .iter()
+            .map(|&o| sim.output_lane(&[o], 0))
+            .collect()
+    }
+
+    #[test]
+    fn verilog_round_trip_preserves_structure_and_function() {
+        let nl = adder();
+        let text = to_verilog(&nl);
+        let parsed = from_verilog(&text).unwrap();
+        assert_eq!(parsed.name(), nl.name());
+        assert_eq!(parsed.gate_count(), nl.gate_count());
+        assert_eq!(parsed.dff_count(), nl.dff_count());
+        assert_eq!(parsed.input_width(), nl.input_width());
+        assert_eq!(parsed.output_width(), nl.output_width());
+        for (a, b) in [(1u64, 2u64), (5, 3), (7, 7)] {
+            assert_eq!(eval_outputs(&nl, a, b), eval_outputs(&parsed, a, b));
+        }
+        // Second print is a fixpoint.
+        assert_eq!(to_verilog(&parsed), text);
+    }
+
+    #[test]
+    fn constants_and_aliases_round_trip() {
+        let mut b = NetlistBuilder::new("consts");
+        let a = b.input("a");
+        let z = b.const0();
+        let o = b.and2(a, z);
+        b.output("o", o);
+        // Duplicate output forces a po-alias assign in the export.
+        b.output("o2", o);
+        let nl = b.finish().unwrap();
+        let text = to_verilog(&nl);
+        let parsed = from_verilog(&text).unwrap();
+        assert_eq!(parsed.gate_count(), nl.gate_count());
+        assert_eq!(parsed.output_width(), 2);
+    }
+
+    #[test]
+    fn keyword_and_digit_names_are_sanitized() {
+        let mut b = NetlistBuilder::new("2wire");
+        let a = b.input("wire");
+        let c = b.input("3x");
+        let o = b.or2(a, c);
+        b.output("output", o);
+        let nl = b.finish().unwrap();
+        let text = to_verilog(&nl);
+        let parsed = from_verilog(&text).unwrap();
+        assert_eq!(parsed.input_width(), 2);
+        assert_eq!(parsed.output_width(), 1);
+    }
+
+    #[test]
+    fn malformed_verilog_is_rejected_not_panicked() {
+        assert!(matches!(
+            from_verilog("module t(a; endmodule"),
+            Err(ParseError::Syntax { .. })
+        ));
+        assert!(matches!(
+            from_verilog("wire x;"),
+            Err(ParseError::Syntax { .. })
+        ));
+        assert!(matches!(
+            from_verilog("module t(a, o);\n input a;\n output o;\n frob g0 (o, a);\nendmodule\n"),
+            Err(ParseError::Syntax { .. })
+        ));
+    }
+}
