@@ -163,6 +163,9 @@ cargo run --release -p bibs-corpus --bin bibs-fuzz -- --write-seeds \
 for f in /tmp/bibs-fuzz-seeds/*.bench; do
   diff "$f" "corpus/$(basename "$f")"
 done
+for f in /tmp/bibs-fuzz-seeds/seq/*.bench; do
+  diff "$f" "corpus/seq/$(basename "$f")"
+done
 
 step "fuzz smoke (200 seeded cases through the four differential oracles)"
 # Time-boxed; a divergence writes a minimized fixture to
@@ -173,6 +176,34 @@ grep -q "0 divergence(s)" /tmp/bibs-fuzz-smoke.txt
 
 step "fuzz regressions gate (committed fixtures stay fixed)"
 timeout 300 cargo run --release -p bibs-corpus --bin bibs-fuzz -- --regressions
+
+step "bibs-lint batch gate (whole corpus, baselined, job-count invariant)"
+# The recursive batch walk lints every committed corpus circuit —
+# including the deliberately X-unsafe corpus/seq fixtures, whose known
+# findings are fingerprint-pinned in lint-baseline.json — and must gate
+# deny-clean with byte-identical output for every worker count.
+cargo run --release -p bibs-lint --bin bibs-lint -- --batch corpus/ \
+  --baseline lint-baseline.json --jobs 1 > /tmp/bibs-lint-batch-j1.txt
+grep -q "0 deny" /tmp/bibs-lint-batch-j1.txt
+for j in 2 4 8; do
+  cargo run --release -p bibs-lint --bin bibs-lint -- --batch corpus/ \
+    --baseline lint-baseline.json --jobs "$j" > /tmp/bibs-lint-batch-jn.txt
+  diff /tmp/bibs-lint-batch-j1.txt /tmp/bibs-lint-batch-jn.txt
+done
+
+step "bibs-lint SARIF gate (emit + vendored-schema check)"
+cargo run --release -p bibs-lint --bin bibs-lint -- --batch corpus/ \
+  --baseline lint-baseline.json --format sarif > /tmp/bibs-lint.sarif
+cargo run --release -p bibs-lint --bin bibs-lint -- \
+  --check-sarif /tmp/bibs-lint.sarif
+
+step "bibs-lint rejects the uninitialized-flop fixture (B050)"
+if cargo run --release -p bibs-lint --bin bibs-lint -- --deny warnings \
+  circuits/bad_uninit_dff.bench > /tmp/bibs-lint-uninit.txt 2>&1; then
+  echo "ci.sh: uninitialized-flop fixture unexpectedly linted clean" >&2
+  exit 1
+fi
+grep -q "B050" /tmp/bibs-lint-uninit.txt
 
 step "criterion bench smoke-build"
 cargo bench --workspace --no-run -q

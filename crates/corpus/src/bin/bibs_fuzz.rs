@@ -38,6 +38,29 @@ const SEED_FAMILIES: [Family; 8] = [
     },
 ];
 
+/// Sequential seeds, committed under `corpus/seq/` instead of the corpus
+/// root: the smoke oracles reason over the combinational equivalent, where
+/// a feedback flop turns into a combinational cycle, so these instances
+/// are kept out of [`load_corpus`]'s non-recursive seed scan — the
+/// recursive `bibs-lint --batch corpus/` walk still lints them.
+const SEQ_SEED_FAMILIES: [Family; 5] = [
+    Family::SeqUnsafe { variant: 0 },
+    Family::SeqUnsafe { variant: 1 },
+    Family::SeqUnsafe { variant: 2 },
+    Family::SeqDag {
+        seed: 0xB1B5_0001,
+        inputs: 5,
+        ops: 24,
+        dffs: 4,
+    },
+    Family::SeqDag {
+        seed: 0xB1B5_0002,
+        inputs: 6,
+        ops: 40,
+        dffs: 8,
+    },
+];
+
 fn usage() -> ! {
     eprintln!(
         "usage: bibs-fuzz (--smoke | --regressions | --sizes | --write-seeds) \
@@ -132,6 +155,20 @@ fn write_seeds(corpus_dir: &Path) -> ExitCode {
     }
     for family in SEED_FAMILIES {
         let path = corpus_dir.join(format!("{family}.bench"));
+        let text = bibs_netlist::bench::to_text(&family.build());
+        if let Err(e) = std::fs::write(&path, text) {
+            eprintln!("error: cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {}", path.display());
+    }
+    let seq_dir = corpus_dir.join("seq");
+    if let Err(e) = std::fs::create_dir_all(&seq_dir) {
+        eprintln!("error: cannot create {}: {e}", seq_dir.display());
+        return ExitCode::FAILURE;
+    }
+    for family in SEQ_SEED_FAMILIES {
+        let path = seq_dir.join(format!("{family}.bench"));
         let text = bibs_netlist::bench::to_text(&family.build());
         if let Err(e) = std::fs::write(&path, text) {
             eprintln!("error: cannot write {}: {e}", path.display());

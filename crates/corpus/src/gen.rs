@@ -66,6 +66,29 @@ pub enum Family {
         /// Number of gate-creation operations.
         ops: usize,
     },
+    /// A deliberately X-unsafe sequential fixture — each variant trips
+    /// exactly one of the B05x sequential lint codes:
+    /// 0 = observed never-initialized feedback flop (B050),
+    /// 1 = constant-fed stuck register (B052),
+    /// 2 = unobservable flop (B053 + B051).
+    SeqUnsafe {
+        /// Which defect (taken modulo 3).
+        variant: usize,
+    },
+    /// A feed-forward random DAG with registered intermediate nets: every
+    /// flop's D cone is PI-driven and every net is XOR-folded into the
+    /// output, so the instance is sequentially healthy by construction —
+    /// the oracle target for the B050/B051 zero-false-claim test.
+    SeqDag {
+        /// RNG seed.
+        seed: u64,
+        /// Number of primary inputs.
+        inputs: usize,
+        /// Number of gate-creation operations.
+        ops: usize,
+        /// Number of register insertions.
+        dffs: usize,
+    },
 }
 
 /// Names of the Table 1 filter datapaths, indexed by `Filter::which`.
@@ -84,6 +107,13 @@ impl fmt::Display for Family {
             Family::RandomDag { seed, inputs, ops } => {
                 write!(f, "dag_{seed:x}_{inputs}i{ops}o")
             }
+            Family::SeqUnsafe { variant } => write!(f, "sequnsafe{}", variant % 3),
+            Family::SeqDag {
+                seed,
+                inputs,
+                ops,
+                dffs,
+            } => write!(f, "seqdag_{seed:x}_{inputs}i{ops}o{dffs}f"),
         }
     }
 }
@@ -104,6 +134,13 @@ impl Family {
             Family::RandomDag { seed, inputs, ops } => {
                 bibs_netlist::testgen::random_netlist_seeded(seed, inputs, ops)
             }
+            Family::SeqUnsafe { variant } => seq_unsafe(variant),
+            Family::SeqDag {
+                seed,
+                inputs,
+                ops,
+                dffs,
+            } => seq_dag(seed, inputs, ops, dffs),
         }
     }
 
@@ -200,6 +237,93 @@ fn multi_kernel(stages: usize, width: u32) -> Circuit {
     let o = b.output("o");
     b.register("Ro", width, prev, o);
     b.finish().expect("kernel chain is well-formed")
+}
+
+/// One deliberately X-unsafe sequential fixture per B05x defect class.
+/// Each instance keeps a healthy PI-to-output path next to the defective
+/// flop so the combinational passes stay quiet and the sequential finding
+/// stands alone.
+fn seq_unsafe(variant: usize) -> Netlist {
+    let variant = variant % 3;
+    let mut b = NetlistBuilder::new(format!("sequnsafe{variant}"));
+    let x = b.input("x");
+    match variant {
+        // A self-inverting flop observed at the output: its power-up X is
+        // permanent and concretely visible (B050).
+        0 => {
+            let (q, d) = b.register_deferred();
+            let nq = b.not(q);
+            b.resolve_deferred(d, nq);
+            let y = b.or2(q, x);
+            b.output("y", y);
+        }
+        // A flop fed by a tied constant: stuck after one frame (B052).
+        1 => {
+            let z = b.const0();
+            let r = b.register(&[z]);
+            let y = b.or2(r[0], x);
+            b.output("y", y);
+        }
+        // A never-initialized flop whose Q feeds nothing (B053 + B051).
+        _ => {
+            let (q, d) = b.register_deferred();
+            let nq = b.not(q);
+            b.resolve_deferred(d, nq);
+            let y = b.not(x);
+            b.output("y", y);
+        }
+    }
+    b.finish().expect("seq-unsafe fixture is well-formed")
+}
+
+/// Feed-forward random DAG with `dffs` register insertions. Gate outputs
+/// are sometimes registered before joining the operand pool, and the whole
+/// pool is XOR-folded into one output — so every flop is PI-initializable
+/// and observable by construction.
+fn seq_dag(seed: u64, inputs: usize, ops: usize, dffs: usize) -> Netlist {
+    fn next(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+    let inputs = inputs.max(1);
+    let ops = ops.max(1);
+    let mut rng = seed;
+    let mut b = NetlistBuilder::new(format!("seqdag_{seed:x}_{inputs}i{ops}o{dffs}f"));
+    let mut pool: Vec<_> = (0..inputs).map(|i| b.input(format!("x{i}"))).collect();
+    let mut remaining = dffs;
+    for _ in 0..ops {
+        let a = pool[next(&mut rng) as usize % pool.len()];
+        let c = pool[next(&mut rng) as usize % pool.len()];
+        let out = match next(&mut rng) % 4 {
+            0 => b.and2(a, c),
+            1 => b.or2(a, c),
+            2 => b.xor2(a, c),
+            _ => b.not(a),
+        };
+        // Register roughly dffs of the ops outputs, spread over the run.
+        let out = if remaining > 0 && next(&mut rng) % (2 * ops as u64) < 3 * dffs as u64 {
+            remaining -= 1;
+            b.register(&[out])[0]
+        } else {
+            out
+        };
+        pool.push(out);
+    }
+    while remaining > 0 {
+        remaining -= 1;
+        let d = pool[pool.len() - 1];
+        let q = b.register(&[d])[0];
+        pool.push(q);
+    }
+    let mut acc = pool[0];
+    for &n in &pool[1..] {
+        acc = b.xor2(acc, n);
+    }
+    b.output("y", acc);
+    b.finish().expect("seq dag is well-formed")
 }
 
 /// Size record for one corpus instance, for scaling curves.
@@ -318,6 +442,13 @@ mod tests {
                 inputs: 4,
                 ops: 9,
             },
+            Family::SeqUnsafe { variant: 0 },
+            Family::SeqDag {
+                seed: 11,
+                inputs: 4,
+                ops: 16,
+                dffs: 3,
+            },
         ] {
             let a = bibs_netlist::bench::to_text(&f.build());
             let b = bibs_netlist::bench::to_text(&f.build());
@@ -339,6 +470,24 @@ mod tests {
         let nl = Family::Pipeline { width: 4, depth: 6 }.build();
         assert_eq!(nl.sequential_depth(), 6);
         assert_eq!(nl.dff_count(), 24);
+    }
+
+    #[test]
+    fn seq_families_have_the_advertised_shape() {
+        for v in 0..3 {
+            let nl = Family::SeqUnsafe { variant: v }.build();
+            assert_eq!(nl.dff_count(), 1, "sequnsafe{v}");
+            nl.validate().unwrap();
+        }
+        let nl = Family::SeqDag {
+            seed: 11,
+            inputs: 4,
+            ops: 24,
+            dffs: 5,
+        }
+        .build();
+        assert_eq!(nl.dff_count(), 5, "every requested register lands");
+        nl.validate().unwrap();
     }
 
     #[test]

@@ -1,0 +1,102 @@
+//! Error-path tests for the circuit front door (`bibs_datapath::front`):
+//! truncated and inconsistent `# rtl:` sidecars, unknown extensions and
+//! per-format parse failures, all through the public loader API.
+
+use bibs_datapath::front::{
+    bench_with_rtl, load_bench_text, load_path, load_verilog_text, FrontError, RTL_SIDECAR_PREFIX,
+};
+use std::path::Path;
+
+/// Splits a sidecar-carrying `.bench` text into (gate section, sidecar
+/// lines).
+fn split_sidecar(text: &str) -> (String, Vec<String>) {
+    let mut gates = String::new();
+    let mut sidecar = Vec::new();
+    for line in text.lines() {
+        if line.trim_start().starts_with(RTL_SIDECAR_PREFIX) {
+            sidecar.push(line.to_string());
+        } else {
+            gates.push_str(line);
+            gates.push('\n');
+        }
+    }
+    (gates, sidecar)
+}
+
+#[test]
+fn truncated_sidecar_payload_is_a_parse_error() {
+    let circuit = bibs_datapath::filters::scaled("c3a2m", 2);
+    let text = bench_with_rtl(&circuit).unwrap();
+    let (gates, sidecar) = split_sidecar(&text);
+    assert!(sidecar.len() > 4, "test premise: a multi-line sidecar");
+    // Keep only the first few sidecar lines: the embedded .ckt text is
+    // cut mid-document and must fail to parse (or to elaborate), never
+    // load as a silently different circuit.
+    let truncated = format!("{gates}{}\n{}\n", sidecar[0], sidecar[1]);
+    let err = load_bench_text(&truncated).unwrap_err();
+    assert!(
+        matches!(err, FrontError::Ckt(_) | FrontError::Elab(_)),
+        "truncated sidecar must be rejected, got: {err}"
+    );
+}
+
+#[test]
+fn sidecar_recovering_different_gates_is_a_mismatch() {
+    // Gate section of one circuit, sidecar of another: the recovery
+    // cross-check (byte-equal canonical .bench) must fire.
+    let a = bench_with_rtl(&bibs_datapath::filters::scaled("c3a2m", 2)).unwrap();
+    let b = bench_with_rtl(&bibs_datapath::filters::scaled("c3a2m", 3)).unwrap();
+    let (gates_a, _) = split_sidecar(&a);
+    let (_, sidecar_b) = split_sidecar(&b);
+    let franken = format!("{gates_a}{}\n", sidecar_b.join("\n"));
+    let err = load_bench_text(&franken).unwrap_err();
+    assert!(
+        matches!(err, FrontError::SidecarMismatch),
+        "inconsistent sidecar must be a mismatch, got: {err}"
+    );
+    assert!(err.to_string().contains("sidecar"), "{err}");
+}
+
+#[test]
+fn unknown_extension_is_reported_even_for_existing_files() {
+    let dir = std::env::temp_dir().join(format!("bibs_front_ext_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("circuit.txt");
+    std::fs::write(&path, "INPUT(a)\nOUTPUT(a)\n").unwrap();
+    let err = load_path(&path).unwrap_err();
+    assert!(
+        matches!(err, FrontError::UnknownExtension { .. }),
+        "got: {err}"
+    );
+    assert!(err.to_string().contains(".ckt"), "names the formats: {err}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn io_error_carries_the_path() {
+    let err = load_path(Path::new("/nonexistent/dir/x.bench")).unwrap_err();
+    assert!(matches!(err, FrontError::Io { .. }), "got: {err}");
+    assert!(err.to_string().contains("x.bench"), "{err}");
+}
+
+#[test]
+fn per_format_parse_errors_keep_their_format() {
+    let err = load_bench_text("o = FROB(a)\n").unwrap_err();
+    assert!(matches!(err, FrontError::Bench(_)), "got: {err}");
+    let err = load_verilog_text("module ; garbage").unwrap_err();
+    assert!(matches!(err, FrontError::Verilog(_)), "got: {err}");
+}
+
+#[test]
+fn sidecar_only_text_still_parses_as_its_rtl() {
+    // Degenerate but legal: a file that is all sidecar has an empty gate
+    // section, which cannot match the elaboration of the recovered RTL.
+    let text = bench_with_rtl(&bibs_datapath::filters::scaled("c3a2m", 2)).unwrap();
+    let (_, sidecar) = split_sidecar(&text);
+    let only = format!("{}\n", sidecar.join("\n"));
+    let err = load_bench_text(&only).unwrap_err();
+    assert!(
+        matches!(err, FrontError::SidecarMismatch | FrontError::Bench(_)),
+        "got: {err}"
+    );
+}

@@ -186,6 +186,36 @@ pub const CODES: &[CodeInfo] = &[
         summary: "redundant logic cone (constant only by case analysis)",
         default_severity: Severity::Warn,
     },
+    CodeInfo {
+        code: "B050",
+        summary: "power-up X from a never-initialized flop reaches an observed output",
+        default_severity: Severity::Deny,
+    },
+    CodeInfo {
+        code: "B051",
+        summary: "flop never initialized by any bounded input sequence",
+        default_severity: Severity::Warn,
+    },
+    CodeInfo {
+        code: "B052",
+        summary: "flop proven constant (stuck register) under all inputs",
+        default_severity: Severity::Warn,
+    },
+    CodeInfo {
+        code: "B053",
+        summary: "flop output structurally unobservable at any output",
+        default_severity: Severity::Allow,
+    },
+    CodeInfo {
+        code: "B054",
+        summary: "RTL sequential depth disagrees with gate-level unrolled depth",
+        default_severity: Severity::Deny,
+    },
+    CodeInfo {
+        code: "B059",
+        summary: "unused inline lint suppression",
+        default_severity: Severity::Warn,
+    },
 ];
 
 /// Looks up the registry entry for `code`.
@@ -206,6 +236,9 @@ pub struct Diagnostic {
     /// The concrete structure that triggers the finding — named vertices,
     /// edges, nets or paths, never bare indices.
     pub witness: String,
+    /// The file or target the finding belongs to. Empty for single-target
+    /// reports; the batch driver stamps it via [`Report::set_origin`].
+    pub origin: String,
 }
 
 impl fmt::Display for Diagnostic {
@@ -288,7 +321,29 @@ impl Report {
             severity: config.severity_of(code),
             message: message.into(),
             witness: witness.into(),
+            origin: String::new(),
         });
+    }
+
+    /// Stamps `origin` on every finding that does not already carry one.
+    pub fn set_origin(&mut self, origin: &str) {
+        for d in &mut self.diagnostics {
+            if d.origin.is_empty() {
+                d.origin = origin.to_string();
+            }
+        }
+    }
+
+    /// Puts the report into its canonical form: findings sorted by
+    /// `(code, origin, message, witness)` and exact duplicates removed.
+    /// Batch output is byte-stable across `BIBS_JOBS` values because every
+    /// merged report is normalized before rendering.
+    pub fn normalize(&mut self) {
+        self.diagnostics.sort_by(|a, b| {
+            (a.code, &a.origin, &a.message, &a.witness)
+                .cmp(&(b.code, &b.origin, &b.message, &b.witness))
+        });
+        self.diagnostics.dedup();
     }
 
     /// Appends every finding of `other`.
@@ -325,8 +380,8 @@ impl Report {
     }
 
     /// Serializes the report as a JSON array of finding objects
-    /// (`{"code","severity","message","witness"}`) — hand-rolled because
-    /// the build environment's `serde` is an offline stub.
+    /// (`{"code","severity","origin","message","witness"}`) — hand-rolled
+    /// because the build environment's `serde` is an offline stub.
     pub fn to_json(&self) -> String {
         let mut out = String::from("[");
         for (i, d) in self.diagnostics.iter().enumerate() {
@@ -334,9 +389,10 @@ impl Report {
                 out.push(',');
             }
             out.push_str(&format!(
-                "{{\"code\":{},\"severity\":{},\"message\":{},\"witness\":{}}}",
+                "{{\"code\":{},\"severity\":{},\"origin\":{},\"message\":{},\"witness\":{}}}",
                 json_string(d.code),
                 json_string(&d.severity.to_string()),
+                json_string(&d.origin),
                 json_string(&d.message),
                 json_string(&d.witness)
             ));
@@ -363,7 +419,7 @@ impl fmt::Display for Report {
 }
 
 /// Escapes `s` as a JSON string literal (quotes included).
-fn json_string(s: &str) -> String {
+pub(crate) fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -410,6 +466,37 @@ mod tests {
         // Allow is not promoted.
         cfg.set("B004", Severity::Allow);
         assert_eq!(cfg.severity_of("B004"), Severity::Allow);
+    }
+
+    #[test]
+    fn normalize_sorts_and_dedupes() {
+        let cfg = LintConfig::new();
+        let mut r = Report::new();
+        r.emit(&cfg, "B004", "dead cone", "g7");
+        r.emit(&cfg, "B001", "net \"x\" has no driver", "net n3 (x)");
+        r.emit(&cfg, "B004", "dead cone", "g7"); // exact duplicate
+        r.set_origin("a.bench");
+        let mut s = Report::new();
+        s.emit(&cfg, "B001", "net \"x\" has no driver", "net n3 (x)");
+        s.set_origin("b.bench");
+        r.merge(s);
+        r.normalize();
+        let keys: Vec<(&str, &str)> = r
+            .diagnostics
+            .iter()
+            .map(|d| (d.code, d.origin.as_str()))
+            .collect();
+        assert_eq!(
+            keys,
+            vec![
+                ("B001", "a.bench"),
+                ("B001", "b.bench"),
+                ("B004", "a.bench"),
+            ]
+        );
+        // set_origin never overwrites an existing origin.
+        r.set_origin("other");
+        assert!(r.diagnostics.iter().all(|d| d.origin != "other"));
     }
 
     #[test]

@@ -26,23 +26,44 @@
 //!
 //! [`lint_full`] chains them end to end (running the BIBS selection
 //! itself), and [`lint_ckt_text`] starts from `.ckt` source, turning parse
-//! and selection failures into `B000` diagnostics instead of panics. The
-//! `bibs-lint` binary wraps these for the command line, with `--format
-//! json` and `--deny warnings` for CI gates.
+//! and selection failures into `B000` diagnostics instead of panics.
+//! Sequential X-safety (`B05x`, [`lint_netlist_seq`] / [`lint_seq_depth`])
+//! grades every flip-flop by ternary time-frame fixpoints: stuck (B052),
+//! never-initialized (B051), unobservable (B053), power-up X reaching an
+//! observed output with a replayable witness (B050), and RTL-vs-gate
+//! sequential-depth disagreement (B054).
+//!
+//! The `bibs-lint` binary wraps these for the command line: `--batch
+//! <dir|glob>` lints whole corpora in parallel with job-count-invariant
+//! output ([`lint_paths`]), `--format json|sarif` for machine consumers
+//! ([`to_sarif`] validates against a vendored minimal schema), inline
+//! `# bibs-lint: allow(B0xx)` suppressions ([`apply_suppressions`]) and
+//! content-fingerprinted baselines ([`write_baseline`] /
+//! [`apply_baseline`]) for CI gates.
 
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod design_pass;
 pub mod diag;
+pub mod fingerprint;
 pub mod netlist_pass;
 pub mod rtl_pass;
+pub mod sarif;
 pub mod semantic_pass;
+pub mod seq_pass;
+pub mod suppress;
 
+pub use batch::{collect_targets, lint_paths, lint_text, merged_report, BatchOutcome};
 pub use design_pass::lint_design;
 pub use diag::{code_info, CodeInfo, Diagnostic, LintConfig, Report, Severity, CODES};
+pub use fingerprint::{apply_baseline, fingerprint, parse_baseline, write_baseline};
 pub use netlist_pass::lint_netlist;
 pub use rtl_pass::lint_circuit;
+pub use sarif::{check_sarif, to_sarif};
 pub use semantic_pass::{lint_netlist_semantic, lint_semantic};
+pub use seq_pass::{lint_netlist_seq, lint_seq_depth};
+pub use suppress::{apply_suppressions, scan_suppressions};
 
 use bibs_core::bibs::{select, BibsOptions};
 use bibs_rtl::Circuit;
@@ -69,6 +90,18 @@ pub fn lint_full(circuit: &Circuit, config: &LintConfig) -> Report {
             format!("BIBS register selection failed: {e}"),
             e.to_string(),
         ),
+    }
+    // Sequential X-safety (B05x) on the elaborated whole. Elaboration
+    // failures are not re-reported — the kernel-level passes already
+    // surface them as B031.
+    if let Ok(elab) = bibs_datapath::elab::elaborate_whole(circuit) {
+        report.merge(lint_netlist_seq(&elab.netlist, circuit.name(), config));
+        report.merge(lint_seq_depth(
+            circuit,
+            &elab.netlist,
+            circuit.name(),
+            config,
+        ));
     }
     report
 }
@@ -106,12 +139,21 @@ pub fn lint_ckt_text(origin: &str, text: &str, config: &LintConfig) -> Report {
 pub fn lint_bench_text(origin: &str, text: &str, config: &LintConfig) -> Report {
     match bibs_datapath::front::load_bench_text(text) {
         Ok(loaded) => match loaded.circuit() {
-            Some(circuit) => lint_full(circuit, config),
+            Some(circuit) => {
+                let mut report = lint_full(circuit, config);
+                // Cross-check the sidecar's RTL view against the file's
+                // own gate-level netlist (B054) and run the sequential
+                // passes on what the file actually carries.
+                report.merge(lint_netlist_seq(loaded.netlist(), origin, config));
+                report.merge(lint_seq_depth(circuit, loaded.netlist(), origin, config));
+                report
+            }
             None => {
                 let mut report = lint_netlist(loaded.netlist(), config);
                 if config.semantic {
                     report.merge(lint_netlist_semantic(loaded.netlist(), origin, config));
                 }
+                report.merge(lint_netlist_seq(loaded.netlist(), origin, config));
                 report
             }
         },
@@ -121,6 +163,34 @@ pub fn lint_bench_text(origin: &str, text: &str, config: &LintConfig) -> Report 
                 config,
                 "B000",
                 format!("cannot parse netlist {origin}: {e}"),
+                e.to_string(),
+            );
+            report
+        }
+    }
+}
+
+/// Parses Verilog netlist text (the subset written by
+/// [`bibs_netlist::verilog`]) and lints the result: the netlist passes,
+/// the semantic passes when `config.semantic` is set, and the sequential
+/// X-safety passes. Parse errors become a `B000` diagnostic naming
+/// `origin`.
+pub fn lint_verilog_text(origin: &str, text: &str, config: &LintConfig) -> Report {
+    match bibs_datapath::front::load_verilog_text(text) {
+        Ok(loaded) => {
+            let mut report = lint_netlist(loaded.netlist(), config);
+            if config.semantic {
+                report.merge(lint_netlist_semantic(loaded.netlist(), origin, config));
+            }
+            report.merge(lint_netlist_seq(loaded.netlist(), origin, config));
+            report
+        }
+        Err(e) => {
+            let mut report = Report::new();
+            report.emit(
+                config,
+                "B000",
+                format!("cannot parse Verilog {origin}: {e}"),
                 e.to_string(),
             );
             report

@@ -1,0 +1,128 @@
+//! Inline lint suppressions.
+//!
+//! A circuit file can acknowledge a finding in place:
+//!
+//! ```text
+//! # bibs-lint: allow(B052)
+//! # bibs-lint: allow(B051, B053)   <- several codes in one marker
+//! ```
+//!
+//! Markers live in comments (`#` for `.ckt`/`.bench`, `//` for Verilog)
+//! and apply file-wide: every finding with a suppressed code is demoted
+//! to `Allow`, tagged `[suppressed]` in its message so reports stay
+//! honest. A suppression that matches nothing is itself a finding
+//! (`B059`) — stale allowances rot into blind spots.
+
+use crate::diag::{code_info, LintConfig, Report, Severity};
+
+/// The codes suppressed by inline markers in `text`, in first-seen order,
+/// deduplicated. Unknown codes are kept — they surface as `B059` later
+/// rather than being silently dropped.
+pub fn scan_suppressions(text: &str) -> Vec<String> {
+    let mut codes: Vec<String> = Vec::new();
+    for line in text.lines() {
+        let trimmed = line.trim_start();
+        let comment = match trimmed
+            .strip_prefix('#')
+            .or_else(|| trimmed.strip_prefix("//"))
+        {
+            Some(c) => c,
+            None => continue,
+        };
+        let mut rest = comment;
+        while let Some(pos) = rest.find("bibs-lint:") {
+            rest = &rest[pos + "bibs-lint:".len()..];
+            let body = rest.trim_start();
+            let Some(args) = body.strip_prefix("allow(") else {
+                continue;
+            };
+            let Some(end) = args.find(')') else { continue };
+            for code in args[..end].split(',') {
+                let code = code.trim();
+                if !code.is_empty() && !codes.iter().any(|c| c == code) {
+                    codes.push(code.to_string());
+                }
+            }
+            rest = &args[end..];
+        }
+    }
+    codes
+}
+
+/// Applies file-wide suppressions to `report`: findings with a suppressed
+/// code are demoted to `Allow` and tagged, and every suppression that
+/// matched nothing (or names an unregistered code) becomes a `B059`
+/// finding.
+pub fn apply_suppressions(report: &mut Report, codes: &[String], config: &LintConfig) {
+    for code in codes {
+        let mut used = false;
+        for d in &mut report.diagnostics {
+            if d.code == *code {
+                if d.severity != Severity::Allow {
+                    d.severity = Severity::Allow;
+                }
+                if !d.message.ends_with(" [suppressed]") {
+                    d.message.push_str(" [suppressed]");
+                }
+                used = true;
+            }
+        }
+        if !used {
+            let reason = if code_info(code).is_some() {
+                "matches no finding"
+            } else {
+                "names an unknown code"
+            };
+            report.emit(
+                config,
+                "B059",
+                format!("suppression allow({code}) {reason}"),
+                format!("bibs-lint: allow({code})"),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scans_hash_and_slash_comments() {
+        let text = "\
+# bibs-lint: allow(B052)
+INPUT(a)
+// bibs-lint: allow(B051, B053)
+o = NOT(a)  # not a marker
+# bibs-lint: allow(B052)
+OUTPUT(o)
+";
+        assert_eq!(scan_suppressions(text), vec!["B052", "B051", "B053"]);
+        assert!(scan_suppressions("o = NOT(a)\n").is_empty());
+        // Markers outside comments are ignored.
+        assert!(scan_suppressions("x = bibs-lint: allow(B052)\n").is_empty());
+    }
+
+    #[test]
+    fn suppression_demotes_and_tags() {
+        let cfg = LintConfig::new();
+        let mut r = Report::new();
+        r.emit(&cfg, "B052", "flop stuck at 0", "ff0");
+        apply_suppressions(&mut r, &["B052".to_string()], &cfg);
+        assert_eq!(r.diagnostics[0].severity, Severity::Allow);
+        assert!(r.diagnostics[0].message.ends_with("[suppressed]"));
+        assert!(!r.has_code("B059"));
+    }
+
+    #[test]
+    fn unused_and_unknown_suppressions_warn() {
+        let cfg = LintConfig::new();
+        let mut r = Report::new();
+        apply_suppressions(&mut r, &["B052".to_string(), "B999".to_string()], &cfg);
+        let b059: Vec<_> = r.with_code("B059").collect();
+        assert_eq!(b059.len(), 2);
+        assert!(b059[0].message.contains("matches no finding"));
+        assert!(b059[1].message.contains("unknown code"));
+        assert_eq!(b059[0].severity, Severity::Warn);
+    }
+}

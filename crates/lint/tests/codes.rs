@@ -375,6 +375,82 @@ fn b013_dangling_block() {
     );
 }
 
+// ---------------------------------------------------------------- B05x --
+
+use bibs_lint::lint_text;
+
+#[test]
+fn b050_observed_uninitialized_flop() {
+    let text = "INPUT(x)\nOUTPUT(y)\nnq = NOT(q)\nq = DFF(nq)\ny = OR(q, x)\n";
+    let report = lint_text("t.bench", text, &cfg());
+    assert!(report.has_code("B050"), "{report}");
+    let d = report.with_code("B050").next().unwrap();
+    assert_eq!(d.severity, Severity::Deny);
+    assert!(d.witness.contains("seed"), "witness: {}", d.witness);
+    assert!(d.witness.contains("frame"), "witness: {}", d.witness);
+}
+
+#[test]
+fn b051_and_b053_unobservable_never_initialized_flop() {
+    let text = "INPUT(x)\nOUTPUT(y)\nnq = NOT(q)\nq = DFF(nq)\ny = NOT(x)\n";
+    let report = lint_text("t.bench", text, &cfg());
+    assert!(report.has_code("B051"), "{report}");
+    assert!(report.has_code("B053"), "{report}");
+    assert!(
+        !report.has_code("B050"),
+        "unobservable X is not B050: {report}"
+    );
+    assert_eq!(
+        report.with_code("B051").next().unwrap().severity,
+        Severity::Warn
+    );
+    assert_eq!(
+        report.with_code("B053").next().unwrap().severity,
+        Severity::Allow
+    );
+}
+
+#[test]
+fn b052_stuck_register() {
+    let text = "INPUT(x)\nOUTPUT(y)\nz = TIE0()\nq = DFF(z)\ny = OR(q, x)\n";
+    let report = lint_text("t.bench", text, &cfg());
+    assert!(report.has_code("B052"), "{report}");
+    let d = report.with_code("B052").next().unwrap();
+    assert_eq!(d.severity, Severity::Warn);
+    assert!(d.message.contains("stuck at 0"), "{}", d.message);
+}
+
+#[test]
+fn b054_depth_crosscheck_via_seq_pass() {
+    // RTL depth 4 (c5a2m has registered I/O), gate netlist 3 stages deep:
+    // expected gate depth after the boundary cut is 2, so B054 fires.
+    let circuit = bibs_datapath::filters::scaled("c5a2m", 2);
+    let mut b = bibs_netlist::builder::NetlistBuilder::new("deeper");
+    let x = b.input("x");
+    let r0 = b.register(&[x]);
+    let r1 = b.register(&r0);
+    let r2 = b.register(&r1);
+    b.output("y", r2[0]);
+    let deeper = b.finish().unwrap();
+    let report = bibs_lint::lint_seq_depth(&circuit, &deeper, "t", &cfg());
+    assert!(report.has_code("B054"), "{report}");
+    assert_eq!(
+        report.with_code("B054").next().unwrap().severity,
+        Severity::Deny
+    );
+}
+
+#[test]
+fn b059_unused_suppression() {
+    let text = "# bibs-lint: allow(B052)\nINPUT(a)\nINPUT(b)\ns = AND(a, b)\nOUTPUT(s)\n";
+    let report = lint_text("t.bench", text, &cfg());
+    assert!(report.has_code("B059"), "{report}");
+    assert_eq!(
+        report.with_code("B059").next().unwrap().severity,
+        Severity::Warn
+    );
+}
+
 // ------------------------------------------------------------ fixtures --
 
 fn repo_path(rel: &str) -> std::path::PathBuf {

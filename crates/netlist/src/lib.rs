@@ -37,6 +37,7 @@ pub mod bench;
 pub mod builder;
 pub mod compiled;
 pub mod export;
+pub mod seqanalysis;
 pub mod sim;
 #[cfg(feature = "testing")]
 pub mod testgen;

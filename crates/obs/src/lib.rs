@@ -93,10 +93,13 @@ pub enum CounterId {
     SessionsScheduled,
     /// Kernels placed into test sessions.
     KernelsScheduled,
+    /// Lint findings emitted for one file (batch mode records one span
+    /// per linted file carrying this counter).
+    LintFindings,
 }
 
 /// Number of counters — the fixed length of every [`Counters`] array.
-pub const COUNTER_COUNT: usize = 21;
+pub const COUNTER_COUNT: usize = 22;
 
 impl CounterId {
     /// Every counter, in export order.
@@ -122,6 +125,7 @@ impl CounterId {
         CounterId::ConesVerified,
         CounterId::SessionsScheduled,
         CounterId::KernelsScheduled,
+        CounterId::LintFindings,
     ];
 
     /// The stable snake_case name used in JSON exports and trace output.
@@ -148,6 +152,7 @@ impl CounterId {
             CounterId::ConesVerified => "cones_verified",
             CounterId::SessionsScheduled => "sessions_scheduled",
             CounterId::KernelsScheduled => "kernels_scheduled",
+            CounterId::LintFindings => "lint_findings",
         }
     }
 
