@@ -126,8 +126,48 @@ strip_wall() { sed 's/"wall_ns":[0-9]*,//g' "$1"; }
 diff <(strip_wall /tmp/bibs-telemetry-j1.json) <(strip_wall /tmp/bibs-telemetry-j8.json)
 
 step "telemetry perf-regression gate (perfdiff vs committed BENCH_table2.json)"
+# The baseline predates the PatternSource refactor, and perfdiff compares
+# counter maps with hard equality — passing proves the refactored driver
+# added no recorder traffic or extra work to the default hot path.
 cargo run --release -p bibs-bench --bin perfdiff -- \
   BENCH_table2.json /tmp/bibs-telemetry-j8.json
+
+step "pattern sources: --source random JSON is byte-identical to the legacy path"
+# The same seeded stream drawn through the PatternSource layer must not
+# change a byte of the detection-deterministic JSON.
+cargo run --release -p bibs-bench --bin table2 -- --only c5a2m --json \
+  --source random > /tmp/bibs-table2-srcrandom.json
+diff /tmp/bibs-table2-compiled.json /tmp/bibs-table2-srcrandom.json
+
+step "pattern sources: --source lfsr is thread-count deterministic (1 vs 8, wall-stripped)"
+# Blocks are pulled serially, so the LFSR stream — and every counter in
+# its source[lfsr] span (patterns_emitted, source_clocks) — must be
+# bit-identical for any worker count.
+BIBS_JOBS=1 cargo run --release -p bibs-bench --bin table2 -- --only c5a2m \
+  --source lfsr --telemetry /tmp/bibs-telemetry-lfsr-j1.json > /dev/null
+BIBS_JOBS=8 cargo run --release -p bibs-bench --bin table2 -- --only c5a2m \
+  --source lfsr --telemetry /tmp/bibs-telemetry-lfsr-j8.json > /dev/null
+diff <(strip_wall /tmp/bibs-telemetry-lfsr-j1.json) \
+     <(strip_wall /tmp/bibs-telemetry-lfsr-j8.json)
+grep -q 'source\[lfsr\]' /tmp/bibs-telemetry-lfsr-j8.json
+grep -q '"source_clocks"' /tmp/bibs-telemetry-lfsr-j8.json
+
+step "pattern sources: perf gate vs committed BENCH_table2_lfsr.json"
+cargo run --release -p bibs-bench --bin perfdiff -- \
+  BENCH_table2_lfsr.json /tmp/bibs-telemetry-lfsr-j8.json
+
+step "pattern sources: the source layer adds no measurable hot-path cost"
+# Same machine, back to back: the --source random run (dyn-dispatched
+# source, source[...] span) must stay within 1.5x of the legacy run's
+# root wall — catches accidental per-block allocation or locking in the
+# generic driver without being flaky on wall-clock noise.
+BIBS_JOBS=8 cargo run --release -p bibs-bench --bin table2 -- --only c5a2m \
+  --source random --telemetry /tmp/bibs-telemetry-srcrandom.json > /dev/null
+wall_of() { grep -o '"wall_ns":[0-9]*' "$1" | head -1 | grep -o '[0-9]*'; }
+legacy_wall=$(wall_of /tmp/bibs-telemetry-j8.json)
+source_wall=$(wall_of /tmp/bibs-telemetry-srcrandom.json)
+echo "root wall: legacy ${legacy_wall} ns, --source random ${source_wall} ns"
+test "$source_wall" -lt $(( legacy_wall * 3 / 2 ))
 
 step "bench bins exit nonzero on bad input (no panics)"
 if cargo run --release -p bibs-bench --bin bits -- circuits/does_not_exist.ckt \
@@ -137,6 +177,12 @@ if cargo run --release -p bibs-bench --bin bits -- circuits/does_not_exist.ckt \
 fi
 grep -q "cannot read" /tmp/bibs-bits-missing.txt
 grep -vq "panicked" /tmp/bibs-bits-missing.txt
+if cargo run --release -p bibs-bench --bin table2 -- --only c5a2m \
+  --source replay:/nonexistent.seeds > /tmp/bibs-table2-badreplay.txt 2>&1; then
+  echo "ci.sh: table2 unexpectedly succeeded on a missing replay file" >&2
+  exit 1
+fi
+grep -vq "panicked" /tmp/bibs-table2-badreplay.txt
 
 step "circuit formats: committed c5a2m fixtures are byte-stable"
 # The committed .ckt/.bench fixtures must regenerate byte-identically

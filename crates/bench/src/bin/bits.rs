@@ -20,8 +20,13 @@
 //! `--telemetry OUT.json` writes the span tree (schedule/verify stages
 //! with their counters) as `bibs-telemetry/1` JSON;
 //! `BIBS_TRACE=spans|counters` prints it to stderr.
+//!
+//! `--source random|lfsr|mintpg|weighted|replay:FILE` additionally
+//! fault-simulates each kernel with the chosen pattern source under a
+//! bounded budget and prints the coverage-vs-clocks estimate (detectable
+//! faults reached, patterns emitted, hardware clock cycles).
 
-use bibs_bench::Telemetry;
+use bibs_bench::{kernel_fault_stats_traced, SourceSpec, Table2Options, Telemetry};
 use bibs_core::bibs::{self, BibsOptions};
 use bibs_core::controller;
 use bibs_core::delay::maximal_delay;
@@ -50,8 +55,27 @@ fn main() -> ExitCode {
         args.remove(i);
         p
     });
+    let source = args.iter().position(|a| a == "--source").map(|i| {
+        if i + 1 >= args.len() {
+            eprintln!("bits: --source needs a value");
+            std::process::exit(2);
+        }
+        let spec: SourceSpec = args.remove(i + 1).parse().unwrap_or_else(|e| {
+            eprintln!("bits: {e}");
+            std::process::exit(2);
+        });
+        if let Err(e) = spec.preflight() {
+            eprintln!("bits: {e}");
+            std::process::exit(2);
+        }
+        args.remove(i);
+        spec
+    });
     let Some(path) = args.first() else {
-        eprintln!("usage: bits <circuit.{{ckt,bench}}> [--tdm bibs|ka85] [--telemetry out.json]");
+        eprintln!(
+            "usage: bits <circuit.{{ckt,bench}}> [--tdm bibs|ka85] [--source SPEC] \
+             [--telemetry out.json]"
+        );
         return ExitCode::FAILURE;
     };
     let tdm = args
@@ -78,7 +102,7 @@ fn main() -> ExitCode {
     };
     let telemetry = Telemetry::new(telemetry_path);
     let mut rec = telemetry.recorder("bits");
-    let outcome = run(&circuit, tdm, &mut rec);
+    let outcome = run(&circuit, tdm, source.as_ref(), &mut rec);
     if let Err(e) = telemetry.emit(&mut rec) {
         eprintln!("bits: {e}");
         return ExitCode::FAILURE;
@@ -92,7 +116,12 @@ fn main() -> ExitCode {
     }
 }
 
-fn run(circuit: &Circuit, tdm: &str, rec: &mut Recorder) -> Result<(), Box<dyn std::error::Error>> {
+fn run(
+    circuit: &Circuit,
+    tdm: &str,
+    source: Option<&SourceSpec>,
+    rec: &mut Recorder,
+) -> Result<(), Box<dyn std::error::Error>> {
     println!("== BITS flow for circuit {} ==", circuit.name());
     println!(
         "{} vertices, {} register edges, {} flip-flops; balanced = {}, acyclic = {}",
@@ -206,6 +235,36 @@ fn run(circuit: &Circuit, tdm: &str, rec: &mut Recorder) -> Result<(), Box<dyn s
             64 * structure.total_width() as u64
         };
         patterns.push(budget);
+        // Optional coverage-vs-clocks estimate: fault-simulate the kernel
+        // with the requested pattern source under a bounded budget.
+        if let Some(spec) = source {
+            let opts = Table2Options {
+                max_patterns: 65_536,
+                plateau: 65_536,
+                backtrack_limit: 1_000,
+                source: Some(spec.clone()),
+                ..Table2Options::default()
+            };
+            let stats = rec.scope(format!("source-coverage[kernel {i}]"), |rec| {
+                kernel_fault_stats_traced(&circuit, &design, kernel, &opts, rec)
+            });
+            match &stats.source {
+                Some(run) => println!(
+                    "  source '{spec}': {}/{} detectable faults in {} patterns, {} clocks — {}",
+                    stats.detected,
+                    stats.detectable(),
+                    run.emitted,
+                    run.clocks,
+                    run.descriptor_json
+                ),
+                None => println!(
+                    "  source '{spec}': {}/{} detectable faults in {} patterns",
+                    stats.detected,
+                    stats.detectable(),
+                    stats.detection_indices.last().map_or(0, |&p| p + 1)
+                ),
+            }
+        }
     }
 
     // 4. Test controller.

@@ -4,11 +4,14 @@
 //!
 //! Run with `cargo run --release -p bibs-bench --bin coverage --
 //! [circuit] [width] [--collapse equiv|dominance|none]
+//! [--source random|lfsr|mintpg|weighted|replay:FILE]
 //! [--telemetry OUT.json]`
 //! (defaults: c5a2m, width 4, equiv). `circuit` is a built-in name
 //! (`c5a2m`, `c3a2m`, `c4a4m`) or a circuit file — `.ckt`, or `.bench`
 //! with an `# rtl:` sidecar; `width` applies to built-ins only. Pipe to
-//! a file and plot. Per-kernel
+//! a file and plot. `--source` swaps the per-kernel pattern stream for a
+//! hardware-faithful source (the curve's x-axis stays pattern counts;
+//! the per-kernel clock budget goes to stderr). Per-kernel
 //! engine stats — including the collapse ratio, statically-untestable
 //! count and analysis wall — go to stderr; `BIBS_JOBS` sets the
 //! worker-thread count; `BIBS_TRACE=spans|counters` prints the telemetry
@@ -16,13 +19,14 @@
 //! collapse modes.
 
 use bibs_bench::{
-    apply_tdm, kernel_fault_stats_traced, CollapseMode, Table2Options, Tdm, Telemetry,
+    apply_tdm, kernel_fault_stats_traced, CollapseMode, SourceSpec, Table2Options, Tdm, Telemetry,
 };
 use bibs_datapath::filters::scaled;
 
 fn main() {
     let mut positional: Vec<String> = Vec::new();
     let mut collapse = CollapseMode::Equiv;
+    let mut source: Option<SourceSpec> = None;
     let mut telemetry_path: Option<std::path::PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -32,6 +36,17 @@ fn main() {
                 eprintln!("{e}");
                 std::process::exit(2);
             });
+        } else if arg == "--source" {
+            let value = args.next().unwrap_or_default();
+            let spec: SourceSpec = value.parse().unwrap_or_else(|e| {
+                eprintln!("{e}");
+                std::process::exit(2);
+            });
+            if let Err(e) = spec.preflight() {
+                eprintln!("{e}");
+                std::process::exit(2);
+            }
+            source = Some(spec);
         } else if arg == "--telemetry" {
             telemetry_path = Some(std::path::PathBuf::from(args.next().unwrap_or_else(|| {
                 eprintln!("--telemetry needs an output path");
@@ -65,6 +80,7 @@ fn main() {
     };
     let options = Table2Options {
         collapse,
+        source,
         ..Table2Options::default()
     };
 
@@ -84,6 +100,12 @@ fn main() {
                 kernel_fault_stats_traced(&circuit, &design, kernel, &options, rec)
             });
             eprintln!("{tdm} kernel sim: {}", stats.sim);
+            if let Some(run) = &stats.source {
+                eprintln!(
+                    "{tdm} kernel source: {} ({} patterns, {} clocks)",
+                    run.descriptor_json, run.emitted, run.clocks
+                );
+            }
             detectable += stats.detectable();
             let last = stats.detection_indices.last().copied().unwrap_or(0);
             events.extend(stats.detection_indices.iter().map(|&i| offset + i));

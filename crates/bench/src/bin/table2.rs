@@ -6,8 +6,9 @@
 //! Run with `cargo run --release -p bibs-bench --bin table2`.
 //!
 //! Usage: `table2 [WIDTH] [--json] [--engine compiled|reference]
-//! [--collapse equiv|dominance|none] [--only NAME] [--circuit PATH]
-//! [--telemetry OUT.json]`
+//! [--collapse equiv|dominance|none]
+//! [--source random|lfsr|mintpg|weighted|replay:FILE] [--only NAME]
+//! [--circuit PATH] [--telemetry OUT.json]`
 //!
 //! * `WIDTH` — word width (default 8; the paper's width);
 //! * `--circuit PATH` — run on a circuit file instead of the built-in
@@ -23,6 +24,12 @@
 //!   `dominance` additionally merges functional-equivalence classes over
 //!   the compiled IR and simulates representatives only — the JSON stays
 //!   byte-identical; `none` simulates the full uncollapsed universe);
+//! * `--source` — pattern source for the per-kernel random phase (omitted:
+//!   the legacy seeded-RNG path; `random` reproduces it byte-for-byte
+//!   through the source layer; `lfsr`, `mintpg`, `weighted` and
+//!   `replay:FILE` change the stream and add per-kernel
+//!   `source`/`source_clocks`/`source_patterns` fields to the JSON — the
+//!   coverage-vs-clocks axis);
 //! * `--only NAME` — restrict to one circuit (`c5a2m`, `c3a2m`, `c4a4m`);
 //! * `--telemetry OUT.json` — write the hierarchical span tree (stage
 //!   wall clocks plus deterministic counters, schema `bibs-telemetry/1`)
@@ -34,8 +41,8 @@
 //! bit-identical for any thread count, engine, and collapse mode.
 
 use bibs_bench::{
-    render_table2, table2_column_traced, table2_json, CollapseMode, Engine, Table2Options, Tdm,
-    Telemetry,
+    render_table2, table2_column_traced, table2_json, CollapseMode, Engine, SourceSpec,
+    Table2Options, Tdm, Telemetry,
 };
 use bibs_datapath::filters::scaled;
 
@@ -44,6 +51,7 @@ fn main() {
     let mut json = false;
     let mut engine = Engine::Compiled;
     let mut collapse = CollapseMode::Equiv;
+    let mut source: Option<SourceSpec> = None;
     let mut only: Option<String> = None;
     let mut circuit_path: Option<std::path::PathBuf> = None;
     let mut telemetry_path: Option<std::path::PathBuf> = None;
@@ -71,6 +79,18 @@ fn main() {
                     std::process::exit(2);
                 });
             }
+            "--source" => {
+                let value = args.next().unwrap_or_default();
+                let spec: SourceSpec = value.parse().unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    std::process::exit(2);
+                });
+                if let Err(e) = spec.preflight() {
+                    eprintln!("{e}");
+                    std::process::exit(2);
+                }
+                source = Some(spec);
+            }
             "--only" => {
                 only = Some(args.next().unwrap_or_else(|| {
                     eprintln!("--only needs a circuit name");
@@ -95,12 +115,19 @@ fn main() {
     let options = Table2Options {
         engine,
         collapse,
+        source,
         ..Table2Options::default()
     };
     eprintln!(
         "fault-simulating with the {} engine on {} worker thread(s) (set BIBS_JOBS to override), \
-         collapse mode {}",
-        options.engine, options.jobs, options.collapse
+         collapse mode {}, source {}",
+        options.engine,
+        options.jobs,
+        options.collapse,
+        options
+            .source
+            .as_ref()
+            .map_or_else(|| "default".to_string(), |s| s.to_string())
     );
     let circuits: Vec<bibs_rtl::Circuit> = if let Some(path) = &circuit_path {
         let loaded = bibs_datapath::front::load_path(path).unwrap_or_else(|e| {

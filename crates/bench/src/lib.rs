@@ -21,12 +21,18 @@ use bibs_core::delay::maximal_delay;
 use bibs_core::design::{kernels, BilboDesign, Kernel};
 use bibs_core::ka85;
 use bibs_core::schedule::{schedule_test_time, schedule_traced, sequential_test_time, TestSession};
+use bibs_core::source::MinTpgSource;
+use bibs_core::structure::GeneralizedStructure;
+use bibs_core::tpg::sc_tpg;
 use bibs_datapath::elab::elaborate_kernel;
 use bibs_faultsim::atpg::Atpg;
 use bibs_faultsim::fault::{DominanceCollapse, Fault, FaultUniverse, StaticFaultAnalysis};
 use bibs_faultsim::par::{default_jobs, ParFaultSimulator};
 use bibs_faultsim::reference::ReferenceSimulator;
 use bibs_faultsim::sim::BlockSim;
+use bibs_faultsim::source::{
+    LfsrSource, PatternSource, RandomWords, StoredSeedReplay, WeightedRandomSource,
+};
 use bibs_faultsim::stats::SimStats;
 use bibs_netlist::EvalProgram;
 use bibs_obs::{CounterId, Recorder, TraceMode};
@@ -143,6 +149,139 @@ impl std::fmt::Display for CollapseMode {
     }
 }
 
+/// Which [`PatternSource`] drives the per-kernel random phase — the
+/// coverage-vs-clocks axis as a CLI knob.
+///
+/// `None` in [`Table2Options::source`] (the default) keeps the pre-source
+/// code path and its byte-identical JSON; [`SourceSpec::Random`] draws the
+/// *same* seeded stream through the source layer (CI diffs the two
+/// byte-for-byte). Every other variant trades the uniform stream for a
+/// hardware-faithful one and reports its clock budget alongside the
+/// detection indices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SourceSpec {
+    /// Seeded xoshiro256** words — the legacy stream behind the
+    /// [`PatternSource`] interface ([`RandomWords`]).
+    Random,
+    /// A maximal-length type-1 LFSR sized to the kernel width, plus the
+    /// appended all-zero pattern ([`LfsrSource`]).
+    Lfsr,
+    /// The paper's TPG ([`MinTpgSource`]) built from the kernel's
+    /// generalized structure; kernels whose structure is not a
+    /// width-matched single cone fall back to [`SourceSpec::Lfsr`]
+    /// (visible in the emitted descriptor's `"kind"`).
+    MinTpg,
+    /// Biased random words, every input weighted to 0.75
+    /// ([`WeightedRandomSource`]).
+    Weighted,
+    /// Replays a stored seed schedule from a file ([`StoredSeedReplay`]).
+    Replay(String),
+}
+
+impl std::str::FromStr for SourceSpec {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "random" => Ok(SourceSpec::Random),
+            "lfsr" => Ok(SourceSpec::Lfsr),
+            "mintpg" => Ok(SourceSpec::MinTpg),
+            "weighted" => Ok(SourceSpec::Weighted),
+            other => match other.strip_prefix("replay:") {
+                Some(path) if !path.is_empty() => Ok(SourceSpec::Replay(path.to_string())),
+                _ => Err(format!(
+                    "unknown source '{other}' (expected 'random', 'lfsr', 'mintpg', \
+                     'weighted' or 'replay:<file>')"
+                )),
+            },
+        }
+    }
+}
+
+impl SourceSpec {
+    /// Fail fast on specs that reference external state: a missing or
+    /// malformed replay schedule should be a pointed CLI error before
+    /// any simulation starts, not a mid-run panic deep in a kernel loop.
+    pub fn preflight(&self) -> Result<(), String> {
+        if let SourceSpec::Replay(path) = self {
+            StoredSeedReplay::from_file(path)?;
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Display for SourceSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SourceSpec::Random => write!(f, "random"),
+            SourceSpec::Lfsr => write!(f, "lfsr"),
+            SourceSpec::MinTpg => write!(f, "mintpg"),
+            SourceSpec::Weighted => write!(f, "weighted"),
+            SourceSpec::Replay(path) => write!(f, "replay:{path}"),
+        }
+    }
+}
+
+/// Builds the [`PatternSource`] a [`SourceSpec`] names for one kernel.
+///
+/// `width` must be the kernel's combinational-equivalent input width (what
+/// [`BlockSim::run_source_with`] will request per block); `seed` is the
+/// kernel-personalized RNG seed. [`SourceSpec::MinTpg`] extracts the
+/// kernel's [`GeneralizedStructure`] and designs an SC_TPG for it; when
+/// the structure is multi-cone, unbalanced, or its total width disagrees
+/// with the elaborated netlist, it falls back to the plain LFSR — the
+/// returned descriptor's `"kind"` field records which source actually ran.
+///
+/// # Errors
+///
+/// Propagates source-construction failures (kernel wider than 64 bits for
+/// the LFSR family, unreadable or malformed replay files).
+pub fn build_source(
+    spec: &SourceSpec,
+    seed: u64,
+    width: usize,
+    circuit: &Circuit,
+    design: &BilboDesign,
+    kernel: &Kernel,
+) -> Result<Box<dyn PatternSource>, String> {
+    match spec {
+        SourceSpec::Random => Ok(Box::new(RandomWords::seeded(seed))),
+        SourceSpec::Lfsr => Ok(Box::new(LfsrSource::new(width, seed)?)),
+        SourceSpec::MinTpg => {
+            if let Ok(structure) = GeneralizedStructure::from_kernel(circuit, design, kernel) {
+                if structure.is_single_cone() && structure.total_width() as usize == width {
+                    let tpg = sc_tpg(&structure);
+                    if let Ok(source) = MinTpgSource::new(&tpg, &structure) {
+                        return Ok(Box::new(source));
+                    }
+                }
+            }
+            Ok(Box::new(LfsrSource::new(width, seed)?))
+        }
+        SourceSpec::Weighted => Ok(Box::new(WeightedRandomSource::new(
+            seed,
+            vec![0.75; width],
+        )?)),
+        SourceSpec::Replay(path) => Ok(Box::new(StoredSeedReplay::from_file(path)?)),
+    }
+}
+
+/// The coverage-vs-clocks record of a non-uniform pattern source's run on
+/// one kernel (carried in [`KernelFaultStats::source`] and emitted in the
+/// JSON). All three fields are detection-deterministic: blocks are pulled
+/// serially, so thread count and engine cannot change them.
+#[derive(Debug, Clone)]
+pub struct SourceRun {
+    /// The source's self-describing descriptor, already rendered as a JSON
+    /// object (see [`bibs_faultsim::source::SourceDescriptor::to_json`]).
+    pub descriptor_json: String,
+    /// Hardware clock cycles the source accounts for (warm-up + one per
+    /// pattern + reseed loads) — the denominator of coverage-vs-clocks.
+    pub clocks: u64,
+    /// Patterns the source emitted (lanes across all pulled blocks).
+    pub emitted: u64,
+}
+
 /// Per-kernel fault-simulation outcome.
 #[derive(Debug, Clone)]
 pub struct KernelFaultStats {
@@ -164,6 +303,10 @@ pub struct KernelFaultStats {
     /// Fault-simulation engine counters for the random phase (threads,
     /// evaluations, per-shard balance, wall time).
     pub sim: SimStats,
+    /// Coverage-vs-clocks record when a non-uniform [`SourceSpec`] drove
+    /// the random phase (`None` for the legacy path and
+    /// [`SourceSpec::Random`], whose JSON stays byte-identical).
+    pub source: Option<SourceRun>,
 }
 
 impl KernelFaultStats {
@@ -235,6 +378,12 @@ pub struct Table2Options {
     /// across modes (see [`CollapseMode`]); only
     /// [`SimStats::simulated_faults`] and wall-clock change.
     pub collapse: CollapseMode,
+    /// Pattern source for the random phase. `None` (the default) is the
+    /// legacy seeded-RNG path; [`SourceSpec::Random`] reproduces it
+    /// byte-for-byte through the [`PatternSource`] layer; other specs
+    /// change the stream and add per-kernel `source`/`source_clocks`/
+    /// `source_patterns` fields to the JSON.
+    pub source: Option<SourceSpec>,
 }
 
 impl Default for Table2Options {
@@ -247,6 +396,7 @@ impl Default for Table2Options {
             jobs: default_jobs(),
             engine: Engine::Compiled,
             collapse: CollapseMode::Equiv,
+            source: None,
         }
     }
 }
@@ -362,29 +512,107 @@ pub fn kernel_fault_stats_traced(
     let simulated_faults = sim_faults.len() as u64;
     rec.add(CounterId::SimulatedFaults, simulated_faults);
 
-    // Phase 1: random simulation with fault dropping and a detection
+    // Phase 1: pattern simulation with fault dropping and a detection
     // plateau. Engines are interchangeable: the report is bit-identical
     // either way, and the plateau fires at the same block in every
     // collapse mode (a block brings a new detection iff it first-detects
     // some class representative). The engine records itself; its whole
-    // span tree is grafted under the kernel's span afterwards.
-    let mut rng = StdRng::seed_from_u64(options.seed ^ kernel.input_edges.len() as u64);
-    let report = match options.engine {
-        Engine::Compiled => {
-            let mut sim =
-                ParFaultSimulator::with_program(&comb, program.clone(), sim_faults, options.jobs);
-            let report =
-                sim.run_random_with_plateau(&mut rng, options.max_patterns, options.plateau);
-            let cur = rec.current();
-            rec.graft(cur, sim.recorder());
-            report
+    // span tree is grafted under the kernel's span afterwards. With no
+    // `--source` the pre-source seeded-RNG path runs unchanged (and
+    // recorder-silent); with one, the chosen [`PatternSource`] drives the
+    // same generic driver and its coverage-vs-clocks accounting lands in
+    // a `source[...]` telemetry span and (for non-uniform sources) in the
+    // JSON.
+    let kernel_seed = options.seed ^ kernel.input_edges.len() as u64;
+    let mut source_run = None;
+    let report = match &options.source {
+        None => {
+            let mut rng = StdRng::seed_from_u64(kernel_seed);
+            match options.engine {
+                Engine::Compiled => {
+                    let mut sim = ParFaultSimulator::with_program(
+                        &comb,
+                        program.clone(),
+                        sim_faults,
+                        options.jobs,
+                    );
+                    let report = sim.run_random_with_plateau(
+                        &mut rng,
+                        options.max_patterns,
+                        options.plateau,
+                    );
+                    let cur = rec.current();
+                    rec.graft(cur, sim.recorder());
+                    report
+                }
+                Engine::Reference => {
+                    let mut sim = ReferenceSimulator::new(&comb, sim_faults);
+                    let report = sim.run_random_with_plateau(
+                        &mut rng,
+                        options.max_patterns,
+                        options.plateau,
+                    );
+                    let cur = rec.current();
+                    rec.graft(cur, sim.recorder());
+                    report
+                }
+            }
         }
-        Engine::Reference => {
-            let mut sim = ReferenceSimulator::new(&comb, sim_faults);
-            let report =
-                sim.run_random_with_plateau(&mut rng, options.max_patterns, options.plateau);
-            let cur = rec.current();
-            rec.graft(cur, sim.recorder());
+        Some(spec) => {
+            let mut source = build_source(
+                spec,
+                kernel_seed,
+                comb.input_width(),
+                circuit,
+                design,
+                kernel,
+            )
+            .unwrap_or_else(|e| panic!("cannot build pattern source '{spec}': {e}"));
+            let report = match options.engine {
+                Engine::Compiled => {
+                    let mut sim = ParFaultSimulator::with_program(
+                        &comb,
+                        program.clone(),
+                        sim_faults,
+                        options.jobs,
+                    );
+                    let report = sim.run_source_with(
+                        &mut *source,
+                        options.max_patterns,
+                        options.plateau,
+                        1.0,
+                    );
+                    let cur = rec.current();
+                    rec.graft(cur, sim.recorder());
+                    report
+                }
+                Engine::Reference => {
+                    let mut sim = ReferenceSimulator::new(&comb, sim_faults);
+                    let report = sim.run_source_with(
+                        &mut *source,
+                        options.max_patterns,
+                        options.plateau,
+                        1.0,
+                    );
+                    let cur = rec.current();
+                    rec.graft(cur, sim.recorder());
+                    report
+                }
+            };
+            rec.scope(format!("source[{spec}]"), |rec| {
+                rec.add(CounterId::PatternsEmitted, source.patterns_emitted());
+                rec.add(CounterId::SourceClocks, source.clocks_consumed());
+            });
+            // `random` reproduces the legacy stream, so it also keeps the
+            // legacy JSON (byte-identical — a CI gate); every other source
+            // reports its coverage-vs-clocks record.
+            if *spec != SourceSpec::Random {
+                source_run = Some(SourceRun {
+                    descriptor_json: source.descriptor().to_json(),
+                    clocks: source.clocks_consumed(),
+                    emitted: source.patterns_emitted(),
+                });
+            }
             report
         }
     };
@@ -424,6 +652,7 @@ pub fn kernel_fault_stats_traced(
         detected,
         detection_indices,
         sim,
+        source: source_run,
     }
 }
 
@@ -550,9 +779,12 @@ pub fn render_table2(columns: &[(Table2Column, Table2Column)]) -> String {
 /// Renders Table 2 columns as machine-readable JSON containing **only
 /// detection-deterministic fields** — everything here is a pure function
 /// of `(circuit, TDM, options.seed, options.max_patterns,
-/// options.plateau, options.backtrack_limit)` and independent of the
-/// engine, thread count, and wall clock. CI diffs the output of the
-/// compiled and reference engines byte-for-byte.
+/// options.plateau, options.backtrack_limit, options.source)` and
+/// independent of the engine, thread count, and wall clock. CI diffs the
+/// output of the compiled and reference engines byte-for-byte, and the
+/// legacy path against `--source random`. Non-uniform sources add three
+/// per-kernel fields (`source`, `source_clocks`, `source_patterns`) —
+/// blocks are pulled serially, so these too are thread-count independent.
 pub fn table2_json(columns: &[(Table2Column, Table2Column)]) -> String {
     fn u64s(xs: &[u64]) -> String {
         let body: Vec<String> = xs.iter().map(|x| x.to_string()).collect();
@@ -563,15 +795,26 @@ pub fn table2_json(columns: &[(Table2Column, Table2Column)]) -> String {
             .kernel_stats
             .iter()
             .map(|s| {
+                // Non-uniform sources report their coverage-vs-clocks
+                // record; the legacy path and `--source random` add
+                // nothing, keeping their JSON byte-identical.
+                let source = match &s.source {
+                    Some(run) => format!(
+                        ",\"source\":{},\"source_clocks\":{},\"source_patterns\":{}",
+                        run.descriptor_json, run.clocks, run.emitted
+                    ),
+                    None => String::new(),
+                };
                 format!(
                     "{{\"faults\":{},\"redundant\":{},\"aborted\":{},\"unreached\":{},\
-                     \"detected\":{},\"detection_indices\":{}}}",
+                     \"detected\":{},\"detection_indices\":{}{}}}",
                     s.faults,
                     s.redundant,
                     s.aborted,
                     s.unreached,
                     s.detected,
-                    u64s(&s.detection_indices)
+                    u64s(&s.detection_indices),
+                    source
                 )
             })
             .collect();
@@ -842,5 +1085,94 @@ mod tests {
             assert_eq!(s.detected + s.unreached, s.detectable());
             assert!(s.sim.universe_faults >= equiv.0.kernel_stats[0].sim.universe_faults);
         }
+    }
+
+    #[test]
+    fn source_spec_parses_and_displays() {
+        for (text, spec) in [
+            ("random", SourceSpec::Random),
+            ("lfsr", SourceSpec::Lfsr),
+            ("mintpg", SourceSpec::MinTpg),
+            ("weighted", SourceSpec::Weighted),
+            (
+                "replay:seeds/a.txt",
+                SourceSpec::Replay("seeds/a.txt".into()),
+            ),
+        ] {
+            assert_eq!(text.parse::<SourceSpec>().unwrap(), spec);
+            assert_eq!(spec.to_string(), text);
+        }
+        assert!("replay:".parse::<SourceSpec>().is_err());
+        assert!("exhaustive".parse::<SourceSpec>().is_err());
+    }
+
+    /// `preflight` turns a dangling replay path into a CLI-time error;
+    /// specs with no external state always pass.
+    #[test]
+    fn source_spec_preflight_rejects_missing_replay_file() {
+        let missing = SourceSpec::Replay("/nonexistent/bibs.seeds".into());
+        let err = missing.preflight().unwrap_err();
+        assert!(err.contains("/nonexistent/bibs.seeds"), "{err}");
+        for ok in [
+            SourceSpec::Random,
+            SourceSpec::Lfsr,
+            SourceSpec::MinTpg,
+            SourceSpec::Weighted,
+        ] {
+            ok.preflight().unwrap();
+        }
+    }
+
+    /// `--source random` must reproduce the legacy seeded-RNG path
+    /// byte-for-byte: same stream (the RNG words are drawn identically by
+    /// [`RandomWords`]), same plateau, and no extra JSON fields. CI
+    /// enforces the same identity on the full-width c5a2m.
+    #[test]
+    fn source_random_json_is_byte_identical_to_legacy() {
+        let c = scaled("c3a2m", 2);
+        let legacy = Table2Options {
+            max_patterns: 50_000,
+            ..Table2Options::default()
+        };
+        let sourced = Table2Options {
+            source: Some(SourceSpec::Random),
+            ..legacy.clone()
+        };
+        let jl = table2_json(&[(
+            table2_column(&c, Tdm::Bibs, &legacy),
+            table2_column(&c, Tdm::Ka85, &legacy),
+        )]);
+        let js = table2_json(&[(
+            table2_column(&c, Tdm::Bibs, &sourced),
+            table2_column(&c, Tdm::Ka85, &sourced),
+        )]);
+        assert_eq!(jl, js, "--source random must not change a byte");
+    }
+
+    /// Non-uniform sources surface the coverage-vs-clocks record in the
+    /// JSON — a self-describing descriptor plus the clock budget — and the
+    /// record agrees between the struct and its rendering.
+    #[test]
+    fn source_lfsr_reports_coverage_vs_clocks() {
+        let c = scaled("c3a2m", 2);
+        let opts = Table2Options {
+            max_patterns: 50_000,
+            source: Some(SourceSpec::Lfsr),
+            ..Table2Options::default()
+        };
+        let b = table2_column(&c, Tdm::Bibs, &opts);
+        let run = b.kernel_stats[0]
+            .source
+            .as_ref()
+            .expect("lfsr source reports its run");
+        assert!(run.descriptor_json.starts_with("{\"kind\":\"lfsr\""));
+        // The LFSR charges one clock per emitted pattern plus warm-up (0
+        // here), and the engine never applies more than it pulled.
+        assert!(run.clocks >= run.emitted);
+        assert!(run.emitted > 0);
+        let json = table2_json(&[(b.clone(), b.clone())]);
+        assert!(json.contains("\"source\":{\"kind\":\"lfsr\""));
+        assert!(json.contains("\"source_clocks\":"));
+        assert!(json.contains("\"source_patterns\":"));
     }
 }

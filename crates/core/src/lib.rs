@@ -51,6 +51,7 @@ pub mod mintpg;
 pub mod reconfig;
 pub mod schedule;
 pub mod session;
+pub mod source;
 pub mod structure;
 pub mod tpg;
 pub mod tpg_netlist;

@@ -11,9 +11,10 @@
 //! coverage the paper's methodology ultimately delivers.
 
 use crate::structure::GeneralizedStructure;
-use crate::tpg::{TpgDesign, TpgSimulator};
+use crate::tpg::TpgDesign;
 use bibs_faultsim::fault::Fault;
 use bibs_faultsim::seq::SequentialFaultSim;
+use bibs_faultsim::source::PatternSource;
 use bibs_lfsr::bitvec::BitVec;
 use bibs_lfsr::misr::Misr;
 use bibs_lfsr::poly::primitive_polynomial;
@@ -38,32 +39,29 @@ pub struct GoldenSession {
 /// sees" is unambiguous: it is the cone's time-aligned view of the input
 /// registers (balance guarantees alignment is well-defined).
 ///
+/// This is a materializing collector over
+/// [`crate::source::MinTpgSource`] — fault-simulation flows that don't
+/// need the whole stream in memory should drive the source directly
+/// through `BlockSim::run_source`.
+///
 /// # Panics
 ///
 /// Panics if the structure has more than one cone or the LFSR degree
 /// exceeds 20 (the stream would be unreasonable to materialize).
 pub fn session_patterns(design: &TpgDesign, structure: &GeneralizedStructure) -> Vec<Vec<bool>> {
     assert!(
-        structure.is_single_cone(),
-        "session streams are defined for single-cone kernels"
-    );
-    assert!(
         design.lfsr_degree() <= 20,
         "session stream capped at degree 20"
     );
-    let mut sim = TpgSimulator::new(design);
-    // Warm the shift-register extension.
-    for _ in 0..design.flip_flop_count() + structure.sequential_depth() as usize {
-        sim.step();
-    }
-    let cycles = (1u64 << design.lfsr_degree()) - 1;
+    let mut source = crate::source::MinTpgSource::new(design, structure)
+        .expect("session streams are defined for single-cone kernels");
     let width = structure.total_width() as usize;
-    let mut out = Vec::with_capacity(cycles as usize + 1);
-    for _ in 0..cycles {
-        out.push(sim.cone_view(0).iter().collect());
-        sim.step();
+    let mut out = Vec::with_capacity(1usize << design.lfsr_degree());
+    while let Some(block) = source.next_block(width) {
+        for lane in 0..block.lanes {
+            out.push(block.pattern(lane));
+        }
     }
-    out.push(vec![false; width]); // the complete-LFSR all-zero pattern
     out
 }
 

@@ -1,4 +1,4 @@
-//! The four differential oracles the fuzzer cross-checks per circuit.
+//! The five differential oracles the fuzzer cross-checks per circuit.
 //!
 //! Each oracle pits two implementations (or one implementation and a
 //! ground truth) against each other on the same circuit and reports a
@@ -14,16 +14,22 @@
 //! 4. **Prover** — every fault the [`StaticFaultAnalysis`] rules
 //!    statically untestable must stay undetected under exhaustive
 //!    simulation.
+//! 5. **Source** — every [`PatternSource`] kind (seeded random, weighted,
+//!    LFSR where the width permits) produces a bit-identical report on
+//!    the serial and parallel engines at 2 and 4 threads, and the
+//!    source's own stream digest matches across the runs — the pulled
+//!    streams themselves were identical, not just the verdicts.
 //!
 //! Oracles 3 and 4 need exhaustive simulation and only run when the
-//! circuit has at most [`EXHAUSTIVE_PI_LIMIT`] primary-input bits; 1 and
-//! 2 run on everything. Sequential circuits are checked on their
+//! circuit has at most [`EXHAUSTIVE_PI_LIMIT`] primary-input bits; 1, 2
+//! and 5 run on everything. Sequential circuits are checked on their
 //! [`combinational_equivalent`](Netlist::combinational_equivalent).
 
 use bibs_faultsim::fault::{FaultUniverse, StaticFaultAnalysis};
 use bibs_faultsim::par::ParFaultSimulator;
 use bibs_faultsim::reference::ReferenceSimulator;
 use bibs_faultsim::sim::{BlockSim, FaultSimulator};
+use bibs_faultsim::source::{LfsrSource, PatternSource, RandomWords, WeightedRandomSource};
 use bibs_netlist::{EvalProgram, Netlist};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -34,6 +40,9 @@ pub const EXHAUSTIVE_PI_LIMIT: usize = 16;
 
 /// Random patterns per stream for the non-exhaustive oracles.
 const RANDOM_PATTERNS: u64 = 1_024;
+
+/// Pattern budget per source kind for the source oracle.
+const SOURCE_PATTERNS: u64 = 256;
 
 /// Which oracle flagged a disagreement.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -46,6 +55,8 @@ pub enum Oracle {
     Dominance,
     /// Static untestability prover vs exhaustive simulation.
     Prover,
+    /// Pattern-source streams across serial/parallel engines.
+    Source,
 }
 
 impl fmt::Display for Oracle {
@@ -55,6 +66,7 @@ impl fmt::Display for Oracle {
             Oracle::Parallel => "parallel",
             Oracle::Dominance => "dominance",
             Oracle::Prover => "prover",
+            Oracle::Source => "source",
         })
     }
 }
@@ -93,6 +105,7 @@ pub fn check_all(netlist: &Netlist, seed: u64) -> Vec<Divergence> {
     };
     out.extend(check_eval(&nl, &program, seed));
     out.extend(check_parallel(&nl, seed));
+    out.extend(check_source(&nl, seed));
     if nl.input_width() <= EXHAUSTIVE_PI_LIMIT {
         out.extend(check_dominance(&nl, &program));
         out.extend(check_prover(&nl, &program));
@@ -171,6 +184,72 @@ pub fn check_parallel(nl: &Netlist, seed: u64) -> Vec<Divergence> {
                 oracle: Oracle::Parallel,
                 detail: format!("patterns_applied differs at {threads} thread(s)"),
             });
+        }
+    }
+    out
+}
+
+/// Oracle 5: every pattern-source kind is engine- and thread-count
+/// independent — serial vs parallel (2 and 4 threads) reports are
+/// bit-identical, and the freshly built sources end each run with the
+/// same stream digest (the engines pulled identical streams). These are
+/// explicit comparisons, unlike the `debug_assert`s in
+/// [`bibs_faultsim::par::run_source_checked`], so the fuzzer catches
+/// regressions in release builds too.
+pub fn check_source(nl: &Netlist, seed: u64) -> Vec<Divergence> {
+    let faults = FaultUniverse::collapsed(nl).faults().to_vec();
+    if faults.is_empty() {
+        return Vec::new();
+    }
+    let width = nl.input_width();
+    let source_seed = seed ^ 0x50C5;
+    type MakeSource<'a> = (&'static str, Box<dyn Fn() -> Box<dyn PatternSource> + 'a>);
+    let mut kinds: Vec<MakeSource> = vec![
+        (
+            "random",
+            Box::new(move || Box::new(RandomWords::seeded(source_seed))),
+        ),
+        (
+            "weighted",
+            Box::new(move || {
+                Box::new(
+                    WeightedRandomSource::new(source_seed, vec![0.75; width])
+                        .expect("0.75 is a valid bias"),
+                )
+            }),
+        ),
+    ];
+    if width <= 64 {
+        kinds.push((
+            "lfsr",
+            Box::new(move || {
+                Box::new(LfsrSource::new(width, source_seed | 1).expect("width fits an LFSR"))
+            }),
+        ));
+    }
+    let mut out = Vec::new();
+    for (kind, make) in kinds {
+        let mut serial_source = make();
+        let serial = FaultSimulator::new(nl, faults.clone())
+            .run_source(&mut *serial_source, SOURCE_PATTERNS);
+        for threads in [2usize, 4] {
+            let mut par_source = make();
+            let par = ParFaultSimulator::with_threads(nl, faults.clone(), threads)
+                .run_source(&mut *par_source, SOURCE_PATTERNS);
+            if par.detection() != serial.detection()
+                || par.patterns_applied() != serial.patterns_applied()
+            {
+                out.push(Divergence {
+                    oracle: Oracle::Source,
+                    detail: format!("{kind}: report differs at {threads} thread(s)"),
+                });
+            }
+            if par_source.state_digest() != serial_source.state_digest() {
+                out.push(Divergence {
+                    oracle: Oracle::Source,
+                    detail: format!("{kind}: stream digest differs at {threads} thread(s)"),
+                });
+            }
         }
     }
     out

@@ -12,6 +12,11 @@
 //!   [`par::default_jobs`]); both run on the compiled
 //!   [`bibs_netlist::EvalProgram`] IR, with the original gate-walking
 //!   interpreter preserved as a reference oracle ([`mod@reference`]);
+//! * pluggable **pattern sources** ([`source`]): the stream an engine
+//!   consumes — pseudorandom words, hardware-faithful LFSRs, weighted
+//!   random, exhaustive counters, stored-seed replays — behind one
+//!   [`source::PatternSource`] trait with clock accounting, driven by the
+//!   shared [`sim::BlockSim::run_source`] driver;
 //! * **PODEM** combinational ATPG ([`atpg`]) to prove faults undetectable —
 //!   which defines the "detectable" universe that the 100 % rows measure.
 //!   (The paper: "only an ATPG system for combinational logic is required",
@@ -57,10 +62,15 @@ pub mod par;
 pub mod reference;
 pub mod seq;
 pub mod sim;
+pub mod source;
 pub mod stats;
 
 pub use fault::{DominanceCollapse, Fault, FaultSite, FaultUniverse, StaticFaultAnalysis};
 pub use par::{default_jobs, ParFaultSimulator};
 pub use reference::ReferenceSimulator;
 pub use sim::{BlockSim, FaultSimReport, FaultSimulator};
+pub use source::{
+    ExhaustiveSource, LfsrSource, PatternBlock, PatternSource, RandomWords, SourceDescriptor,
+    StoredSeedReplay, WeightedRandomSource,
+};
 pub use stats::SimStats;

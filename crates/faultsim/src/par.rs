@@ -396,10 +396,45 @@ impl BlockSim for ParFaultSimulator<'_> {
     }
 }
 
-/// Convenience: serial and parallel runs of the same random stream,
-/// asserting (in debug builds) that they agree. Returns the parallel
-/// report. Used by the equivalence tests; exposed because it is also a
-/// handy self-check harness for callers adopting the parallel engine.
+/// Convenience: serial and parallel runs of the same
+/// [`PatternSource`](crate::source::PatternSource) stream, asserting (in
+/// debug builds) that they agree — detection indices, pattern counts, and
+/// the two sources'
+/// [`state_digest`](crate::source::PatternSource::state_digest)s.
+/// Returns the parallel report.
+///
+/// A source is stateful and consumed by its driver, so the caller
+/// supplies a *factory* that builds identically-configured instances;
+/// each engine drains its own copy and the digests prove the copies
+/// emitted the same stream. Used by `tests/source_equivalence.rs` and
+/// the corpus differential oracles, so fuzzing exercises every source
+/// through both engines.
+///
+/// [`state_digest`]: crate::source::PatternSource::state_digest
+pub fn run_source_checked<S: crate::source::PatternSource>(
+    netlist: &Netlist,
+    faults: &[Fault],
+    mut make_source: impl FnMut() -> S,
+    max_patterns: u64,
+    threads: usize,
+) -> FaultSimReport {
+    let mut source_a = make_source();
+    let serial =
+        FaultSimulator::new(netlist, faults.to_vec()).run_source(&mut source_a, max_patterns);
+    let mut source_b = make_source();
+    let par = ParFaultSimulator::with_threads(netlist, faults.to_vec(), threads)
+        .run_source(&mut source_b, max_patterns);
+    debug_assert_eq!(serial.detection(), par.detection());
+    debug_assert_eq!(serial.patterns_applied(), par.patterns_applied());
+    debug_assert_eq!(source_a.state_digest(), source_b.state_digest());
+    par
+}
+
+/// [`run_source_checked`] over the legacy random stream: draws one seed
+/// from `seed_stream` and cross-checks a seeded
+/// [`RandomWords`](crate::source::RandomWords) source through both
+/// engines (the words drawn are bit-identical to the pre-source
+/// `run_random` drivers'). Returns the parallel report.
 pub fn run_random_checked(
     netlist: &Netlist,
     faults: &[Fault],
@@ -407,20 +442,16 @@ pub fn run_random_checked(
     max_patterns: u64,
     threads: usize,
 ) -> FaultSimReport {
-    // Both engines must see identical RNG words, so fork the stream by
-    // drawing the block words once per... simplest correct scheme: run the
-    // serial engine on a clone of the stream state is impossible for a
-    // generic Rng, so draw a seed and derive two identical child streams.
-    use rand::{rngs::StdRng, SeedableRng};
+    // Both engines must see identical RNG words; a generic Rng cannot be
+    // cloned, so draw a seed and derive two identical child sources.
     let seed: u64 = seed_stream.gen();
-    let mut rng_a = StdRng::seed_from_u64(seed);
-    let mut rng_b = StdRng::seed_from_u64(seed);
-    let serial = FaultSimulator::new(netlist, faults.to_vec()).run_random(&mut rng_a, max_patterns);
-    let par = ParFaultSimulator::with_threads(netlist, faults.to_vec(), threads)
-        .run_random(&mut rng_b, max_patterns);
-    debug_assert_eq!(serial.detection(), par.detection());
-    debug_assert_eq!(serial.patterns_applied(), par.patterns_applied());
-    par
+    run_source_checked(
+        netlist,
+        faults,
+        || crate::source::RandomWords::seeded(seed),
+        max_patterns,
+        threads,
+    )
 }
 
 #[cfg(test)]

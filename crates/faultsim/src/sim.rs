@@ -8,14 +8,19 @@
 //!   produces **bit-identical** reports (see the `par` module docs for the
 //!   determinism argument).
 //!
-//! The pattern-stream drivers ([`BlockSim::run_random`],
-//! [`BlockSim::run_exhaustive`], …) are provided methods of the
-//! [`BlockSim`] trait, so both engines consume RNG streams and schedule
-//! blocks *identically by construction*; an engine only supplies
-//! [`BlockSim::apply_block`].
+//! The pattern-stream drivers ([`BlockSim::run_source`],
+//! [`BlockSim::run_random`], [`BlockSim::run_exhaustive`], …) are
+//! provided methods of the [`BlockSim`] trait, so both engines consume
+//! streams and schedule blocks *identically by construction*; an engine
+//! only supplies [`BlockSim::apply_block`]. The streams themselves are
+//! pluggable [`PatternSource`]s ([`crate::source`]); the `run_random*`
+//! family is a thin compatibility wrapper over a
+//! [`RandomWords`] source and draws exactly
+//! the words it always drew.
 
 use crate::eval;
 use crate::fault::Fault;
+use crate::source::{PatternSource, RandomWords};
 use crate::stats::SimStats;
 use bibs_netlist::{EvalProgram, Netlist, Patch};
 use bibs_obs::{CounterId, Recorder, ShardCounters};
@@ -207,13 +212,65 @@ pub trait BlockSim {
     }
 
     /// The common random-stream driver behind the three `run_random*`
-    /// entry points. One RNG word is drawn per input per block, in input
-    /// order — any engine that implements `apply_block` correctly is
-    /// therefore stream-compatible with every other.
+    /// entry points: wraps the live RNG in a [`RandomWords`] source and
+    /// hands it to [`BlockSim::run_source_with`]. One RNG word is drawn
+    /// per input per block, in input order — any engine that implements
+    /// `apply_block` correctly is therefore stream-compatible with every
+    /// other, and the words drawn are bit-identical to the pre-source
+    /// drivers'.
     #[doc(hidden)]
     fn run_random_driver(
         &mut self,
         rng: &mut impl Rng,
+        max_patterns: u64,
+        plateau: u64,
+        target: f64,
+    ) -> FaultSimReport
+    where
+        Self: Sized,
+    {
+        let mut source = RandomWords::from_rng(rng);
+        self.run_source_with(&mut source, max_patterns, plateau, target)
+    }
+
+    /// Applies patterns from an arbitrary [`PatternSource`] until the
+    /// source is exhausted, every fault is detected, or `max_patterns`
+    /// is reached. Returns the report.
+    ///
+    /// This is the engine-side half of the coverage-vs-clocks axis: the
+    /// source tracks its own clock budget
+    /// ([`PatternSource::clocks_consumed`]) while the engine tracks
+    /// detection indices, and the two stay aligned because blocks are
+    /// pulled serially — which also makes any source bit-identical
+    /// across engines and thread counts (`tests/source_equivalence.rs`).
+    fn run_source(
+        &mut self,
+        source: &mut (impl PatternSource + ?Sized),
+        max_patterns: u64,
+    ) -> FaultSimReport
+    where
+        Self: Sized,
+    {
+        self.run_source_with(source, max_patterns, max_patterns, 1.0)
+    }
+
+    /// [`BlockSim::run_source`] with a detection plateau and a coverage
+    /// target — the generic driver every stream entry point reduces to.
+    ///
+    /// Stops when the source runs dry, `max_patterns` is reached,
+    /// coverage of the simulated list reaches `target`, or no new fault
+    /// has been detected for `plateau` consecutive patterns. A block
+    /// whose lane count would overshoot `max_patterns` is truncated
+    /// (the source still accounts the full block's clocks, exactly like
+    /// the hardware it models would have).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the source's block width disagrees with the netlist's
+    /// input width.
+    fn run_source_with(
+        &mut self,
+        source: &mut (impl PatternSource + ?Sized),
         max_patterns: u64,
         plateau: u64,
         target: f64,
@@ -227,16 +284,26 @@ pub trait BlockSim {
             && self.coverage() < target
             && self.patterns_applied().saturating_sub(last_detection_at) < plateau
         {
-            let lanes = 64u64.min(max_patterns - self.patterns_applied()) as usize;
-            let words: Vec<u64> = (0..width).map(|_| rng.gen::<u64>()).collect();
-            if self.apply_block(&words, lanes) > 0 {
+            let Some(block) = source.next_block(width) else {
+                break;
+            };
+            assert_eq!(block.words.len(), width, "source block width mismatch");
+            assert!(
+                (1..=64).contains(&block.lanes),
+                "source blocks carry 1..=64 lanes"
+            );
+            let lanes = block
+                .lanes
+                .min((max_patterns - self.patterns_applied()) as usize);
+            if self.apply_block(&block.words, lanes) > 0 {
                 last_detection_at = self.patterns_applied();
             }
         }
         self.report()
     }
 
-    /// Applies all `2^w` input patterns (w = input width).
+    /// Applies all `2^w` input patterns (w = input width) from an
+    /// [`ExhaustiveSource`](crate::source::ExhaustiveSource).
     ///
     /// # Panics
     ///
@@ -245,23 +312,12 @@ pub trait BlockSim {
     fn run_exhaustive(&mut self) -> FaultSimReport {
         let width = self.netlist().input_width();
         assert!(width <= 24, "exhaustive simulation capped at 24 inputs");
-        let total: u64 = 1u64 << width;
-        let mut base: u64 = 0;
-        while base < total {
-            let lanes = 64u64.min(total - base) as usize;
-            // Lane k carries pattern (base + k): input bit i of that
-            // pattern goes to lane k of word i.
-            let mut words = vec![0u64; width];
-            for lane in 0..lanes {
-                let pat = base + lane as u64;
-                for (i, w) in words.iter_mut().enumerate() {
-                    if (pat >> i) & 1 == 1 {
-                        *w |= 1u64 << lane;
-                    }
-                }
-            }
-            self.apply_block(&words, lanes);
-            base += lanes as u64;
+        let mut source = crate::source::ExhaustiveSource::new(width);
+        // Applies every block the counter produces; the historical
+        // semantics (kept bit-for-bit) check completion *after* a block,
+        // so even an empty fault list sees one block.
+        while let Some(block) = source.next_block(width) {
+            self.apply_block(&block.words, block.lanes);
             if self.all_detected() {
                 break;
             }

@@ -1,0 +1,955 @@
+//! Pluggable pattern sources: the stream side of fault simulation.
+//!
+//! The paper's Table 2 story is entirely about *which pattern stream*
+//! reaches a kernel (pseudorandom LFSR words vs the novel TPG's aligned
+//! windows) and how many clock cycles that stream costs. This module
+//! lifts the stream out of the engines: a [`PatternSource`] produces
+//! 64-lane pattern blocks with explicit clock accounting, and the
+//! [`BlockSim`](crate::sim::BlockSim) drivers consume any source the same
+//! way — so coverage-vs-clocks becomes a first-class axis instead of a
+//! property baked into `run_random*`.
+//!
+//! # Contract
+//!
+//! * [`PatternSource::next_block`] returns up to 64 patterns packed one
+//!   per `u64` lane (`words[i]` carries input *i* across all lanes; only
+//!   the low [`PatternBlock::lanes`] lanes are patterns). Returning
+//!   `None` means the source is exhausted — e.g. an LFSR that completed
+//!   its period.
+//! * **Clock accounting**: [`PatternSource::clocks_consumed`] is the
+//!   number of TPG clock cycles the *hardware* generator would have spent
+//!   producing everything emitted so far — warm-up shifts, one cycle per
+//!   pattern, reseed loads. It is monotone in the number of blocks pulled
+//!   and independent of how many lanes the consumer actually applied.
+//! * **Determinism pinning**: [`PatternSource::state_digest`] folds every
+//!   emitted `(words, lanes)` pair into a 64-bit digest. Two consumers
+//!   that pulled the same blocks hold equal digests, so serial and
+//!   parallel engines (any thread count) can assert they saw the same
+//!   stream — `tests/source_equivalence.rs` pins this for every shipped
+//!   source.
+//! * **Self-description**: [`PatternSource::descriptor`] serializes the
+//!   generator's identity (kind, polynomial, seed, RNG family, …) for
+//!   telemetry and JSON exports, so a replay needs no out-of-band notes.
+//!
+//! The shipped sources: [`RandomWords`] (the legacy pseudorandom stream,
+//! bit-compatible with `run_random*`), [`ExhaustiveSource`],
+//! [`LfsrSource`] (a hardware-faithful maximal LFSR with the complete-LFSR
+//! all-zero remedy), [`WeightedRandomSource`] (per-PI bias vectors), and
+//! [`StoredSeedReplay`] (committed reseeding schedules). The paper's own
+//! TPG lives in `bibs_core::source::MinTpgSource`, behind the same trait.
+
+use bibs_lfsr::fsr::{Lfsr, LfsrKind};
+use bibs_lfsr::poly::{primitive_polynomial, Polynomial};
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+/// One block of up to 64 patterns, packed one pattern per `u64` lane.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PatternBlock {
+    /// `words[i]` carries the value of primary input *i* across lanes.
+    pub words: Vec<u64>,
+    /// How many low lanes are patterns (1..=64).
+    pub lanes: usize,
+}
+
+impl PatternBlock {
+    /// Packs explicit patterns (each one `bool` per input) into a block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `patterns` is empty, longer than 64, or a pattern's
+    /// width differs from `width`.
+    pub fn from_patterns(patterns: &[Vec<bool>], width: usize) -> Self {
+        assert!(
+            (1..=64).contains(&patterns.len()),
+            "1..=64 patterns per block"
+        );
+        let mut words = vec![0u64; width];
+        for (lane, pat) in patterns.iter().enumerate() {
+            assert_eq!(pat.len(), width, "pattern width mismatch");
+            for (i, &bit) in pat.iter().enumerate() {
+                if bit {
+                    words[i] |= 1u64 << lane;
+                }
+            }
+        }
+        PatternBlock {
+            words,
+            lanes: patterns.len(),
+        }
+    }
+
+    /// Unpacks lane `lane` back into one `bool` per input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane >= self.lanes`.
+    pub fn pattern(&self, lane: usize) -> Vec<bool> {
+        assert!(lane < self.lanes, "lane out of range");
+        self.words.iter().map(|&w| (w >> lane) & 1 == 1).collect()
+    }
+}
+
+/// A serializable description of a pattern source: the generator kind
+/// plus the key/value fields that make a run replayable (seed,
+/// polynomial, RNG family, …).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SourceDescriptor {
+    kind: &'static str,
+    fields: Vec<(&'static str, String)>,
+}
+
+impl SourceDescriptor {
+    /// Starts a descriptor for the given generator kind.
+    pub fn new(kind: &'static str) -> Self {
+        SourceDescriptor {
+            kind,
+            fields: Vec::new(),
+        }
+    }
+
+    /// Appends a key/value field (insertion order is preserved in the
+    /// JSON form).
+    pub fn field(mut self, key: &'static str, value: impl Into<String>) -> Self {
+        self.fields.push((key, value.into()));
+        self
+    }
+
+    /// The generator kind (`"random"`, `"lfsr"`, …).
+    pub fn kind(&self) -> &str {
+        self.kind
+    }
+
+    /// Looks up a field by key.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.fields
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The descriptor as a JSON object, e.g.
+    /// `{"kind":"random","rng":"xoshiro256**","seed":"0x2a"}`. Field
+    /// values are emitted as JSON strings with `"` and `\` escaped.
+    pub fn to_json(&self) -> String {
+        let escape = |s: &str| s.replace('\\', "\\\\").replace('"', "\\\"");
+        let mut out = format!("{{\"kind\":\"{}\"", escape(self.kind));
+        for (k, v) in &self.fields {
+            out.push_str(&format!(",\"{}\":\"{}\"", escape(k), escape(v)));
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// Running digest over an emitted stream (splitmix64-style fold).
+///
+/// Every shipped source folds each emitted block through this, so
+/// [`PatternSource::state_digest`] values are comparable across source
+/// kinds and across engines: equal digests ⇔ the same blocks were
+/// pulled. Public so out-of-crate sources (e.g. the paper's TPG in
+/// `bibs_core::source`) stay digest-compatible.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StreamDigest(u64);
+
+impl StreamDigest {
+    /// Folds one word into the digest.
+    pub fn absorb(&mut self, v: u64) {
+        let mut x = self.0 ^ v.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        x ^= x >> 30;
+        x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x ^= x >> 27;
+        x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+        self.0 = x ^ (x >> 31);
+    }
+
+    /// Folds a block (lane count, then each input word) into the digest.
+    pub fn absorb_block(&mut self, block: &PatternBlock) {
+        self.absorb(block.lanes as u64);
+        for &w in &block.words {
+            self.absorb(w);
+        }
+    }
+
+    /// The current digest value.
+    pub fn value(&self) -> u64 {
+        self.0
+    }
+}
+
+/// A generator of 64-lane pattern blocks with clock accounting.
+///
+/// See the [module docs](self) for the full contract. The trait is
+/// object-safe: bins hold a `Box<dyn PatternSource>` selected by a
+/// `--source` flag.
+pub trait PatternSource {
+    /// Produces the next block of up to 64 patterns of the given input
+    /// width, or `None` when the source is exhausted.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if `width` conflicts with the width the
+    /// source was built for (sources without an intrinsic width, like
+    /// [`RandomWords`], accept any width).
+    fn next_block(&mut self, width: usize) -> Option<PatternBlock>;
+
+    /// Hardware clock cycles spent producing everything emitted so far
+    /// (warm-up + one per pattern + reseed loads).
+    fn clocks_consumed(&self) -> u64;
+
+    /// Total patterns emitted so far (sum of `lanes` over all blocks).
+    fn patterns_emitted(&self) -> u64;
+
+    /// Digest of every emitted block, for cross-engine determinism
+    /// pinning.
+    fn state_digest(&self) -> u64;
+
+    /// The source's serializable identity.
+    fn descriptor(&self) -> SourceDescriptor;
+}
+
+/// The legacy pseudorandom stream behind `run_random*`: one `u64` word
+/// per input per block, drawn in input order, 64 lanes per block.
+///
+/// Bit-compatible with the pre-trait drivers by construction — the
+/// `run_random*` family is now a thin wrapper over this source — so a
+/// seeded `RandomWords` reproduces any historical random run exactly.
+///
+/// The descriptor names the RNG family (`"rng":"xoshiro256**"`): the
+/// workspace's `compat/rand` `StdRng` is xoshiro256\*\* (not the
+/// crates.io ChaCha12), and this descriptor is the *only* place that
+/// fact surfaces in machine-readable form, which makes JSON exports
+/// self-describing for replays.
+#[derive(Debug)]
+pub struct RandomWords<R: RngCore> {
+    rng: R,
+    seed: Option<u64>,
+    emitted: u64,
+    digest: StreamDigest,
+}
+
+impl RandomWords<StdRng> {
+    /// A source drawing from `StdRng::seed_from_u64(seed)` — the
+    /// canonical, fully self-describing form.
+    pub fn seeded(seed: u64) -> Self {
+        RandomWords {
+            rng: StdRng::seed_from_u64(seed),
+            seed: Some(seed),
+            emitted: 0,
+            digest: StreamDigest::default(),
+        }
+    }
+}
+
+impl<R: RngCore> RandomWords<R> {
+    /// Wraps a caller-supplied RNG (the descriptor then reports the seed
+    /// as `"external"`). Used by the `run_random*` compatibility
+    /// wrappers, which receive a live `&mut impl Rng`.
+    pub fn from_rng(rng: R) -> Self {
+        RandomWords {
+            rng,
+            seed: None,
+            emitted: 0,
+            digest: StreamDigest::default(),
+        }
+    }
+}
+
+impl<R: RngCore> PatternSource for RandomWords<R> {
+    fn next_block(&mut self, width: usize) -> Option<PatternBlock> {
+        let words: Vec<u64> = (0..width).map(|_| self.rng.next_u64()).collect();
+        let block = PatternBlock { words, lanes: 64 };
+        self.emitted += 64;
+        self.digest.absorb_block(&block);
+        Some(block)
+    }
+
+    fn clocks_consumed(&self) -> u64 {
+        // A PRPG register produces one pattern per clock; no warm-up.
+        self.emitted
+    }
+
+    fn patterns_emitted(&self) -> u64 {
+        self.emitted
+    }
+
+    fn state_digest(&self) -> u64 {
+        self.digest.value()
+    }
+
+    fn descriptor(&self) -> SourceDescriptor {
+        let d = SourceDescriptor::new("random").field("rng", "xoshiro256**");
+        match self.seed {
+            Some(s) => d.field("seed", format!("{s:#x}")),
+            None => d.field("seed", "external"),
+        }
+    }
+}
+
+/// Counts through all `2^width` input patterns in ascending order (lane
+/// *k* of a block carries pattern `base + k`).
+#[derive(Debug)]
+pub struct ExhaustiveSource {
+    width: usize,
+    next: u64,
+    total: u64,
+    digest: StreamDigest,
+}
+
+impl ExhaustiveSource {
+    /// A source enumerating all `2^width` patterns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` exceeds 63 (the pattern counter is a `u64`).
+    pub fn new(width: usize) -> Self {
+        assert!(width <= 63, "exhaustive enumeration needs width <= 63");
+        ExhaustiveSource {
+            width,
+            next: 0,
+            total: 1u64 << width,
+            digest: StreamDigest::default(),
+        }
+    }
+}
+
+impl PatternSource for ExhaustiveSource {
+    fn next_block(&mut self, width: usize) -> Option<PatternBlock> {
+        assert_eq!(width, self.width, "source width mismatch");
+        if self.next >= self.total {
+            return None;
+        }
+        let lanes = 64u64.min(self.total - self.next) as usize;
+        let mut words = vec![0u64; width];
+        for lane in 0..lanes {
+            let pat = self.next + lane as u64;
+            for (i, w) in words.iter_mut().enumerate() {
+                if (pat >> i) & 1 == 1 {
+                    *w |= 1u64 << lane;
+                }
+            }
+        }
+        self.next += lanes as u64;
+        let block = PatternBlock { words, lanes };
+        self.digest.absorb_block(&block);
+        Some(block)
+    }
+
+    fn clocks_consumed(&self) -> u64 {
+        // A binary counter advances one pattern per clock.
+        self.next
+    }
+
+    fn patterns_emitted(&self) -> u64 {
+        self.next
+    }
+
+    fn state_digest(&self) -> u64 {
+        self.digest.value()
+    }
+
+    fn descriptor(&self) -> SourceDescriptor {
+        SourceDescriptor::new("exhaustive").field("width", self.width.to_string())
+    }
+}
+
+/// A hardware-faithful maximal-length type-1 LFSR: each pattern is
+/// stages `1..=width`, one shift per clock, over the full `2^M − 1`
+/// period, followed by the single all-zero pattern a plain maximal LFSR
+/// cannot produce — the paper's complete-LFSR remedy (ref \[15\]).
+#[derive(Debug)]
+pub struct LfsrSource {
+    lfsr: Lfsr,
+    width: usize,
+    seed: u64,
+    warmup: u64,
+    /// Patterns still to come from the maximal sequence.
+    period_left: u64,
+    zero_pending: bool,
+    emitted: u64,
+    clocks: u64,
+    digest: StreamDigest,
+}
+
+impl LfsrSource {
+    /// An LFSR source of degree `max(width, 2)` using the crate's table
+    /// primitive polynomial, seeded from the low bits of `seed` (an
+    /// all-zero truncation is nudged to `…01`, since a plain LFSR must
+    /// start nonzero).
+    ///
+    /// # Errors
+    ///
+    /// Fails if `width` is 0 or exceeds 64 (the degree must fit a `u64`
+    /// seed and the table).
+    pub fn new(width: usize, seed: u64) -> Result<Self, String> {
+        if width == 0 {
+            return Err("LFSR source needs at least one input".into());
+        }
+        if width > 64 {
+            return Err(format!("LFSR source capped at 64 inputs, got {width}"));
+        }
+        let degree = width.max(2) as u32;
+        let poly = primitive_polynomial(degree)
+            .ok_or_else(|| format!("no primitive polynomial of degree {degree}"))?;
+        Ok(Self::with_polynomial(&poly, width, seed))
+    }
+
+    /// An LFSR source over an explicit characteristic polynomial. The
+    /// pattern width may be less than the degree (the low stages are the
+    /// outputs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0 or exceeds the polynomial degree, or the
+    /// degree exceeds 64.
+    pub fn with_polynomial(poly: &Polynomial, width: usize, seed: u64) -> Self {
+        let degree = poly.degree();
+        assert!(degree <= 64, "LFSR source degree capped at 64");
+        assert!(
+            (1..=degree as usize).contains(&width),
+            "pattern width must be 1..=degree"
+        );
+        let mask = if degree == 64 {
+            !0u64
+        } else {
+            (1u64 << degree) - 1
+        };
+        let mut state = seed & mask;
+        if state == 0 {
+            state = 1;
+        }
+        let lfsr = Lfsr::with_seed_u64(poly, LfsrKind::Type1, state);
+        let period_left = if degree == 64 {
+            u64::MAX
+        } else {
+            (1u64 << degree) - 1
+        };
+        LfsrSource {
+            lfsr,
+            width,
+            seed: state,
+            warmup: 0,
+            period_left,
+            zero_pending: true,
+            emitted: 0,
+            clocks: 0,
+            digest: StreamDigest::default(),
+        }
+    }
+
+    /// Clocks the LFSR `steps` times before the first pattern (modelling
+    /// the warm-up shifts a TPG spends filling its extension
+    /// flip-flops); the cycles are charged to [`clocks_consumed`].
+    ///
+    /// [`clocks_consumed`]: PatternSource::clocks_consumed
+    pub fn warmed_up(mut self, steps: u64) -> Self {
+        for _ in 0..steps {
+            self.lfsr.step();
+        }
+        self.warmup += steps;
+        self.clocks += steps;
+        self
+    }
+
+    /// The characteristic polynomial driving this source.
+    pub fn polynomial(&self) -> &Polynomial {
+        self.lfsr.polynomial()
+    }
+}
+
+impl PatternSource for LfsrSource {
+    fn next_block(&mut self, width: usize) -> Option<PatternBlock> {
+        assert_eq!(width, self.width, "source width mismatch");
+        if self.period_left == 0 && !self.zero_pending {
+            return None;
+        }
+        let mut words = vec![0u64; width];
+        let mut lanes = 0usize;
+        while lanes < 64 && self.period_left > 0 {
+            for (i, w) in words.iter_mut().enumerate() {
+                if self.lfsr.stage(i + 1) {
+                    *w |= 1u64 << lanes;
+                }
+            }
+            self.lfsr.step();
+            self.period_left -= 1;
+            self.clocks += 1;
+            lanes += 1;
+        }
+        if lanes < 64 && self.period_left == 0 && self.zero_pending {
+            // The appended all-zero pattern: its lane is already zero.
+            self.zero_pending = false;
+            self.clocks += 1;
+            lanes += 1;
+        }
+        debug_assert!(lanes > 0);
+        let block = PatternBlock { words, lanes };
+        self.emitted += lanes as u64;
+        self.digest.absorb_block(&block);
+        Some(block)
+    }
+
+    fn clocks_consumed(&self) -> u64 {
+        self.clocks
+    }
+
+    fn patterns_emitted(&self) -> u64 {
+        self.emitted
+    }
+
+    fn state_digest(&self) -> u64 {
+        self.digest.value()
+    }
+
+    fn descriptor(&self) -> SourceDescriptor {
+        SourceDescriptor::new("lfsr")
+            .field("polynomial", self.polynomial().to_string())
+            .field("degree", self.polynomial().degree().to_string())
+            .field("width", self.width.to_string())
+            .field("seed", format!("{:#x}", self.seed))
+            .field("warmup", self.warmup.to_string())
+    }
+}
+
+/// Biased pseudorandom patterns: input *i* is 1 with probability
+/// `bias[i]` each cycle, independently across inputs and cycles — the
+/// weighted-random generators of functional-BIST practice, where biasing
+/// toward hard-to-excite values shortens the tail of the coverage curve.
+///
+/// Bias 0.0/1.0 pin an input to a constant; 0.5 is a fair coin (the
+/// per-bit comparison `draw < bias·2^64` is exact, so 0.5 matches
+/// [`RandomWords`]' marginal distribution bit for bit in expectation).
+#[derive(Debug)]
+pub struct WeightedRandomSource {
+    rng: StdRng,
+    seed: u64,
+    biases: Vec<f64>,
+    /// `P(bit = 1) = thresholds[i] / 2^64`, exact in fixed point.
+    thresholds: Vec<u128>,
+    emitted: u64,
+    digest: StreamDigest,
+}
+
+impl WeightedRandomSource {
+    /// A weighted source with one bias per primary input.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `biases` is empty or any bias is outside `0.0..=1.0`
+    /// (NaN included).
+    pub fn new(seed: u64, biases: Vec<f64>) -> Result<Self, String> {
+        if biases.is_empty() {
+            return Err("weighted source needs at least one bias".into());
+        }
+        let mut thresholds = Vec::with_capacity(biases.len());
+        for (i, &b) in biases.iter().enumerate() {
+            if !(0.0..=1.0).contains(&b) {
+                return Err(format!("bias[{i}] = {b} outside 0.0..=1.0"));
+            }
+            thresholds.push((b * 2f64.powi(64)) as u128);
+        }
+        Ok(WeightedRandomSource {
+            rng: StdRng::seed_from_u64(seed),
+            seed,
+            biases,
+            thresholds,
+            emitted: 0,
+            digest: StreamDigest::default(),
+        })
+    }
+}
+
+impl PatternSource for WeightedRandomSource {
+    fn next_block(&mut self, width: usize) -> Option<PatternBlock> {
+        assert_eq!(
+            width,
+            self.biases.len(),
+            "source width mismatch: {} biases for width {width}",
+            self.biases.len()
+        );
+        // One draw per input per lane, input-major: lane order within an
+        // input matches the lane numbering so digests are reproducible.
+        let words: Vec<u64> = self
+            .thresholds
+            .iter()
+            .map(|&t| {
+                let mut w = 0u64;
+                for lane in 0..64 {
+                    if (self.rng.next_u64() as u128) < t {
+                        w |= 1u64 << lane;
+                    }
+                }
+                w
+            })
+            .collect();
+        let block = PatternBlock { words, lanes: 64 };
+        self.emitted += 64;
+        self.digest.absorb_block(&block);
+        Some(block)
+    }
+
+    fn clocks_consumed(&self) -> u64 {
+        // The bias network is combinational: one pattern per clock.
+        self.emitted
+    }
+
+    fn patterns_emitted(&self) -> u64 {
+        self.emitted
+    }
+
+    fn state_digest(&self) -> u64 {
+        self.digest.value()
+    }
+
+    fn descriptor(&self) -> SourceDescriptor {
+        let biases = self
+            .biases
+            .iter()
+            .map(|b| format!("{b}"))
+            .collect::<Vec<_>>()
+            .join(",");
+        SourceDescriptor::new("weighted")
+            .field("rng", "xoshiro256**")
+            .field("seed", format!("{:#x}", self.seed))
+            .field("biases", biases)
+    }
+}
+
+/// One entry of a stored reseeding schedule: run the PRPG from `seed`
+/// for `patterns` cycles, then load the next seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SeedSegment {
+    /// The seed loaded into the PRPG.
+    pub seed: u64,
+    /// Patterns generated before the next reseed.
+    pub patterns: u64,
+}
+
+/// Replays a committed reseeding schedule: each segment seeds a fresh
+/// `StdRng` and draws [`RandomWords`]-compatible blocks for its pattern
+/// budget — the stored-seed/hybrid-BIST shape where a tester reloads the
+/// PRPG at scheduled points. Each reseed load costs one extra clock.
+///
+/// The file format is line-oriented: `#` starts a comment; each data
+/// line is `<seed> [patterns]` with the seed in `0x…` hex or decimal
+/// and the pattern count defaulting to 64.
+#[derive(Debug)]
+pub struct StoredSeedReplay {
+    label: String,
+    segments: Vec<SeedSegment>,
+    seg_idx: usize,
+    /// Patterns already emitted from the current segment.
+    seg_done: u64,
+    rng: Option<StdRng>,
+    reseeds: u64,
+    emitted: u64,
+    digest: StreamDigest,
+}
+
+impl StoredSeedReplay {
+    /// Parses a schedule from text; `label` names it in descriptors
+    /// (usually the file path).
+    ///
+    /// # Errors
+    ///
+    /// Fails on malformed lines or an empty schedule.
+    pub fn parse(label: &str, text: &str) -> Result<Self, String> {
+        let mut segments = Vec::new();
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let seed_tok = parts.next().expect("non-empty line has a token");
+            let seed = parse_u64(seed_tok)
+                .ok_or_else(|| format!("line {}: bad seed {seed_tok:?}", lineno + 1))?;
+            let patterns = match parts.next() {
+                Some(tok) => parse_u64(tok)
+                    .filter(|&n| n > 0)
+                    .ok_or_else(|| format!("line {}: bad pattern count {tok:?}", lineno + 1))?,
+                None => 64,
+            };
+            if let Some(extra) = parts.next() {
+                return Err(format!("line {}: trailing token {extra:?}", lineno + 1));
+            }
+            segments.push(SeedSegment { seed, patterns });
+        }
+        if segments.is_empty() {
+            return Err(format!("{label}: no seed segments"));
+        }
+        Ok(StoredSeedReplay {
+            label: label.to_string(),
+            segments,
+            seg_idx: 0,
+            seg_done: 0,
+            rng: None,
+            reseeds: 0,
+            emitted: 0,
+            digest: StreamDigest::default(),
+        })
+    }
+
+    /// Reads and parses a schedule file.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the file cannot be read or does not parse.
+    pub fn from_file(path: &str) -> Result<Self, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        Self::parse(path, &text)
+    }
+
+    /// The parsed schedule.
+    pub fn segments(&self) -> &[SeedSegment] {
+        &self.segments
+    }
+}
+
+fn parse_u64(tok: &str) -> Option<u64> {
+    if let Some(hex) = tok.strip_prefix("0x").or_else(|| tok.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        tok.parse().ok()
+    }
+}
+
+impl PatternSource for StoredSeedReplay {
+    fn next_block(&mut self, width: usize) -> Option<PatternBlock> {
+        let seg = *self.segments.get(self.seg_idx)?;
+        let rng = self.rng.get_or_insert_with(|| {
+            self.reseeds += 1;
+            StdRng::seed_from_u64(seg.seed)
+        });
+        // Within a segment the stream is RandomWords-compatible: one
+        // word per input per block, full 64-lane draws, with only the
+        // low `lanes` lanes counted against the segment budget.
+        let words: Vec<u64> = (0..width).map(|_| rng.next_u64()).collect();
+        let lanes = 64u64.min(seg.patterns - self.seg_done) as usize;
+        self.seg_done += lanes as u64;
+        if self.seg_done == seg.patterns {
+            self.seg_idx += 1;
+            self.seg_done = 0;
+            self.rng = None;
+        }
+        let block = PatternBlock { words, lanes };
+        self.emitted += lanes as u64;
+        self.digest.absorb_block(&block);
+        Some(block)
+    }
+
+    fn clocks_consumed(&self) -> u64 {
+        // One clock per pattern plus one per seed load.
+        self.emitted + self.reseeds
+    }
+
+    fn patterns_emitted(&self) -> u64 {
+        self.emitted
+    }
+
+    fn state_digest(&self) -> u64 {
+        self.digest.value()
+    }
+
+    fn descriptor(&self) -> SourceDescriptor {
+        let total: u64 = self.segments.iter().map(|s| s.patterns).sum();
+        SourceDescriptor::new("replay")
+            .field("rng", "xoshiro256**")
+            .field("file", self.label.clone())
+            .field("segments", self.segments.len().to_string())
+            .field("patterns", total.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_pack_unpack_roundtrip() {
+        let pats = vec![
+            vec![true, false, true],
+            vec![false, false, true],
+            vec![true, true, false],
+        ];
+        let block = PatternBlock::from_patterns(&pats, 3);
+        assert_eq!(block.lanes, 3);
+        for (lane, pat) in pats.iter().enumerate() {
+            assert_eq!(&block.pattern(lane), pat);
+        }
+    }
+
+    #[test]
+    fn random_words_matches_raw_rng_stream() {
+        let mut src = RandomWords::seeded(0xB1B5);
+        let mut rng = StdRng::seed_from_u64(0xB1B5);
+        for _ in 0..3 {
+            let block = src.next_block(5).expect("random never exhausts");
+            let raw: Vec<u64> = (0..5).map(|_| rng.next_u64()).collect();
+            assert_eq!(block.words, raw);
+            assert_eq!(block.lanes, 64);
+        }
+        assert_eq!(src.patterns_emitted(), 192);
+        assert_eq!(src.clocks_consumed(), 192);
+    }
+
+    #[test]
+    fn random_descriptor_names_the_rng_family() {
+        let src = RandomWords::seeded(42);
+        let d = src.descriptor();
+        assert_eq!(d.kind(), "random");
+        assert_eq!(d.get("rng"), Some("xoshiro256**"));
+        assert_eq!(d.get("seed"), Some("0x2a"));
+        assert_eq!(
+            d.to_json(),
+            r#"{"kind":"random","rng":"xoshiro256**","seed":"0x2a"}"#
+        );
+        let external = RandomWords::from_rng(StdRng::seed_from_u64(1));
+        assert_eq!(external.descriptor().get("seed"), Some("external"));
+    }
+
+    #[test]
+    fn exhaustive_source_counts_every_pattern_once() {
+        let mut src = ExhaustiveSource::new(7);
+        let mut seen = std::collections::HashSet::new();
+        while let Some(block) = src.next_block(7) {
+            for lane in 0..block.lanes {
+                let pat = block.pattern(lane);
+                let v = pat
+                    .iter()
+                    .enumerate()
+                    .fold(0u64, |a, (i, &b)| a | ((b as u64) << i));
+                assert!(seen.insert(v), "pattern {v} repeated");
+            }
+        }
+        assert_eq!(seen.len(), 128);
+        assert_eq!(src.patterns_emitted(), 128);
+        assert_eq!(src.clocks_consumed(), 128);
+    }
+
+    #[test]
+    fn lfsr_source_is_functionally_exhaustive_with_zero_remedy() {
+        let mut src = LfsrSource::new(6, 0x51B5).expect("degree 6 in table");
+        let mut seen = std::collections::HashSet::new();
+        let mut blocks = Vec::new();
+        while let Some(block) = src.next_block(6) {
+            for lane in 0..block.lanes {
+                seen.insert(block.pattern(lane));
+            }
+            blocks.push(block);
+        }
+        // 2^6 − 1 maximal-sequence patterns plus the appended all-zero.
+        assert_eq!(src.patterns_emitted(), 64);
+        assert_eq!(seen.len(), 64, "every 6-bit pattern exactly once");
+        let last = blocks.last().unwrap();
+        assert_eq!(last.pattern(last.lanes - 1), vec![false; 6]);
+        // One clock per pattern, no warm-up requested.
+        assert_eq!(src.clocks_consumed(), 64);
+    }
+
+    #[test]
+    fn lfsr_warmup_charges_clocks_but_emits_nothing() {
+        let plain = LfsrSource::new(4, 9).unwrap();
+        let warmed = LfsrSource::new(4, 9).unwrap().warmed_up(5);
+        assert_eq!(plain.clocks_consumed(), 0);
+        assert_eq!(warmed.clocks_consumed(), 5);
+        assert_eq!(warmed.patterns_emitted(), 0);
+        assert_eq!(warmed.descriptor().get("warmup"), Some("5"));
+    }
+
+    #[test]
+    fn lfsr_zero_seed_is_nudged_nonzero() {
+        let src = LfsrSource::new(4, 0).unwrap();
+        assert_eq!(src.descriptor().get("seed"), Some("0x1"));
+        // A seed whose low `degree` bits truncate to zero is nudged too.
+        let src = LfsrSource::new(4, 1 << 40).unwrap();
+        assert_eq!(src.descriptor().get("seed"), Some("0x1"));
+    }
+
+    #[test]
+    fn weighted_extreme_biases_pin_constants() {
+        let mut src = WeightedRandomSource::new(3, vec![0.0, 1.0, 0.5]).unwrap();
+        let block = src.next_block(3).unwrap();
+        assert_eq!(block.words[0], 0, "bias 0.0 is constant 0");
+        assert_eq!(block.words[1], !0, "bias 1.0 is constant 1");
+    }
+
+    #[test]
+    fn weighted_rejects_bad_biases() {
+        assert!(WeightedRandomSource::new(1, vec![]).is_err());
+        assert!(WeightedRandomSource::new(1, vec![1.5]).is_err());
+        assert!(WeightedRandomSource::new(1, vec![-0.1]).is_err());
+        assert!(WeightedRandomSource::new(1, vec![f64::NAN]).is_err());
+    }
+
+    #[test]
+    fn replay_parses_and_chains_segments() {
+        let text = "# schedule\n0x2a 100\n7\n0x1 3\n";
+        let mut src = StoredSeedReplay::parse("inline", text).unwrap();
+        assert_eq!(
+            src.segments(),
+            &[
+                SeedSegment {
+                    seed: 0x2a,
+                    patterns: 100
+                },
+                SeedSegment {
+                    seed: 7,
+                    patterns: 64
+                },
+                SeedSegment {
+                    seed: 1,
+                    patterns: 3
+                },
+            ]
+        );
+        let mut lanes = Vec::new();
+        while let Some(block) = src.next_block(2) {
+            lanes.push(block.lanes);
+        }
+        assert_eq!(lanes, vec![64, 36, 64, 3]);
+        assert_eq!(src.patterns_emitted(), 167);
+        // One clock per pattern plus one per reseed load.
+        assert_eq!(src.clocks_consumed(), 167 + 3);
+    }
+
+    #[test]
+    fn replay_segment_matches_seeded_random_words() {
+        // A single-segment schedule is RandomWords from that seed.
+        let mut replay = StoredSeedReplay::parse("inline", "0x5 128").unwrap();
+        let mut random = RandomWords::seeded(5);
+        for _ in 0..2 {
+            let a = replay.next_block(4).unwrap();
+            let b = random.next_block(4).unwrap();
+            assert_eq!(a.words, b.words);
+        }
+        assert!(replay.next_block(4).is_none());
+    }
+
+    #[test]
+    fn replay_rejects_malformed_schedules() {
+        assert!(StoredSeedReplay::parse("x", "").is_err());
+        assert!(StoredSeedReplay::parse("x", "# only comments\n").is_err());
+        assert!(StoredSeedReplay::parse("x", "zzz").is_err());
+        assert!(StoredSeedReplay::parse("x", "0x1 0").is_err());
+        assert!(StoredSeedReplay::parse("x", "0x1 2 3").is_err());
+    }
+
+    #[test]
+    fn digests_depend_on_the_emitted_stream() {
+        let mut a = RandomWords::seeded(1);
+        let mut b = RandomWords::seeded(1);
+        let mut c = RandomWords::seeded(2);
+        a.next_block(3);
+        b.next_block(3);
+        c.next_block(3);
+        assert_eq!(a.state_digest(), b.state_digest());
+        assert_ne!(a.state_digest(), c.state_digest());
+    }
+
+    #[test]
+    fn descriptor_json_escapes_quotes_and_backslashes() {
+        let d = SourceDescriptor::new("replay").field("file", r#"a"b\c"#);
+        assert_eq!(d.to_json(), r#"{"kind":"replay","file":"a\"b\\c"}"#);
+    }
+}

@@ -216,6 +216,16 @@ pub const CODES: &[CodeInfo] = &[
         summary: "unused inline lint suppression",
         default_severity: Severity::Warn,
     },
+    // B06x is reserved for pattern-source checks (bibs-faultsim::source):
+    // B060 will fire when a serialized source descriptor's width disagrees
+    // with the kernel it is scheduled to drive (a session that would panic
+    // at simulation time). No emitter yet — registered so the code, its
+    // SARIF rule entry and suppression syntax are stable now.
+    CodeInfo {
+        code: "B060",
+        summary: "pattern-source width disagrees with the kernel's input width",
+        default_severity: Severity::Deny,
+    },
 ];
 
 /// Looks up the registry entry for `code`.

@@ -96,10 +96,17 @@ pub enum CounterId {
     /// Lint findings emitted for one file (batch mode records one span
     /// per linted file carrying this counter).
     LintFindings,
+    /// Patterns emitted by a pattern source (lanes across all blocks
+    /// pulled, whether or not the engine applied every lane).
+    PatternsEmitted,
+    /// Hardware clock cycles a pattern source accounts for (warm-up
+    /// shifts + one per pattern + reseed loads) — the denominator of the
+    /// coverage-vs-clocks axis.
+    SourceClocks,
 }
 
 /// Number of counters — the fixed length of every [`Counters`] array.
-pub const COUNTER_COUNT: usize = 22;
+pub const COUNTER_COUNT: usize = 24;
 
 impl CounterId {
     /// Every counter, in export order.
@@ -126,6 +133,8 @@ impl CounterId {
         CounterId::SessionsScheduled,
         CounterId::KernelsScheduled,
         CounterId::LintFindings,
+        CounterId::PatternsEmitted,
+        CounterId::SourceClocks,
     ];
 
     /// The stable snake_case name used in JSON exports and trace output.
@@ -153,6 +162,8 @@ impl CounterId {
             CounterId::SessionsScheduled => "sessions_scheduled",
             CounterId::KernelsScheduled => "kernels_scheduled",
             CounterId::LintFindings => "lint_findings",
+            CounterId::PatternsEmitted => "patterns_emitted",
+            CounterId::SourceClocks => "source_clocks",
         }
     }
 
