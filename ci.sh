@@ -169,6 +169,50 @@ source_wall=$(wall_of /tmp/bibs-telemetry-srcrandom.json)
 echo "root wall: legacy ${legacy_wall} ns, --source random ${source_wall} ns"
 test "$source_wall" -lt $(( legacy_wall * 3 / 2 ))
 
+step "optimizer: table2 --opt JSON is byte-identical (c5a2m, full width)"
+# The CEC-validated optimized program must be behaviorally invisible: the
+# detection-deterministic JSON may not change by a byte when the engine
+# runs the rewritten program (faults remap through the rewrite, with
+# original-program fallback for the unmappable ones).
+cargo run --release -p bibs-bench --bin table2 -- --only c5a2m --json \
+  --opt > /tmp/bibs-table2-opt.json
+diff /tmp/bibs-table2-compiled.json /tmp/bibs-table2-opt.json
+
+step "optimizer: perf gate vs committed BENCH_table2_opt.json"
+# The committed baseline records the optimized run's counters — including
+# the reduced gate_evals (the whole point of --opt) and the
+# opt_instrs_saved/opt_rewrites pipeline telemetry. perfdiff's hard
+# counter equality keeps both the savings and the pass behavior pinned.
+BIBS_JOBS=8 cargo run --release -p bibs-bench --bin table2 -- --only c5a2m \
+  --opt --telemetry /tmp/bibs-telemetry-opt-j8.json > /dev/null
+grep -q '"opt_instrs_saved"' /tmp/bibs-telemetry-opt-j8.json
+cargo run --release -p bibs-bench --bin perfdiff -- \
+  BENCH_table2_opt.json /tmp/bibs-telemetry-opt-j8.json
+# And the optimized run must actually execute fewer instructions than the
+# default run on the same kernel set.
+first_counter() { grep -o "\"$2\":[0-9]*" "$1" | head -1 | grep -o '[0-9]*$'; }
+default_ge=$(first_counter /tmp/bibs-telemetry-j8.json gate_evals)
+opt_ge=$(first_counter /tmp/bibs-telemetry-opt-j8.json gate_evals)
+echo "gate_evals: default ${default_ge}, --opt ${opt_ge}"
+test -n "$default_ge" && test -n "$opt_ge" && test "$opt_ge" -lt "$default_ge"
+
+step "optimizer: CEC rejects the committed broken rewrite with a witness"
+# circuits/cec_broken.bench is a hand-broken "optimized" form of
+# circuits/cec_orig.bench (a bogus CSE merged two different cones). The
+# checker must refute the pair with a replayable counterexample — and
+# prove the identity pair, so the gate can't pass vacuously.
+if cargo run --release -p bibs-corpus --bin bibs-fuzz -- --cec \
+  circuits/cec_orig.bench circuits/cec_broken.bench \
+  > /tmp/bibs-cec-broken.txt; then
+  echo "ci.sh: CEC unexpectedly proved the broken rewrite" >&2
+  exit 1
+fi
+grep -q "counterexample" /tmp/bibs-cec-broken.txt
+grep -q "replayed" /tmp/bibs-cec-broken.txt
+cargo run --release -p bibs-corpus --bin bibs-fuzz -- --cec \
+  circuits/cec_orig.bench circuits/cec_orig.bench > /tmp/bibs-cec-ok.txt
+grep -q "equivalent" /tmp/bibs-cec-ok.txt
+
 step "bench bins exit nonzero on bad input (no panics)"
 if cargo run --release -p bibs-bench --bin bits -- circuits/does_not_exist.ckt \
   > /tmp/bibs-bits-missing.txt 2>&1; then
@@ -213,7 +257,7 @@ for f in /tmp/bibs-fuzz-seeds/seq/*.bench; do
   diff "$f" "corpus/seq/$(basename "$f")"
 done
 
-step "fuzz smoke (200 seeded cases through the four differential oracles)"
+step "fuzz smoke (200 seeded cases through the six differential oracles)"
 # Time-boxed; a divergence writes a minimized fixture to
 # corpus/regressions/ and fails the run.
 timeout 300 cargo run --release -p bibs-corpus --bin bibs-fuzz -- --smoke \

@@ -24,7 +24,10 @@
 //! `--source random|lfsr|mintpg|weighted|replay:FILE` additionally
 //! fault-simulates each kernel with the chosen pattern source under a
 //! bounded budget and prints the coverage-vs-clocks estimate (detectable
-//! faults reached, patterns emitted, hardware clock cycles).
+//! faults reached, patterns emitted, hardware clock cycles). `--opt` runs
+//! those simulations on the CEC-validated optimized program (see
+//! `bibs_netlist::opt`) — results are identical by construction, only
+//! faster.
 
 use bibs_bench::{kernel_fault_stats_traced, SourceSpec, Table2Options, Telemetry};
 use bibs_core::bibs::{self, BibsOptions};
@@ -55,6 +58,13 @@ fn main() -> ExitCode {
         args.remove(i);
         p
     });
+    let opt = args
+        .iter()
+        .position(|a| a == "--opt")
+        .map(|i| {
+            args.remove(i);
+        })
+        .is_some();
     let source = args.iter().position(|a| a == "--source").map(|i| {
         if i + 1 >= args.len() {
             eprintln!("bits: --source needs a value");
@@ -74,7 +84,7 @@ fn main() -> ExitCode {
     let Some(path) = args.first() else {
         eprintln!(
             "usage: bits <circuit.{{ckt,bench}}> [--tdm bibs|ka85] [--source SPEC] \
-             [--telemetry out.json]"
+             [--opt] [--telemetry out.json]"
         );
         return ExitCode::FAILURE;
     };
@@ -102,7 +112,7 @@ fn main() -> ExitCode {
     };
     let telemetry = Telemetry::new(telemetry_path);
     let mut rec = telemetry.recorder("bits");
-    let outcome = run(&circuit, tdm, source.as_ref(), &mut rec);
+    let outcome = run(&circuit, tdm, source.as_ref(), opt, &mut rec);
     if let Err(e) = telemetry.emit(&mut rec) {
         eprintln!("bits: {e}");
         return ExitCode::FAILURE;
@@ -120,6 +130,7 @@ fn run(
     circuit: &Circuit,
     tdm: &str,
     source: Option<&SourceSpec>,
+    opt: bool,
     rec: &mut Recorder,
 ) -> Result<(), Box<dyn std::error::Error>> {
     println!("== BITS flow for circuit {} ==", circuit.name());
@@ -243,6 +254,7 @@ fn run(
                 plateau: 65_536,
                 backtrack_limit: 1_000,
                 source: Some(spec.clone()),
+                opt,
                 ..Table2Options::default()
             };
             let stats = rec.scope(format!("source-coverage[kernel {i}]"), |rec| {

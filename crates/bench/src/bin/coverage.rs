@@ -3,7 +3,7 @@
 //! detectable faults) for BIBS and \[3\] on one circuit.
 //!
 //! Run with `cargo run --release -p bibs-bench --bin coverage --
-//! [circuit] [width] [--collapse equiv|dominance|none]
+//! [circuit] [width] [--opt] [--collapse equiv|dominance|none]
 //! [--source random|lfsr|mintpg|weighted|replay:FILE]
 //! [--telemetry OUT.json]`
 //! (defaults: c5a2m, width 4, equiv). `circuit` is a built-in name
@@ -11,7 +11,9 @@
 //! with an `# rtl:` sidecar; `width` applies to built-ins only. Pipe to
 //! a file and plot. `--source` swaps the per-kernel pattern stream for a
 //! hardware-faithful source (the curve's x-axis stays pattern counts;
-//! the per-kernel clock budget goes to stderr). Per-kernel
+//! the per-kernel clock budget goes to stderr). `--opt` fault-simulates
+//! each kernel's validator-proven optimized program (the CSV is
+//! byte-identical; only throughput changes). Per-kernel
 //! engine stats — including the collapse ratio, statically-untestable
 //! count and analysis wall — go to stderr; `BIBS_JOBS` sets the
 //! worker-thread count; `BIBS_TRACE=spans|counters` prints the telemetry
@@ -27,10 +29,13 @@ fn main() {
     let mut positional: Vec<String> = Vec::new();
     let mut collapse = CollapseMode::Equiv;
     let mut source: Option<SourceSpec> = None;
+    let mut opt = false;
     let mut telemetry_path: Option<std::path::PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
-        if arg == "--collapse" {
+        if arg == "--opt" {
+            opt = true;
+        } else if arg == "--collapse" {
             let value = args.next().unwrap_or_default();
             collapse = value.parse().unwrap_or_else(|e| {
                 eprintln!("{e}");
@@ -81,6 +86,7 @@ fn main() {
     let options = Table2Options {
         collapse,
         source,
+        opt,
         ..Table2Options::default()
     };
 

@@ -5,7 +5,7 @@
 //!
 //! Run with `cargo run --release -p bibs-bench --bin table2`.
 //!
-//! Usage: `table2 [WIDTH] [--json] [--engine compiled|reference]
+//! Usage: `table2 [WIDTH] [--json] [--opt] [--engine compiled|reference]
 //! [--collapse equiv|dominance|none]
 //! [--source random|lfsr|mintpg|weighted|replay:FILE] [--only NAME]
 //! [--circuit PATH] [--telemetry OUT.json]`
@@ -30,6 +30,10 @@
 //!   `replay:FILE` change the stream and add per-kernel
 //!   `source`/`source_clocks`/`source_patterns` fields to the JSON — the
 //!   coverage-vs-clocks axis);
+//! * `--opt` — run the optimizing pass pipeline over each kernel's
+//!   compiled program and fault-simulate the validated rewrite; the JSON
+//!   stays byte-identical (a CI gate diffs it) while `gate_evals` drops —
+//!   per-pass statistics land in the telemetry export's `optimize` span;
 //! * `--only NAME` — restrict to one circuit (`c5a2m`, `c3a2m`, `c4a4m`);
 //! * `--telemetry OUT.json` — write the hierarchical span tree (stage
 //!   wall clocks plus deterministic counters, schema `bibs-telemetry/1`)
@@ -52,6 +56,7 @@ fn main() {
     let mut engine = Engine::Compiled;
     let mut collapse = CollapseMode::Equiv;
     let mut source: Option<SourceSpec> = None;
+    let mut opt = false;
     let mut only: Option<String> = None;
     let mut circuit_path: Option<std::path::PathBuf> = None;
     let mut telemetry_path: Option<std::path::PathBuf> = None;
@@ -59,6 +64,7 @@ fn main() {
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--json" => json = true,
+            "--opt" => opt = true,
             "--telemetry" => {
                 telemetry_path = Some(std::path::PathBuf::from(args.next().unwrap_or_else(|| {
                     eprintln!("--telemetry needs an output path");
@@ -116,6 +122,7 @@ fn main() {
         engine,
         collapse,
         source,
+        opt,
         ..Table2Options::default()
     };
     eprintln!(

@@ -34,6 +34,7 @@ use bibs_faultsim::source::{
     LfsrSource, PatternSource, RandomWords, StoredSeedReplay, WeightedRandomSource,
 };
 use bibs_faultsim::stats::SimStats;
+use bibs_netlist::opt::{optimize_traced, OptStats};
 use bibs_netlist::EvalProgram;
 use bibs_obs::{CounterId, Recorder, TraceMode};
 use bibs_rtl::{Circuit, VertexKind};
@@ -248,21 +249,58 @@ pub fn build_source(
         SourceSpec::Random => Ok(Box::new(RandomWords::seeded(seed))),
         SourceSpec::Lfsr => Ok(Box::new(LfsrSource::new(width, seed)?)),
         SourceSpec::MinTpg => {
-            if let Ok(structure) = GeneralizedStructure::from_kernel(circuit, design, kernel) {
-                if structure.is_single_cone() && structure.total_width() as usize == width {
-                    let tpg = sc_tpg(&structure);
-                    if let Ok(source) = MinTpgSource::new(&tpg, &structure) {
-                        return Ok(Box::new(source));
+            // The fallback is never silent: a kernel the SC_TPG cannot
+            // drive gets the plain LFSR *and* a stderr warning naming the
+            // reason, so a width mismatch no longer masquerades as a
+            // mintpg run (the descriptor's "kind" records it too).
+            let reason = match GeneralizedStructure::from_kernel(circuit, design, kernel) {
+                Ok(structure) => {
+                    if !structure.is_single_cone() {
+                        "kernel structure is multi-cone".to_string()
+                    } else if structure.total_width() as usize != width {
+                        format!(
+                            "structure width {} disagrees with the kernel's \
+                             combinational input width {width}",
+                            structure.total_width()
+                        )
+                    } else {
+                        let tpg = sc_tpg(&structure);
+                        match MinTpgSource::new(&tpg, &structure) {
+                            Ok(source) => return Ok(Box::new(source)),
+                            Err(e) => format!("SC_TPG construction failed: {e}"),
+                        }
                     }
                 }
-            }
+                Err(e) => format!("no generalized structure: {e}"),
+            };
+            eprintln!("warning: mintpg source falls back to lfsr: {reason}");
             Ok(Box::new(LfsrSource::new(width, seed)?))
         }
         SourceSpec::Weighted => Ok(Box::new(WeightedRandomSource::new(
             seed,
             vec![0.75; width],
         )?)),
-        SourceSpec::Replay(path) => Ok(Box::new(StoredSeedReplay::from_file(path)?)),
+        SourceSpec::Replay(path) => {
+            let replay = StoredSeedReplay::from_file(path)?;
+            // B060 preflight: a schedule that declares the width it was
+            // recorded for must match the kernel it is about to drive.
+            let report = bibs_lint::lint_source_width(
+                &format!("replay:{path}"),
+                replay.declared_width(),
+                width,
+                "kernel",
+                &bibs_lint::LintConfig::new(),
+            );
+            if !report.is_clean() {
+                return Err(report
+                    .diagnostics
+                    .iter()
+                    .map(|d| d.to_string())
+                    .collect::<Vec<_>>()
+                    .join("\n"));
+            }
+            Ok(Box::new(replay))
+        }
     }
 }
 
@@ -307,6 +345,10 @@ pub struct KernelFaultStats {
     /// the random phase (`None` for the legacy path and
     /// [`SourceSpec::Random`], whose JSON stays byte-identical).
     pub source: Option<SourceRun>,
+    /// Optimizer statistics when `--opt` rewrote the simulated program
+    /// (`None` otherwise). Diagnostics only — never part of the Table 2
+    /// JSON, which stays byte-identical under `--opt` by construction.
+    pub opt: Option<OptStats>,
 }
 
 impl KernelFaultStats {
@@ -384,6 +426,13 @@ pub struct Table2Options {
     /// change the stream and add per-kernel `source`/`source_clocks`/
     /// `source_patterns` fields to the JSON.
     pub source: Option<SourceSpec>,
+    /// Run the optimizing pass pipeline ([`bibs_netlist::opt`]) over each
+    /// kernel's compiled program and fault-simulate the validated rewrite
+    /// (`--opt`). Detection results are bit-identical (the translation
+    /// validator proves every pass); only `gate_evals` and wall-clock
+    /// drop. [`Engine::Reference`] ignores the flag — the interpreter
+    /// walks the netlist, not the program.
+    pub opt: bool,
 }
 
 impl Default for Table2Options {
@@ -397,6 +446,7 @@ impl Default for Table2Options {
             engine: Engine::Compiled,
             collapse: CollapseMode::Equiv,
             source: None,
+            opt: false,
         }
     }
 }
@@ -512,6 +562,22 @@ pub fn kernel_fault_stats_traced(
     let simulated_faults = sim_faults.len() as u64;
     rec.add(CounterId::SimulatedFaults, simulated_faults);
 
+    // `--opt`: rewrite the program the *simulators* run through the
+    // validated pass pipeline. Analysis, collapsing and PODEM above and
+    // below stay on the original program, so every classification number
+    // is --opt-invariant; the validator proves detection is too. A
+    // refuted rewrite is a hard abort carrying the counterexample — never
+    // silently simulated. The reference interpreter walks the netlist
+    // directly, so the flag is a no-op there.
+    let optimized =
+        if options.opt && options.engine == Engine::Compiled {
+            Some(optimize_traced(&comb, &program, rec).unwrap_or_else(|e| {
+                panic!("--opt aborted: {e} (kernel '{}')", elab.netlist.name())
+            }))
+        } else {
+            None
+        };
+
     // Phase 1: pattern simulation with fault dropping and a detection
     // plateau. Engines are interchangeable: the report is bit-identical
     // either way, and the plateau fires at the same block in every
@@ -530,12 +596,17 @@ pub fn kernel_fault_stats_traced(
             let mut rng = StdRng::seed_from_u64(kernel_seed);
             match options.engine {
                 Engine::Compiled => {
-                    let mut sim = ParFaultSimulator::with_program(
-                        &comb,
-                        program.clone(),
-                        sim_faults,
-                        options.jobs,
-                    );
+                    let mut sim = match &optimized {
+                        Some(opt) => {
+                            ParFaultSimulator::with_optimized(&comb, opt, sim_faults, options.jobs)
+                        }
+                        None => ParFaultSimulator::with_program(
+                            &comb,
+                            program.clone(),
+                            sim_faults,
+                            options.jobs,
+                        ),
+                    };
                     let report = sim.run_random_with_plateau(
                         &mut rng,
                         options.max_patterns,
@@ -570,12 +641,17 @@ pub fn kernel_fault_stats_traced(
             .unwrap_or_else(|e| panic!("cannot build pattern source '{spec}': {e}"));
             let report = match options.engine {
                 Engine::Compiled => {
-                    let mut sim = ParFaultSimulator::with_program(
-                        &comb,
-                        program.clone(),
-                        sim_faults,
-                        options.jobs,
-                    );
+                    let mut sim = match &optimized {
+                        Some(opt) => {
+                            ParFaultSimulator::with_optimized(&comb, opt, sim_faults, options.jobs)
+                        }
+                        None => ParFaultSimulator::with_program(
+                            &comb,
+                            program.clone(),
+                            sim_faults,
+                            options.jobs,
+                        ),
+                    };
                     let report = sim.run_source_with(
                         &mut *source,
                         options.max_patterns,
@@ -653,6 +729,7 @@ pub fn kernel_fault_stats_traced(
         detection_indices,
         sim,
         source: source_run,
+        opt: optimized.map(|o| o.stats().clone()),
     }
 }
 

@@ -1,4 +1,4 @@
-//! The five differential oracles the fuzzer cross-checks per circuit.
+//! The six differential oracles the fuzzer cross-checks per circuit.
 //!
 //! Each oracle pits two implementations (or one implementation and a
 //! ground truth) against each other on the same circuit and reports a
@@ -19,10 +19,15 @@
 //!    the serial and parallel engines at 2 and 4 threads, and the
 //!    source's own stream digest matches across the runs — the pulled
 //!    streams themselves were identical, not just the verdicts.
+//! 6. **Opt** — the optimizing pass pipeline of [`bibs_netlist::opt`]
+//!    must validate (its built-in CEC proves every pass), and the
+//!    optimized program must produce a bit-identical fault-simulation
+//!    report on the serial and parallel engines — the differential check
+//!    behind `table2 --opt`'s byte-identity claim.
 //!
 //! Oracles 3 and 4 need exhaustive simulation and only run when the
-//! circuit has at most [`EXHAUSTIVE_PI_LIMIT`] primary-input bits; 1, 2
-//! and 5 run on everything. Sequential circuits are checked on their
+//! circuit has at most [`EXHAUSTIVE_PI_LIMIT`] primary-input bits; 1, 2,
+//! 5 and 6 run on everything. Sequential circuits are checked on their
 //! [`combinational_equivalent`](Netlist::combinational_equivalent).
 
 use bibs_faultsim::fault::{FaultUniverse, StaticFaultAnalysis};
@@ -30,6 +35,7 @@ use bibs_faultsim::par::ParFaultSimulator;
 use bibs_faultsim::reference::ReferenceSimulator;
 use bibs_faultsim::sim::{BlockSim, FaultSimulator};
 use bibs_faultsim::source::{LfsrSource, PatternSource, RandomWords, WeightedRandomSource};
+use bibs_netlist::opt::optimize;
 use bibs_netlist::{EvalProgram, Netlist};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -57,6 +63,8 @@ pub enum Oracle {
     Prover,
     /// Pattern-source streams across serial/parallel engines.
     Source,
+    /// Optimize-then-CEC: validated rewrite, bit-identical reports.
+    Opt,
 }
 
 impl fmt::Display for Oracle {
@@ -67,6 +75,7 @@ impl fmt::Display for Oracle {
             Oracle::Dominance => "dominance",
             Oracle::Prover => "prover",
             Oracle::Source => "source",
+            Oracle::Opt => "opt",
         })
     }
 }
@@ -106,6 +115,7 @@ pub fn check_all(netlist: &Netlist, seed: u64) -> Vec<Divergence> {
     out.extend(check_eval(&nl, &program, seed));
     out.extend(check_parallel(&nl, seed));
     out.extend(check_source(&nl, seed));
+    out.extend(check_opt(&nl, &program, seed));
     if nl.input_width() <= EXHAUSTIVE_PI_LIMIT {
         out.extend(check_dominance(&nl, &program));
         out.extend(check_prover(&nl, &program));
@@ -250,6 +260,60 @@ pub fn check_source(nl: &Netlist, seed: u64) -> Vec<Divergence> {
                     detail: format!("{kind}: stream digest differs at {threads} thread(s)"),
                 });
             }
+        }
+    }
+    out
+}
+
+/// Oracle 6: the optimizing pass pipeline must validate on every corpus
+/// circuit, and the CEC-proven rewrite must be behaviorally invisible to
+/// the fault simulators — the serial engine on the optimized program and
+/// the parallel engine at 2 and 4 threads must reproduce the plain serial
+/// report bit for bit on the same seeded stream.
+pub fn check_opt(nl: &Netlist, program: &EvalProgram, seed: u64) -> Vec<Divergence> {
+    let opt = match optimize(nl, program) {
+        Ok(o) => o,
+        Err(e) => {
+            // The validator refuted (or could not prove) a pass — the
+            // exact disagreement the oracle exists to catch.
+            return vec![Divergence {
+                oracle: Oracle::Opt,
+                detail: format!("{e}"),
+            }];
+        }
+    };
+    let faults = FaultUniverse::collapsed(nl).faults().to_vec();
+    if faults.is_empty() {
+        return Vec::new();
+    }
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x0797);
+    let base = FaultSimulator::new(nl, faults.clone()).run_random(&mut rng, RANDOM_PATTERNS);
+    let mut out = Vec::new();
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x0797);
+    let serial = FaultSimulator::with_optimized(nl, &opt, faults.clone())
+        .run_random(&mut rng, RANDOM_PATTERNS);
+    if serial.detection() != base.detection()
+        || serial.patterns_applied() != base.patterns_applied()
+    {
+        out.push(Divergence {
+            oracle: Oracle::Opt,
+            detail: format!(
+                "optimized serial report differs from the plain serial report \
+                 ({} instr(s) saved)",
+                opt.stats().instrs_saved()
+            ),
+        });
+    }
+    for threads in [2usize, 4] {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x0797);
+        let par = ParFaultSimulator::with_optimized(nl, &opt, faults.clone(), threads)
+            .run_random(&mut rng, RANDOM_PATTERNS);
+        if par.detection() != base.detection() || par.patterns_applied() != base.patterns_applied()
+        {
+            out.push(Divergence {
+                oracle: Oracle::Opt,
+                detail: format!("optimized report differs at {threads} thread(s)"),
+            });
         }
     }
     out

@@ -11,6 +11,7 @@
 //! [`crate::reference`] as the equivalence oracle.
 
 use crate::fault::{Fault, FaultSite};
+use bibs_netlist::opt::OptimizedProgram;
 use bibs_netlist::{EvalProgram, Patch};
 
 /// Maps a stuck-at fault to its compiled patch-point.
@@ -26,6 +27,85 @@ pub(crate) fn compile_patch(program: &EvalProgram, fault: Fault) -> Patch {
     match fault.site {
         FaultSite::Net(n) => program.patch_net(n, fault.stuck_at),
         FaultSite::GatePin { gate, pin } => program.patch_pin(gate, pin, fault.stuck_at),
+    }
+}
+
+/// How one fault is evaluated when the engine runs an optimizer-rewritten
+/// program.
+///
+/// Faults are always *compiled against the original program* (the fault
+/// universe lives on the netlist), then translated through the rewrite:
+///
+/// * [`FaultPatch::Direct`] — the default engines' case: one patch on the
+///   program being run;
+/// * [`FaultPatch::Multi`] — the rewrite maps the fault to a set of
+///   patches on the optimized program (e.g. a stem fault on a deleted
+///   buffer becomes pin forces on every surviving reader), sorted for
+///   [`EvalProgram::run_multi_patched`];
+/// * [`FaultPatch::Fallback`] — no faithful image exists on the optimized
+///   program; the faulty machine runs the *original* program instead.
+///   Sound because the two programs are equivalence-proven: the good
+///   values the faulty outputs are compared against are identical either
+///   way.
+#[derive(Debug, Clone)]
+pub(crate) enum FaultPatch {
+    Direct(Patch),
+    Multi(Box<[Patch]>),
+    Fallback(Patch),
+}
+
+impl FaultPatch {
+    /// Patch-points applied per faulty evaluation (the
+    /// `PatchesApplied` accounting unit).
+    #[inline]
+    pub(crate) fn patch_count(&self) -> u64 {
+        match self {
+            FaultPatch::Direct(_) | FaultPatch::Fallback(_) => 1,
+            FaultPatch::Multi(ps) => ps.len() as u64,
+        }
+    }
+}
+
+/// Compiles every fault against `program` and, when `opt` is given,
+/// remaps it through the rewrite into a [`FaultPatch`].
+pub(crate) fn compile_fault_patches(
+    program: &EvalProgram,
+    opt: Option<&OptimizedProgram>,
+    faults: &[Fault],
+) -> Vec<FaultPatch> {
+    faults
+        .iter()
+        .map(|&f| {
+            let patch = compile_patch(program, f);
+            match opt {
+                None => FaultPatch::Direct(patch),
+                Some(o) => match o.remap_patch(patch) {
+                    Some(ps) => FaultPatch::Multi(ps.into_boxed_slice()),
+                    None => FaultPatch::Fallback(patch),
+                },
+            }
+        })
+        .collect()
+}
+
+/// One faulty-machine evaluation: runs `program` (the good-machine
+/// program) for `Direct`/`Multi`, or `fallback` (the pre-rewrite
+/// program; same slot space) for `Fallback`. Returns the instruction
+/// count executed.
+#[inline]
+pub(crate) fn eval_fault(
+    program: &EvalProgram,
+    fallback: Option<&EvalProgram>,
+    values: &mut [u64],
+    input_words: &[u64],
+    fp: &FaultPatch,
+) -> u64 {
+    match fp {
+        FaultPatch::Direct(p) => program.eval_patched(values, input_words, *p),
+        FaultPatch::Multi(ps) => program.eval_multi_patched(values, input_words, ps),
+        FaultPatch::Fallback(p) => fallback
+            .expect("fallback requires the original program")
+            .eval_patched(values, input_words, *p),
     }
 }
 

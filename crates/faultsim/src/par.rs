@@ -8,7 +8,7 @@
 //!    workers share read-only;
 //! 2. workers steal fixed-size chunks of the undetected list off an
 //!    `AtomicUsize` cursor, running the *same* program with each fault's
-//!    pre-compiled [`Patch`] into a worker-private
+//!    pre-compiled [`bibs_netlist::Patch`] into a worker-private
 //!    `faulty` buffer and recording `(position, first-diff-lane)` hits;
 //! 3. the main thread merges the hits and compacts the undetected list.
 //!
@@ -40,7 +40,8 @@ use crate::eval;
 use crate::fault::Fault;
 use crate::sim::{BlockSim, FaultSimReport, FaultSimulator};
 use crate::stats::SimStats;
-use bibs_netlist::{EvalProgram, Netlist, Patch};
+use bibs_netlist::opt::OptimizedProgram;
+use bibs_netlist::{EvalProgram, Netlist};
 use bibs_obs::{CounterId, Recorder, ShardCounters};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
@@ -122,9 +123,12 @@ pub struct ParFaultSimulator<'a> {
     netlist: &'a Netlist,
     /// The compiled program, shared read-only by every worker.
     program: EvalProgram,
+    /// The pre-rewrite program when `program` is optimizer-rewritten;
+    /// [`eval::FaultPatch::Fallback`] faults evaluate on it.
+    fallback: Option<EvalProgram>,
     faults: Vec<Fault>,
-    /// `patches[i]` = compiled patch-point of fault *i*.
-    patches: Vec<Patch>,
+    /// `patches[i]` = compiled patch-point(s) of fault *i*.
+    patches: Vec<eval::FaultPatch>,
     detection: Vec<Option<u64>>,
     /// Indices (into `faults`) of the faults still undetected — the work
     /// list the workers shard. Compacted after every block.
@@ -216,16 +220,14 @@ impl<'a> ParFaultSimulator<'a> {
             "fault list exceeds u32 index space"
         );
         let threads = threads.max(1);
-        let patches = faults
-            .iter()
-            .map(|&f| eval::compile_patch(&program, f))
-            .collect();
+        let patches = eval::compile_fault_patches(&program, None, &faults);
         let n = faults.len();
         let good = program.new_values();
         let faulty_bufs = (0..threads).map(|_| program.new_values()).collect();
         ParFaultSimulator {
             netlist,
             program,
+            fallback: None,
             faults,
             patches,
             detection: vec![None; n],
@@ -236,6 +238,46 @@ impl<'a> ParFaultSimulator<'a> {
             threads,
             rec,
         }
+    }
+
+    /// Creates a parallel simulator whose good machine runs the
+    /// **optimized** program of a validated [`OptimizedProgram`]; the
+    /// serial counterpart is [`FaultSimulator::with_optimized`] and the
+    /// report stays bit-identical to it (and to the unoptimized engines)
+    /// for any thread count.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`ParFaultSimulator::with_program`].
+    pub fn with_optimized(
+        netlist: &'a Netlist,
+        opt: &OptimizedProgram,
+        faults: Vec<Fault>,
+        threads: usize,
+    ) -> Self {
+        Self::with_optimized_recorder(
+            netlist,
+            opt,
+            faults,
+            threads,
+            Recorder::new("fault-sim[par]"),
+        )
+    }
+
+    /// [`ParFaultSimulator::with_optimized`] with a caller-supplied
+    /// telemetry recorder.
+    pub fn with_optimized_recorder(
+        netlist: &'a Netlist,
+        opt: &OptimizedProgram,
+        faults: Vec<Fault>,
+        threads: usize,
+        rec: Recorder,
+    ) -> Self {
+        let mut sim =
+            Self::with_program_recorder(netlist, opt.optimized().clone(), faults, threads, rec);
+        sim.patches = eval::compile_fault_patches(opt.original(), Some(opt), &sim.faults);
+        sim.fallback = Some(opt.original().clone());
+        sim
     }
 
     /// The configured worker-thread count.
@@ -272,6 +314,7 @@ impl BlockSim for ParFaultSimulator<'_> {
         let good_gate_evals = self.program.eval_good(&mut self.good, input_words);
 
         let program = &self.program;
+        let fallback = self.fallback.as_ref();
         let patches = &self.patches;
         let undetected = &self.undetected;
         let good = &self.good;
@@ -281,71 +324,71 @@ impl BlockSim for ParFaultSimulator<'_> {
         // telemetry counters. Workers never touch the recorder — each
         // fills its own ShardCounters (plain u64 adds), and the owning
         // thread merges them lock-free after the scope joins.
-        let shard_results: Vec<ShardResult> =
-            if self.threads <= 1 || undetected.len() <= SERIAL_CUTOFF {
-                // Inline path on shard 0 — same program, no spawning.
-                let buf = &mut self.faulty_bufs[0];
-                let mut hits = Vec::new();
-                let mut shard = ShardCounters::new();
-                let shard_started = Instant::now();
-                for (pos, &fi) in undetected.iter().enumerate() {
-                    let gate_evals = program.eval_patched(buf, input_words, patches[fi as usize]);
-                    shard.add(CounterId::GateEvals, gate_evals);
-                    shard.add(CounterId::FaultEvals, 1);
-                    shard.add(CounterId::PatchesApplied, 1);
-                    let diff = eval::output_diff(output_slots, good, buf, lane_mask);
-                    if diff != 0 {
-                        hits.push((pos, diff.trailing_zeros() as u64));
-                    }
+        let shard_results: Vec<ShardResult> = if self.threads <= 1
+            || undetected.len() <= SERIAL_CUTOFF
+        {
+            // Inline path on shard 0 — same program, no spawning.
+            let buf = &mut self.faulty_bufs[0];
+            let mut hits = Vec::new();
+            let mut shard = ShardCounters::new();
+            let shard_started = Instant::now();
+            for (pos, &fi) in undetected.iter().enumerate() {
+                let fp = &patches[fi as usize];
+                let gate_evals = eval::eval_fault(program, fallback, buf, input_words, fp);
+                shard.add(CounterId::GateEvals, gate_evals);
+                shard.add(CounterId::FaultEvals, 1);
+                shard.add(CounterId::PatchesApplied, fp.patch_count());
+                let diff = eval::output_diff(output_slots, good, buf, lane_mask);
+                if diff != 0 {
+                    hits.push((pos, diff.trailing_zeros() as u64));
                 }
-                shard.wall = shard_started.elapsed();
-                vec![(hits, shard)]
-            } else {
-                let cursor = AtomicUsize::new(0);
-                let cursor = &cursor;
-                std::thread::scope(|s| {
-                    let handles: Vec<_> = self
-                        .faulty_bufs
-                        .iter_mut()
-                        .map(|buf| {
-                            s.spawn(move || {
-                                let mut hits: Vec<(usize, u64)> = Vec::new();
-                                let mut shard = ShardCounters::new();
-                                let shard_started = Instant::now();
-                                loop {
-                                    let start = cursor.fetch_add(STEAL_CHUNK, Ordering::Relaxed);
-                                    if start >= undetected.len() {
-                                        break;
-                                    }
-                                    shard.add(CounterId::QueuePops, 1);
-                                    let end = (start + STEAL_CHUNK).min(undetected.len());
-                                    for pos in start..end {
-                                        let gate_evals = program.eval_patched(
-                                            buf,
-                                            input_words,
-                                            patches[undetected[pos] as usize],
-                                        );
-                                        shard.add(CounterId::GateEvals, gate_evals);
-                                        shard.add(CounterId::FaultEvals, 1);
-                                        shard.add(CounterId::PatchesApplied, 1);
-                                        let diff =
-                                            eval::output_diff(output_slots, good, buf, lane_mask);
-                                        if diff != 0 {
-                                            hits.push((pos, diff.trailing_zeros() as u64));
-                                        }
+            }
+            shard.wall = shard_started.elapsed();
+            vec![(hits, shard)]
+        } else {
+            let cursor = AtomicUsize::new(0);
+            let cursor = &cursor;
+            std::thread::scope(|s| {
+                let handles: Vec<_> = self
+                    .faulty_bufs
+                    .iter_mut()
+                    .map(|buf| {
+                        s.spawn(move || {
+                            let mut hits: Vec<(usize, u64)> = Vec::new();
+                            let mut shard = ShardCounters::new();
+                            let shard_started = Instant::now();
+                            loop {
+                                let start = cursor.fetch_add(STEAL_CHUNK, Ordering::Relaxed);
+                                if start >= undetected.len() {
+                                    break;
+                                }
+                                shard.add(CounterId::QueuePops, 1);
+                                let end = (start + STEAL_CHUNK).min(undetected.len());
+                                for pos in start..end {
+                                    let fp = &patches[undetected[pos] as usize];
+                                    let gate_evals =
+                                        eval::eval_fault(program, fallback, buf, input_words, fp);
+                                    shard.add(CounterId::GateEvals, gate_evals);
+                                    shard.add(CounterId::FaultEvals, 1);
+                                    shard.add(CounterId::PatchesApplied, fp.patch_count());
+                                    let diff =
+                                        eval::output_diff(output_slots, good, buf, lane_mask);
+                                    if diff != 0 {
+                                        hits.push((pos, diff.trailing_zeros() as u64));
                                     }
                                 }
-                                shard.wall = shard_started.elapsed();
-                                (hits, shard)
-                            })
+                            }
+                            shard.wall = shard_started.elapsed();
+                            (hits, shard)
                         })
-                        .collect();
-                    handles
-                        .into_iter()
-                        .map(|h| h.join().expect("fault-sim worker panicked"))
-                        .collect()
-                })
-            };
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("fault-sim worker panicked"))
+                    .collect()
+            })
+        };
 
         // Deterministic merge: workers own disjoint positions, and each
         // hit's detection index depends only on (fault, block). Shard
@@ -511,6 +554,48 @@ mod tests {
             stats.fault_evals
         );
         assert_eq!(stats.faults_dropped, report.detected_count() as u64);
+    }
+
+    #[test]
+    fn optimized_engines_match_default_report() {
+        use bibs_netlist::GateKind;
+        // Redundancy on purpose: a buffer chain, a duplicated cone and an
+        // inverter the optimizer will fuse — so the rewrite is non-trivial.
+        let mut b = NetlistBuilder::new("redundant");
+        let a = b.input_word("a", 3);
+        let c = b.input_word("b", 3);
+        let (s, co) = b.ripple_carry_adder(&a, &c, None);
+        let mut buf = s[0];
+        for _ in 0..3 {
+            buf = b.gate(GateKind::Buf, &[buf]);
+        }
+        let d1 = b.and2(a[1], c[1]);
+        let d2 = b.and2(c[1], a[1]);
+        let n = b.not(d1);
+        b.output("y0", buf);
+        b.output("y1", d2);
+        b.output("y2", n);
+        b.output("co", co);
+        let nl = b.finish().unwrap();
+
+        let faults = FaultUniverse::collapsed(&nl).faults().to_vec();
+        let program = EvalProgram::compile(&nl).unwrap();
+        let opt = bibs_netlist::opt::optimize(&nl, &program).unwrap();
+        assert!(
+            opt.stats().instrs_saved() > 0,
+            "rewrite should be non-trivial"
+        );
+
+        let base = FaultSimulator::new(&nl, faults.clone()).run_exhaustive();
+        let serial = FaultSimulator::with_optimized(&nl, &opt, faults.clone()).run_exhaustive();
+        assert_eq!(base.detection(), serial.detection());
+        assert_eq!(base.patterns_applied(), serial.patterns_applied());
+        for threads in [1, 3] {
+            let par = ParFaultSimulator::with_optimized(&nl, &opt, faults.clone(), threads)
+                .run_exhaustive();
+            assert_eq!(base.detection(), par.detection());
+            assert_eq!(base.patterns_applied(), par.patterns_applied());
+        }
     }
 
     #[test]

@@ -22,7 +22,8 @@ use crate::eval;
 use crate::fault::Fault;
 use crate::source::{PatternSource, RandomWords};
 use crate::stats::SimStats;
-use bibs_netlist::{EvalProgram, Netlist, Patch};
+use bibs_netlist::opt::OptimizedProgram;
+use bibs_netlist::{EvalProgram, Netlist};
 use bibs_obs::{CounterId, Recorder, ShardCounters};
 use rand::Rng;
 use std::time::Instant;
@@ -352,10 +353,11 @@ pub trait BlockSim {
 /// one fault list, running on the compiled [`EvalProgram`].
 ///
 /// Construction compiles the netlist once (or adopts a caller-supplied
-/// program via [`FaultSimulator::with_program`]) and pre-compiles every
-/// fault to its [`Patch`]; each block is then one program run for the good
-/// machine plus one patched run per undetected fault — no driver scans, no
-/// scratch refills, no dynamic dispatch.
+/// program via [`FaultSimulator::with_program`], or a validated
+/// optimizer rewrite via [`FaultSimulator::with_optimized`]) and
+/// pre-compiles every fault to its patch-point(s); each block is then one
+/// program run for the good machine plus one patched run per undetected
+/// fault — no driver scans, no scratch refills, no dynamic dispatch.
 ///
 /// Patterns are applied in blocks of up to 64 (one per `u64` lane).
 /// Detected faults are dropped from subsequent blocks; the per-fault
@@ -368,9 +370,12 @@ pub trait BlockSim {
 pub struct FaultSimulator<'a> {
     netlist: &'a Netlist,
     program: EvalProgram,
+    /// The pre-rewrite program when `program` is optimizer-rewritten;
+    /// [`eval::FaultPatch::Fallback`] faults evaluate on it.
+    fallback: Option<EvalProgram>,
     faults: Vec<Fault>,
-    /// `patches[i]` = compiled patch-point of fault *i*.
-    patches: Vec<Patch>,
+    /// `patches[i]` = compiled patch-point(s) of fault *i*.
+    patches: Vec<eval::FaultPatch>,
     /// `detection[i]` = pattern index at which fault *i* was first
     /// detected.
     detection: Vec<Option<u64>>,
@@ -409,6 +414,43 @@ impl<'a> FaultSimulator<'a> {
         Self::with_program_recorder(netlist, program, faults, Recorder::new("fault-sim[serial]"))
     }
 
+    /// Creates a simulator whose good machine runs the **optimized**
+    /// program of a validated [`OptimizedProgram`], while the fault list
+    /// stays defined on the original netlist.
+    ///
+    /// Each fault's patch is compiled against the original program, then
+    /// remapped through the rewrite
+    /// ([`OptimizedProgram::remap_patch`]); faults the rewrite cannot
+    /// express faithfully fall back to evaluating the original program
+    /// (sound because the two are equivalence-proven). Reports are
+    /// **bit-identical** to the unoptimized engines' — pinned by
+    /// `tests/opt_equivalence.rs`.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`FaultSimulator::with_program`].
+    pub fn with_optimized(
+        netlist: &'a Netlist,
+        opt: &OptimizedProgram,
+        faults: Vec<Fault>,
+    ) -> Self {
+        Self::with_optimized_recorder(netlist, opt, faults, Recorder::new("fault-sim[serial]"))
+    }
+
+    /// [`FaultSimulator::with_optimized`] with a caller-supplied telemetry
+    /// recorder.
+    pub fn with_optimized_recorder(
+        netlist: &'a Netlist,
+        opt: &OptimizedProgram,
+        faults: Vec<Fault>,
+        rec: Recorder,
+    ) -> Self {
+        let mut sim = Self::with_program_recorder(netlist, opt.optimized().clone(), faults, rec);
+        sim.patches = eval::compile_fault_patches(opt.original(), Some(opt), &sim.faults);
+        sim.fallback = Some(opt.original().clone());
+        sim
+    }
+
     /// [`FaultSimulator::with_program`] with a caller-supplied telemetry
     /// recorder. Pass [`Recorder::disabled`] to measure the recorder's own
     /// hot-loop overhead (the criterion `obs` bench does exactly that);
@@ -429,16 +471,14 @@ impl<'a> FaultSimulator<'a> {
             netlist.net_count(),
             "program/netlist mismatch"
         );
-        let patches = faults
-            .iter()
-            .map(|&f| eval::compile_patch(&program, f))
-            .collect();
+        let patches = eval::compile_fault_patches(&program, None, &faults);
         let n = faults.len();
         let good = program.new_values();
         let faulty = program.new_values();
         FaultSimulator {
             netlist,
             program,
+            fallback: None,
             faults,
             patches,
             detection: vec![None; n],
@@ -485,12 +525,16 @@ impl BlockSim for FaultSimulator<'_> {
             if self.detection[fi].is_some() {
                 continue;
             }
-            let gate_evals =
-                self.program
-                    .eval_patched(&mut self.faulty, input_words, self.patches[fi]);
+            let gate_evals = eval::eval_fault(
+                &self.program,
+                self.fallback.as_ref(),
+                &mut self.faulty,
+                input_words,
+                &self.patches[fi],
+            );
             shard.add(CounterId::GateEvals, gate_evals);
             shard.add(CounterId::FaultEvals, 1);
-            shard.add(CounterId::PatchesApplied, 1);
+            shard.add(CounterId::PatchesApplied, self.patches[fi].patch_count());
             let diff = eval::output_diff(
                 self.program.output_slots(),
                 &self.good,

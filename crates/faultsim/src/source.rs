@@ -632,10 +632,14 @@ pub struct SeedSegment {
 ///
 /// The file format is line-oriented: `#` starts a comment; each data
 /// line is `<seed> [patterns]` with the seed in `0x…` hex or decimal
-/// and the pattern count defaulting to 64.
+/// and the pattern count defaulting to 64. An optional `width N`
+/// directive line declares the kernel input width the schedule was
+/// recorded for; consumers can preflight it against the kernel actually
+/// driven ([`StoredSeedReplay::declared_width`], the `B060` lint).
 #[derive(Debug)]
 pub struct StoredSeedReplay {
     label: String,
+    declared_width: Option<usize>,
     segments: Vec<SeedSegment>,
     seg_idx: usize,
     /// Patterns already emitted from the current segment.
@@ -655,6 +659,7 @@ impl StoredSeedReplay {
     /// Fails on malformed lines or an empty schedule.
     pub fn parse(label: &str, text: &str) -> Result<Self, String> {
         let mut segments = Vec::new();
+        let mut declared_width: Option<usize> = None;
         for (lineno, raw) in text.lines().enumerate() {
             let line = raw.split('#').next().unwrap_or("").trim();
             if line.is_empty() {
@@ -662,6 +667,19 @@ impl StoredSeedReplay {
             }
             let mut parts = line.split_whitespace();
             let seed_tok = parts.next().expect("non-empty line has a token");
+            if seed_tok == "width" {
+                let w = parts
+                    .next()
+                    .and_then(|tok| parse_u64(tok).filter(|&n| n > 0))
+                    .ok_or_else(|| format!("line {}: bad width directive", lineno + 1))?;
+                if parts.next().is_some() {
+                    return Err(format!("line {}: trailing token after width", lineno + 1));
+                }
+                if declared_width.replace(w as usize).is_some() {
+                    return Err(format!("line {}: duplicate width directive", lineno + 1));
+                }
+                continue;
+            }
             let seed = parse_u64(seed_tok)
                 .ok_or_else(|| format!("line {}: bad seed {seed_tok:?}", lineno + 1))?;
             let patterns = match parts.next() {
@@ -680,6 +698,7 @@ impl StoredSeedReplay {
         }
         Ok(StoredSeedReplay {
             label: label.to_string(),
+            declared_width,
             segments,
             seg_idx: 0,
             seg_done: 0,
@@ -703,6 +722,14 @@ impl StoredSeedReplay {
     /// The parsed schedule.
     pub fn segments(&self) -> &[SeedSegment] {
         &self.segments
+    }
+
+    /// The kernel input width declared by the schedule's `width N`
+    /// directive, if present. A declared width that disagrees with the
+    /// kernel being driven is a `B060` lint violation and fails the
+    /// bench binaries' `--source` preflight.
+    pub fn declared_width(&self) -> Option<usize> {
+        self.declared_width
     }
 }
 
@@ -753,11 +780,15 @@ impl PatternSource for StoredSeedReplay {
 
     fn descriptor(&self) -> SourceDescriptor {
         let total: u64 = self.segments.iter().map(|s| s.patterns).sum();
-        SourceDescriptor::new("replay")
+        let mut d = SourceDescriptor::new("replay")
             .field("rng", "xoshiro256**")
             .field("file", self.label.clone())
             .field("segments", self.segments.len().to_string())
-            .field("patterns", total.to_string())
+            .field("patterns", total.to_string());
+        if let Some(w) = self.declared_width {
+            d = d.field("width", w.to_string());
+        }
+        d
     }
 }
 
@@ -933,6 +964,22 @@ mod tests {
         assert!(StoredSeedReplay::parse("x", "zzz").is_err());
         assert!(StoredSeedReplay::parse("x", "0x1 0").is_err());
         assert!(StoredSeedReplay::parse("x", "0x1 2 3").is_err());
+        assert!(StoredSeedReplay::parse("x", "width\n0x1").is_err());
+        assert!(StoredSeedReplay::parse("x", "width 0\n0x1").is_err());
+        assert!(StoredSeedReplay::parse("x", "width 4 5\n0x1").is_err());
+        assert!(StoredSeedReplay::parse("x", "width 4\nwidth 4\n0x1").is_err());
+    }
+
+    #[test]
+    fn replay_width_directive_is_parsed_and_reported() {
+        let src = StoredSeedReplay::parse("x", "# recorded for add2\nwidth 4\n0x5 128").unwrap();
+        assert_eq!(src.declared_width(), Some(4));
+        assert_eq!(src.segments().len(), 1);
+        assert!(src.descriptor().to_json().contains("\"width\":\"4\""));
+        // Schedules without the directive declare nothing.
+        let bare = StoredSeedReplay::parse("x", "0x5 128").unwrap();
+        assert_eq!(bare.declared_width(), None);
+        assert!(!bare.descriptor().to_json().contains("width"));
     }
 
     #[test]

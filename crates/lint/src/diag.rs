@@ -216,15 +216,37 @@ pub const CODES: &[CodeInfo] = &[
         summary: "unused inline lint suppression",
         default_severity: Severity::Warn,
     },
-    // B06x is reserved for pattern-source checks (bibs-faultsim::source):
-    // B060 will fire when a serialized source descriptor's width disagrees
-    // with the kernel it is scheduled to drive (a session that would panic
-    // at simulation time). No emitter yet — registered so the code, its
-    // SARIF rule entry and suppression syntax are stable now.
+    // B06x — pattern-source checks. B060 fires when a source descriptor's
+    // declared width disagrees with the kernel it is scheduled to drive (a
+    // session that would panic or silently degrade at simulation time);
+    // emitted by `source_pass` and wired into the bench binaries' --source
+    // preflight.
     CodeInfo {
         code: "B060",
         summary: "pattern-source width disagrees with the kernel's input width",
         default_severity: Severity::Deny,
+    },
+    // B07x — optimizer/translation-validation checks (`opt_pass`, gated by
+    // `LintConfig::optimizer` / the binary's --optimizer flag).
+    CodeInfo {
+        code: "B070",
+        summary: "gate-driven net the optimizer's const-fold pass proves constant",
+        default_severity: Severity::Warn,
+    },
+    CodeInfo {
+        code: "B071",
+        summary: "duplicated logic cone found by structural-hash CSE",
+        default_severity: Severity::Warn,
+    },
+    CodeInfo {
+        code: "B072",
+        summary: "optimizer and translation validator disagree (refuted rewrite)",
+        default_severity: Severity::Deny,
+    },
+    CodeInfo {
+        code: "B073",
+        summary: "fault patch-point unmapped by the optimizer rewrite",
+        default_severity: Severity::Allow,
     },
 ];
 
@@ -273,6 +295,12 @@ pub struct LintConfig {
     /// compiled IR (`--semantic`). Off by default: the passes run
     /// whole-netlist dataflow sweeps per kernel.
     pub semantic: bool,
+    /// Also run the optimizer passes (B07x) — fold-provable constants,
+    /// CSE-duplicated cones, the full optimize-then-validate pipeline
+    /// (B072 on a refuted rewrite) and unmapped fault patch-points
+    /// (`--optimizer`). Off by default: the pass optimizes and
+    /// equivalence-checks every netlist it lints.
+    pub optimizer: bool,
 }
 
 impl LintConfig {

@@ -48,10 +48,12 @@ pub mod design_pass;
 pub mod diag;
 pub mod fingerprint;
 pub mod netlist_pass;
+pub mod opt_pass;
 pub mod rtl_pass;
 pub mod sarif;
 pub mod semantic_pass;
 pub mod seq_pass;
+pub mod source_pass;
 pub mod suppress;
 
 pub use batch::{collect_targets, lint_paths, lint_text, merged_report, BatchOutcome};
@@ -59,10 +61,12 @@ pub use design_pass::lint_design;
 pub use diag::{code_info, CodeInfo, Diagnostic, LintConfig, Report, Severity, CODES};
 pub use fingerprint::{apply_baseline, fingerprint, parse_baseline, write_baseline};
 pub use netlist_pass::lint_netlist;
+pub use opt_pass::lint_netlist_opt;
 pub use rtl_pass::lint_circuit;
 pub use sarif::{check_sarif, to_sarif};
 pub use semantic_pass::{lint_netlist_semantic, lint_semantic};
 pub use seq_pass::{lint_netlist_seq, lint_seq_depth};
+pub use source_pass::lint_source_width;
 pub use suppress::{apply_suppressions, scan_suppressions};
 
 use bibs_core::bibs::{select, BibsOptions};
@@ -102,6 +106,9 @@ pub fn lint_full(circuit: &Circuit, config: &LintConfig) -> Report {
             circuit.name(),
             config,
         ));
+        if config.optimizer {
+            report.merge(lint_netlist_opt(&elab.netlist, circuit.name(), config));
+        }
     }
     report
 }
@@ -154,6 +161,9 @@ pub fn lint_bench_text(origin: &str, text: &str, config: &LintConfig) -> Report 
                     report.merge(lint_netlist_semantic(loaded.netlist(), origin, config));
                 }
                 report.merge(lint_netlist_seq(loaded.netlist(), origin, config));
+                if config.optimizer {
+                    report.merge(lint_netlist_opt(loaded.netlist(), origin, config));
+                }
                 report
             }
         },
@@ -183,6 +193,9 @@ pub fn lint_verilog_text(origin: &str, text: &str, config: &LintConfig) -> Repor
                 report.merge(lint_netlist_semantic(loaded.netlist(), origin, config));
             }
             report.merge(lint_netlist_seq(loaded.netlist(), origin, config));
+            if config.optimizer {
+                report.merge(lint_netlist_opt(loaded.netlist(), origin, config));
+            }
             report
         }
         Err(e) => {

@@ -1,0 +1,229 @@
+//! Optimizer lint passes: B070–B073, driven by the optimizing pass
+//! pipeline and translation validator of [`bibs_netlist::opt`] /
+//! [`bibs_netlist::cec`].
+//!
+//! Where the semantic passes (B04x) prove facts by abstract
+//! interpretation, these run the *actual optimizer* over the compiled
+//! program and report what it finds:
+//!
+//! * **B070** (warn) — a gate-driven net the const-fold pass proves
+//!   constant: its driver is deleted wholesale under `--opt`, so the net
+//!   never toggles in any simulation;
+//! * **B071** (warn) — a duplicated logic cone found by structural-hash
+//!   CSE: two instructions compute the same `(kind, operands)` function,
+//!   i.e. redundant area that also carries equivalent (collapsible)
+//!   faults;
+//! * **B072** (deny, hard) — the optimizer produced a rewrite the
+//!   combinational equivalence checker **refuted**. This should be
+//!   impossible for a correct pass pipeline; the finding carries the
+//!   distinguishing input pattern as a replayable witness and must never
+//!   be downgraded in CI;
+//! * **B073** (allow) — a fault patch-point the rewrite cannot express on
+//!   the optimized program (e.g. a pin fault inside a CSE-merged cone).
+//!   Purely informational: the fault simulators transparently fall back
+//!   to the original program for exactly these faults.
+//!
+//! The pass is opt-in (`LintConfig::optimizer`, the binary's
+//! `--optimizer` flag) because it optimizes and equivalence-checks every
+//! netlist it lints.
+
+use crate::diag::{LintConfig, Report};
+use bibs_netlist::opt::{duplicate_cone_pairs, fold_provable_slots, optimize};
+use bibs_netlist::{EvalProgram, NetId, Netlist};
+
+/// Renders a net as `n7 ("a[3]")` or `n7` when unnamed.
+fn net_desc(nl: &Netlist, id: NetId) -> String {
+    match nl.net_name(id) {
+        Some(n) => format!("{id} (\"{n}\")"),
+        None => format!("{id}"),
+    }
+}
+
+/// Runs the optimizer passes on one netlist (`what` names it in
+/// messages).
+///
+/// The netlist's combinational equivalent is compiled and pushed through
+/// the full optimize-then-validate pipeline; netlists that do not compile
+/// (combinational cycles) are skipped — the structural passes report
+/// those as B003.
+pub fn lint_netlist_opt(netlist: &Netlist, what: &str, config: &LintConfig) -> Report {
+    let mut report = Report::new();
+    let comb = netlist.combinational_equivalent();
+    let Ok(program) = EvalProgram::compile(&comb) else {
+        return report;
+    };
+
+    // B070 — nets the const-fold pass deletes the driver of.
+    for (slot, value) in fold_provable_slots(&program) {
+        let net = NetId::from_index(slot as usize);
+        let v = u8::from(value);
+        report.emit(
+            config,
+            "B070",
+            format!(
+                "{what}: net {} is fold-provable constant {v} — the \
+                 optimizer's const-fold pass deletes its driving gate",
+                net_desc(&comb, net)
+            ),
+            format!("{} = {v} by const-fold", net_desc(&comb, net)),
+        );
+    }
+
+    // B071 — cones CSE proves pairwise identical.
+    for (dup, rep) in duplicate_cone_pairs(&program) {
+        let dup_net = NetId::from_index(dup as usize);
+        let rep_net = NetId::from_index(rep as usize);
+        report.emit(
+            config,
+            "B071",
+            format!(
+                "{what}: duplicated logic cone — net {} computes the same \
+                 function as net {} (structural-hash CSE merges them)",
+                net_desc(&comb, dup_net),
+                net_desc(&comb, rep_net)
+            ),
+            format!(
+                "{} ≡ {} by (kind, operands) hash",
+                net_desc(&comb, dup_net),
+                net_desc(&comb, rep_net)
+            ),
+        );
+    }
+
+    // B072 / B073 — run the real pipeline. A refutation is a hard deny
+    // carrying the counterexample; an accepted rewrite is then probed for
+    // patch-points the remap cannot express.
+    match optimize(&comb, &program) {
+        Err(e) => {
+            report.emit(
+                config,
+                "B072",
+                format!("{what}: {e}"),
+                e.witness.render(&comb),
+            );
+        }
+        Ok(opt) => {
+            for net in comb.net_ids() {
+                let patch = opt.original().patch_net(net, false);
+                if opt.remap_patch(patch).is_none() {
+                    report.emit(
+                        config,
+                        "B073",
+                        format!(
+                            "{what}: stem fault on net {} has no image on the \
+                             optimized program (simulators fall back to the \
+                             original)",
+                            net_desc(&comb, net)
+                        ),
+                        format!("unmapped stem patch-point at {}", net_desc(&comb, net)),
+                    );
+                }
+            }
+            for gid in comb.gate_ids() {
+                let gate = comb.gate(gid);
+                for pin in 0..gate.inputs.len() {
+                    let patch = opt.original().patch_pin(gid, pin, false);
+                    if opt.remap_patch(patch).is_none() {
+                        report.emit(
+                            config,
+                            "B073",
+                            format!(
+                                "{what}: pin fault {gid}.{pin} (reading net {}) \
+                                 has no image on the optimized program \
+                                 (simulators fall back to the original)",
+                                net_desc(&comb, gate.inputs[pin])
+                            ),
+                            format!(
+                                "unmapped pin patch-point at {gid} pin {pin} \
+                                 driving {}",
+                                net_desc(&comb, gate.output)
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bibs_netlist::builder::NetlistBuilder;
+    use bibs_netlist::GateKind;
+
+    #[test]
+    fn fold_provable_constant_fires_b070() {
+        // y = a AND (NOT a) is constant 0.
+        let mut b = NetlistBuilder::new("tied");
+        let a = b.input("a");
+        let na = b.not(a);
+        let y = b.and2(a, na);
+        let o = b.or2(y, a);
+        b.output("o", o);
+        let nl = b.finish().unwrap();
+        let cfg = LintConfig::new();
+        let report = lint_netlist_opt(&nl, "tied", &cfg);
+        assert!(report.has_code("B070"), "{report}");
+        assert!(!report.has_code("B072"), "{report}");
+    }
+
+    #[test]
+    fn duplicated_cone_fires_b071_and_unmapped_pin_fires_b073() {
+        // Two ANDs of the same operands (one with swapped pins — the
+        // symmetric hash still matches).
+        let mut b = NetlistBuilder::new("dup");
+        let a = b.input("a");
+        let c = b.input("b");
+        let d1 = b.and2(a, c);
+        let d2 = b.and2(c, a);
+        let x = b.input("x");
+        let y1 = b.or2(d1, x);
+        let y2 = b.xor2(d2, x);
+        b.output("y1", y1);
+        b.output("y2", y2);
+        let nl = b.finish().unwrap();
+        let cfg = LintConfig::new();
+        let report = lint_netlist_opt(&nl, "dup", &cfg);
+        assert!(report.has_code("B071"), "{report}");
+        // The merged duplicate's pin faults have no optimized image.
+        assert!(report.has_code("B073"), "{report}");
+        assert!(report.is_clean(), "B071/B073 are not deny-level: {report}");
+    }
+
+    #[test]
+    fn clean_circuit_reports_nothing_denied() {
+        let mut b = NetlistBuilder::new("clean");
+        let a = b.input_word("a", 3);
+        let c = b.input_word("b", 3);
+        let (s, co) = b.ripple_carry_adder(&a, &c, None);
+        b.output_word("s", &s);
+        b.output("co", co);
+        let nl = b.finish().unwrap();
+        let cfg = LintConfig::new();
+        let report = lint_netlist_opt(&nl, "clean", &cfg);
+        assert!(!report.has_code("B070"), "{report}");
+        assert!(!report.has_code("B072"), "{report}");
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn buffer_chains_stay_mapped() {
+        // Copy-forward maps buffer faults onto surviving readers — no
+        // B073 for a plain chain.
+        let mut b = NetlistBuilder::new("chain");
+        let a = b.input("a");
+        let mut cur = a;
+        for _ in 0..3 {
+            cur = b.gate(GateKind::Buf, &[cur]);
+        }
+        let c = b.input("b");
+        let y = b.and2(cur, c);
+        b.output("y", y);
+        let nl = b.finish().unwrap();
+        let cfg = LintConfig::new();
+        let report = lint_netlist_opt(&nl, "chain", &cfg);
+        assert!(!report.has_code("B073"), "{report}");
+    }
+}

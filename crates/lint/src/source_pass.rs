@@ -1,0 +1,71 @@
+//! Pattern-source lint pass: B060, the width agreement check between a
+//! pattern source and the kernel it is scheduled to drive.
+//!
+//! Pattern sources are serialized artifacts (stored replay schedules, TPG
+//! descriptors) that live apart from the circuits they test, so a
+//! schedule recorded for one kernel can silently be pointed at another.
+//! A width mismatch is never recoverable — the stream either panics the
+//! engine or drives the wrong number of inputs — so B060 is deny-level by
+//! default and the bench binaries run this check as a `--source`
+//! preflight before any simulation starts.
+
+use crate::diag::{LintConfig, Report};
+
+/// Checks a pattern source's declared input width against the width of
+/// the kernel it will drive (`what` names the kernel in messages;
+/// `source` names the source, usually its descriptor kind or file path).
+///
+/// Sources that declare no width (e.g. replay schedules without a
+/// `width` directive) cannot be checked and produce an empty report —
+/// the check is opt-in on the artifact side by design, so legacy
+/// schedules keep working.
+pub fn lint_source_width(
+    source: &str,
+    declared_width: Option<usize>,
+    kernel_width: usize,
+    what: &str,
+    config: &LintConfig,
+) -> Report {
+    let mut report = Report::new();
+    if let Some(w) = declared_width {
+        if w != kernel_width {
+            report.emit(
+                config,
+                "B060",
+                format!(
+                    "{what}: pattern source {source} declares width {w} but \
+                     the kernel's combinational input width is {kernel_width}"
+                ),
+                format!("{source}: declared width {w} != kernel width {kernel_width}"),
+            );
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::Severity;
+
+    #[test]
+    fn width_mismatch_is_denied() {
+        let cfg = LintConfig::new();
+        let report = lint_source_width("replay:sched.txt", Some(8), 12, "kernel #0", &cfg);
+        assert!(report.has_code("B060"), "{report}");
+        assert!(!report.is_clean());
+        let d = report.with_code("B060").next().unwrap();
+        assert_eq!(d.severity, Severity::Deny);
+        assert!(d.message.contains("width 8"), "{}", d.message);
+        assert!(d.message.contains("width is 12"), "{}", d.message);
+    }
+
+    #[test]
+    fn matching_or_undeclared_width_is_clean() {
+        let cfg = LintConfig::new();
+        let ok = lint_source_width("replay:sched.txt", Some(12), 12, "kernel #0", &cfg);
+        assert!(ok.diagnostics.is_empty(), "{ok}");
+        let unchecked = lint_source_width("lfsr", None, 12, "kernel #0", &cfg);
+        assert!(unchecked.diagnostics.is_empty(), "{unchecked}");
+    }
+}

@@ -69,8 +69,10 @@
 use crate::netlist::{GateId, GateKind, NetDriver, NetId, Netlist, NetlistError};
 
 /// Sentinel in [`EvalProgram`]'s slot-to-instruction map for slots that are
-/// sources (inputs, constants, flip-flop Q) rather than gate outputs.
-const NO_INSTR: u32 = u32::MAX;
+/// sources (inputs, constants, flip-flop Q) rather than gate outputs. The
+/// optimizer (`crate::opt`) reuses it as the "instruction removed" marker in
+/// rewrite maps.
+pub(crate) const NO_INSTR: u32 = u32::MAX;
 
 /// A fault patch-point: the single edit that turns a good-machine program
 /// run into a faulty-machine run.
@@ -132,33 +134,33 @@ pub struct Instr<'a> {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EvalProgram {
     /// Opcode per instruction.
-    ops: Vec<GateKind>,
+    pub(crate) ops: Vec<GateKind>,
     /// Operand span starts; span of instruction `i` is
     /// `operand_start[i]..operand_start[i + 1]` (length `instr_count + 1`).
-    operand_start: Vec<u32>,
+    pub(crate) operand_start: Vec<u32>,
     /// Shared operand arena: slot indices, grouped per instruction.
-    operands: Vec<u32>,
+    pub(crate) operands: Vec<u32>,
     /// Output slot per instruction.
-    out_slot: Vec<u32>,
+    pub(crate) out_slot: Vec<u32>,
     /// Instruction ranges per level: all instructions inside one range
     /// depend only on earlier levels.
-    levels: Vec<(u32, u32)>,
+    pub(crate) levels: Vec<(u32, u32)>,
     /// Gate → instruction position.
-    instr_of_gate: Vec<u32>,
+    pub(crate) instr_of_gate: Vec<u32>,
     /// Instruction position → source gate.
-    gate_of_instr: Vec<GateId>,
+    pub(crate) gate_of_instr: Vec<GateId>,
     /// Slot → instruction writing it, or [`NO_INSTR`] for source slots.
-    instr_of_slot: Vec<u32>,
+    pub(crate) instr_of_slot: Vec<u32>,
     /// Primary-input slots in declaration order.
-    input_slots: Vec<u32>,
+    pub(crate) input_slots: Vec<u32>,
     /// Constant prologue: `(slot, word)` pairs applied once per buffer.
-    const_inits: Vec<(u32, u64)>,
+    pub(crate) const_inits: Vec<(u32, u64)>,
     /// Flip-flop `(q, d)` slot pairs, in [`Netlist::dffs`] order.
-    dff_slots: Vec<(u32, u32)>,
+    pub(crate) dff_slots: Vec<(u32, u32)>,
     /// Primary-output slots in declaration order.
-    output_slots: Vec<u32>,
+    pub(crate) output_slots: Vec<u32>,
     /// Number of value-buffer slots (= net count).
-    slot_count: usize,
+    pub(crate) slot_count: usize,
 }
 
 impl EvalProgram {
@@ -479,6 +481,88 @@ impl EvalProgram {
         }
     }
 
+    /// Faulty-machine evaluation with *several* patch-points applied at
+    /// once: constant prologue, inputs, then
+    /// [`EvalProgram::run_multi_patched`].
+    ///
+    /// This is the evaluation entry the optimizer's fault remapping needs:
+    /// a single stuck-at fault on a net that a rewrite erased (a forwarded
+    /// buffer, a merged duplicate cone) is equivalent to forcing the stuck
+    /// value onto every surviving reader pin — a *set* of patches on the
+    /// optimized program. An empty `patches` slice is a plain good-machine
+    /// evaluation. Returns the number of instructions executed.
+    ///
+    /// Instruction-indexed patches must be sorted by ascending instruction;
+    /// [`Patch::Slot`] entries may appear anywhere in the slice.
+    #[inline]
+    pub fn eval_multi_patched(
+        &self,
+        values: &mut [u64],
+        input_words: &[u64],
+        patches: &[Patch],
+    ) -> u64 {
+        self.apply_consts(values);
+        self.set_inputs(values, input_words);
+        self.run_multi_patched(values, patches)
+    }
+
+    /// Executes the instruction stream with every patch in `patches`
+    /// applied. Sources must already be set; instruction-indexed patches
+    /// must be sorted by ascending instruction position ([`Patch::Slot`]
+    /// entries may appear anywhere). Several [`Patch::InstrPin`] entries may
+    /// target distinct pins of the same instruction; a [`Patch::InstrOutput`]
+    /// on an instruction supersedes pin patches on it. Returns the number
+    /// of instructions executed.
+    pub fn run_multi_patched(&self, values: &mut [u64], patches: &[Patch]) -> u64 {
+        let n = self.ops.len();
+        for p in patches {
+            if let Patch::Slot { slot, word } = *p {
+                values[slot as usize] = word;
+            }
+        }
+        let mut executed = 0u64;
+        let mut cursor = 0usize;
+        let mut k = 0usize;
+        while k < patches.len() {
+            let (i, forced_out) = match patches[k] {
+                Patch::Slot { .. } => {
+                    k += 1;
+                    continue;
+                }
+                Patch::InstrOutput { instr, word } => (instr as usize, Some(word)),
+                Patch::InstrPin { instr, .. } => (instr as usize, None),
+            };
+            debug_assert!(i >= cursor, "instruction patches must be sorted");
+            self.exec_range(values, cursor, i);
+            executed += (i - cursor) as u64;
+            if let Some(word) = forced_out {
+                values[self.out_slot[i] as usize] = word;
+                k += 1;
+            } else {
+                let first = k;
+                while k < patches.len()
+                    && matches!(patches[k], Patch::InstrPin { instr, .. } if instr as usize == i)
+                {
+                    k += 1;
+                }
+                values[self.out_slot[i] as usize] =
+                    self.eval_instr_multi_pinned(values, i, &patches[first..k]);
+                executed += 1;
+            }
+            // Swallow any remaining patches on the same instruction (a
+            // forced output makes pin patches on it moot).
+            while k < patches.len()
+                && matches!(patches[k], Patch::InstrPin { instr, .. } | Patch::InstrOutput { instr, .. } if instr as usize == i)
+            {
+                k += 1;
+            }
+            cursor = i + 1;
+        }
+        self.exec_range(values, cursor, n);
+        executed += (n - cursor) as u64;
+        executed
+    }
+
     /// Builds the patch-point for a stuck-at fault on `net`.
     ///
     /// Gate-driven nets patch the driving instruction's output
@@ -579,6 +663,34 @@ impl EvalProgram {
                 }
             };
             values[out] = word;
+        }
+    }
+
+    /// Evaluates instruction `i` with every pin listed in `pins`
+    /// (a run of [`Patch::InstrPin`] entries on `i`) overridden.
+    fn eval_instr_multi_pinned(&self, values: &[u64], i: usize, pins: &[Patch]) -> u64 {
+        let start = self.operand_start[i] as usize;
+        let end = self.operand_start[i + 1] as usize;
+        let operand = |idx: usize| {
+            for p in pins {
+                if let Patch::InstrPin { pin, word, .. } = *p {
+                    if pin as usize == idx {
+                        return word;
+                    }
+                }
+            }
+            values[self.operands[start + idx] as usize]
+        };
+        let arity = end - start;
+        match self.ops[i] {
+            GateKind::And => (0..arity).fold(!0u64, |acc, idx| acc & operand(idx)),
+            GateKind::Or => (0..arity).fold(0u64, |acc, idx| acc | operand(idx)),
+            GateKind::Nand => !(0..arity).fold(!0u64, |acc, idx| acc & operand(idx)),
+            GateKind::Nor => !(0..arity).fold(0u64, |acc, idx| acc | operand(idx)),
+            GateKind::Xor => (0..arity).fold(0u64, |acc, idx| acc ^ operand(idx)),
+            GateKind::Xnor => !(0..arity).fold(0u64, |acc, idx| acc ^ operand(idx)),
+            GateKind::Not => !operand(0),
+            GateKind::Buf => operand(0),
         }
     }
 

@@ -1,0 +1,123 @@
+//! Property-based edge-case tests for compile → optimize → CEC.
+//!
+//! The optimizer and validator must behave at the degenerate ends of the
+//! program space the synthetic corpus rarely reaches: netlists with no
+//! gates at all, bare single-PI-to-PO wires (where copy-forward must
+//! respect declared output slots), and maximum-width gates — a full
+//! 64-operand span through one instruction.
+
+use bibs_netlist::builder::NetlistBuilder;
+use bibs_netlist::cec;
+use bibs_netlist::opt::optimize;
+use bibs_netlist::{EvalProgram, GateKind, Netlist};
+use proptest::prelude::*;
+
+/// Optimizes `nl` and re-proves original vs optimized with a *fresh* CEC
+/// call (the pipeline already validated pass by pass; this is the outer
+/// end-to-end check). Returns the optimized-program instruction count.
+fn optimize_and_check(nl: &Netlist) -> usize {
+    let program = EvalProgram::compile(nl).expect("compiles");
+    let opt = optimize(nl, &program).expect("pipeline validates");
+    let verdict = cec::check(opt.original(), opt.optimized());
+    assert!(
+        verdict.is_proven(),
+        "{}: end-to-end CEC not proven: {verdict:?}",
+        nl.name()
+    );
+    opt.stats().instrs_after
+}
+
+#[test]
+fn zero_gate_netlist_compiles_and_optimizes() {
+    // Pure pass-through: inputs declared as outputs, no gates anywhere.
+    let mut b = NetlistBuilder::new("wires_only");
+    let a = b.input("a");
+    let c = b.input("b");
+    b.output("oa", a);
+    b.output("ob", c);
+    let nl = b.finish().unwrap();
+    assert_eq!(nl.gate_count(), 0);
+    assert_eq!(optimize_and_check(&nl), 0);
+}
+
+#[test]
+fn constant_only_netlist_optimizes() {
+    let mut b = NetlistBuilder::new("consts_only");
+    let zero = b.const0();
+    let one = b.const1();
+    b.output("z", zero);
+    b.output("o", one);
+    let nl = b.finish().unwrap();
+    assert_eq!(optimize_and_check(&nl), 0);
+}
+
+proptest! {
+    /// A single PI wired to a PO through a chain of 0..6 buffers and
+    /// inverters: the optimized program must keep the declared output
+    /// slot live and the function (parity of inverter count) intact.
+    #[test]
+    fn single_wire_chains_optimize(invs in proptest::collection::vec(any::<bool>(), 0..6)) {
+        let mut b = NetlistBuilder::new("wire");
+        let a = b.input("a");
+        let mut cur = a;
+        for &inv in &invs {
+            cur = b.gate(if inv { GateKind::Not } else { GateKind::Buf }, &[cur]);
+        }
+        b.output("o", cur);
+        let nl = b.finish().unwrap();
+        let after = optimize_and_check(&nl);
+        // Everything off the PI-to-PO wire is removable down to at most
+        // two gates: one to place the value on the declared output slot,
+        // plus possibly one inverter — a `Not` cannot fuse into a primary
+        // input, and output slots must stay where they were declared.
+        prop_assert!(after <= 2, "{} gates survived a wire chain", after);
+    }
+
+    /// Maximum-width gates: one 64-input gate of every kind, fed by 64
+    /// distinct PIs, must compile, optimize and prove — the operand span
+    /// exercises the widest instruction the compiler can emit.
+    #[test]
+    fn max_width_gates_optimize(kind_idx in 0usize..6) {
+        const KINDS: [GateKind; 6] = [
+            GateKind::And,
+            GateKind::Or,
+            GateKind::Nand,
+            GateKind::Nor,
+            GateKind::Xor,
+            GateKind::Xnor,
+        ];
+        let mut b = NetlistBuilder::new("wide64");
+        let pis: Vec<_> = (0..64).map(|i| b.input(format!("i{i}"))).collect();
+        let y = b.gate(KINDS[kind_idx], &pis);
+        b.output("y", y);
+        let nl = b.finish().unwrap();
+        prop_assert_eq!(optimize_and_check(&nl), 1);
+    }
+
+    /// Duplicated max-width gates still CSE — the structural hash must
+    /// handle a full 64-operand key (sorted, for symmetric kinds).
+    #[test]
+    fn duplicated_wide_gates_cse(seed in 0u64..32) {
+        let mut b = NetlistBuilder::new("wide_dup");
+        let pis: Vec<_> = (0..64).map(|i| b.input(format!("i{i}"))).collect();
+        let mut rev = pis.clone();
+        rev.reverse();
+        let y1 = b.gate(GateKind::Xor, &pis);
+        let y2 = b.gate(GateKind::Xor, &rev);
+        let sel = pis[(seed % 64) as usize];
+        let z = b.and2(y1, sel);
+        let w = b.or2(y2, sel);
+        b.output("z", z);
+        b.output("w", w);
+        let nl = b.finish().unwrap();
+        let program = EvalProgram::compile(&nl).unwrap();
+        let opt = optimize(&nl, &program).expect("validates");
+        // The two 64-wide XORs hash alike (symmetric sort) — one goes.
+        prop_assert!(
+            opt.stats().instrs_saved() >= 1,
+            "no CSE on duplicated wide gates: {:?}",
+            opt.stats()
+        );
+        prop_assert!(cec::check(opt.original(), opt.optimized()).is_proven());
+    }
+}

@@ -103,10 +103,16 @@ pub enum CounterId {
     /// shifts + one per pattern + reseed loads) — the denominator of the
     /// coverage-vs-clocks axis.
     SourceClocks,
+    /// Instructions eliminated by accepted optimizer passes (cumulative
+    /// over the pass pipeline — the per-evaluation saving).
+    OptInstrsSaved,
+    /// Individual rewrites performed by accepted optimizer passes
+    /// (instructions folded, forwarded, merged, fused or deleted).
+    OptRewrites,
 }
 
 /// Number of counters — the fixed length of every [`Counters`] array.
-pub const COUNTER_COUNT: usize = 24;
+pub const COUNTER_COUNT: usize = 26;
 
 impl CounterId {
     /// Every counter, in export order.
@@ -135,6 +141,8 @@ impl CounterId {
         CounterId::LintFindings,
         CounterId::PatternsEmitted,
         CounterId::SourceClocks,
+        CounterId::OptInstrsSaved,
+        CounterId::OptRewrites,
     ];
 
     /// The stable snake_case name used in JSON exports and trace output.
@@ -164,6 +172,8 @@ impl CounterId {
             CounterId::LintFindings => "lint_findings",
             CounterId::PatternsEmitted => "patterns_emitted",
             CounterId::SourceClocks => "source_clocks",
+            CounterId::OptInstrsSaved => "opt_instrs_saved",
+            CounterId::OptRewrites => "opt_rewrites",
         }
     }
 

@@ -1,0 +1,191 @@
+//! Acceptance for the optimizing pass pipeline (`bibs_netlist::opt`):
+//! the CEC-validated rewrite must be **behaviorally invisible** to the
+//! fault simulators.
+//!
+//! Every test drives the same invariant from a different circuit
+//! population: optimize the compiled program, prove it (the pipeline's
+//! built-in translation validator must accept every pass), then
+//! fault-simulate the original and optimized programs on the same seeded
+//! stream and require bit-identical `FaultSimReport`s — first-detection
+//! indices and pattern counts, serial and parallel, at every thread
+//! count. This is the ground truth behind `table2 --opt` producing
+//! byte-identical JSON while executing fewer instructions.
+
+use bibs_datapath::elab::elaborate_whole;
+use bibs_datapath::filters::scaled;
+use bibs_faultsim::fault::FaultUniverse;
+use bibs_faultsim::par::ParFaultSimulator;
+use bibs_faultsim::sim::{BlockSim, FaultSimulator};
+use bibs_netlist::builder::NetlistBuilder;
+use bibs_netlist::opt::optimize;
+use bibs_netlist::{EvalProgram, GateKind, NetId, Netlist};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const PATTERNS: u64 = 512;
+
+/// Optimizes `nl`'s combinational equivalent (the pipeline must
+/// validate), then checks that the serial engine on the optimized
+/// program and the parallel engine at 1 and 3 threads all reproduce the
+/// plain serial report bit for bit. Returns the instruction savings so
+/// callers can assert the optimizer actually did something.
+fn assert_opt_invisible(nl: &Netlist, seed: u64) -> usize {
+    let comb = nl.combinational_equivalent();
+    let program = EvalProgram::compile(&comb).expect("corpus circuits compile");
+    let opt = optimize(&comb, &program)
+        .unwrap_or_else(|e| panic!("{}: translation validation failed: {e}", comb.name()));
+    assert!(
+        opt.stats().instrs_after <= opt.stats().instrs_before,
+        "{}: optimization grew the program: {:?}",
+        comb.name(),
+        opt.stats()
+    );
+    let faults = FaultUniverse::collapsed(&comb).faults().to_vec();
+    if faults.is_empty() {
+        return opt.stats().instrs_saved();
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let base = FaultSimulator::new(&comb, faults.clone()).run_random(&mut rng, PATTERNS);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let serial =
+        FaultSimulator::with_optimized(&comb, &opt, faults.clone()).run_random(&mut rng, PATTERNS);
+    assert_eq!(
+        base.detection(),
+        serial.detection(),
+        "{}: optimized serial detection diverged",
+        comb.name()
+    );
+    assert_eq!(base.patterns_applied(), serial.patterns_applied());
+    for threads in [1usize, 3] {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let par = ParFaultSimulator::with_optimized(&comb, &opt, faults.clone(), threads)
+            .run_random(&mut rng, PATTERNS);
+        assert_eq!(
+            base.detection(),
+            par.detection(),
+            "{}: optimized parallel detection diverged at {threads} thread(s)",
+            comb.name()
+        );
+        assert_eq!(base.patterns_applied(), par.patterns_applied());
+    }
+    opt.stats().instrs_saved()
+}
+
+#[test]
+fn paper_datapaths_simulate_identically_under_opt() {
+    for name in ["c5a2m", "c3a2m", "c4a4m"] {
+        let elab = elaborate_whole(&scaled(name, 1)).expect("paper filters elaborate");
+        assert_opt_invisible(&elab.netlist, 0xB1B5_0001);
+    }
+}
+
+#[test]
+fn redundant_circuit_saves_instructions_and_stays_invisible() {
+    // A circuit with every redundancy the passes target: a 3-deep buffer
+    // chain (copy-forward), a duplicated AND cone (CSE), a tied
+    // `a AND NOT a` subtree (const-fold) and the dead logic those leave
+    // behind (DCE).
+    let mut b = NetlistBuilder::new("redundant");
+    let a = b.input("a");
+    let c = b.input("b");
+    let d = b.input("c");
+    let mut chain = a;
+    for _ in 0..3 {
+        chain = b.gate(GateKind::Buf, &[chain]);
+    }
+    let na = b.not(a);
+    let tied = b.and2(a, na); // constant 0
+    let dup1 = b.and2(c, d);
+    let dup2 = b.and2(d, c); // same cone, pins swapped
+    let y1 = b.or2(chain, dup1);
+    let y2 = b.xor2(dup2, tied);
+    b.output("y1", y1);
+    b.output("y2", y2);
+    let nl = b.finish().unwrap();
+    let saved = assert_opt_invisible(&nl, 0xB1B5_0002);
+    assert!(saved > 0, "expected instruction savings, got {saved}");
+}
+
+#[test]
+fn corpus_style_datapath_blocks_stay_invisible() {
+    // Builder-level datapath blocks of the kind the synthetic corpus
+    // generates: a ripple-carry adder and an array multiplier.
+    let mut b = NetlistBuilder::new("adder4");
+    let x = b.input_word("x", 4);
+    let y = b.input_word("y", 4);
+    let (s, co) = b.ripple_carry_adder(&x, &y, None);
+    b.output_word("s", &s);
+    b.output("co", co);
+    assert_opt_invisible(&b.finish().unwrap(), 0xB1B5_0003);
+
+    let mut b = NetlistBuilder::new("mul3");
+    let x = b.input_word("x", 3);
+    let y = b.input_word("y", 3);
+    let p = b.array_multiplier(&x, &y, 6);
+    b.output_word("p", &p);
+    assert_opt_invisible(&b.finish().unwrap(), 0xB1B5_0004);
+}
+
+/// A seeded random DAG over the full gate alphabet. Operands are drawn
+/// from all earlier nets, so the population naturally contains repeated
+/// `(kind, operands)` cones, buffer/inverter chains and dead logic — the
+/// optimizer's whole diet.
+fn random_dag(seed: u64, inputs: usize, ops: usize) -> Netlist {
+    const KINDS: [GateKind; 8] = [
+        GateKind::And,
+        GateKind::Or,
+        GateKind::Nand,
+        GateKind::Nor,
+        GateKind::Xor,
+        GateKind::Xnor,
+        GateKind::Not,
+        GateKind::Buf,
+    ];
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = NetlistBuilder::new(format!("dag_{seed:016x}"));
+    let mut nets: Vec<NetId> = (0..inputs).map(|i| b.input(format!("i{i}"))).collect();
+    for _ in 0..ops {
+        let kind = KINDS[rng.gen_range(0..KINDS.len())];
+        let arity = match kind {
+            GateKind::Not | GateKind::Buf => 1,
+            _ => 2 + rng.gen_range(0..2usize),
+        };
+        let operands: Vec<NetId> = (0..arity)
+            .map(|_| nets[rng.gen_range(0..nets.len())])
+            .collect();
+        nets.push(b.gate(kind, &operands));
+    }
+    for (i, &n) in nets.iter().rev().take(4).enumerate() {
+        b.output(format!("o{i}"), n);
+    }
+    b.finish().unwrap()
+}
+
+#[test]
+fn fuzzed_dags_simulate_identically_under_opt() {
+    for case in 0u64..16 {
+        let seed = 0xDA6_0000 + case;
+        let nl = random_dag(
+            seed.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            3 + (case as usize % 5),
+            8 + (case as usize * 3) % 32,
+        );
+        assert_opt_invisible(&nl, seed);
+    }
+}
+
+#[test]
+fn exhaustive_detection_matches_under_opt() {
+    // Exhaustive simulation (every input pattern, first-detection
+    // semantics) through the optimized program on a small circuit —
+    // the strongest per-fault check, no sampling involved.
+    let elab = elaborate_whole(&scaled("c5a2m", 1)).expect("elaborates");
+    let comb = elab.netlist.combinational_equivalent();
+    let program = EvalProgram::compile(&comb).unwrap();
+    let opt = optimize(&comb, &program).expect("validates");
+    let faults = FaultUniverse::collapsed(&comb).faults().to_vec();
+    let base = FaultSimulator::new(&comb, faults.clone()).run_exhaustive();
+    let optimized = FaultSimulator::with_optimized(&comb, &opt, faults).run_exhaustive();
+    assert_eq!(base.detection(), optimized.detection());
+    assert_eq!(base.patterns_applied(), optimized.patterns_applied());
+}
