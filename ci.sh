@@ -196,6 +196,42 @@ opt_ge=$(first_counter /tmp/bibs-telemetry-opt-j8.json gate_evals)
 echo "gate_evals: default ${default_ge}, --opt ${opt_ge}"
 test -n "$default_ge" && test -n "$opt_ge" && test "$opt_ge" -lt "$default_ge"
 
+step "wide lanes: table2 --lanes JSON is byte-identical (c5a2m, full width)"
+# Wide-word PPSFP evaluation must be report-invisible: one good-machine
+# sweep per 256/512-lane block, same detection-deterministic JSON to the
+# byte as the scalar 64-lane run.
+cargo run --release -p bibs-bench --bin table2 -- --only c5a2m --json \
+  --lanes 256 > /tmp/bibs-table2-l256.json
+diff /tmp/bibs-table2-compiled.json /tmp/bibs-table2-l256.json
+cargo run --release -p bibs-bench --bin table2 -- --only c5a2m --json \
+  --lanes 512 > /tmp/bibs-table2-l512.json
+diff /tmp/bibs-table2-compiled.json /tmp/bibs-table2-l512.json
+
+step "wide lanes: telemetry determinism (1 vs 8 worker threads, wall-stripped)"
+BIBS_JOBS=1 cargo run --release -p bibs-bench --bin table2 -- --only c5a2m \
+  --lanes 512 --telemetry /tmp/bibs-telemetry-lanes-j1.json > /dev/null
+BIBS_JOBS=8 cargo run --release -p bibs-bench --bin table2 -- --only c5a2m \
+  --lanes 512 --telemetry /tmp/bibs-telemetry-lanes-j8.json > /dev/null
+diff <(strip_wall /tmp/bibs-telemetry-lanes-j1.json) \
+     <(strip_wall /tmp/bibs-telemetry-lanes-j8.json)
+grep -q '"lanes":512' /tmp/bibs-telemetry-lanes-j8.json
+
+step "wide lanes: perf gate vs committed BENCH_table2_lanes.json"
+# The baseline records the 512-lane run's counters — including the
+# lane-normalized gate_evals (higher than scalar: a fault detected early
+# in a sweep still rides out the whole wide block) and the lanes marker.
+cargo run --release -p bibs-bench --bin perfdiff -- \
+  BENCH_table2_lanes.json /tmp/bibs-telemetry-lanes-j8.json
+# And the wide sweeps must actually deliver: gate-evals per second on the
+# same machine, back to back, strictly greater than the scalar run's.
+lanes_ge=$(first_counter /tmp/bibs-telemetry-lanes-j8.json gate_evals)
+lanes_wall=$(wall_of /tmp/bibs-telemetry-lanes-j8.json)
+scalar_ge=$default_ge
+scalar_wall=$legacy_wall
+echo "gate-evals/s: scalar ${scalar_ge}/${scalar_wall} ns, 512 lanes ${lanes_ge}/${lanes_wall} ns"
+test -n "$lanes_ge" && test -n "$lanes_wall"
+test $(( lanes_ge * scalar_wall )) -gt $(( scalar_ge * lanes_wall ))
+
 step "optimizer: CEC rejects the committed broken rewrite with a witness"
 # circuits/cec_broken.bench is a hand-broken "optimized" form of
 # circuits/cec_orig.bench (a bogus CSE merged two different cones). The
@@ -257,9 +293,11 @@ for f in /tmp/bibs-fuzz-seeds/seq/*.bench; do
   diff "$f" "corpus/seq/$(basename "$f")"
 done
 
-step "fuzz smoke (200 seeded cases through the six differential oracles)"
+step "fuzz smoke (200 seeded cases through the seven differential oracles)"
 # Time-boxed; a divergence writes a minimized fixture to
-# corpus/regressions/ and fails the run.
+# corpus/regressions/ and fails the run. Oracle 7 (lanes) cross-checks
+# wide 256/512-lane sweeps against the scalar engine on every case,
+# including a plateau-stop run that exercises sub-block retraction.
 timeout 300 cargo run --release -p bibs-corpus --bin bibs-fuzz -- --smoke \
   --cases 200 | tee /tmp/bibs-fuzz-smoke.txt
 grep -q "0 divergence(s)" /tmp/bibs-fuzz-smoke.txt

@@ -27,7 +27,9 @@
 //! faults reached, patterns emitted, hardware clock cycles). `--opt` runs
 //! those simulations on the CEC-validated optimized program (see
 //! `bibs_netlist::opt`) — results are identical by construction, only
-//! faster.
+//! faster. `--lanes 64|256|512` sets the evaluation width for those
+//! simulations (wide PPSFP sweeps; identical results, higher
+//! gate-evals/s).
 
 use bibs_bench::{kernel_fault_stats_traced, SourceSpec, Table2Options, Telemetry};
 use bibs_core::bibs::{self, BibsOptions};
@@ -65,6 +67,25 @@ fn main() -> ExitCode {
             args.remove(i);
         })
         .is_some();
+    let lanes = args
+        .iter()
+        .position(|a| a == "--lanes")
+        .map(|i| {
+            if i + 1 >= args.len() {
+                eprintln!("bits: --lanes needs a value");
+                std::process::exit(2);
+            }
+            let value = args.remove(i + 1);
+            args.remove(i);
+            match value.parse() {
+                Ok(l @ (64 | 256 | 512)) => l,
+                _ => {
+                    eprintln!("bits: --lanes expects 64, 256 or 512 (got '{value}')");
+                    std::process::exit(2);
+                }
+            }
+        })
+        .unwrap_or(64);
     let source = args.iter().position(|a| a == "--source").map(|i| {
         if i + 1 >= args.len() {
             eprintln!("bits: --source needs a value");
@@ -84,7 +105,7 @@ fn main() -> ExitCode {
     let Some(path) = args.first() else {
         eprintln!(
             "usage: bits <circuit.{{ckt,bench}}> [--tdm bibs|ka85] [--source SPEC] \
-             [--opt] [--telemetry out.json]"
+             [--opt] [--lanes 64|256|512] [--telemetry out.json]"
         );
         return ExitCode::FAILURE;
     };
@@ -112,7 +133,7 @@ fn main() -> ExitCode {
     };
     let telemetry = Telemetry::new(telemetry_path);
     let mut rec = telemetry.recorder("bits");
-    let outcome = run(&circuit, tdm, source.as_ref(), opt, &mut rec);
+    let outcome = run(&circuit, tdm, source.as_ref(), opt, lanes, &mut rec);
     if let Err(e) = telemetry.emit(&mut rec) {
         eprintln!("bits: {e}");
         return ExitCode::FAILURE;
@@ -131,6 +152,7 @@ fn run(
     tdm: &str,
     source: Option<&SourceSpec>,
     opt: bool,
+    lanes: usize,
     rec: &mut Recorder,
 ) -> Result<(), Box<dyn std::error::Error>> {
     println!("== BITS flow for circuit {} ==", circuit.name());
@@ -255,6 +277,7 @@ fn run(
                 backtrack_limit: 1_000,
                 source: Some(spec.clone()),
                 opt,
+                lanes,
                 ..Table2Options::default()
             };
             let stats = rec.scope(format!("source-coverage[kernel {i}]"), |rec| {

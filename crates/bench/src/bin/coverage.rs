@@ -3,7 +3,8 @@
 //! detectable faults) for BIBS and \[3\] on one circuit.
 //!
 //! Run with `cargo run --release -p bibs-bench --bin coverage --
-//! [circuit] [width] [--opt] [--collapse equiv|dominance|none]
+//! [circuit] [width] [--opt] [--lanes 64|256|512]
+//! [--collapse equiv|dominance|none]
 //! [--source random|lfsr|mintpg|weighted|replay:FILE]
 //! [--telemetry OUT.json]`
 //! (defaults: c5a2m, width 4, equiv). `circuit` is a built-in name
@@ -13,7 +14,9 @@
 //! hardware-faithful source (the curve's x-axis stays pattern counts;
 //! the per-kernel clock budget goes to stderr). `--opt` fault-simulates
 //! each kernel's validator-proven optimized program (the CSV is
-//! byte-identical; only throughput changes). Per-kernel
+//! byte-identical; only throughput changes). `--lanes 256|512` widens the
+//! evaluation word for the PPSFP wide sweeps (the CSV is byte-identical;
+//! only gate-evals/s changes). Per-kernel
 //! engine stats — including the collapse ratio, statically-untestable
 //! count and analysis wall — go to stderr; `BIBS_JOBS` sets the
 //! worker-thread count; `BIBS_TRACE=spans|counters` prints the telemetry
@@ -30,11 +33,21 @@ fn main() {
     let mut collapse = CollapseMode::Equiv;
     let mut source: Option<SourceSpec> = None;
     let mut opt = false;
+    let mut lanes: usize = 64;
     let mut telemetry_path: Option<std::path::PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         if arg == "--opt" {
             opt = true;
+        } else if arg == "--lanes" {
+            let value = args.next().unwrap_or_default();
+            lanes = match value.parse() {
+                Ok(l @ (64 | 256 | 512)) => l,
+                _ => {
+                    eprintln!("--lanes expects 64, 256 or 512 (got '{value}')");
+                    std::process::exit(2);
+                }
+            };
         } else if arg == "--collapse" {
             let value = args.next().unwrap_or_default();
             collapse = value.parse().unwrap_or_else(|e| {
@@ -87,6 +100,7 @@ fn main() {
         collapse,
         source,
         opt,
+        lanes,
         ..Table2Options::default()
     };
 

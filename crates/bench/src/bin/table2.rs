@@ -5,8 +5,8 @@
 //!
 //! Run with `cargo run --release -p bibs-bench --bin table2`.
 //!
-//! Usage: `table2 [WIDTH] [--json] [--opt] [--engine compiled|reference]
-//! [--collapse equiv|dominance|none]
+//! Usage: `table2 [WIDTH] [--json] [--opt] [--lanes 64|256|512]
+//! [--engine compiled|reference] [--collapse equiv|dominance|none]
 //! [--source random|lfsr|mintpg|weighted|replay:FILE] [--only NAME]
 //! [--circuit PATH] [--telemetry OUT.json]`
 //!
@@ -30,6 +30,11 @@
 //!   `replay:FILE` change the stream and add per-kernel
 //!   `source`/`source_clocks`/`source_patterns` fields to the JSON — the
 //!   coverage-vs-clocks axis);
+//! * `--lanes` — evaluation width in lanes (default 64). 256 and 512 run
+//!   the PPSFP wide sweeps (4 or 8 u64 words per evaluation, one
+//!   good-machine sweep per wide block); the JSON stays byte-identical (a
+//!   CI gate diffs all three widths) while gate-evals/s rises — a `lanes`
+//!   counter lands in the telemetry export;
 //! * `--opt` — run the optimizing pass pipeline over each kernel's
 //!   compiled program and fault-simulate the validated rewrite; the JSON
 //!   stays byte-identical (a CI gate diffs it) while `gate_evals` drops —
@@ -57,6 +62,7 @@ fn main() {
     let mut collapse = CollapseMode::Equiv;
     let mut source: Option<SourceSpec> = None;
     let mut opt = false;
+    let mut lanes: usize = 64;
     let mut only: Option<String> = None;
     let mut circuit_path: Option<std::path::PathBuf> = None;
     let mut telemetry_path: Option<std::path::PathBuf> = None;
@@ -65,6 +71,16 @@ fn main() {
         match arg.as_str() {
             "--json" => json = true,
             "--opt" => opt = true,
+            "--lanes" => {
+                let value = args.next().unwrap_or_default();
+                lanes = match value.parse() {
+                    Ok(l @ (64 | 256 | 512)) => l,
+                    _ => {
+                        eprintln!("--lanes expects 64, 256 or 512 (got '{value}')");
+                        std::process::exit(2);
+                    }
+                };
+            }
             "--telemetry" => {
                 telemetry_path = Some(std::path::PathBuf::from(args.next().unwrap_or_else(|| {
                     eprintln!("--telemetry needs an output path");
@@ -123,6 +139,7 @@ fn main() {
         collapse,
         source,
         opt,
+        lanes,
         ..Table2Options::default()
     };
     eprintln!(

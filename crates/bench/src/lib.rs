@@ -433,6 +433,14 @@ pub struct Table2Options {
     /// drop. [`Engine::Reference`] ignores the flag — the interpreter
     /// walks the netlist, not the program.
     pub opt: bool,
+    /// Evaluation width in lanes (`--lanes`): 64 (the scalar default),
+    /// 256 or 512. Widths past 64 run the PPSFP wide sweeps — one
+    /// good-machine evaluation per 4- or 8-word block — and add a
+    /// `lanes` telemetry counter; detection results are bit-identical at
+    /// every width, only `gate_evals`-per-second and wall-clock change.
+    /// [`Engine::Reference`] ignores the setting — the interpreter is
+    /// always 64-lane.
+    pub lanes: usize,
 }
 
 impl Default for Table2Options {
@@ -447,6 +455,7 @@ impl Default for Table2Options {
             collapse: CollapseMode::Equiv,
             source: None,
             opt: false,
+            lanes: 64,
         }
     }
 }
@@ -606,7 +615,8 @@ pub fn kernel_fault_stats_traced(
                             sim_faults,
                             options.jobs,
                         ),
-                    };
+                    }
+                    .with_lanes(options.lanes);
                     let report = sim.run_random_with_plateau(
                         &mut rng,
                         options.max_patterns,
@@ -651,7 +661,8 @@ pub fn kernel_fault_stats_traced(
                             sim_faults,
                             options.jobs,
                         ),
-                    };
+                    }
+                    .with_lanes(options.lanes);
                     let report = sim.run_source_with(
                         &mut *source,
                         options.max_patterns,

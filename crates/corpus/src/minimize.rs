@@ -30,6 +30,13 @@ const MAX_STEPS: usize = 100_000;
 fn bypass_gate(nl: &Netlist, victim: GateId) -> Option<Netlist> {
     let out = nl.gate(victim).output;
     let repl = nl.gate(victim).inputs[0];
+    if repl == out {
+        // A self-looped gate (representable via `from_parts_unchecked`,
+        // e.g. when the shrinker runs on a lint-rejected circuit): the
+        // replacement net is the very net being removed, so there is no
+        // surviving net to reroute readers to. Skip the candidate.
+        return None;
+    }
     // Net-id compaction: every net except `out` keeps its order.
     let mut map: Vec<Option<NetId>> = Vec::with_capacity(nl.net_count());
     let mut next = 0usize;
@@ -214,6 +221,56 @@ mod tests {
         let nl = sample();
         let out = minimize(nl.clone(), |_| false);
         assert_eq!(out.gate_count(), nl.gate_count());
+    }
+
+    #[test]
+    fn bypass_skips_self_looped_gates_instead_of_panicking() {
+        // A gate whose first input is its own output net — invalid, but
+        // representable via `from_parts_unchecked`, and exactly what the
+        // shrinker may be handed when minimizing a lint-oracle failure.
+        // `bypass_gate` used to panic unwrapping the removed net's slot.
+        let nets = vec![
+            Net {
+                name: Some("i".into()),
+                driver: NetDriver::Input(0),
+            },
+            Net {
+                name: Some("loop".into()),
+                driver: NetDriver::Gate(GateId::from_index(0)),
+            },
+            Net {
+                name: Some("y".into()),
+                driver: NetDriver::Gate(GateId::from_index(1)),
+            },
+        ];
+        let gates = vec![
+            Gate {
+                kind: GateKind::Buf,
+                inputs: vec![NetId::from_index(1)], // reads its own output
+                output: NetId::from_index(1),
+            },
+            Gate {
+                kind: GateKind::And,
+                inputs: vec![NetId::from_index(0), NetId::from_index(1)],
+                output: NetId::from_index(2),
+            },
+        ];
+        let nl = Netlist::from_parts_unchecked(
+            "selfloop".into(),
+            nets,
+            gates,
+            vec![],
+            vec![NetId::from_index(0)],
+            vec![NetId::from_index(2)],
+        );
+        assert!(bypass_gate(&nl, GateId::from_index(0)).is_none());
+        // The well-formed sibling gate is still a legal bypass target
+        // (its candidate may or may not validate; it must not panic).
+        let _ = bypass_gate(&nl, GateId::from_index(1));
+        // And the driver is robust end-to-end: minimize on the malformed
+        // netlist terminates instead of aborting.
+        let out = minimize(nl, |n| n.gate_count() >= 1);
+        assert!(out.gate_count() >= 1);
     }
 
     #[test]

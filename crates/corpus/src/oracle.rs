@@ -1,4 +1,4 @@
-//! The six differential oracles the fuzzer cross-checks per circuit.
+//! The seven differential oracles the fuzzer cross-checks per circuit.
 //!
 //! Each oracle pits two implementations (or one implementation and a
 //! ground truth) against each other on the same circuit and reports a
@@ -24,10 +24,15 @@
 //!    optimized program must produce a bit-identical fault-simulation
 //!    report on the serial and parallel engines — the differential check
 //!    behind `table2 --opt`'s byte-identity claim.
+//! 7. **Lanes** — wide-word evaluation (256 and 512 lanes via
+//!    `with_lanes`) must reproduce the scalar 64-lane report bit for bit
+//!    on the same seeded stream, serial and parallel, including a
+//!    plateau-stop run that exercises the wide driver's sub-block
+//!    retraction — the differential check behind `table2 --lanes`.
 //!
 //! Oracles 3 and 4 need exhaustive simulation and only run when the
 //! circuit has at most [`EXHAUSTIVE_PI_LIMIT`] primary-input bits; 1, 2,
-//! 5 and 6 run on everything. Sequential circuits are checked on their
+//! 5, 6 and 7 run on everything. Sequential circuits are checked on their
 //! [`combinational_equivalent`](Netlist::combinational_equivalent).
 
 use bibs_faultsim::fault::{FaultUniverse, StaticFaultAnalysis};
@@ -65,6 +70,8 @@ pub enum Oracle {
     Source,
     /// Optimize-then-CEC: validated rewrite, bit-identical reports.
     Opt,
+    /// Wide-word (256/512-lane) vs scalar 64-lane reports.
+    Lanes,
 }
 
 impl fmt::Display for Oracle {
@@ -76,6 +83,7 @@ impl fmt::Display for Oracle {
             Oracle::Prover => "prover",
             Oracle::Source => "source",
             Oracle::Opt => "opt",
+            Oracle::Lanes => "lanes",
         })
     }
 }
@@ -116,6 +124,7 @@ pub fn check_all(netlist: &Netlist, seed: u64) -> Vec<Divergence> {
     out.extend(check_parallel(&nl, seed));
     out.extend(check_source(&nl, seed));
     out.extend(check_opt(&nl, &program, seed));
+    out.extend(check_lanes(&nl, seed));
     if nl.input_width() <= EXHAUSTIVE_PI_LIMIT {
         out.extend(check_dominance(&nl, &program));
         out.extend(check_prover(&nl, &program));
@@ -313,6 +322,64 @@ pub fn check_opt(nl: &Netlist, program: &EvalProgram, seed: u64) -> Vec<Divergen
             out.push(Divergence {
                 oracle: Oracle::Opt,
                 detail: format!("optimized report differs at {threads} thread(s)"),
+            });
+        }
+    }
+    out
+}
+
+/// Oracle 7: wide-word evaluation is report-invisible. Each lane width
+/// (256 and 512) re-runs the scalar baseline's seeded stream through a
+/// `with_lanes`-configured serial engine and the parallel engine at 2
+/// threads and requires bit-identical detection and pattern counts; a
+/// second, plateau-limited run forces the wide driver to stop mid-sweep
+/// and retract sub-blocks the scalar driver would never have applied.
+pub fn check_lanes(nl: &Netlist, seed: u64) -> Vec<Divergence> {
+    let faults = FaultUniverse::collapsed(nl).faults().to_vec();
+    if faults.is_empty() {
+        return Vec::new();
+    }
+    let source_seed = seed ^ 0x7A9E;
+    let mut src = RandomWords::seeded(source_seed);
+    let full = FaultSimulator::new(nl, faults.clone()).run_source(&mut src, SOURCE_PATTERNS);
+    let mut src = RandomWords::seeded(source_seed);
+    let stopped =
+        FaultSimulator::new(nl, faults.clone()).run_source_with(&mut src, SOURCE_PATTERNS, 64, 1.0);
+    let mut out = Vec::new();
+    for lanes in [256usize, 512] {
+        let mut src = RandomWords::seeded(source_seed);
+        let wide = FaultSimulator::new(nl, faults.clone())
+            .with_lanes(lanes)
+            .run_source(&mut src, SOURCE_PATTERNS);
+        if wide.detection() != full.detection()
+            || wide.patterns_applied() != full.patterns_applied()
+        {
+            out.push(Divergence {
+                oracle: Oracle::Lanes,
+                detail: format!("serial report differs at {lanes} lanes"),
+            });
+        }
+        let mut src = RandomWords::seeded(source_seed);
+        let par = ParFaultSimulator::with_threads(nl, faults.clone(), 2)
+            .with_lanes(lanes)
+            .run_source(&mut src, SOURCE_PATTERNS);
+        if par.detection() != full.detection() || par.patterns_applied() != full.patterns_applied()
+        {
+            out.push(Divergence {
+                oracle: Oracle::Lanes,
+                detail: format!("parallel report differs at {lanes} lanes (2 threads)"),
+            });
+        }
+        let mut src = RandomWords::seeded(source_seed);
+        let wide_stopped = FaultSimulator::new(nl, faults.clone())
+            .with_lanes(lanes)
+            .run_source_with(&mut src, SOURCE_PATTERNS, 64, 1.0);
+        if wide_stopped.detection() != stopped.detection()
+            || wide_stopped.patterns_applied() != stopped.patterns_applied()
+        {
+            out.push(Divergence {
+                oracle: Oracle::Lanes,
+                detail: format!("plateau-stop report differs at {lanes} lanes"),
             });
         }
     }

@@ -88,10 +88,33 @@ pub(crate) fn compile_fault_patches(
         .collect()
 }
 
+/// Checks the engine-construction invariant that [`eval_fault`] relies
+/// on: every [`FaultPatch::Fallback`] needs the original program at hand.
+/// The engines call this once at construction and surface the failure as
+/// a typed [`crate::sim::SimError`] instead of aborting mid-run.
+pub(crate) fn validate_fault_patches(
+    patches: &[FaultPatch],
+    has_fallback: bool,
+) -> Result<(), crate::sim::SimError> {
+    if has_fallback {
+        return Ok(());
+    }
+    match patches
+        .iter()
+        .position(|fp| matches!(fp, FaultPatch::Fallback(_)))
+    {
+        None => Ok(()),
+        Some(fault_index) => Err(crate::sim::SimError::MissingFallback { fault_index }),
+    }
+}
+
 /// One faulty-machine evaluation: runs `program` (the good-machine
 /// program) for `Direct`/`Multi`, or `fallback` (the pre-rewrite
 /// program; same slot space) for `Fallback`. Returns the instruction
 /// count executed.
+///
+/// `Fallback` without a fallback program is rejected at engine
+/// construction by [`validate_fault_patches`], so it is unreachable here.
 #[inline]
 pub(crate) fn eval_fault(
     program: &EvalProgram,
@@ -103,9 +126,31 @@ pub(crate) fn eval_fault(
     match fp {
         FaultPatch::Direct(p) => program.eval_patched(values, input_words, *p),
         FaultPatch::Multi(ps) => program.eval_multi_patched(values, input_words, ps),
-        FaultPatch::Fallback(p) => fallback
-            .expect("fallback requires the original program")
-            .eval_patched(values, input_words, *p),
+        FaultPatch::Fallback(p) => match fallback {
+            Some(orig) => orig.eval_patched(values, input_words, *p),
+            None => unreachable!("validate_fault_patches admits Fallback only with a fallback"),
+        },
+    }
+}
+
+/// Wide [`eval_fault`]: `input_chunks` is the chunk-contiguous wide input
+/// layout of [`EvalProgram::set_inputs_wide`]. Returns the
+/// lane-normalized executed instruction count.
+#[inline]
+pub(crate) fn eval_fault_wide<const N: usize>(
+    program: &EvalProgram,
+    fallback: Option<&EvalProgram>,
+    values: &mut [u64],
+    input_chunks: &[u64],
+    fp: &FaultPatch,
+) -> u64 {
+    match fp {
+        FaultPatch::Direct(p) => program.eval_patched_wide::<N>(values, input_chunks, *p),
+        FaultPatch::Multi(ps) => program.eval_multi_patched_wide::<N>(values, input_chunks, ps),
+        FaultPatch::Fallback(p) => match fallback {
+            Some(orig) => orig.eval_patched_wide::<N>(values, input_chunks, *p),
+            None => unreachable!("validate_fault_patches admits Fallback only with a fallback"),
+        },
     }
 }
 
@@ -126,6 +171,37 @@ pub(crate) fn output_diff(
     diff & lane_mask
 }
 
+/// Wide [`output_diff`]: scans the `N` sub-words in lane order and
+/// returns the first `(sub_word, diff_word)` with a surviving masked
+/// difference, or `None` if the fault is undetected in the whole chunk.
+/// `masks[k]` is the valid-lane mask of sub-word `k` (0 for sub-words
+/// past the pattern budget). Taking the *first* differing sub-word is
+/// what makes wide first-detection indices bit-identical to the scalar
+/// engine's.
+#[inline]
+pub(crate) fn output_diff_wide<const N: usize>(
+    output_slots: &[u32],
+    good: &[u64],
+    faulty: &[u64],
+    masks: &[u64; N],
+) -> Option<(usize, u64)> {
+    for (k, &mask) in masks.iter().enumerate() {
+        if mask == 0 {
+            continue;
+        }
+        let mut diff = 0u64;
+        for &o in output_slots {
+            let i = o as usize * N + k;
+            diff |= good[i] ^ faulty[i];
+        }
+        diff &= mask;
+        if diff != 0 {
+            return Some((k, diff));
+        }
+    }
+    None
+}
+
 /// Net-index variant of [`output_diff`], used by the reference
 /// interpreter.
 #[inline]
@@ -140,4 +216,29 @@ pub(crate) fn output_diff_nets(
         diff |= good[o] ^ faulty[o];
     }
     diff & lane_mask
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validate_rejects_fallback_patches_without_a_fallback_program() {
+        let p = Patch::Slot { slot: 0, word: 0 };
+        let patches = vec![
+            FaultPatch::Direct(p),
+            FaultPatch::Fallback(p),
+            FaultPatch::Fallback(p),
+        ];
+        // With the original program retained, fallback dispatch is legal.
+        assert!(validate_fault_patches(&patches, true).is_ok());
+        // Without it, construction must fail with a typed error naming
+        // the *first* unmapped fault (this used to be a mid-run abort).
+        let err = validate_fault_patches(&patches, false).unwrap_err();
+        let crate::sim::SimError::MissingFallback { fault_index } = err;
+        assert_eq!(fault_index, 1);
+        // No Fallback patches at all: nothing to validate.
+        assert!(validate_fault_patches(&[FaultPatch::Direct(p)], false).is_ok());
+        assert!(validate_fault_patches(&[], false).is_ok());
+    }
 }

@@ -38,7 +38,8 @@
 
 use crate::eval;
 use crate::fault::Fault;
-use crate::sim::{BlockSim, FaultSimReport, FaultSimulator};
+use crate::sim::{BlockSim, FaultSimReport, FaultSimulator, SimError};
+use crate::source::PatternBlock;
 use crate::stats::SimStats;
 use bibs_netlist::opt::OptimizedProgram;
 use bibs_netlist::{EvalProgram, Netlist};
@@ -136,6 +137,11 @@ pub struct ParFaultSimulator<'a> {
     good: Vec<u64>,
     /// One faulty-machine buffer per worker, reused across blocks.
     faulty_bufs: Vec<Vec<u64>>,
+    /// 64-lane words per sweep: 1 (scalar) or 4/8 (`with_lanes`).
+    lane_words: usize,
+    /// Stride-`lane_words` wide buffers; empty while scalar.
+    good_wide: Vec<u64>,
+    faulty_wide_bufs: Vec<Vec<u64>>,
     patterns_applied: u64,
     threads: usize,
     rec: Recorder,
@@ -234,10 +240,44 @@ impl<'a> ParFaultSimulator<'a> {
             undetected: (0..n as u32).collect(),
             good,
             faulty_bufs,
+            lane_words: 1,
+            good_wide: Vec::new(),
+            faulty_wide_bufs: Vec::new(),
             patterns_applied: 0,
             threads,
             rec,
         }
+    }
+
+    /// Reconfigures the engine for wide sweeps — the parallel twin of
+    /// [`FaultSimulator::with_lanes`]: `lanes` is 64 (scalar default),
+    /// 256, or 512. Reports stay bit-identical across lane widths *and*
+    /// thread counts (`tests/lanes_equivalence.rs`). Widening records the
+    /// `lanes` telemetry counter; 64 leaves the scalar path untouched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes` is not 64, 256, or 512.
+    #[must_use]
+    pub fn with_lanes(mut self, lanes: usize) -> Self {
+        assert!(
+            matches!(lanes, 64 | 256 | 512),
+            "supported lane widths: 64, 256, 512"
+        );
+        self.lane_words = lanes / 64;
+        if self.lane_words > 1 {
+            let root = self.rec.root();
+            self.rec.add_to(root, CounterId::Lanes, lanes as u64);
+            self.good_wide = match self.lane_words {
+                4 => self.program.new_values_wide::<4>(),
+                _ => self.program.new_values_wide::<8>(),
+            };
+            self.faulty_wide_bufs = (0..self.threads).map(|_| self.good_wide.clone()).collect();
+        } else {
+            self.good_wide = Vec::new();
+            self.faulty_wide_bufs = Vec::new();
+        }
+        self
     }
 
     /// Creates a parallel simulator whose good machine runs the
@@ -264,6 +304,27 @@ impl<'a> ParFaultSimulator<'a> {
         )
     }
 
+    /// Fallible [`ParFaultSimulator::with_optimized`] — the parallel twin
+    /// of [`FaultSimulator::try_with_optimized`]: validates that every
+    /// unmapped (`Fallback`) fault has the original program to evaluate
+    /// on, surfacing a violation as a typed [`SimError`] instead of a
+    /// mid-run abort.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::MissingFallback`] if an unmapped fault has no
+    /// fallback program.
+    pub fn try_with_optimized(
+        netlist: &'a Netlist,
+        opt: &OptimizedProgram,
+        faults: Vec<Fault>,
+        threads: usize,
+    ) -> Result<Self, SimError> {
+        let sim = Self::with_optimized(netlist, opt, faults, threads);
+        eval::validate_fault_patches(&sim.patches, sim.fallback.is_some())?;
+        Ok(sim)
+    }
+
     /// [`ParFaultSimulator::with_optimized`] with a caller-supplied
     /// telemetry recorder.
     pub fn with_optimized_recorder(
@@ -277,6 +338,8 @@ impl<'a> ParFaultSimulator<'a> {
             Self::with_program_recorder(netlist, opt.optimized().clone(), faults, threads, rec);
         sim.patches = eval::compile_fault_patches(opt.original(), Some(opt), &sim.faults);
         sim.fallback = Some(opt.original().clone());
+        eval::validate_fault_patches(&sim.patches, sim.fallback.is_some())
+            .expect("optimized constructors retain the original program");
         sim
     }
 
@@ -296,6 +359,142 @@ impl<'a> ParFaultSimulator<'a> {
     /// pipeline-level recorder with [`Recorder::graft`].
     pub fn recorder(&self) -> &Recorder {
         &self.rec
+    }
+
+    /// The monomorphized wide sweep: one wide good-machine evaluation,
+    /// then the undetected list sharded across workers exactly like the
+    /// scalar [`BlockSim::apply_block`], each hit carrying its pattern
+    /// *offset* (`sub-block prefix + lane`) within the sweep. Detections
+    /// merge deterministically; the undetected list is compacted later by
+    /// the commit (the driver may still erase boundary-crossing hits).
+    fn apply_wide<const N: usize>(&mut self, blocks: &[PatternBlock], applied: &[usize]) -> usize {
+        let width = self.netlist.input_width();
+        let started = Instant::now();
+        let (chunks, masks, prefix) = crate::sim::pack_wide::<N>(blocks, applied, width);
+
+        let good_gate_evals = self
+            .program
+            .eval_good_wide::<N>(&mut self.good_wide, &chunks);
+
+        let program = &self.program;
+        let fallback = self.fallback.as_ref();
+        let patches = &self.patches;
+        let undetected = &self.undetected;
+        let good = &self.good_wide;
+        let output_slots = program.output_slots();
+        let chunks = &chunks;
+        let masks = &masks;
+
+        let shard_results: Vec<ShardResult> = if self.threads <= 1
+            || undetected.len() <= SERIAL_CUTOFF
+        {
+            let buf = &mut self.faulty_wide_bufs[0];
+            let mut hits = Vec::new();
+            let mut shard = ShardCounters::new();
+            let shard_started = Instant::now();
+            for (pos, &fi) in undetected.iter().enumerate() {
+                let fp = &patches[fi as usize];
+                let gate_evals = eval::eval_fault_wide::<N>(program, fallback, buf, chunks, fp);
+                shard.add(CounterId::GateEvals, gate_evals);
+                shard.add(CounterId::FaultEvals, 1);
+                shard.add(CounterId::PatchesApplied, fp.patch_count());
+                if let Some((k, diff)) = eval::output_diff_wide::<N>(output_slots, good, buf, masks)
+                {
+                    hits.push((pos, prefix[k] + diff.trailing_zeros() as u64));
+                }
+            }
+            shard.wall = shard_started.elapsed();
+            vec![(hits, shard)]
+        } else {
+            let cursor = AtomicUsize::new(0);
+            let cursor = &cursor;
+            std::thread::scope(|s| {
+                let handles: Vec<_> = self
+                    .faulty_wide_bufs
+                    .iter_mut()
+                    .map(|buf| {
+                        s.spawn(move || {
+                            let mut hits: Vec<(usize, u64)> = Vec::new();
+                            let mut shard = ShardCounters::new();
+                            let shard_started = Instant::now();
+                            loop {
+                                let start = cursor.fetch_add(STEAL_CHUNK, Ordering::Relaxed);
+                                if start >= undetected.len() {
+                                    break;
+                                }
+                                shard.add(CounterId::QueuePops, 1);
+                                let end = (start + STEAL_CHUNK).min(undetected.len());
+                                for pos in start..end {
+                                    let fp = &patches[undetected[pos] as usize];
+                                    let gate_evals = eval::eval_fault_wide::<N>(
+                                        program, fallback, buf, chunks, fp,
+                                    );
+                                    shard.add(CounterId::GateEvals, gate_evals);
+                                    shard.add(CounterId::FaultEvals, 1);
+                                    shard.add(CounterId::PatchesApplied, fp.patch_count());
+                                    if let Some((k, diff)) =
+                                        eval::output_diff_wide::<N>(output_slots, good, buf, masks)
+                                    {
+                                        hits.push((pos, prefix[k] + diff.trailing_zeros() as u64));
+                                    }
+                                }
+                            }
+                            shard.wall = shard_started.elapsed();
+                            (hits, shard)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("fault-sim worker panicked"))
+                    .collect()
+            })
+        };
+
+        let root = self.rec.root();
+        let mut newly = 0usize;
+        for (shard_idx, (hits, shard)) in shard_results.into_iter().enumerate() {
+            self.rec.attach_shard(root, shard_idx as u32, &shard);
+            for (pos, offset) in hits {
+                let fi = self.undetected[pos] as usize;
+                debug_assert!(self.detection[fi].is_none());
+                self.detection[fi] = Some(self.patterns_applied + offset);
+                newly += 1;
+            }
+        }
+        self.rec.add_to(root, CounterId::GateEvals, good_gate_evals);
+        self.rec.add_to(root, CounterId::GoodEvals, 1);
+        self.rec.add_to(
+            root,
+            CounterId::Blocks,
+            applied.iter().filter(|&&l| l > 0).count() as u64,
+        );
+        self.rec.add_wall(root, started.elapsed());
+        newly
+    }
+
+    /// Shared commit logic: erase boundary-crossing detections, count the
+    /// surviving drops, compact the undetected work list, and advance the
+    /// pattern counter.
+    fn commit_wide(&mut self, boundary: u64) {
+        let base = self.patterns_applied;
+        debug_assert!(boundary >= base);
+        let mut dropped = 0u64;
+        for d in &mut self.detection {
+            match *d {
+                Some(p) if p >= boundary => *d = None,
+                Some(p) if p >= base => dropped += 1,
+                _ => {}
+            }
+        }
+        let detection = &self.detection;
+        self.undetected
+            .retain(|&fi| detection[fi as usize].is_none());
+        self.patterns_applied = boundary;
+        let root = self.rec.root();
+        self.rec
+            .add_to(root, CounterId::PatternsConsumed, boundary - base);
+        self.rec.add_to(root, CounterId::FaultsDropped, dropped);
     }
 }
 
@@ -436,6 +635,22 @@ impl BlockSim for ParFaultSimulator<'_> {
             self.patterns_applied,
             SimStats::from_recorder(&self.rec, self.threads),
         )
+    }
+
+    fn lane_words(&self) -> usize {
+        self.lane_words
+    }
+
+    fn apply_wide_block(&mut self, blocks: &[PatternBlock], applied: &[usize]) -> usize {
+        match self.lane_words {
+            4 => self.apply_wide::<4>(blocks, applied),
+            8 => self.apply_wide::<8>(blocks, applied),
+            _ => unreachable!("wide sweeps require with_lanes(256|512)"),
+        }
+    }
+
+    fn commit_wide_block(&mut self, boundary: u64) {
+        self.commit_wide(boundary);
     }
 }
 

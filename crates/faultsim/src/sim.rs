@@ -20,13 +20,43 @@
 
 use crate::eval;
 use crate::fault::Fault;
-use crate::source::{PatternSource, RandomWords};
+use crate::source::{PatternBlock, PatternSource, RandomWords};
 use crate::stats::SimStats;
 use bibs_netlist::opt::OptimizedProgram;
 use bibs_netlist::{EvalProgram, Netlist};
 use bibs_obs::{CounterId, Recorder, ShardCounters};
 use rand::Rng;
 use std::time::Instant;
+
+/// A typed engine-construction failure.
+///
+/// The engines validate their invariants at construction (via the
+/// `try_*` constructors) instead of aborting mid-run from a violated
+/// internal `expect`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimError {
+    /// A fault's patch could not be remapped onto the optimized program
+    /// (a `Fallback` fault patch) but no fallback (original) program is
+    /// available to evaluate it on.
+    MissingFallback {
+        /// Index into the engine's fault list of the first offending
+        /// fault.
+        fault_index: usize,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::MissingFallback { fault_index } => write!(
+                f,
+                "fault {fault_index} is unmapped by the rewrite and no fallback program is available"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
 
 /// The outcome of a fault simulation run.
 #[derive(Debug, Clone)]
@@ -156,6 +186,39 @@ pub trait BlockSim {
     /// The current report (can be taken mid-run).
     fn report(&self) -> FaultSimReport;
 
+    /// Number of 64-lane words evaluated per sweep: 1 for scalar engines,
+    /// 4 or 8 for engines widened with `with_lanes`.
+    fn lane_words(&self) -> usize {
+        1
+    }
+
+    /// Applies one *wide* sweep of up to [`BlockSim::lane_words`]
+    /// consecutive 64-lane sub-blocks: one good-machine evaluation, then
+    /// every live fault batched against it (PPSFP). `applied[k]` is the
+    /// number of budget-valid lanes of sub-block `k` (0 masks it out
+    /// entirely).
+    ///
+    /// Detections are recorded relative to the *current*
+    /// [`BlockSim::patterns_applied`], but the pattern counter itself is
+    /// **not** advanced — the wide driver re-simulates the scalar
+    /// driver's per-block stop decisions afterwards and finalizes the
+    /// sweep with [`BlockSim::commit_wide_block`]. Returns the number of
+    /// newly detected faults (pre-commit).
+    fn apply_wide_block(&mut self, blocks: &[PatternBlock], applied: &[usize]) -> usize {
+        let _ = (blocks, applied);
+        unimplemented!("wide sweeps require an engine configured via with_lanes")
+    }
+
+    /// Finalizes a wide sweep at pattern index `boundary`: detections at
+    /// or past the boundary are erased (a scalar run would have stopped
+    /// before applying those lanes), faults first detected inside
+    /// `[patterns_applied, boundary)` are dropped, and the pattern
+    /// counter advances to `boundary`.
+    fn commit_wide_block(&mut self, boundary: u64) {
+        let _ = boundary;
+        unimplemented!("wide sweeps require an engine configured via with_lanes")
+    }
+
     /// Whether every fault in the list has been detected.
     fn all_detected(&self) -> bool {
         self.detection().iter().all(|d| d.is_some())
@@ -279,6 +342,9 @@ pub trait BlockSim {
     where
         Self: Sized,
     {
+        if self.lane_words() > 1 {
+            return self.run_source_wide(source, max_patterns, plateau, target);
+        }
         let width = self.netlist().input_width();
         let mut last_detection_at = 0u64;
         while self.patterns_applied() < max_patterns
@@ -298,6 +364,123 @@ pub trait BlockSim {
                 .min((max_patterns - self.patterns_applied()) as usize);
             if self.apply_block(&block.words, lanes) > 0 {
                 last_detection_at = self.patterns_applied();
+            }
+        }
+        self.report()
+    }
+
+    /// The wide (multi-word) twin of the scalar `run_source_with` loop.
+    ///
+    /// Bit-identity with the scalar driver rests on two pieces: sub-word
+    /// `k` of a wide evaluation equals a scalar evaluation of sub-block
+    /// `k` (the compiled-kernel contract), and the scalar driver's
+    /// per-64-lane stop decisions (max, coverage target, detection
+    /// plateau) are *replayed* after each sweep from the recorded
+    /// detections, truncating the sweep via
+    /// [`BlockSim::commit_wide_block`] at exactly the pattern index where
+    /// a scalar run would have stopped. The one observable difference is
+    /// source-side: a sweep may pull sub-blocks a stopping scalar run
+    /// never would have, so [`PatternSource::patterns_emitted`] /
+    /// `clocks_consumed` / `state_digest` can run ahead on stopped runs
+    /// (the engine-side report is unaffected).
+    #[doc(hidden)]
+    fn run_source_wide(
+        &mut self,
+        source: &mut (impl PatternSource + ?Sized),
+        max_patterns: u64,
+        plateau: u64,
+        target: f64,
+    ) -> FaultSimReport
+    where
+        Self: Sized,
+    {
+        let width = self.netlist().input_width();
+        let n_words = self.lane_words();
+        let n_faults = self.detection().len();
+        let cov_of = |det: usize| {
+            if n_faults == 0 {
+                1.0
+            } else {
+                det as f64 / n_faults as f64
+            }
+        };
+        let mut detected = self.detection().iter().filter(|d| d.is_some()).count();
+        let mut last_detection_at = 0u64;
+        loop {
+            let base = self.patterns_applied();
+            if !(base < max_patterns
+                && cov_of(detected) < target
+                && base.saturating_sub(last_detection_at) < plateau)
+            {
+                break;
+            }
+            let remaining = max_patterns - base;
+            let max_words = n_words.min(remaining.div_ceil(64) as usize);
+            let blocks = source.next_wide_block(width, max_words);
+            if blocks.is_empty() {
+                break;
+            }
+            let mut budget = remaining;
+            let mut applied = Vec::with_capacity(blocks.len());
+            for b in &blocks {
+                assert_eq!(b.words.len(), width, "source block width mismatch");
+                assert!(
+                    (1..=64).contains(&b.lanes),
+                    "source blocks carry 1..=64 lanes"
+                );
+                let l = (b.lanes as u64).min(budget);
+                budget -= l;
+                applied.push(l as usize);
+            }
+            self.apply_wide_block(&blocks, &applied);
+
+            // Replay the scalar driver's per-sub-block decisions: bucket
+            // this sweep's detections by sub-block, then walk the
+            // sub-blocks re-checking the stop conditions a scalar run
+            // would have checked between them.
+            let mut prefix = vec![0u64; applied.len() + 1];
+            for (k, &l) in applied.iter().enumerate() {
+                prefix[k + 1] = prefix[k] + l as u64;
+            }
+            let mut per_sub = vec![0usize; applied.len()];
+            for d in self.detection().iter().flatten() {
+                if *d >= base {
+                    let off = *d - base;
+                    per_sub[prefix[1..].partition_point(|&e| e <= off)] += 1;
+                }
+            }
+            let mut pa = base;
+            let mut last_det = last_detection_at;
+            let mut det = detected;
+            let mut boundary = None;
+            for (k, &l) in applied.iter().enumerate() {
+                if l == 0 {
+                    break;
+                }
+                if k > 0
+                    && !(pa < max_patterns
+                        && cov_of(det) < target
+                        && pa.saturating_sub(last_det) < plateau)
+                {
+                    boundary = Some(pa);
+                    break;
+                }
+                pa += l as u64;
+                if per_sub[k] > 0 {
+                    det += per_sub[k];
+                    last_det = pa;
+                }
+            }
+            match boundary {
+                Some(b) => {
+                    self.commit_wide_block(b);
+                    break;
+                }
+                None => {
+                    self.commit_wide_block(pa);
+                    detected = det;
+                    last_detection_at = last_det;
+                }
             }
         }
         self.report()
@@ -381,6 +564,11 @@ pub struct FaultSimulator<'a> {
     detection: Vec<Option<u64>>,
     good: Vec<u64>,
     faulty: Vec<u64>,
+    /// 64-lane words per sweep: 1 (scalar) or 4/8 (`with_lanes`).
+    lane_words: usize,
+    /// Stride-`lane_words` wide buffers; empty while scalar.
+    good_wide: Vec<u64>,
+    faulty_wide: Vec<u64>,
     patterns_applied: u64,
     rec: Recorder,
 }
@@ -437,6 +625,27 @@ impl<'a> FaultSimulator<'a> {
         Self::with_optimized_recorder(netlist, opt, faults, Recorder::new("fault-sim[serial]"))
     }
 
+    /// Fallible [`FaultSimulator::with_optimized`]: validates the
+    /// engine's fault-dispatch invariant (every `Fallback` fault patch
+    /// needs the original program at hand) and surfaces a violation as a
+    /// typed [`SimError`] instead of a mid-run abort.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::MissingFallback`] if an unmapped fault has no
+    /// fallback program — unreachable through this constructor today (it
+    /// always retains the original program) but kept as the single
+    /// validation point should fallback retention ever become optional.
+    pub fn try_with_optimized(
+        netlist: &'a Netlist,
+        opt: &OptimizedProgram,
+        faults: Vec<Fault>,
+    ) -> Result<Self, SimError> {
+        let sim = Self::with_optimized(netlist, opt, faults);
+        eval::validate_fault_patches(&sim.patches, sim.fallback.is_some())?;
+        Ok(sim)
+    }
+
     /// [`FaultSimulator::with_optimized`] with a caller-supplied telemetry
     /// recorder.
     pub fn with_optimized_recorder(
@@ -448,6 +657,8 @@ impl<'a> FaultSimulator<'a> {
         let mut sim = Self::with_program_recorder(netlist, opt.optimized().clone(), faults, rec);
         sim.patches = eval::compile_fault_patches(opt.original(), Some(opt), &sim.faults);
         sim.fallback = Some(opt.original().clone());
+        eval::validate_fault_patches(&sim.patches, sim.fallback.is_some())
+            .expect("optimized constructors retain the original program");
         sim
     }
 
@@ -484,9 +695,46 @@ impl<'a> FaultSimulator<'a> {
             detection: vec![None; n],
             good,
             faulty,
+            lane_words: 1,
+            good_wide: Vec::new(),
+            faulty_wide: Vec::new(),
             patterns_applied: 0,
             rec,
         }
+    }
+
+    /// Reconfigures the engine for wide sweeps: `lanes` is 64 (the scalar
+    /// default), 256, or 512 — 1, 4, or 8 words of 64 patterns per
+    /// good-machine evaluation. The stream drivers then evaluate the good
+    /// machine once per wide sweep and batch every live fault against it
+    /// (PPSFP); reports stay bit-identical to the 64-lane engine's
+    /// (pinned by `tests/lanes_equivalence.rs`). Widening records the
+    /// `lanes` telemetry counter; 64 leaves the scalar path — and its
+    /// telemetry — untouched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes` is not 64, 256, or 512.
+    #[must_use]
+    pub fn with_lanes(mut self, lanes: usize) -> Self {
+        assert!(
+            matches!(lanes, 64 | 256 | 512),
+            "supported lane widths: 64, 256, 512"
+        );
+        self.lane_words = lanes / 64;
+        if self.lane_words > 1 {
+            let root = self.rec.root();
+            self.rec.add_to(root, CounterId::Lanes, lanes as u64);
+            self.good_wide = match self.lane_words {
+                4 => self.program.new_values_wide::<4>(),
+                _ => self.program.new_values_wide::<8>(),
+            };
+            self.faulty_wide = self.good_wide.clone();
+        } else {
+            self.good_wide = Vec::new();
+            self.faulty_wide = Vec::new();
+        }
+        self
     }
 
     /// The compiled program driving this simulator.
@@ -501,6 +749,110 @@ impl<'a> FaultSimulator<'a> {
     pub fn recorder(&self) -> &Recorder {
         &self.rec
     }
+
+    /// The monomorphized wide sweep: pack the chunk-contiguous input
+    /// layout and per-sub-word valid-lane masks, evaluate the good
+    /// machine once, then batch every live fault against it.
+    fn apply_wide<const N: usize>(&mut self, blocks: &[PatternBlock], applied: &[usize]) -> usize {
+        let width = self.netlist.input_width();
+        let started = Instant::now();
+        let (chunks, masks, prefix) = pack_wide::<N>(blocks, applied, width);
+
+        let good_gate_evals = self
+            .program
+            .eval_good_wide::<N>(&mut self.good_wide, &chunks);
+
+        let mut shard = ShardCounters::new();
+        let mut newly = 0usize;
+        for fi in 0..self.faults.len() {
+            if self.detection[fi].is_some() {
+                continue;
+            }
+            let gate_evals = eval::eval_fault_wide::<N>(
+                &self.program,
+                self.fallback.as_ref(),
+                &mut self.faulty_wide,
+                &chunks,
+                &self.patches[fi],
+            );
+            shard.add(CounterId::GateEvals, gate_evals);
+            shard.add(CounterId::FaultEvals, 1);
+            shard.add(CounterId::PatchesApplied, self.patches[fi].patch_count());
+            if let Some((k, diff)) = eval::output_diff_wide::<N>(
+                self.program.output_slots(),
+                &self.good_wide,
+                &self.faulty_wide,
+                &masks,
+            ) {
+                self.detection[fi] =
+                    Some(self.patterns_applied + prefix[k] + diff.trailing_zeros() as u64);
+                newly += 1;
+            }
+        }
+
+        let root = self.rec.root();
+        self.rec.add_to(root, CounterId::GateEvals, good_gate_evals);
+        self.rec.add_to(root, CounterId::GoodEvals, 1);
+        self.rec.add_to(
+            root,
+            CounterId::Blocks,
+            applied.iter().filter(|&&l| l > 0).count() as u64,
+        );
+        self.rec.attach_shard(root, 0, &shard);
+        self.rec.add_wall(root, started.elapsed());
+        newly
+    }
+
+    /// Shared commit logic (see [`BlockSim::commit_wide_block`]): erase
+    /// detections at or past `boundary`, count the surviving drops, and
+    /// advance the pattern counter.
+    fn commit_wide(&mut self, boundary: u64) {
+        let base = self.patterns_applied;
+        debug_assert!(boundary >= base);
+        let mut dropped = 0u64;
+        for d in &mut self.detection {
+            match *d {
+                Some(p) if p >= boundary => *d = None,
+                Some(p) if p >= base => dropped += 1,
+                _ => {}
+            }
+        }
+        self.patterns_applied = boundary;
+        let root = self.rec.root();
+        self.rec
+            .add_to(root, CounterId::PatternsConsumed, boundary - base);
+        self.rec.add_to(root, CounterId::FaultsDropped, dropped);
+    }
+}
+
+/// Packs a wide sweep's inputs for the compiled kernels: the
+/// chunk-contiguous input layout (`chunks[i * N + k]` = word `k` of input
+/// `i`), the per-sub-word valid-lane masks, and the per-sub-word pattern
+/// offsets (prefix sums of applied lanes).
+pub(crate) fn pack_wide<const N: usize>(
+    blocks: &[PatternBlock],
+    applied: &[usize],
+    width: usize,
+) -> (Vec<u64>, [u64; N], [u64; N]) {
+    debug_assert!(blocks.len() <= N && blocks.len() == applied.len());
+    let mut chunks = vec![0u64; width * N];
+    let mut masks = [0u64; N];
+    let mut prefix = [0u64; N];
+    for (k, b) in blocks.iter().enumerate() {
+        debug_assert_eq!(b.words.len(), width);
+        for (i, &w) in b.words.iter().enumerate() {
+            chunks[i * N + k] = w;
+        }
+        masks[k] = match applied[k] {
+            0 => 0,
+            64 => !0,
+            l => (1u64 << l) - 1,
+        };
+        if k + 1 < N {
+            prefix[k + 1] = prefix[k] + applied[k] as u64;
+        }
+    }
+    (chunks, masks, prefix)
 }
 
 impl BlockSim for FaultSimulator<'_> {
@@ -577,6 +929,22 @@ impl BlockSim for FaultSimulator<'_> {
             patterns_applied: self.patterns_applied,
             stats: SimStats::from_recorder(&self.rec, 1),
         }
+    }
+
+    fn lane_words(&self) -> usize {
+        self.lane_words
+    }
+
+    fn apply_wide_block(&mut self, blocks: &[PatternBlock], applied: &[usize]) -> usize {
+        match self.lane_words {
+            4 => self.apply_wide::<4>(blocks, applied),
+            8 => self.apply_wide::<8>(blocks, applied),
+            _ => unreachable!("wide sweeps require with_lanes(256|512)"),
+        }
+    }
+
+    fn commit_wide_block(&mut self, boundary: u64) {
+        self.commit_wide(boundary);
     }
 }
 

@@ -206,6 +206,31 @@ pub trait PatternSource {
 
     /// The source's serializable identity.
     fn descriptor(&self) -> SourceDescriptor;
+
+    /// Pulls up to `max_words` consecutive blocks for one wide sweep.
+    ///
+    /// The wide engines rely on every sub-block before the last carrying
+    /// a full 64 lanes (so sub-word `k` starts at pattern offset `64·k`),
+    /// which is why the pull stops after the first *ragged* (< 64 lane)
+    /// block even mid-stream — [`StoredSeedReplay`] emits ragged blocks
+    /// at reseed boundaries, not just at end-of-stream. Clock accounting
+    /// and the stream digest advance exactly as if the blocks had been
+    /// pulled one [`PatternSource::next_block`] at a time; an empty
+    /// result means the source is exhausted.
+    fn next_wide_block(&mut self, width: usize, max_words: usize) -> Vec<PatternBlock> {
+        let mut out = Vec::with_capacity(max_words);
+        while out.len() < max_words {
+            let Some(block) = self.next_block(width) else {
+                break;
+            };
+            let ragged = block.lanes < 64;
+            out.push(block);
+            if ragged {
+                break;
+            }
+        }
+        out
+    }
 }
 
 /// The legacy pseudorandom stream behind `run_random*`: one `u64` word

@@ -69,6 +69,11 @@ pub struct SimStats {
     /// propagation, SCOAP sweeps, dominance collapsing, untestability
     /// proofs). Zero when no pre-analysis ran.
     pub analysis_wall: Duration,
+    /// Simulation lane width: 64 for the scalar engines, 256/512 for
+    /// engines widened via `with_lanes`. [`SimStats::gate_evals`] is
+    /// lane-normalized (a wide sweep counts `instructions × lane words`),
+    /// so throughput figures stay comparable across widths.
+    pub lanes: u64,
 }
 
 impl SimStats {
@@ -77,6 +82,7 @@ impl SimStats {
         SimStats {
             threads,
             per_shard_fault_evals: vec![0; threads],
+            lanes: 64,
             ..SimStats::default()
         }
     }
@@ -126,7 +132,23 @@ impl SimStats {
                 .find(root, "analyze")
                 .map(|s| rec.span_wall(s))
                 .unwrap_or(Duration::ZERO),
+            // Scalar engines never record the counter; absent means the
+            // 64-lane default.
+            lanes: match c.get(CounterId::Lanes) {
+                0 => 64,
+                l => l,
+            },
         }
+    }
+
+    /// Faulty-machine evaluations per good-machine sweep — the PPSFP
+    /// batching figure (how many faults each wide good evaluation was
+    /// amortized over); 0.0 before any sweep ran.
+    pub fn faults_per_sweep(&self) -> f64 {
+        if self.good_evals == 0 {
+            return 0.0;
+        }
+        self.fault_evals as f64 / self.good_evals as f64
     }
 
     /// Faulty-machine evaluations per wall-clock second (the engine's
@@ -222,6 +244,16 @@ impl fmt::Display for SimStats {
             self.wall.as_secs_f64() * 1e3,
             self.compile_wall.as_secs_f64() * 1e3
         )?;
+        // Only widened runs mention lanes, keeping the scalar engines'
+        // output byte-identical to pre-wide baselines.
+        if self.lanes > 64 {
+            write!(
+                f,
+                "; {} lanes ({:.1} faults/sweep)",
+                self.lanes,
+                self.faults_per_sweep()
+            )?;
+        }
         if self.universe_faults > 0 {
             write!(
                 f,
@@ -373,6 +405,36 @@ mod tests {
         let empty = SimStats::from_recorder(&Recorder::disabled(), 1);
         assert_eq!(empty.fault_evals, 0);
         assert_eq!(empty.per_shard_fault_evals, vec![0]);
+    }
+
+    #[test]
+    fn lanes_default_and_wide_display() {
+        // new() and a recorder without the lanes counter both report the
+        // scalar 64-lane default, and the Display line stays free of any
+        // lanes mention (byte-compat with pre-wide output).
+        let s = SimStats::new(1);
+        assert_eq!(s.lanes, 64);
+        assert!(!s.to_string().contains("lanes"));
+        let rec = bibs_obs::Recorder::new("fault-sim[serial]");
+        assert_eq!(SimStats::from_recorder(&rec, 1).lanes, 64);
+        // A widened engine surfaces the width and the PPSFP ratio.
+        let mut rec = bibs_obs::Recorder::new("fault-sim[serial]");
+        let root = rec.root();
+        rec.add_to(root, CounterId::Lanes, 512);
+        rec.add_to(root, CounterId::GoodEvals, 2);
+        let mut sh = bibs_obs::ShardCounters::new();
+        sh.add(CounterId::FaultEvals, 10);
+        rec.attach_shard(root, 0, &sh);
+        let s = SimStats::from_recorder(&rec, 1);
+        assert_eq!(s.lanes, 512);
+        assert!((s.faults_per_sweep() - 5.0).abs() < 1e-9);
+        assert!(s.to_string().contains("512 lanes (5.0 faults/sweep)"));
+    }
+
+    #[test]
+    fn faults_per_sweep_guards_zero_sweeps() {
+        let s = SimStats::new(1);
+        assert_eq!(s.faults_per_sweep(), 0.0);
     }
 
     #[test]

@@ -717,6 +717,326 @@ impl EvalProgram {
             GateKind::Buf => operand(0),
         }
     }
+
+    // ------------------------------------------------------------------
+    // Wide (multi-word) evaluation: stride-N flat buffers.
+    //
+    // A wide value buffer stores N consecutive 64-lane words per slot:
+    // slot `s` occupies `values[s * N .. (s + 1) * N]`, giving 64·N
+    // patterns per sweep. `N` is a const generic, so each width compiles
+    // to its own kernel with the inner `0..N` loops unrolled and
+    // auto-vectorized. Patch words are splatted to all N sub-words — a
+    // stuck-at fault is stuck in every lane. Sub-word `k` of every slot
+    // is bit-identical to a scalar evaluation of input word `k`, which is
+    // what the fault simulators' cross-width report equivalence rests on.
+    // ------------------------------------------------------------------
+
+    /// A fresh wide value buffer (`N` words per slot): all slots zero,
+    /// then the constant prologue splatted into every sub-word.
+    pub fn new_values_wide<const N: usize>(&self) -> Vec<u64> {
+        let mut values = vec![0u64; self.slot_count * N];
+        self.apply_consts_wide::<N>(&mut values);
+        values
+    }
+
+    /// Applies the constant prologue to a wide buffer (splatted).
+    pub fn apply_consts_wide<const N: usize>(&self, values: &mut [u64]) {
+        for &(slot, word) in &self.const_inits {
+            let o = slot as usize * N;
+            values[o..o + N].fill(word);
+        }
+    }
+
+    /// Writes the primary-input chunks into their slots. The chunk layout
+    /// is input-contiguous: `input_chunks[i * N + k]` is 64-lane word `k`
+    /// of primary input `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input_chunks.len()` differs from `N ×` the input width.
+    #[inline]
+    pub fn set_inputs_wide<const N: usize>(&self, values: &mut [u64], input_chunks: &[u64]) {
+        assert_eq!(
+            input_chunks.len(),
+            self.input_slots.len() * N,
+            "N words per primary input required"
+        );
+        for (i, &slot) in self.input_slots.iter().enumerate() {
+            let o = slot as usize * N;
+            values[o..o + N].copy_from_slice(&input_chunks[i * N..i * N + N]);
+        }
+    }
+
+    /// Executes the full instruction stream over a wide buffer. Returns
+    /// the lane-normalized gate-evaluation count (`instr_count · N`).
+    #[inline]
+    pub fn run_wide<const N: usize>(&self, values: &mut [u64]) -> u64 {
+        self.exec_range_wide::<N>(values, 0, self.ops.len());
+        (self.ops.len() * N) as u64
+    }
+
+    /// Wide good-machine evaluation: inputs, then the instruction stream.
+    /// Returns the lane-normalized gate-evaluation count.
+    #[inline]
+    pub fn eval_good_wide<const N: usize>(&self, values: &mut [u64], input_chunks: &[u64]) -> u64 {
+        self.set_inputs_wide::<N>(values, input_chunks);
+        self.run_wide::<N>(values)
+    }
+
+    /// Wide faulty-machine evaluation. The buffer is self-healing exactly
+    /// like [`EvalProgram::eval_patched`]: the constant prologue is
+    /// re-applied so one persistent wide faulty buffer serves every fault.
+    #[inline]
+    pub fn eval_patched_wide<const N: usize>(
+        &self,
+        values: &mut [u64],
+        input_chunks: &[u64],
+        patch: Patch,
+    ) -> u64 {
+        self.apply_consts_wide::<N>(values);
+        self.set_inputs_wide::<N>(values, input_chunks);
+        self.run_patched_wide::<N>(values, patch)
+    }
+
+    /// Executes the instruction stream over a wide buffer with `patch`
+    /// applied (its stuck word splatted to all `N` sub-words). Returns
+    /// the lane-normalized executed count, mirroring
+    /// [`EvalProgram::run_patched`] `× N`.
+    #[inline]
+    pub fn run_patched_wide<const N: usize>(&self, values: &mut [u64], patch: Patch) -> u64 {
+        let n = self.ops.len();
+        match patch {
+            Patch::Slot { slot, word } => {
+                let o = slot as usize * N;
+                values[o..o + N].fill(word);
+                self.exec_range_wide::<N>(values, 0, n);
+                (n * N) as u64
+            }
+            Patch::InstrOutput { instr, word } => {
+                let i = instr as usize;
+                self.exec_range_wide::<N>(values, 0, i);
+                let o = self.out_slot[i] as usize * N;
+                values[o..o + N].fill(word);
+                self.exec_range_wide::<N>(values, i + 1, n);
+                ((n - 1) * N) as u64
+            }
+            Patch::InstrPin { instr, pin, word } => {
+                let i = instr as usize;
+                self.exec_range_wide::<N>(values, 0, i);
+                let chunk = self.eval_instr_pinned_wide::<N>(values, i, pin as usize, word);
+                let o = self.out_slot[i] as usize * N;
+                values[o..o + N].copy_from_slice(&chunk);
+                self.exec_range_wide::<N>(values, i + 1, n);
+                (n * N) as u64
+            }
+        }
+    }
+
+    /// Wide [`EvalProgram::eval_multi_patched`]: constant prologue,
+    /// inputs, then [`EvalProgram::run_multi_patched_wide`].
+    #[inline]
+    pub fn eval_multi_patched_wide<const N: usize>(
+        &self,
+        values: &mut [u64],
+        input_chunks: &[u64],
+        patches: &[Patch],
+    ) -> u64 {
+        self.apply_consts_wide::<N>(values);
+        self.set_inputs_wide::<N>(values, input_chunks);
+        self.run_multi_patched_wide::<N>(values, patches)
+    }
+
+    /// Wide [`EvalProgram::run_multi_patched`]: same patch-slice contract
+    /// (instruction patches sorted ascending, [`Patch::Slot`] anywhere, a
+    /// forced output swallows pin patches on the same instruction), with
+    /// every stuck word splatted. Returns the lane-normalized executed
+    /// count.
+    pub fn run_multi_patched_wide<const N: usize>(
+        &self,
+        values: &mut [u64],
+        patches: &[Patch],
+    ) -> u64 {
+        let n = self.ops.len();
+        for p in patches {
+            if let Patch::Slot { slot, word } = *p {
+                let o = slot as usize * N;
+                values[o..o + N].fill(word);
+            }
+        }
+        let mut executed = 0u64;
+        let mut cursor = 0usize;
+        let mut k = 0usize;
+        while k < patches.len() {
+            let (i, forced_out) = match patches[k] {
+                Patch::Slot { .. } => {
+                    k += 1;
+                    continue;
+                }
+                Patch::InstrOutput { instr, word } => (instr as usize, Some(word)),
+                Patch::InstrPin { instr, .. } => (instr as usize, None),
+            };
+            debug_assert!(i >= cursor, "instruction patches must be sorted");
+            self.exec_range_wide::<N>(values, cursor, i);
+            executed += ((i - cursor) * N) as u64;
+            let o = self.out_slot[i] as usize * N;
+            if let Some(word) = forced_out {
+                values[o..o + N].fill(word);
+                k += 1;
+            } else {
+                let first = k;
+                while k < patches.len()
+                    && matches!(patches[k], Patch::InstrPin { instr, .. } if instr as usize == i)
+                {
+                    k += 1;
+                }
+                let chunk = self.eval_instr_multi_pinned_wide::<N>(values, i, &patches[first..k]);
+                values[o..o + N].copy_from_slice(&chunk);
+                executed += N as u64;
+            }
+            // Swallow any remaining patches on the same instruction (a
+            // forced output makes pin patches on it moot).
+            while k < patches.len()
+                && matches!(patches[k], Patch::InstrPin { instr, .. } | Patch::InstrOutput { instr, .. } if instr as usize == i)
+            {
+                k += 1;
+            }
+            cursor = i + 1;
+        }
+        self.exec_range_wide::<N>(values, cursor, n);
+        executed += ((n - cursor) * N) as u64;
+        executed
+    }
+
+    /// Executes instructions `from..to` over a wide (stride-`N`) buffer.
+    #[inline]
+    fn exec_range_wide<const N: usize>(&self, values: &mut [u64], from: usize, to: usize) {
+        #[inline(always)]
+        fn fold<const N: usize>(
+            values: &[u64],
+            span: &[u32],
+            init: u64,
+            invert: bool,
+            f: impl Fn(u64, u64) -> u64,
+        ) -> [u64; N] {
+            let mut acc = [init; N];
+            for &s in span {
+                let o = s as usize * N;
+                for k in 0..N {
+                    acc[k] = f(acc[k], values[o + k]);
+                }
+            }
+            if invert {
+                for w in &mut acc {
+                    *w = !*w;
+                }
+            }
+            acc
+        }
+        for i in from..to {
+            let start = self.operand_start[i] as usize;
+            let end = self.operand_start[i + 1] as usize;
+            let span = &self.operands[start..end];
+            // Not/Buf read only operand 0 (matching the scalar kernel) via
+            // a single-operand xor fold: `0 ^ a = a`, inverted for Not.
+            let chunk: [u64; N] = match self.ops[i] {
+                GateKind::And => fold(values, span, !0, false, |a, b| a & b),
+                GateKind::Or => fold(values, span, 0, false, |a, b| a | b),
+                GateKind::Nand => fold(values, span, !0, true, |a, b| a & b),
+                GateKind::Nor => fold(values, span, 0, true, |a, b| a | b),
+                GateKind::Xor => fold(values, span, 0, false, |a, b| a ^ b),
+                GateKind::Xnor => fold(values, span, 0, true, |a, b| a ^ b),
+                GateKind::Not => fold(values, &span[..1], 0, true, |a, b| a ^ b),
+                GateKind::Buf => fold(values, &span[..1], 0, false, |a, b| a ^ b),
+            };
+            let o = self.out_slot[i] as usize * N;
+            values[o..o + N].copy_from_slice(&chunk);
+        }
+    }
+
+    /// Shared fold for the wide pinned evaluators: `operand(idx, k)`
+    /// yields sub-word `k` of operand `idx` (post-override).
+    #[inline(always)]
+    fn fold_pinned_wide<const N: usize>(
+        &self,
+        i: usize,
+        arity: usize,
+        operand: impl Fn(usize, usize) -> u64,
+    ) -> [u64; N] {
+        #[inline(always)]
+        fn fold<const N: usize>(
+            arity: usize,
+            init: u64,
+            invert: bool,
+            operand: &impl Fn(usize, usize) -> u64,
+            f: impl Fn(u64, u64) -> u64,
+        ) -> [u64; N] {
+            let mut acc = [init; N];
+            for idx in 0..arity {
+                for (k, a) in acc.iter_mut().enumerate() {
+                    *a = f(*a, operand(idx, k));
+                }
+            }
+            if invert {
+                for w in &mut acc {
+                    *w = !*w;
+                }
+            }
+            acc
+        }
+        match self.ops[i] {
+            GateKind::And => fold(arity, !0, false, &operand, |a, b| a & b),
+            GateKind::Or => fold(arity, 0, false, &operand, |a, b| a | b),
+            GateKind::Nand => fold(arity, !0, true, &operand, |a, b| a & b),
+            GateKind::Nor => fold(arity, 0, true, &operand, |a, b| a | b),
+            GateKind::Xor => fold(arity, 0, false, &operand, |a, b| a ^ b),
+            GateKind::Xnor => fold(arity, 0, true, &operand, |a, b| a ^ b),
+            GateKind::Not => fold(1, 0, true, &operand, |a, b| a ^ b),
+            GateKind::Buf => fold(1, 0, false, &operand, |a, b| a ^ b),
+        }
+    }
+
+    /// Wide [`EvalProgram::eval_instr_pinned`]: operand `pin` overridden
+    /// to the splatted `word` in every sub-word.
+    fn eval_instr_pinned_wide<const N: usize>(
+        &self,
+        values: &[u64],
+        i: usize,
+        pin: usize,
+        word: u64,
+    ) -> [u64; N] {
+        let start = self.operand_start[i] as usize;
+        let end = self.operand_start[i + 1] as usize;
+        let operand = |idx: usize, k: usize| {
+            if idx == pin {
+                word
+            } else {
+                values[self.operands[start + idx] as usize * N + k]
+            }
+        };
+        self.fold_pinned_wide::<N>(i, end - start, operand)
+    }
+
+    /// Wide [`EvalProgram::eval_instr_multi_pinned`].
+    fn eval_instr_multi_pinned_wide<const N: usize>(
+        &self,
+        values: &[u64],
+        i: usize,
+        pins: &[Patch],
+    ) -> [u64; N] {
+        let start = self.operand_start[i] as usize;
+        let end = self.operand_start[i + 1] as usize;
+        let operand = |idx: usize, k: usize| {
+            for p in pins {
+                if let Patch::InstrPin { pin, word, .. } = *p {
+                    if pin as usize == idx {
+                        return word;
+                    }
+                }
+            }
+            values[self.operands[start + idx] as usize * N + k]
+        };
+        self.fold_pinned_wide::<N>(i, end - start, operand)
+    }
 }
 
 #[cfg(test)]
@@ -912,6 +1232,122 @@ mod tests {
         assert!(read[a.index()] && read[c.index()], "PIs feed gates");
         assert!(read[y.index()], "observed output");
         assert!(!read[z.index()], "dead gate output is never read");
+    }
+
+    fn pattern_word(i: u64) -> u64 {
+        i.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(17) ^ 0xA5A5
+    }
+
+    fn scalar_words<const N: usize>(chunks: &[u64], width: usize, k: usize) -> Vec<u64> {
+        (0..width).map(|i| chunks[i * N + k]).collect()
+    }
+
+    #[test]
+    fn wide_good_eval_matches_scalar_per_subword() {
+        let nl = adder4();
+        let prog = EvalProgram::compile(&nl).unwrap();
+        const N: usize = 4;
+        let width = nl.input_width();
+        let chunks: Vec<u64> = (0..(width * N) as u64).map(pattern_word).collect();
+        let mut wide = prog.new_values_wide::<N>();
+        let wide_evals = prog.eval_good_wide::<N>(&mut wide, &chunks);
+        let mut scalar = prog.new_values();
+        for k in 0..N {
+            let evals = prog.eval_good(&mut scalar, &scalar_words::<N>(&chunks, width, k));
+            assert_eq!(wide_evals, evals * N as u64, "lane-normalized count");
+            for s in 0..prog.slot_count() {
+                assert_eq!(wide[s * N + k], scalar[s], "slot {s} sub-word {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn wide_patched_eval_matches_scalar_per_subword() {
+        // Exercise all three patch kinds, plus a multi-patch slice, on a
+        // circuit with shared fanout and a constant.
+        let mut b = NetlistBuilder::new("widepatch");
+        let a = b.input("a");
+        let c = b.input("b");
+        let one = b.const1();
+        let y0 = b.and2(a, c);
+        let y1 = b.or2(a, one);
+        let y2 = b.gate(GateKind::Xor, &[y0, y1]);
+        b.output("y2", y2);
+        b.output("y0", y0);
+        let nl = b.finish().unwrap();
+        let prog = EvalProgram::compile(&nl).unwrap();
+        const N: usize = 8;
+        let width = nl.input_width();
+        let chunks: Vec<u64> = (0..(width * N) as u64).map(pattern_word).collect();
+
+        let and_gate = nl
+            .gate_ids()
+            .find(|&g| nl.gate(g).kind == GateKind::And)
+            .unwrap();
+        let patches = [
+            prog.patch_net(a, true),
+            prog.patch_net(y1, false),
+            prog.patch_pin(and_gate, 1, false),
+        ];
+        let mut wide = prog.new_values_wide::<N>();
+        let mut scalar = prog.new_values();
+        for patch in patches {
+            let wide_evals = prog.eval_patched_wide::<N>(&mut wide, &chunks, patch);
+            for k in 0..N {
+                let evals =
+                    prog.eval_patched(&mut scalar, &scalar_words::<N>(&chunks, width, k), patch);
+                assert_eq!(wide_evals, evals * N as u64, "{patch:?}");
+                for s in 0..prog.slot_count() {
+                    assert_eq!(wide[s * N + k], scalar[s], "{patch:?} slot {s} word {k}");
+                }
+            }
+        }
+
+        // Multi-patch: a slot force plus two pin overrides on one gate.
+        let multi = [
+            prog.patch_net(a, false),
+            prog.patch_pin(and_gate, 0, true),
+            prog.patch_pin(and_gate, 1, true),
+        ];
+        let wide_evals = prog.eval_multi_patched_wide::<N>(&mut wide, &chunks, &multi);
+        for k in 0..N {
+            let evals =
+                prog.eval_multi_patched(&mut scalar, &scalar_words::<N>(&chunks, width, k), &multi);
+            assert_eq!(wide_evals, evals * N as u64);
+            for s in 0..prog.slot_count() {
+                assert_eq!(wide[s * N + k], scalar[s], "multi slot {s} word {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn wide_buffer_self_heals_const_slots() {
+        let mut b = NetlistBuilder::new("c");
+        let a = b.input("a");
+        let one = b.const1();
+        let y = b.and2(a, one);
+        b.output("y", y);
+        let nl = b.finish().unwrap();
+        let prog = EvalProgram::compile(&nl).unwrap();
+        const N: usize = 4;
+        let const_net = nl
+            .net_ids()
+            .find(|&n| matches!(nl.driver(n), NetDriver::Const(_)))
+            .unwrap();
+        let chunks = [!0u64; N];
+        let mut wide = prog.new_values_wide::<N>();
+        prog.eval_patched_wide::<N>(&mut wide, &chunks, prog.patch_net(const_net, false));
+        let o = nl.outputs()[0].index() * N;
+        assert!(
+            wide[o..o + N].iter().all(|&w| w == 0),
+            "fault masks the AND"
+        );
+        prog.eval_patched_wide::<N>(&mut wide, &chunks, prog.patch_net(nl.outputs()[0], true));
+        let c = const_net.index() * N;
+        assert!(
+            wide[c..c + N].iter().all(|&w| w == !0u64),
+            "prologue healed"
+        );
     }
 
     #[test]

@@ -109,10 +109,15 @@ pub enum CounterId {
     /// Individual rewrites performed by accepted optimizer passes
     /// (instructions folded, forwarded, merged, fused or deleted).
     OptRewrites,
+    /// Simulation lane width (64·words per sweep) of a wide-configured
+    /// engine. Recorded once at configuration, only when widened past the
+    /// 64-lane default — scalar runs never emit it, keeping their
+    /// telemetry byte-identical to pre-wide baselines.
+    Lanes,
 }
 
 /// Number of counters — the fixed length of every [`Counters`] array.
-pub const COUNTER_COUNT: usize = 26;
+pub const COUNTER_COUNT: usize = 27;
 
 impl CounterId {
     /// Every counter, in export order.
@@ -143,6 +148,7 @@ impl CounterId {
         CounterId::SourceClocks,
         CounterId::OptInstrsSaved,
         CounterId::OptRewrites,
+        CounterId::Lanes,
     ];
 
     /// The stable snake_case name used in JSON exports and trace output.
@@ -174,6 +180,7 @@ impl CounterId {
             CounterId::SourceClocks => "source_clocks",
             CounterId::OptInstrsSaved => "opt_instrs_saved",
             CounterId::OptRewrites => "opt_rewrites",
+            CounterId::Lanes => "lanes",
         }
     }
 
